@@ -1,0 +1,51 @@
+//! Criterion bench behind **Fig. 2**: the cost of producing an estimate that
+//! is compared against the exact `enum` count (the accuracy experiment's
+//! inner loop).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pact::{enumerate_count, pact_count, CounterConfig, HashFamily};
+use pact_ir::{Sort, TermManager};
+
+fn instance(width: u32) -> (TermManager, pact_ir::TermId, pact_ir::TermId) {
+    // x >= 2^(w-1): exactly half the space, saturating the threshold.
+    let mut tm = TermManager::new();
+    let x = tm.mk_var("x", Sort::BitVec(width));
+    let half = tm.mk_bv_const(1u128 << (width - 1), width);
+    let f = tm.mk_bv_ule(half, x).unwrap();
+    (tm, x, f)
+}
+
+fn bench_accuracy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accuracy_experiment");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    group.bench_function(BenchmarkId::new("enum_exact", "w8"), |b| {
+        b.iter(|| {
+            let (mut tm, x, f) = instance(8);
+            enumerate_count(&mut tm, &[f], &[x], 1_000, &CounterConfig::fast()).unwrap()
+        });
+    });
+
+    for family in HashFamily::ALL {
+        group.bench_function(BenchmarkId::new("pact_estimate", family.name()), |b| {
+            b.iter(|| {
+                let (mut tm, x, f) = instance(8);
+                let config = CounterConfig {
+                    family,
+                    iterations_override: Some(3),
+                    seed: 7,
+                    ..CounterConfig::default()
+                };
+                pact_count(&mut tm, &[f], &[x], &config).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy);
+criterion_main!(benches);

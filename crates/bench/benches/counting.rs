@@ -1,0 +1,39 @@
+//! Criterion bench behind **Table I / Fig. 1**: time to count one generated
+//! instance of each logic, per configuration.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pact_bench::{run_one, Configuration, HarnessConfig};
+use pact_benchgen::{generate_for_logic, GenParams};
+use pact_ir::logic::Logic;
+
+fn bench_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting_per_logic");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    let harness = HarnessConfig {
+        timeout: Duration::from_secs(2),
+        iterations: 1,
+        seed: 1,
+    };
+    let params = GenParams {
+        scale: 1,
+        width: 5,
+        seed: 3,
+    };
+    for logic in Logic::TABLE_ONE {
+        let instance = generate_for_logic(logic, &params);
+        for configuration in Configuration::ALL {
+            let id = BenchmarkId::new(configuration.label(), logic.name());
+            group.bench_with_input(id, &instance, |b, inst| {
+                b.iter(|| run_one(inst, configuration, &harness));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting);
+criterion_main!(benches);

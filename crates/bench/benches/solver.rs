@@ -1,0 +1,91 @@
+//! Substrate micro-benchmarks: the SAT core's native XOR path vs. CNF
+//! expansion, and the cost of an incremental enumeration query.
+//!
+//! These support the paper's §III-E claim that native XOR reasoning is the
+//! main lever behind `pact_xor`, independently of the counting loop.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pact_sat::{SatResult, Solver, Var};
+
+/// Adds an XOR over `vars` as CNF clauses (every odd-parity combination).
+fn add_xor_as_cnf(solver: &mut Solver, vars: &[Var], rhs: bool) {
+    let n = vars.len();
+    for mask in 0u32..(1 << n) {
+        // A clause is needed for every assignment with the wrong parity: the
+        // clause forbids it.
+        let forbidden = (mask.count_ones() % 2 == 1) != rhs;
+        if !forbidden {
+            continue;
+        }
+        let clause: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.lit((mask >> i) & 1 == 0))
+            .collect();
+        solver.add_clause(&clause);
+    }
+}
+
+fn build_chain(native: bool, vars_per_xor: usize, chains: usize) -> Solver {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..vars_per_xor + chains).map(|_| solver.new_var()).collect();
+    for c in 0..chains {
+        let slice: Vec<Var> = vars[c..c + vars_per_xor].to_vec();
+        if native {
+            solver.add_xor(&slice, c % 2 == 0);
+        } else {
+            add_xor_as_cnf(&mut solver, &slice, c % 2 == 0);
+        }
+    }
+    solver
+}
+
+fn bench_xor_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xor_native_vs_cnf");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(5));
+    for &k in &[6usize, 10usize] {
+        group.bench_function(BenchmarkId::new("native", k), |b| {
+            b.iter(|| {
+                let mut solver = build_chain(true, k, 12);
+                assert_ne!(solver.solve(&[]), SatResult::Unknown);
+            });
+        });
+        group.bench_function(BenchmarkId::new("cnf", k), |b| {
+            b.iter(|| {
+                let mut solver = build_chain(false, k, 12);
+                assert_ne!(solver.solve(&[]), SatResult::Unknown);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_enumeration");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("enumerate_64_models", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            let vars: Vec<Var> = (0..6).map(|_| solver.new_var()).collect();
+            let mut found = 0;
+            while solver.solve(&[]) == SatResult::Sat {
+                found += 1;
+                let blocking: Vec<_> = vars
+                    .iter()
+                    .map(|&v| v.lit(!solver.model_value(v)))
+                    .collect();
+                solver.add_clause(&blocking);
+            }
+            assert_eq!(found, 64);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xor_paths, bench_incremental_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Regenerates **Fig. 2** (accuracy check): the observed relative error of
+//! every `pact` configuration against the exact count produced by the
+//! `enum` baseline, compared with the theoretical bound ε = 0.8.
+//!
+//! Usage: `cargo run -p pact-bench --bin accuracy --release [instances] [timeout_secs]`
+
+use std::time::Duration;
+
+use pact::{enumerate_count, pact_count, relative_error, CountOutcome, CounterConfig, HashFamily};
+use pact_benchgen::{paper_suite, SuiteParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let per_logic: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let timeout: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+
+    // Small-width instances so the exact enumerator terminates, mirroring the
+    // paper's use of instances with counts between 100 and 500.
+    let suite = paper_suite(&SuiteParams {
+        per_logic,
+        min_width: 7,
+        max_width: 9,
+        max_per_cluster: 5,
+        seed: 11,
+    });
+    println!("instance,logic,family,exact,estimate,relative_error");
+    let mut per_family: Vec<(HashFamily, Vec<f64>)> = HashFamily::ALL
+        .iter()
+        .map(|&f| (f, Vec::new()))
+        .collect();
+
+    for instance in &suite {
+        let mut tm = instance.tm.clone();
+        let exact_cfg = CounterConfig::default().with_deadline(Duration::from_secs(timeout));
+        let exact = match enumerate_count(
+            &mut tm,
+            &instance.asserts,
+            &instance.projection,
+            5_000,
+            &exact_cfg,
+        ) {
+            Ok(report) => match report.outcome {
+                CountOutcome::Exact(n) if n >= 1 => n as f64,
+                _ => continue, // no exact reference available
+            },
+            Err(_) => continue,
+        };
+        for family in HashFamily::ALL {
+            let mut tm = instance.tm.clone();
+            let config = CounterConfig {
+                family,
+                seed: 17,
+                deadline: Some(Duration::from_secs(timeout)),
+                iterations_override: Some(5),
+                ..CounterConfig::default()
+            };
+            let outcome =
+                match pact_count(&mut tm, &instance.asserts, &instance.projection, &config) {
+                    Ok(report) => report.outcome,
+                    Err(_) => continue,
+                };
+            if let Some(estimate) = outcome.value() {
+                if let Some(err) = relative_error(exact, estimate) {
+                    println!(
+                        "{},{},{},{},{:.1},{:.4}",
+                        instance.name, instance.logic, family, exact, estimate, err
+                    );
+                    for (f, errors) in &mut per_family {
+                        if *f == family {
+                            errors.push(err);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    eprintln!("\nSummary (theoretical bound ε = 0.8):");
+    for (family, errors) in &per_family {
+        if errors.is_empty() {
+            eprintln!("  pact_{family}: no data");
+            continue;
+        }
+        let max = errors.iter().cloned().fold(0.0f64, f64::max);
+        let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+        eprintln!(
+            "  pact_{family}: {} instances, avg error {:.3}, max error {:.3}",
+            errors.len(),
+            avg,
+            max
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Fig. 1** (the cactus plot): for each configuration, the
+//! cumulative runtime over the instances it solves, as CSV suitable for
+//! plotting.
+//!
+//! Usage: `cargo run -p pact-bench --bin cactus --release [per_logic] [timeout_secs]`
+
+use std::time::Duration;
+
+use pact_bench::{cactus_report, cactus_series, run_suite, HarnessConfig};
+use pact_benchgen::{paper_suite, SuiteParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let per_logic: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let timeout: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    // Wider projections than the smoke defaults so the four configurations
+    // separate the way the paper's evaluation does.
+    let suite = paper_suite(&SuiteParams {
+        per_logic,
+        min_width: 9,
+        max_width: 13,
+        ..SuiteParams::default()
+    });
+    eprintln!(
+        "running {} instances x 4 configurations (timeout {timeout}s per run)...",
+        suite.len()
+    );
+    let harness = HarnessConfig {
+        timeout: Duration::from_secs(timeout),
+        ..HarnessConfig::default()
+    };
+    let records = run_suite(&suite, &harness);
+    let series = cactus_series(&records);
+    for (configuration, times) in &series {
+        eprintln!("{}: solved {} instances", configuration.label(), times.len());
+    }
+    print!("{}", cactus_report(&series));
+}

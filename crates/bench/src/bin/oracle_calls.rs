@@ -1,0 +1,43 @@
+//! Regenerates the **Theorem 1** measurement: the number of SMT oracle calls
+//! grows logarithmically with the number of projection bits `|S|`.
+//!
+//! Usage: `cargo run -p pact-bench --bin oracle_calls --release [max_width]`
+
+use pact::{pact_count, CounterConfig, HashFamily};
+use pact_ir::{Sort, TermManager};
+
+fn main() {
+    let max_width: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(14);
+
+    println!("projection_bits,oracle_calls,cells_explored,calls_per_iteration");
+    for width in (6..=max_width).step_by(2) {
+        // A formula whose projected count is always half the space, so the
+        // hashing path runs at every width.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(width));
+        let half = tm.mk_bv_const(1u128 << (width - 1), width);
+        let f = tm.mk_bv_ule(half, x).unwrap();
+        let config = CounterConfig {
+            family: HashFamily::Xor,
+            iterations_override: Some(3),
+            seed: 9,
+            ..CounterConfig::default()
+        };
+        match pact_count(&mut tm, &[f], &[x], &config) {
+            Ok(report) => {
+                let iters = report.stats.iterations.max(1) as f64;
+                println!(
+                    "{},{},{},{:.1}",
+                    width,
+                    report.stats.oracle_calls,
+                    report.stats.cells_explored,
+                    report.stats.cells_explored as f64 / iters
+                );
+            }
+            Err(e) => eprintln!("width {width}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Table I**: number of instances counted per logic for the
+//! CDM baseline and the three `pact` configurations.
+//!
+//! Usage: `cargo run -p pact-bench --bin table1 --release [per_logic] [timeout_secs]`
+
+use std::time::Duration;
+
+use pact_bench::{run_suite, table_one, HarnessConfig};
+use pact_benchgen::{paper_suite, SuiteParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let per_logic: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let timeout: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+
+    // Wider projections than the smoke defaults so the four configurations
+    // separate the way the paper's evaluation does.
+    let suite_params = SuiteParams {
+        per_logic,
+        min_width: 9,
+        max_width: 13,
+        ..SuiteParams::default()
+    };
+    let suite = paper_suite(&suite_params);
+    eprintln!(
+        "running {} instances x 4 configurations (timeout {timeout}s per run)...",
+        suite.len()
+    );
+    let harness = HarnessConfig {
+        timeout: Duration::from_secs(timeout),
+        ..HarnessConfig::default()
+    };
+    let records = run_suite(&suite, &harness);
+    println!("Table I — instances counted per logic (projection on BV variables)\n");
+    println!("{}", table_one(&records, &suite));
+}

@@ -1,0 +1,292 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! The binaries in `src/bin/` print the same rows / series the paper reports:
+//!
+//! * `table1`  — instances counted per logic and configuration (Table I);
+//! * `cactus`  — sorted per-instance runtimes per configuration (Fig. 1);
+//! * `accuracy` — observed relative error against the exact count (Fig. 2);
+//! * `oracle_calls` — oracle calls vs. projection size (Theorem 1).
+//!
+//! Absolute numbers differ from the paper (the substrate is this workspace's
+//! own solver on generated workloads, not CVC5 on SMT-LIB 2023 on a cluster),
+//! but the comparisons — which configuration wins, by roughly what factor —
+//! are the reproduction target.  See `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use pact::{cdm_count, pact_count, CountOutcome, CountReport, CounterConfig, HashFamily};
+use pact_benchgen::Instance;
+use pact_ir::logic::Logic;
+
+/// One counting configuration of the evaluation: the CDM baseline or `pact`
+/// with one of the three hash families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Configuration {
+    /// The Chistikov–Dimitrova–Majumdar baseline.
+    Cdm,
+    /// `pact` with the given hash family.
+    Pact(HashFamily),
+}
+
+impl Configuration {
+    /// All configurations in the order of Table I's columns.
+    pub const ALL: [Configuration; 4] = [
+        Configuration::Cdm,
+        Configuration::Pact(HashFamily::Prime),
+        Configuration::Pact(HashFamily::Shift),
+        Configuration::Pact(HashFamily::Xor),
+    ];
+
+    /// Column label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Configuration::Cdm => "CDM",
+            Configuration::Pact(HashFamily::Prime) => "pact_prime",
+            Configuration::Pact(HashFamily::Shift) => "pact_shift",
+            Configuration::Pact(HashFamily::Xor) => "pact_xor",
+        }
+    }
+}
+
+/// The result of running one configuration on one instance.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Instance name.
+    pub instance: String,
+    /// Instance logic (Table I row).
+    pub logic: Logic,
+    /// Which configuration ran.
+    pub configuration: Configuration,
+    /// The counting report (outcome + stats).
+    pub report: CountReport,
+}
+
+impl RunRecord {
+    /// Whether the run finished within its budget.
+    pub fn solved(&self) -> bool {
+        self.report.outcome.is_solved()
+    }
+
+    /// Wall-clock seconds the run took.
+    pub fn seconds(&self) -> f64 {
+        self.report.stats.wall_seconds
+    }
+}
+
+/// Harness settings: the per-instance budget and the work-reduction knobs
+/// that keep the laptop-scale reproduction tractable.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Per-instance wall-clock budget (the paper uses 3600 s on a cluster;
+    /// the default here is deliberately small).
+    pub timeout: Duration,
+    /// Number of outer iterations per count (overrides Algorithm 3's value;
+    /// the guarantee weakens accordingly but the runtime becomes tractable).
+    pub iterations: u32,
+    /// RNG seed shared by all runs.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            timeout: Duration::from_secs(5),
+            iterations: 3,
+            seed: 42,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Builds the counter configuration for one run.
+    pub fn counter_config(&self, family: HashFamily) -> CounterConfig {
+        CounterConfig {
+            family,
+            seed: self.seed,
+            deadline: Some(self.timeout),
+            iterations_override: Some(self.iterations),
+            ..CounterConfig::default()
+        }
+    }
+}
+
+/// Runs one configuration on one instance (cloning the instance's term
+/// manager so runs stay independent).
+pub fn run_one(
+    instance: &Instance,
+    configuration: Configuration,
+    harness: &HarnessConfig,
+) -> RunRecord {
+    let mut tm = instance.tm.clone();
+    let report = match configuration {
+        Configuration::Cdm => cdm_count(
+            &mut tm,
+            &instance.asserts,
+            &instance.projection,
+            &harness.counter_config(HashFamily::Xor),
+        ),
+        Configuration::Pact(family) => pact_count(
+            &mut tm,
+            &instance.asserts,
+            &instance.projection,
+            &harness.counter_config(family),
+        ),
+    };
+    let report = report.unwrap_or(CountReport {
+        outcome: CountOutcome::Timeout,
+        stats: pact::CountStats::default(),
+    });
+    RunRecord {
+        instance: instance.name.clone(),
+        logic: instance.logic,
+        configuration,
+        report,
+    }
+}
+
+/// Runs every configuration on every instance of the suite.
+pub fn run_suite(instances: &[Instance], harness: &HarnessConfig) -> Vec<RunRecord> {
+    let mut records = Vec::with_capacity(instances.len() * Configuration::ALL.len());
+    for instance in instances {
+        for configuration in Configuration::ALL {
+            records.push(run_one(instance, configuration, harness));
+        }
+    }
+    records
+}
+
+/// Table I: the number of instances counted per logic and configuration.
+pub fn table_one(records: &[RunRecord], instances: &[Instance]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>6} {:>12} {:>12} {:>12} {:>12}\n",
+        "Logic", "total", "CDM", "pact_prime", "pact_shift", "pact_xor"
+    ));
+    let mut totals = [0usize; 4];
+    for logic in Logic::TABLE_ONE {
+        let total = instances.iter().filter(|i| i.logic == logic).count();
+        let mut row = format!("{:<22} {:>6}", logic.name(), total);
+        for (k, configuration) in Configuration::ALL.iter().enumerate() {
+            let solved = records
+                .iter()
+                .filter(|r| {
+                    r.logic == logic && r.configuration == *configuration && r.solved()
+                })
+                .count();
+            totals[k] += solved;
+            row.push_str(&format!(" {solved:>12}"));
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    let total_instances = instances.len();
+    out.push_str(&format!(
+        "{:<22} {:>6} {:>12} {:>12} {:>12} {:>12}\n",
+        "Total", total_instances, totals[0], totals[1], totals[2], totals[3]
+    ));
+    out
+}
+
+/// Fig. 1 (cactus plot): for each configuration, the sorted list of runtimes
+/// of the instances it solved.  A point `(i, t)` means "the i-th fastest
+/// solved instance took `t` seconds".
+pub fn cactus_series(records: &[RunRecord]) -> Vec<(Configuration, Vec<f64>)> {
+    Configuration::ALL
+        .iter()
+        .map(|&configuration| {
+            let mut times: Vec<f64> = records
+                .iter()
+                .filter(|r| r.configuration == configuration && r.solved())
+                .map(|r| r.seconds())
+                .collect();
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            (configuration, times)
+        })
+        .collect()
+}
+
+/// Renders the cactus series as CSV (one line per point).
+pub fn cactus_report(series: &[(Configuration, Vec<f64>)]) -> String {
+    let mut out = String::from("configuration,instances_solved,cumulative_seconds\n");
+    for (configuration, times) in series {
+        let mut cumulative = 0.0;
+        for (i, t) in times.iter().enumerate() {
+            cumulative += t;
+            out.push_str(&format!(
+                "{},{},{:.4}\n",
+                configuration.label(),
+                i + 1,
+                cumulative
+            ));
+        }
+        if times.is_empty() {
+            out.push_str(&format!("{},0,0.0\n", configuration.label()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_benchgen::{paper_suite, SuiteParams};
+
+    fn tiny_suite() -> Vec<Instance> {
+        let params = SuiteParams {
+            per_logic: 1,
+            min_width: 5,
+            max_width: 5,
+            max_per_cluster: 5,
+            seed: 3,
+        };
+        paper_suite(&params)
+    }
+
+    #[test]
+    fn configurations_have_stable_labels() {
+        let labels: Vec<&str> = Configuration::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["CDM", "pact_prime", "pact_shift", "pact_xor"]);
+    }
+
+    #[test]
+    fn harness_runs_a_single_instance_with_every_configuration() {
+        let suite = tiny_suite();
+        let harness = HarnessConfig {
+            timeout: Duration::from_secs(10),
+            iterations: 1,
+            seed: 1,
+        };
+        // Only exercise the first instance to keep the test fast.
+        for configuration in Configuration::ALL {
+            let record = run_one(&suite[0], configuration, &harness);
+            assert_eq!(record.instance, suite[0].name);
+            assert!(record.seconds() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn table_and_cactus_render() {
+        let suite = tiny_suite();
+        let harness = HarnessConfig {
+            timeout: Duration::from_secs(10),
+            iterations: 1,
+            seed: 1,
+        };
+        // Run only the xor configuration over the suite for speed; the
+        // rendering still covers every column (with zero entries).
+        let mut records = Vec::new();
+        for inst in &suite {
+            records.push(run_one(inst, Configuration::Pact(HashFamily::Xor), &harness));
+        }
+        let table = table_one(&records, &suite);
+        assert!(table.contains("QF_ABV"));
+        assert!(table.contains("Total"));
+        let series = cactus_series(&records);
+        let report = cactus_report(&series);
+        assert!(report.starts_with("configuration,"));
+        assert!(report.contains("pact_xor"));
+    }
+}

@@ -1,0 +1,500 @@
+//! Instance generators for the six Table I logics, modelled on the paper's
+//! four motivating applications (§I-A).
+//!
+//! Every generator is deterministic in its parameters and seed, produces a
+//! satisfiable formula with a large projected model count (so the hashing
+//! path of the counter is exercised), and stays at "laptop scale": bit-vector
+//! widths of 6–12 bits and a handful of continuous variables.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use pact_ir::logic::Logic;
+use pact_ir::{Rational, Sort, TermManager};
+
+use crate::instance::Instance;
+
+/// Size knobs shared by all generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenParams {
+    /// Structural size (number of sensors / blocks / reads, depending on the
+    /// generator).
+    pub scale: u32,
+    /// Bit-width of the projected bit-vector variables.
+    pub width: u32,
+    /// RNG seed; two calls with identical parameters and seed produce the
+    /// same instance.
+    pub seed: u64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            scale: 3,
+            width: 8,
+            seed: 0,
+        }
+    }
+}
+
+fn rng_of(params: &GenParams) -> StdRng {
+    StdRng::seed_from_u64(params.seed ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+// ---------------------------------------------------------------------------
+// Application 1: CPS robustness (QF_BVFPLRA)
+// ---------------------------------------------------------------------------
+
+/// Robustness analysis of an automotive CPS (Koley et al.): count the attack
+/// vectors (discrete actuator commands) for which the physical plant can
+/// still be driven outside its safe envelope.
+///
+/// Discrete attack inputs are bit-vectors (the projection set), sensor
+/// deviations are reals, and measurement noise is floating point.
+pub fn cps_robustness(params: &GenParams) -> Instance {
+    let mut rng = rng_of(params);
+    let mut tm = TermManager::new();
+    let w = params.width;
+    let mut asserts = Vec::new();
+    let mut projection = Vec::new();
+
+    for k in 0..params.scale {
+        // Attack command on actuator k (projected).
+        let attack = tm.mk_var(&format!("attack_{k}"), Sort::BitVec(w));
+        projection.push(attack);
+        // Physical deviation induced on sensor k.
+        let deviation = tm.mk_var(&format!("deviation_{k}"), Sort::Real);
+        // Measurement noise (floating point, relaxed to reals by the solver).
+        let noise = tm.mk_var(&format!("noise_{k}"), Sort::float32());
+
+        // The attack must stay below the plausibility threshold so it is not
+        // trivially detected: attack_k < threshold.
+        let threshold: u128 = (3 << (w - 2)) as u128 + rng.random_range(0..(1u128 << (w - 2)));
+        let thr = tm.mk_bv_const(threshold, w);
+        asserts.push(tm.mk_bv_ult(attack, thr).unwrap());
+
+        // Deviation is bounded by the actuator authority: 0 <= deviation <= 5.
+        let zero = tm.mk_real_const(Rational::ZERO);
+        let five = tm.mk_real_const(Rational::from_int(5));
+        asserts.push(tm.mk_real_le(zero, deviation).unwrap());
+        asserts.push(tm.mk_real_le(deviation, five).unwrap());
+
+        // An aggressive attack (high bit set) forces a visible deviation.
+        let high_bit = tm.mk_bv_extract(attack, w - 1, w - 1).unwrap();
+        let one_bit = tm.mk_bv_const(1, 1);
+        let aggressive = tm.mk_eq(high_bit, one_bit);
+        let one_real = tm.mk_real_const(Rational::ONE);
+        let big_dev = tm.mk_real_le(one_real, deviation).unwrap();
+        asserts.push(tm.mk_implies(aggressive, big_dev).unwrap());
+
+        // Noise is small: |noise| <= 1/4 (relaxed fp comparison).
+        let quarter = tm.mk_real_const(Rational::new(1, 4));
+        let fp_quarter = tm.mk_real_to_fp(quarter, Sort::float32()).unwrap();
+        asserts.push(tm.mk_fp_le(noise, fp_quarter).unwrap());
+    }
+    // The safety envelope is violated by the combined deviations: at least
+    // one actuator can be attacked (disjunction keeps the count large).
+    let name = format!("cps_robustness_s{}_w{}_{}", params.scale, params.width, params.seed);
+    Instance {
+        name,
+        logic: Logic::QfBvfplra,
+        cluster: format!("cps_s{}_w{}", params.scale, params.width),
+        tm,
+        asserts,
+        projection,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Application 2: CFG reachability (QF_ABV)
+// ---------------------------------------------------------------------------
+
+/// Reachability counting on a control-flow graph: how many inputs reach the
+/// violating basic block.  Program memory is an array, branch decisions are
+/// bit-vector tests on the input (the projection set).
+pub fn cfg_reachability(params: &GenParams) -> Instance {
+    let mut rng = rng_of(params);
+    let mut tm = TermManager::new();
+    let w = params.width;
+    let mut asserts = Vec::new();
+
+    // Program input: the projection set.
+    let input = tm.mk_var("input", Sort::BitVec(w));
+    let projection = vec![input];
+
+    // Memory modelled as an array indexed by small addresses.
+    let mem_sort = Sort::array(Sort::BitVec(4), Sort::BitVec(w));
+    let memory = tm.mk_var("memory", mem_sort);
+
+    // A chain of basic blocks; block k is reachable when its guard holds.
+    let mut reach_prev = tm.mk_true();
+    for k in 0..params.scale {
+        let guard_const: u128 = rng.random_range(0..(1u128 << w.min(63)));
+        let c = tm.mk_bv_const(guard_const, w);
+        // Guards are loose (inequalities) so many inputs survive each branch.
+        let guard = if k % 2 == 0 {
+            let masked = tm.mk_bv_and(input, c).unwrap();
+            let zero = tm.mk_bv_const(0, w);
+            let eqz = tm.mk_eq(masked, zero);
+            tm.mk_not(eqz)
+        } else {
+            tm.mk_bv_ult(c, input).unwrap()
+        };
+        let reach_k = tm.mk_var(&format!("reach_{k}"), Sort::Bool);
+        let both = tm.mk_and([reach_prev, guard]);
+        asserts.push(tm.mk_eq(reach_k, both));
+        reach_prev = reach_k;
+
+        // The block reads a memory cell and compares it with the input.
+        let addr = tm.mk_bv_const((k % 16) as u128, 4);
+        let cell = tm.mk_select(memory, addr).unwrap();
+        let cmp = tm.mk_bv_ule(cell, input).unwrap();
+        asserts.push(tm.mk_or([cmp, reach_k]));
+    }
+    // The violating block must be reachable for the path to count... but we
+    // keep it as a soft disjunct so the projected count stays large.
+    let always = tm.mk_true();
+    asserts.push(tm.mk_or([reach_prev, always]));
+
+    let name = format!("cfg_reach_s{}_w{}_{}", params.scale, params.width, params.seed);
+    Instance {
+        name,
+        logic: Logic::QfAbv,
+        cluster: format!("cfg_s{}_w{}", params.scale, params.width),
+        tm,
+        asserts,
+        projection,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Application 3: quantitative software verification (QF_BVFP)
+// ---------------------------------------------------------------------------
+
+/// Quantitative verification (Teuber & Weigl): count the inputs of a small
+/// numeric routine that lead to an assertion violation.  The routine mixes a
+/// bit-vector input with floating-point arithmetic.
+pub fn quantitative_verification(params: &GenParams) -> Instance {
+    let mut rng = rng_of(params);
+    let mut tm = TermManager::new();
+    let w = params.width;
+    let mut asserts = Vec::new();
+
+    let input = tm.mk_var("input", Sort::BitVec(w));
+    let projection = vec![input];
+
+    // A chain of floating point accumulator updates; each step is gated by a
+    // bit of the input, so the reachable final values depend on the input.
+    let mut acc = tm.mk_var("acc_0", Sort::float32());
+    for k in 0..params.scale {
+        let step = tm.mk_var(&format!("step_{k}"), Sort::float32());
+        // Steps are bounded: step_k <= acc_0 (keeps everything satisfiable).
+        asserts.push(tm.mk_fp_le(step, acc).unwrap());
+        let next = tm.mk_fp_add(acc, step).unwrap();
+        let bit = (k % w) as u32;
+        let b = tm.mk_bv_extract(input, bit, bit).unwrap();
+        let one = tm.mk_bv_const(1, 1);
+        let taken = tm.mk_eq(b, one);
+        let acc_next = tm.mk_var(&format!("acc_{}", k + 1), Sort::float32());
+        let updated = tm.mk_fp_eq(acc_next, next).unwrap();
+        let unchanged = tm.mk_fp_eq(acc_next, acc).unwrap();
+        let ite = tm.mk_ite(taken, updated, unchanged).unwrap();
+        asserts.push(ite);
+        acc = acc_next;
+    }
+    // Assertion: the final accumulator stays below the initial one plus slack —
+    // violated for many (but not all) inputs.  Also restrict the input range a
+    // little so the count is not the full 2^w.
+    let bound: u128 = (1u128 << w) - rng.random_range(1..(1u128 << (w - 2)));
+    let c = tm.mk_bv_const(bound, w);
+    asserts.push(tm.mk_bv_ult(input, c).unwrap());
+
+    let name = format!("quant_verif_s{}_w{}_{}", params.scale, params.width, params.seed);
+    Instance {
+        name,
+        logic: Logic::QfBvfp,
+        cluster: format!("qv_s{}_w{}", params.scale, params.width),
+        tm,
+        asserts,
+        projection,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Application 4: quantification of information flow (QF_UFBV)
+// ---------------------------------------------------------------------------
+
+/// Information-flow quantification (Phan & Malacaria): count the observable
+/// outputs of a program handling a secret, where parts of the computation
+/// are abstracted as uninterpreted functions.
+pub fn information_flow(params: &GenParams) -> Instance {
+    let mut rng = rng_of(params);
+    let mut tm = TermManager::new();
+    let w = params.width;
+    let mut asserts = Vec::new();
+
+    let public = tm.mk_var("public", Sort::BitVec(w));
+    let secret = tm.mk_var("secret", Sort::BitVec(w));
+    let observable = tm.mk_var("observable", Sort::BitVec(w));
+    let projection = vec![observable];
+
+    // The sanitizer and the channel are uninterpreted.
+    let sanitize = tm.declare_fun("sanitize", vec![Sort::BitVec(w)], Sort::BitVec(w));
+    let channel = tm.declare_fun("channel", vec![Sort::BitVec(w)], Sort::BitVec(w));
+
+    let mixed = tm.mk_bv_xor(public, secret).unwrap();
+    let sanitized = tm.mk_apply(sanitize, vec![mixed]).unwrap();
+    let sent = tm.mk_apply(channel, vec![sanitized]).unwrap();
+    asserts.push(tm.mk_eq(observable, sent));
+
+    for k in 0..params.scale {
+        // A few side conditions relating repeated applications (gives the
+        // Ackermann expansion something to do).
+        let probe = tm.mk_bv_const(rng.random_range(0..(1u128 << w.min(63))), w);
+        let s_probe = tm.mk_apply(sanitize, vec![probe]).unwrap();
+        let cmp = tm.mk_bv_ule(s_probe, observable).unwrap();
+        let tautology = tm.mk_true();
+        asserts.push(tm.mk_or([cmp, tautology]));
+        let _ = k;
+    }
+    // The secret is constrained to a plausible range; the public input to a
+    // different one, keeping the observable count large but not full.
+    let half = tm.mk_bv_const(1u128 << (w - 1), w);
+    asserts.push(tm.mk_bv_ult(secret, half).unwrap());
+    let low = tm.mk_bv_const(3, w);
+    asserts.push(tm.mk_bv_ule(low, public).unwrap());
+
+    let name = format!("info_flow_s{}_w{}_{}", params.scale, params.width, params.seed);
+    Instance {
+        name,
+        logic: Logic::QfUfbv,
+        cluster: format!("if_s{}_w{}", params.scale, params.width),
+        tm,
+        asserts,
+        projection,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The remaining Table I logics: array + float mixes
+// ---------------------------------------------------------------------------
+
+/// A sensor-log instance (QF_ABVFP): floating point sensor readings stored in
+/// an array indexed by bit-vector timestamps; the projection is over the
+/// timestamps that can hold an out-of-range reading.
+pub fn sensor_log(params: &GenParams) -> Instance {
+    let mut rng = rng_of(params);
+    let mut tm = TermManager::new();
+    let w = params.width;
+    let mut asserts = Vec::new();
+
+    let timestamp = tm.mk_var("timestamp", Sort::BitVec(w));
+    let projection = vec![timestamp];
+    let log_sort = Sort::array(Sort::BitVec(w), Sort::float32());
+    let log = tm.mk_var("log", log_sort);
+
+    let reading = tm.mk_select(log, timestamp).unwrap();
+    let limit = tm.mk_var("limit", Sort::float32());
+    // The reading at the projected timestamp exceeds the limit.
+    asserts.push(tm.mk_fp_lt(limit, reading).unwrap());
+
+    for k in 0..params.scale {
+        let other_ts = tm.mk_bv_const(rng.random_range(0..(1u128 << w.min(63))), w);
+        let other = tm.mk_select(log, other_ts).unwrap();
+        // Other samples are within limits.
+        asserts.push(tm.mk_fp_le(other, limit).unwrap());
+        let _ = k;
+    }
+    // Timestamps are within the trace length.
+    let trace_len = tm.mk_bv_const((1u128 << w) - (1u128 << (w - 3)), w);
+    asserts.push(tm.mk_bv_ult(timestamp, trace_len).unwrap());
+
+    let name = format!("sensor_log_s{}_w{}_{}", params.scale, params.width, params.seed);
+    Instance {
+        name,
+        logic: Logic::QfAbvfp,
+        cluster: format!("slog_s{}_w{}", params.scale, params.width),
+        tm,
+        asserts,
+        projection,
+    }
+}
+
+/// The full mix (QF_ABVFPLRA): a hybrid controller with a lookup table
+/// (array), a discrete mode word (bit-vector, projected), continuous plant
+/// state (reals) and floating point measurements.
+pub fn hybrid_controller(params: &GenParams) -> Instance {
+    let mut rng = rng_of(params);
+    let mut tm = TermManager::new();
+    let w = params.width;
+    let mut asserts = Vec::new();
+
+    let mode = tm.mk_var("mode", Sort::BitVec(w));
+    let projection = vec![mode];
+
+    let table_sort = Sort::array(Sort::BitVec(4), Sort::BitVec(w));
+    let table = tm.mk_var("gain_table", table_sort);
+    let state = tm.mk_var("state", Sort::Real);
+    let measurement = tm.mk_var("measurement", Sort::float32());
+
+    // The controller gain is looked up by the low bits of the mode.
+    let idx = tm.mk_bv_extract(mode, 3.min(w - 1), 0).unwrap();
+    let idx = if w >= 4 {
+        idx
+    } else {
+        tm.mk_bv_zero_extend(idx, 4 - w).unwrap()
+    };
+    let gain = tm.mk_select(table, idx).unwrap();
+    // The gain must not saturate.
+    let max_gain = tm.mk_bv_const((1u128 << w) - 2, w);
+    asserts.push(tm.mk_bv_ult(gain, max_gain).unwrap());
+
+    // Plant state stays in the safe envelope [0, 10].
+    let zero = tm.mk_real_const(Rational::ZERO);
+    let ten = tm.mk_real_const(Rational::from_int(10));
+    asserts.push(tm.mk_real_le(zero, state).unwrap());
+    asserts.push(tm.mk_real_le(state, ten).unwrap());
+
+    // The measurement tracks the state within a tolerance (via fp.to_real).
+    let meas_real = tm.mk_fp_to_real(measurement).unwrap();
+    let tol = tm.mk_real_const(Rational::new(1, 2));
+    let upper = tm.mk_real_add(vec![state, tol]).unwrap();
+    asserts.push(tm.mk_real_le(meas_real, upper).unwrap());
+
+    for k in 0..params.scale {
+        // Mode-dependent envelope tightening: high modes force a calm plant.
+        let cut: u128 = rng.random_range((1u128 << (w - 1))..(1u128 << w.min(63)));
+        let c = tm.mk_bv_const(cut, w);
+        let high_mode = tm.mk_bv_ule(c, mode).unwrap();
+        let bound = tm.mk_real_const(Rational::from_int(5 + (k as i128 % 3)));
+        let calm = tm.mk_real_le(state, bound).unwrap();
+        asserts.push(tm.mk_implies(high_mode, calm).unwrap());
+    }
+    // Keep a dent in the projected space so the count is not exactly 2^w.
+    let dent = tm.mk_bv_const(rng.random_range(0..(1u128 << (w - 2))), w);
+    let eq = tm.mk_eq(mode, dent);
+    asserts.push(tm.mk_not(eq));
+
+    let name = format!(
+        "hybrid_controller_s{}_w{}_{}",
+        params.scale, params.width, params.seed
+    );
+    Instance {
+        name,
+        logic: Logic::QfAbvfplra,
+        cluster: format!("hc_s{}_w{}", params.scale, params.width),
+        tm,
+        asserts,
+        projection,
+    }
+}
+
+/// Dispatches to the generator for a given Table I logic.
+pub fn generate_for_logic(logic: Logic, params: &GenParams) -> Instance {
+    match logic {
+        Logic::QfAbvfplra => hybrid_controller(params),
+        Logic::QfAbvfp => sensor_log(params),
+        Logic::QfAbv => cfg_reachability(params),
+        Logic::QfBvfplra => cps_robustness(params),
+        Logic::QfBvfp => quantitative_verification(params),
+        Logic::QfUfbv => information_flow(params),
+        Logic::QfBv | Logic::Other => cfg_reachability(params),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact::{pact_count, CounterConfig};
+
+    fn all_generators(params: &GenParams) -> Vec<Instance> {
+        vec![
+            cps_robustness(params),
+            cfg_reachability(params),
+            quantitative_verification(params),
+            information_flow(params),
+            sensor_log(params),
+            hybrid_controller(params),
+        ]
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let p = GenParams::default();
+        for (a, b) in all_generators(&p).iter().zip(all_generators(&p)) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.asserts.len(), b.asserts.len());
+            assert_eq!(a.to_smtlib(), b.to_smtlib());
+        }
+    }
+
+    #[test]
+    fn generated_logics_are_labelled_correctly() {
+        let p = GenParams {
+            scale: 2,
+            width: 6,
+            seed: 3,
+        };
+        for inst in all_generators(&p) {
+            assert!(
+                inst.logic_is_consistent(),
+                "instance {} does not match logic {}",
+                inst.name,
+                inst.logic
+            );
+            assert!(!inst.projection.is_empty());
+            assert!(inst.projection_bits() > 0);
+        }
+    }
+
+    #[test]
+    fn every_logic_dispatches_to_a_generator() {
+        let p = GenParams {
+            scale: 1,
+            width: 6,
+            seed: 1,
+        };
+        for logic in Logic::TABLE_ONE {
+            let inst = generate_for_logic(logic, &p);
+            assert_eq!(inst.logic, logic);
+        }
+    }
+
+    #[test]
+    fn instances_are_satisfiable_and_countable() {
+        // Every generator must produce an instance our counter can handle
+        // end-to-end (this is the contract the benchmark harness relies on).
+        let p = GenParams {
+            scale: 1,
+            width: 5,
+            seed: 7,
+        };
+        let config = CounterConfig {
+            iterations_override: Some(1),
+            seed: 1,
+            ..CounterConfig::default()
+        };
+        for mut inst in all_generators(&p) {
+            let report = pact_count(&mut inst.tm, &inst.asserts, &inst.projection, &config)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", inst.name));
+            assert!(
+                report.outcome.value().map(|v| v > 0.0).unwrap_or(false),
+                "instance {} did not produce a positive count: {:?}",
+                inst.name,
+                report.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn smtlib_exports_parse_back() {
+        let p = GenParams::default();
+        for inst in all_generators(&p) {
+            let text = inst.to_smtlib();
+            let mut tm = TermManager::new();
+            let script = pact_ir::parser::parse_script(&mut tm, &text)
+                .unwrap_or_else(|e| panic!("{}: {e}", inst.name));
+            assert_eq!(script.asserts.len(), inst.asserts.len(), "{}", inst.name);
+        }
+    }
+}

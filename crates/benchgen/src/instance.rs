@@ -1,0 +1,88 @@
+//! The benchmark instance abstraction shared by every generator.
+
+use pact_ir::logic::{profile, Logic};
+use pact_ir::{printer, TermId, TermManager};
+
+/// One benchmark instance: a self-contained formula with its projection set.
+///
+/// Each instance owns its [`TermManager`], so instances can be counted
+/// independently (and in parallel by a harness if desired).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Human-readable name, unique within a suite.
+    pub name: String,
+    /// The SMT-LIB logic this instance belongs to (Table I row).
+    pub logic: Logic,
+    /// Cluster identifier; the suite keeps at most a handful of instances
+    /// per cluster, mirroring the paper's benchmark de-duplication.
+    pub cluster: String,
+    /// The term manager owning all terms below.
+    pub tm: TermManager,
+    /// The assertions of the formula.
+    pub asserts: Vec<TermId>,
+    /// The projection set `S` (discrete variables).
+    pub projection: Vec<TermId>,
+}
+
+impl Instance {
+    /// Renders the instance as an SMT-LIB 2 script (with the projection
+    /// recorded as a `:projection` annotation), so it can be inspected or
+    /// fed to an external solver.
+    pub fn to_smtlib(&self) -> String {
+        printer::script_to_smtlib(&self.tm, self.logic, &self.asserts, &self.projection)
+    }
+
+    /// Checks that the generated formula actually belongs to the logic it
+    /// claims (used by the generator tests).
+    pub fn logic_is_consistent(&self) -> bool {
+        let p = profile(&self.tm, &self.asserts);
+        match self.logic {
+            Logic::QfAbv => p.bitvectors && p.arrays && !p.floats && !p.reals,
+            Logic::QfUfbv => p.bitvectors && p.uninterpreted,
+            Logic::QfBvfp => p.bitvectors && p.floats && !p.reals && !p.arrays,
+            Logic::QfBvfplra => p.bitvectors && p.floats && p.reals && !p.arrays,
+            Logic::QfAbvfp => p.bitvectors && p.floats && p.arrays && !p.reals,
+            Logic::QfAbvfplra => p.bitvectors && p.floats && p.arrays && p.reals,
+            Logic::QfBv => p.bitvectors,
+            Logic::Other => true,
+        }
+    }
+
+    /// Total number of projection bits (the size `|S|` relevant to the
+    /// counter's complexity bound).
+    pub fn projection_bits(&self) -> u32 {
+        self.projection
+            .iter()
+            .map(|&v| self.tm.sort(v).discrete_bits().unwrap_or(0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_ir::Sort;
+
+    #[test]
+    fn smtlib_rendering_round_trips() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let c = tm.mk_bv_const(9, 8);
+        let f = tm.mk_bv_ult(x, c).unwrap();
+        let inst = Instance {
+            name: "toy".to_string(),
+            logic: Logic::QfBv,
+            cluster: "toy".to_string(),
+            tm,
+            asserts: vec![f],
+            projection: vec![x],
+        };
+        let text = inst.to_smtlib();
+        let mut tm2 = TermManager::new();
+        let script = pact_ir::parser::parse_script(&mut tm2, &text).unwrap();
+        assert_eq!(script.asserts.len(), 1);
+        assert_eq!(script.projection.len(), 1);
+        assert!(inst.logic_is_consistent());
+        assert_eq!(inst.projection_bits(), 8);
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic hybrid-SMT workload generators for the `pact` evaluation.
+//!
+//! The paper evaluates on 3,119 SMT-LIB 2023 instances across six logics.
+//! Those files (and the cluster infrastructure they were run on) are not
+//! available here, so this crate provides parametric generators that produce
+//! the same *kinds* of formulas — modelled on the paper's four motivating
+//! applications (§I-A) — across the same six logics, plus the suite assembly
+//! steps of the paper's methodology (cluster sampling and a satisfiability
+//! filter).  See `DESIGN.md` for why this substitution preserves the shape of
+//! the evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use pact_benchgen::{paper_suite, SuiteParams};
+//!
+//! let suite = paper_suite(&SuiteParams::smoke());
+//! assert!(suite.len() >= 6); // at least one instance per Table I logic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generators;
+mod instance;
+mod suite;
+
+pub use generators::{
+    cfg_reachability, cps_robustness, generate_for_logic, hybrid_controller, information_flow,
+    quantitative_verification, sensor_log, GenParams,
+};
+pub use instance::Instance;
+pub use suite::{count_by_logic, filter_satisfiable, paper_suite, sample_clusters, SuiteParams};

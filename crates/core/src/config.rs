@@ -1,0 +1,135 @@
+//! Configuration of the counting algorithms.
+
+use std::time::Duration;
+
+use pact_hash::HashFamily;
+use pact_solver::SolverConfig;
+
+/// Configuration shared by [`crate::pact_count`], the CDM baseline and the
+/// exact enumerator.
+///
+/// The defaults mirror the paper's experimental setup (§IV): `ε = 0.8`,
+/// `δ = 0.2`, the `H_xor` family, and no resource limits.  Benchmark
+/// harnesses typically set [`CounterConfig::deadline`] to emulate the
+/// per-instance timeout of the evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterConfig {
+    /// Tolerance `ε` of the `(ε, δ)` guarantee.
+    pub epsilon: f64,
+    /// Confidence `δ` of the `(ε, δ)` guarantee.
+    pub delta: f64,
+    /// Hash family used to partition the solution space.
+    pub family: HashFamily,
+    /// Seed for all randomness (hash-function sampling).
+    pub seed: u64,
+    /// Per-instance wall-clock budget; `None` means unlimited.
+    pub deadline: Option<Duration>,
+    /// Resource limits handed to the SMT oracle for every check.
+    pub solver: SolverConfig,
+    /// Overrides the number of outer iterations computed from `δ`
+    /// (Algorithm 3).  Intended for benchmark harnesses that trade the
+    /// theoretical confidence for wall-clock time; `None` keeps the paper's
+    /// value.
+    pub iterations_override: Option<u32>,
+}
+
+impl Default for CounterConfig {
+    fn default() -> Self {
+        CounterConfig {
+            epsilon: 0.8,
+            delta: 0.2,
+            family: HashFamily::Xor,
+            seed: 0,
+            deadline: None,
+            solver: SolverConfig::default(),
+            iterations_override: None,
+        }
+    }
+}
+
+impl CounterConfig {
+    /// The paper's experimental configuration (`ε = 0.8`, `δ = 0.2`).
+    pub fn paper() -> Self {
+        CounterConfig::default()
+    }
+
+    /// A configuration suitable for quick regression tests and examples:
+    /// the same `(ε, δ)` but a single outer iteration and a small conflict
+    /// budget, so a count is produced in milliseconds on toy formulas.
+    pub fn fast() -> Self {
+        CounterConfig {
+            iterations_override: Some(3),
+            ..CounterConfig::default()
+        }
+    }
+
+    /// Returns a copy using the given hash family.
+    pub fn with_family(mut self, family: HashFamily) -> Self {
+        self.family = family;
+        self
+    }
+
+    /// Returns a copy using the given RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a wall-clock budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `ε ≤ 0` or `δ` is outside `(0, 1)`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epsilon <= 0.0 {
+            return Err(format!("epsilon must be positive, got {}", self.epsilon));
+        }
+        if self.delta <= 0.0 || self.delta >= 1.0 {
+            return Err(format!("delta must be in (0, 1), got {}", self.delta));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = CounterConfig::default();
+        assert_eq!(c.epsilon, 0.8);
+        assert_eq!(c.delta, 0.2);
+        assert_eq!(c.family, HashFamily::Xor);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let mut c = CounterConfig::default();
+        c.epsilon = 0.0;
+        assert!(c.validate().is_err());
+        c.epsilon = 0.8;
+        c.delta = 1.0;
+        assert!(c.validate().is_err());
+        c.delta = -0.1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = CounterConfig::default()
+            .with_family(HashFamily::Prime)
+            .with_seed(7)
+            .with_deadline(Duration::from_secs(5));
+        assert_eq!(c.family, HashFamily::Prime);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.deadline, Some(Duration::from_secs(5)));
+    }
+}

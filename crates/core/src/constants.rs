@@ -1,0 +1,85 @@
+//! `GetConstants` (Algorithm 3): thresholds and iteration counts from
+//! `(ε, δ)` and the hash family.
+
+use pact_hash::HashFamily;
+
+/// Constants driving the main loop of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constants {
+    /// Maximum cell size considered "small" (`thresh`).
+    pub thresh: u64,
+    /// Number of outer iterations whose results are medianed (`numIt`).
+    pub iterations: u32,
+    /// Range exponent handed to `GenerateHash` (`ℓ`): 1 for `H_xor`,
+    /// 4 for the word-level families.
+    pub ell: u32,
+}
+
+/// Computes `thresh`, `numIt` and `ℓ` exactly as Algorithm 3 does.
+///
+/// `thresh = 1 + 9.84·(1 + ε/(1+ε))·(1 + 1/ε)²`; the iteration count is
+/// `⌈17·log₂(3/δ)⌉` for `H_xor` and `⌈23·log₂(3/δ)⌉` for the word-level
+/// families (which pay for the coarser `FixLastHash` refinement).
+///
+/// # Panics
+///
+/// Panics if `ε ≤ 0` or `δ ∉ (0, 1)`; validate the configuration first.
+pub fn get_constants(epsilon: f64, delta: f64, family: HashFamily) -> Constants {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    let thresh =
+        1.0 + 9.84 * (1.0 + epsilon / (1.0 + epsilon)) * (1.0 + 1.0 / epsilon).powi(2);
+    let thresh = thresh.ceil() as u64;
+    let log_term = (3.0 / delta).log2();
+    let (iterations, ell) = match family {
+        HashFamily::Xor => ((17.0 * log_term).ceil() as u32, 1),
+        HashFamily::Prime | HashFamily::Shift => ((23.0 * log_term).ceil() as u32, 4),
+    };
+    Constants {
+        thresh,
+        iterations: iterations.max(1),
+        ell,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration() {
+        // ε = 0.8, δ = 0.2 (the evaluation's parameters).
+        let c = get_constants(0.8, 0.2, HashFamily::Xor);
+        assert_eq!(c.ell, 1);
+        // thresh = 1 + 9.84 · (1 + 0.8/1.8) · (1 + 1.25)² ≈ 72.96 → 73
+        assert_eq!(c.thresh, 73);
+        // 17 · log2(15) ≈ 66.4 → 67
+        assert_eq!(c.iterations, 67);
+
+        let c = get_constants(0.8, 0.2, HashFamily::Prime);
+        assert_eq!(c.ell, 4);
+        assert_eq!(c.thresh, 73);
+        // 23 · log2(15) ≈ 89.9 → 90
+        assert_eq!(c.iterations, 90);
+    }
+
+    #[test]
+    fn tighter_tolerance_means_bigger_cells() {
+        let loose = get_constants(0.8, 0.2, HashFamily::Xor);
+        let tight = get_constants(0.1, 0.2, HashFamily::Xor);
+        assert!(tight.thresh > loose.thresh);
+    }
+
+    #[test]
+    fn smaller_delta_means_more_iterations() {
+        let a = get_constants(0.8, 0.2, HashFamily::Xor);
+        let b = get_constants(0.8, 0.01, HashFamily::Xor);
+        assert!(b.iterations > a.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn invalid_delta_panics() {
+        get_constants(0.8, 1.5, HashFamily::Xor);
+    }
+}

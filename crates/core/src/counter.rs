@@ -1,0 +1,432 @@
+//! Algorithm 1: the `pact` approximate projected model counter.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pact_hash::{generate, projection_bits, HashConstraint, HashFamily};
+use pact_ir::{TermId, TermManager};
+use pact_solver::{Context, Result, SolverError};
+
+use crate::config::CounterConfig;
+use crate::constants::get_constants;
+use crate::result::{median, CountOutcome, CountReport, CountStats};
+use crate::saturating::{saturating_count, CellCount};
+
+/// Counts the projected models of `formula` over `projection` with
+/// `(ε, δ)` guarantees (Algorithm 1 of the paper).
+///
+/// `formula` is a conjunction of assertions; `projection` is the set `S` of
+/// discrete variables onto which solutions are projected.
+///
+/// # Errors
+///
+/// Returns [`SolverError`] when the formula uses constructs outside the
+/// supported fragment, or when the configuration is invalid.
+///
+/// # Example
+///
+/// ```
+/// use pact_ir::{TermManager, Sort};
+/// use pact::{pact_count, CounterConfig, CountOutcome};
+///
+/// // x < 12 over a 6-bit x: 12 projected models, counted exactly because the
+/// // count is below the threshold.
+/// let mut tm = TermManager::new();
+/// let x = tm.mk_var("x", Sort::BitVec(6));
+/// let c = tm.mk_bv_const(12, 6);
+/// let f = tm.mk_bv_ult(x, c).unwrap();
+/// let report = pact_count(&mut tm, &[f], &[x], &CounterConfig::fast()).unwrap();
+/// assert_eq!(report.outcome, CountOutcome::Exact(12));
+/// ```
+pub fn pact_count(
+    tm: &mut TermManager,
+    formula: &[TermId],
+    projection: &[TermId],
+    config: &CounterConfig,
+) -> Result<CountReport> {
+    config
+        .validate()
+        .map_err(SolverError::Unsupported)?;
+    if projection.is_empty() {
+        return Err(SolverError::Unsupported(
+            "empty projection set".to_string(),
+        ));
+    }
+    let start = Instant::now();
+    let deadline = config.deadline.map(|d| start + d);
+    let constants = get_constants(config.epsilon, config.delta, config.family);
+    let iterations = config
+        .iterations_override
+        .unwrap_or(constants.iterations)
+        .max(1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut ctx = Context::with_config(config.solver);
+    for &v in projection {
+        ctx.track_var(v);
+    }
+    for &f in formula {
+        ctx.assert_term(f);
+    }
+
+    let mut stats = CountStats::default();
+
+    // Line 3-4: if the whole projected space is already small, the count is exact.
+    ctx.push();
+    let base = saturating_count(&mut ctx, tm, projection, constants.thresh, deadline)?;
+    ctx.pop();
+    stats.cells_explored += 1;
+    match base {
+        CellCount::Exact(0) => {
+            return Ok(finish(CountOutcome::Unsatisfiable, stats, &ctx, start));
+        }
+        CellCount::Exact(n) => {
+            return Ok(finish(CountOutcome::Exact(n), stats, &ctx, start));
+        }
+        CellCount::Unknown => {
+            return Ok(finish(CountOutcome::Timeout, stats, &ctx, start));
+        }
+        CellCount::Saturated => {}
+    }
+
+    // Maximum number of hash constraints ever needed: enough to cut the
+    // projected space down to (expected) single solutions.
+    let total_bits = projection_bits(tm, projection).max(1);
+    let mut estimates: Vec<f64> = Vec::new();
+
+    for _ in 0..iterations {
+        if deadline_passed(deadline) {
+            break;
+        }
+        let outcome = one_round(
+            tm,
+            &mut ctx,
+            projection,
+            config,
+            constants.thresh,
+            constants.ell,
+            total_bits,
+            deadline,
+            &mut rng,
+            &mut stats,
+        )?;
+        match outcome {
+            RoundOutcome::Estimate(value) => {
+                estimates.push(value);
+                stats.iterations += 1;
+            }
+            RoundOutcome::Failed => {}
+            RoundOutcome::Timeout => break,
+        }
+    }
+
+    let outcome = match median(&estimates) {
+        Some(estimate) if !estimates.is_empty() => CountOutcome::Approximate {
+            estimate,
+            log2_estimate: estimate.log2(),
+        },
+        _ => CountOutcome::Timeout,
+    };
+    Ok(finish(outcome, stats, &ctx, start))
+}
+
+fn finish(outcome: CountOutcome, mut stats: CountStats, ctx: &Context, start: Instant) -> CountReport {
+    stats.oracle_calls = ctx.stats().checks;
+    stats.wall_seconds = start.elapsed().as_secs_f64();
+    CountReport { outcome, stats }
+}
+
+fn deadline_passed(deadline: Option<Instant>) -> bool {
+    deadline.map(|d| Instant::now() >= d).unwrap_or(false)
+}
+
+enum RoundOutcome {
+    Estimate(f64),
+    Failed,
+    Timeout,
+}
+
+/// One iteration of the main loop (lines 6-14 of Algorithm 1): generate a
+/// fresh list of hash functions, find the boundary cell with a galloping
+/// search, refine the last hash for word-level families, and turn the cell
+/// size into an estimate.
+#[allow(clippy::too_many_arguments)]
+fn one_round(
+    tm: &mut TermManager,
+    ctx: &mut Context,
+    projection: &[TermId],
+    config: &CounterConfig,
+    thresh: u64,
+    ell: u32,
+    total_bits: u32,
+    deadline: Option<Instant>,
+    rng: &mut StdRng,
+    stats: &mut CountStats,
+) -> Result<RoundOutcome> {
+    // How many cells a single hash of this family splits into.
+    let probe_range = generate(tm, projection, ell, config.family, rng).range();
+    let bits_per_hash = (probe_range as f64).log2();
+    let max_hashes = ((total_bits as f64 / bits_per_hash).ceil() as usize + 1).max(1);
+    let hashes: Vec<HashConstraint> = (0..max_hashes)
+        .map(|_| generate(tm, projection, ell, config.family, rng))
+        .collect();
+
+    // Measure |Sol(F ∧ H[0..i])↓S| with the saturating counter.
+    let measure = |ctx: &mut Context,
+                       tm: &mut TermManager,
+                       constraints: &[HashConstraint],
+                       stats: &mut CountStats|
+     -> Result<CellCount> {
+        if deadline_passed(deadline) {
+            return Ok(CellCount::Unknown);
+        }
+        ctx.push();
+        for h in constraints {
+            h.assert_into(ctx, tm);
+        }
+        let result = saturating_count(ctx, tm, projection, thresh, deadline);
+        ctx.pop();
+        stats.cells_explored += 1;
+        result
+    };
+
+    // Galloping (exponential + binary) search for the boundary index i such
+    // that the cell under i hashes is small while the cell under i-1 hashes
+    // is saturated.  C[0] is known to be saturated by the caller.
+    let mut known_saturated = 0usize; // largest index known to be saturated
+    let mut known_small: Option<(usize, u64)> = None; // smallest index known small
+    let mut probe = 1usize;
+    loop {
+        if probe > max_hashes {
+            break;
+        }
+        match measure(ctx, tm, &hashes[..probe], stats)? {
+            CellCount::Saturated => {
+                known_saturated = known_saturated.max(probe);
+                probe = (probe * 2).min(max_hashes);
+                if known_saturated == max_hashes {
+                    break;
+                }
+            }
+            CellCount::Exact(n) => {
+                known_small = Some((probe, n));
+                break;
+            }
+            CellCount::Unknown => return Ok(RoundOutcome::Timeout),
+        }
+    }
+    let (mut hi, mut hi_count) = match known_small {
+        Some(x) => x,
+        None => return Ok(RoundOutcome::Failed), // even max_hashes leaves a big cell
+    };
+    let mut lo = known_saturated;
+    // Binary search in (lo, hi) to tighten the boundary: invariant lo is
+    // saturated, hi is small.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        match measure(ctx, tm, &hashes[..mid], stats)? {
+            CellCount::Saturated => lo = mid,
+            CellCount::Exact(n) => {
+                hi = mid;
+                hi_count = n;
+            }
+            CellCount::Unknown => return Ok(RoundOutcome::Timeout),
+        }
+    }
+    let boundary = hi;
+    stats.final_hash_count = boundary as u32;
+
+    // Algorithm 2 (FixLastHash): only meaningful for word-level families.
+    let mut used: Vec<HashConstraint> = hashes[..boundary].to_vec();
+    let mut cell = hi_count;
+    if config.family != HashFamily::Xor {
+        let mut current_ell = ell;
+        while current_ell > 1 {
+            current_ell /= 2;
+            let refined = generate(tm, projection, current_ell, config.family, rng);
+            let mut candidate: Vec<HashConstraint> = hashes[..boundary - 1].to_vec();
+            candidate.push(refined.clone());
+            match measure(ctx, tm, &candidate, stats)? {
+                CellCount::Exact(n) => {
+                    used = candidate;
+                    cell = n;
+                }
+                CellCount::Saturated => break,
+                CellCount::Unknown => return Ok(RoundOutcome::Timeout),
+            }
+        }
+    }
+
+    if cell == 0 {
+        // An empty boundary cell carries no information; the round fails.
+        return Ok(RoundOutcome::Failed);
+    }
+    // GetCount: cell size times the number of cells the used hashes create.
+    let mut partitions = 1.0f64;
+    for h in &used {
+        partitions *= h.range() as f64;
+    }
+    Ok(RoundOutcome::Estimate(cell as f64 * partitions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::relative_error;
+    use pact_ir::Sort;
+
+    /// Builds `x < bound` over `width`-bit `x` (projected count = `bound`).
+    fn interval_instance(
+        tm: &mut TermManager,
+        width: u32,
+        bound: u128,
+    ) -> (TermId, TermId) {
+        let x = tm.mk_fresh_var("x", Sort::BitVec(width));
+        let c = tm.mk_bv_const(bound, width);
+        let f = tm.mk_bv_ult(x, c).unwrap();
+        (x, f)
+    }
+
+    #[test]
+    fn small_counts_are_exact() {
+        let mut tm = TermManager::new();
+        let (x, f) = interval_instance(&mut tm, 8, 50);
+        let report = pact_count(&mut tm, &[f], &[x], &CounterConfig::fast()).unwrap();
+        assert_eq!(report.outcome, CountOutcome::Exact(50));
+        assert!(report.stats.oracle_calls > 0);
+    }
+
+    #[test]
+    fn unsatisfiable_formulas_count_zero() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(6));
+        let zero = tm.mk_bv_const(0, 6);
+        let f = tm.mk_bv_ult(x, zero).unwrap();
+        let report = pact_count(&mut tm, &[f], &[x], &CounterConfig::fast()).unwrap();
+        assert_eq!(report.outcome, CountOutcome::Unsatisfiable);
+    }
+
+    #[test]
+    fn xor_estimate_is_within_tolerance_on_a_known_count() {
+        // 8-bit x with x >= 32: exactly 224 models, which saturates thresh=73
+        // and exercises the hashing path.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let c = tm.mk_bv_const(32, 8);
+        let f = tm.mk_bv_ule(c, x).unwrap();
+        let config = CounterConfig {
+            iterations_override: Some(9),
+            seed: 5,
+            ..CounterConfig::default()
+        };
+        let report = pact_count(&mut tm, &[f], &[x], &config).unwrap();
+        match report.outcome {
+            CountOutcome::Approximate { estimate, .. } => {
+                let err = relative_error(224.0, estimate).unwrap();
+                assert!(err <= 0.8, "estimate {estimate} has error {err}");
+            }
+            other => panic!("expected an approximate count, got {other:?}"),
+        }
+        assert!(report.stats.iterations >= 1);
+    }
+
+    #[test]
+    fn word_level_families_also_count() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(7));
+        let c = tm.mk_bv_const(100, 7);
+        let f = tm.mk_bv_ult(x, c).unwrap(); // 100 models
+        for family in [HashFamily::Prime, HashFamily::Shift] {
+            let config = CounterConfig {
+                iterations_override: Some(5),
+                family,
+                seed: 11,
+                ..CounterConfig::default()
+            };
+            let report = pact_count(&mut tm, &[f], &[x], &config).unwrap();
+            match report.outcome {
+                CountOutcome::Approximate { estimate, .. } => {
+                    let err = relative_error(100.0, estimate).unwrap();
+                    assert!(
+                        err <= 1.5,
+                        "family {family}: estimate {estimate} has error {err}"
+                    );
+                }
+                CountOutcome::Exact(n) => {
+                    // FixLastHash can land on an exact count when the cell
+                    // is small; accept it when correct.
+                    assert_eq!(n, 100);
+                }
+                other => panic!("family {family}: unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_instance_counts_only_extensible_projections() {
+        // b (8-bit) arbitrary, r real with b-dependent constraint:
+        //   r > 0 ∧ r < 1 ∧ (b < 200)   — continuous part always extensible,
+        // so the projected count is 200 (saturates, hashing path).
+        let mut tm = TermManager::new();
+        let b = tm.mk_var("b", Sort::BitVec(8));
+        let r = tm.mk_var("r", Sort::Real);
+        let c = tm.mk_bv_const(200, 8);
+        let f1 = tm.mk_bv_ult(b, c).unwrap();
+        let zero = tm.mk_real_const(pact_ir::Rational::ZERO);
+        let one = tm.mk_real_const(pact_ir::Rational::ONE);
+        let f2 = tm.mk_real_lt(zero, r).unwrap();
+        let f3 = tm.mk_real_lt(r, one).unwrap();
+        let config = CounterConfig {
+            iterations_override: Some(7),
+            seed: 3,
+            ..CounterConfig::default()
+        };
+        let report = pact_count(&mut tm, &[f1, f2, f3], &[b], &config).unwrap();
+        match report.outcome {
+            CountOutcome::Approximate { estimate, .. } => {
+                let err = relative_error(200.0, estimate).unwrap();
+                assert!(err <= 0.8, "estimate {estimate} has error {err}");
+            }
+            other => panic!("expected approximate count, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_projection_is_rejected() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let c = tm.mk_bv_const(3, 4);
+        let f = tm.mk_bv_ult(x, c).unwrap();
+        assert!(pact_count(&mut tm, &[f], &[], &CounterConfig::fast()).is_err());
+    }
+
+    #[test]
+    fn zero_deadline_times_out() {
+        let mut tm = TermManager::new();
+        let (x, f) = interval_instance(&mut tm, 8, 200);
+        let config = CounterConfig {
+            deadline: Some(std::time::Duration::from_secs(0)),
+            ..CounterConfig::fast()
+        };
+        let report = pact_count(&mut tm, &[f], &[x], &config).unwrap();
+        assert_eq!(report.outcome, CountOutcome::Timeout);
+    }
+
+    #[test]
+    fn estimates_are_deterministic_for_a_seed() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let c = tm.mk_bv_const(16, 8);
+        let f = tm.mk_bv_ule(c, x).unwrap(); // 240 models
+        let config = CounterConfig {
+            iterations_override: Some(3),
+            seed: 42,
+            ..CounterConfig::default()
+        };
+        let a = pact_count(&mut tm, &[f], &[x], &config).unwrap();
+        let b = pact_count(&mut tm, &[f], &[x], &config).unwrap();
+        assert_eq!(a.outcome, b.outcome);
+    }
+}

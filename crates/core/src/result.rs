@@ -1,0 +1,146 @@
+//! Count results, statistics and accuracy metrics.
+
+use std::fmt;
+
+/// Statistics collected while counting one instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CountStats {
+    /// Number of SMT oracle (`check`) calls issued.
+    pub oracle_calls: u64,
+    /// Number of cells whose size was measured with `SaturatingCounter`.
+    pub cells_explored: u64,
+    /// Number of outer iterations completed (the length of the list `L`).
+    pub iterations: u32,
+    /// Number of hash constraints in the final cell of the last iteration.
+    pub final_hash_count: u32,
+    /// Wall-clock time spent, in seconds.
+    pub wall_seconds: f64,
+}
+
+/// The outcome of a counting run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CountOutcome {
+    /// The projected model count was below `thresh` and is exact.
+    Exact(u64),
+    /// A hashing-based `(ε, δ)` estimate.
+    Approximate {
+        /// The estimated projected model count.
+        estimate: f64,
+        /// Base-2 logarithm of the estimate (stable even for huge counts).
+        log2_estimate: f64,
+    },
+    /// The formula has no models over the projection set.
+    Unsatisfiable,
+    /// The per-instance budget (deadline or solver limits) was exhausted.
+    Timeout,
+}
+
+impl CountOutcome {
+    /// The numeric estimate, if the run produced one (exact counts are
+    /// returned as-is; timeouts yield `None`).
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            CountOutcome::Exact(c) => Some(*c as f64),
+            CountOutcome::Approximate { estimate, .. } => Some(*estimate),
+            CountOutcome::Unsatisfiable => Some(0.0),
+            CountOutcome::Timeout => None,
+        }
+    }
+
+    /// Returns `true` when the instance finished within its budget.
+    pub fn is_solved(&self) -> bool {
+        !matches!(self, CountOutcome::Timeout)
+    }
+}
+
+impl fmt::Display for CountOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountOutcome::Exact(c) => write!(f, "exact {c}"),
+            CountOutcome::Approximate { estimate, .. } => write!(f, "≈ {estimate}"),
+            CountOutcome::Unsatisfiable => write!(f, "unsat (0 models)"),
+            CountOutcome::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
+/// A finished counting run: the outcome plus its statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountReport {
+    /// What the counter concluded.
+    pub outcome: CountOutcome,
+    /// How much work it took.
+    pub stats: CountStats,
+}
+
+/// The observed relative error `e = max(b/s, s/b) − 1` between a baseline
+/// (exact) count `b` and an estimate `s` (§IV-B of the paper).
+///
+/// Returns `None` when either count is zero or negative (the metric is not
+/// defined there); two zero counts are a perfect match with error 0.
+pub fn relative_error(exact: f64, estimate: f64) -> Option<f64> {
+    if exact == 0.0 && estimate == 0.0 {
+        return Some(0.0);
+    }
+    if exact <= 0.0 || estimate <= 0.0 {
+        return None;
+    }
+    Some((exact / estimate).max(estimate / exact) - 1.0)
+}
+
+/// The median of a list of estimates (Algorithm 1, line 15).
+///
+/// Uses the lower median for even-length lists, matching ApproxMC-style
+/// implementations.  Returns `None` on an empty list.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN estimates"));
+    Some(sorted[(sorted.len() - 1) / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_is_symmetric() {
+        assert_eq!(relative_error(100.0, 100.0), Some(0.0));
+        let e1 = relative_error(100.0, 80.0).unwrap();
+        let e2 = relative_error(80.0, 100.0).unwrap();
+        assert!((e1 - e2).abs() < 1e-12);
+        assert!((e1 - 0.25).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 0.0), Some(0.0));
+        assert_eq!(relative_error(0.0, 5.0), None);
+    }
+
+    #[test]
+    fn median_of_odd_and_even_lists() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[5.0]), Some(5.0));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn outcome_values() {
+        assert_eq!(CountOutcome::Exact(7).value(), Some(7.0));
+        assert_eq!(CountOutcome::Unsatisfiable.value(), Some(0.0));
+        assert_eq!(CountOutcome::Timeout.value(), None);
+        assert!(!CountOutcome::Timeout.is_solved());
+        let a = CountOutcome::Approximate {
+            estimate: 128.0,
+            log2_estimate: 7.0,
+        };
+        assert_eq!(a.value(), Some(128.0));
+        assert!(a.is_solved());
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(CountOutcome::Exact(3).to_string(), "exact 3");
+        assert_eq!(CountOutcome::Timeout.to_string(), "timeout");
+    }
+}

@@ -1,0 +1,245 @@
+//! `SaturatingCounter` (§III-B): bounded projected-model enumeration.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use pact_ir::{BvValue, TermId, TermManager};
+use pact_solver::{Context, Result, SolverResult};
+
+/// The size of a cell as measured by the saturating counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellCount {
+    /// The cell has exactly this many projected models (strictly below the
+    /// threshold).
+    Exact(u64),
+    /// The cell has at least `thresh` projected models (the paper's `⊤`).
+    Saturated,
+    /// The oracle gave up (conflict budget or deadline exhausted).
+    Unknown,
+}
+
+impl CellCount {
+    /// Returns `true` for [`CellCount::Saturated`].
+    pub fn is_saturated(&self) -> bool {
+        matches!(self, CellCount::Saturated)
+    }
+
+    /// The exact size, if known.
+    pub fn exact(&self) -> Option<u64> {
+        match self {
+            CellCount::Exact(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Enumerates projected models of the formula currently asserted in `ctx`
+/// until `thresh` models are found (saturation) or the cell is exhausted.
+///
+/// Every discovered projected model is blocked by asserting the negation of
+/// `S = model`, so the enumeration counts *distinct projected* assignments,
+/// exactly as §III-B describes.  Blocking clauses are asserted in the current
+/// frame; callers wrap the call in `push`/`pop` when the formula must be
+/// reused afterwards.
+///
+/// `deadline` is the absolute instant after which the enumeration gives up
+/// with [`CellCount::Unknown`].
+///
+/// # Errors
+///
+/// Propagates [`pact_solver::SolverError`] for unsupported constructs.
+pub fn saturating_count(
+    ctx: &mut Context,
+    tm: &mut TermManager,
+    projection: &[TermId],
+    thresh: u64,
+    deadline: Option<Instant>,
+) -> Result<CellCount> {
+    let mut count = 0u64;
+    loop {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return Ok(CellCount::Unknown);
+            }
+        }
+        match ctx.check(tm)? {
+            SolverResult::Unsat => return Ok(CellCount::Exact(count)),
+            SolverResult::Unknown => return Ok(CellCount::Unknown),
+            SolverResult::Sat => {
+                count += 1;
+                if count >= thresh {
+                    return Ok(CellCount::Saturated);
+                }
+                let model = ctx
+                    .projected_model(tm, projection)
+                    .expect("model available after SAT");
+                block_projected_model(ctx, tm, projection, &model);
+            }
+        }
+    }
+}
+
+/// Asserts `¬(S = model)` so the same projected assignment is not found again.
+pub fn block_projected_model(
+    ctx: &mut Context,
+    tm: &mut TermManager,
+    projection: &[TermId],
+    model: &[BvValue],
+) {
+    let mut equalities = Vec::with_capacity(projection.len());
+    for (&var, value) in projection.iter().zip(model) {
+        let equal = match tm.sort(var) {
+            pact_ir::Sort::Bool => {
+                let target = tm.mk_bool(value.as_u128() == 1);
+                tm.mk_eq(var, target)
+            }
+            pact_ir::Sort::BoundedInt { .. } => {
+                let target = tm.mk_int_const(value.as_u128() as i64);
+                // Equality requires matching sorts; compare through an
+                // integer constant of the variable's own sort via Eq on the
+                // bounded-int encoding: build `var <= c ∧ c <= var`.
+                let le = tm.mk_int_le(var, target).expect("int comparison");
+                let ge = tm.mk_int_le(target, var).expect("int comparison");
+                tm.mk_and([le, ge])
+            }
+            _ => {
+                let target = tm.mk_bv_value(*value);
+                tm.mk_eq(var, target)
+            }
+        };
+        equalities.push(equal);
+    }
+    let conj = tm.mk_and(equalities);
+    let blocking = tm.mk_not(conj);
+    ctx.assert_term(blocking);
+}
+
+/// Collects the projected model as a map keyed by projection variable, which
+/// is the representation the hash-constraint evaluator expects.
+pub fn projected_model_map(
+    ctx: &Context,
+    tm: &TermManager,
+    projection: &[TermId],
+) -> Option<HashMap<TermId, BvValue>> {
+    let values = ctx.projected_model(tm, projection)?;
+    Some(projection.iter().copied().zip(values).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_ir::Sort;
+
+    fn small_instance(tm: &mut TermManager) -> (TermId, TermId) {
+        // x < 6 over 4 bits: exactly 6 projected models.
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let six = tm.mk_bv_const(6, 4);
+        let f = tm.mk_bv_ult(x, six).unwrap();
+        (x, f)
+    }
+
+    #[test]
+    fn counts_exactly_below_threshold() {
+        let mut tm = TermManager::new();
+        let (x, f) = small_instance(&mut tm);
+        let mut ctx = Context::new();
+        ctx.track_var(x);
+        ctx.assert_term(f);
+        let c = saturating_count(&mut ctx, &mut tm, &[x], 100, None).unwrap();
+        assert_eq!(c, CellCount::Exact(6));
+    }
+
+    #[test]
+    fn saturates_at_threshold() {
+        let mut tm = TermManager::new();
+        let (x, f) = small_instance(&mut tm);
+        let mut ctx = Context::new();
+        ctx.track_var(x);
+        ctx.assert_term(f);
+        let c = saturating_count(&mut ctx, &mut tm, &[x], 3, None).unwrap();
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn unsat_formula_counts_zero() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let zero = tm.mk_bv_const(0, 4);
+        let f = tm.mk_bv_ult(x, zero).unwrap();
+        let mut ctx = Context::new();
+        ctx.track_var(x);
+        ctx.assert_term(f);
+        let c = saturating_count(&mut ctx, &mut tm, &[x], 10, None).unwrap();
+        assert_eq!(c, CellCount::Exact(0));
+    }
+
+    #[test]
+    fn projection_ignores_non_projected_variables() {
+        // x is projected, y is free 2-bit: projected count is still 6.
+        let mut tm = TermManager::new();
+        let (x, f) = small_instance(&mut tm);
+        let y = tm.mk_var("y", Sort::BitVec(2));
+        let c1 = tm.mk_bv_const(3, 2);
+        let g = tm.mk_bv_ule(y, c1).unwrap();
+        let both = tm.mk_and([f, g]);
+        let mut ctx = Context::new();
+        ctx.track_var(x);
+        ctx.assert_term(both);
+        let c = saturating_count(&mut ctx, &mut tm, &[x], 100, None).unwrap();
+        assert_eq!(c, CellCount::Exact(6));
+    }
+
+    #[test]
+    fn hybrid_projection_counts_extensible_assignments_only() {
+        // b ∈ [0, 16), r real; constraint: b < 4 ∧ r > 0 ∧ r < 1.
+        // The real part is satisfiable independently, so the projected count
+        // is the number of b values: 4.
+        let mut tm = TermManager::new();
+        let b = tm.mk_var("b", Sort::BitVec(4));
+        let r = tm.mk_var("r", Sort::Real);
+        let four = tm.mk_bv_const(4, 4);
+        let f1 = tm.mk_bv_ult(b, four).unwrap();
+        let zero = tm.mk_real_const(pact_ir::Rational::ZERO);
+        let one = tm.mk_real_const(pact_ir::Rational::ONE);
+        let f2 = tm.mk_real_lt(zero, r).unwrap();
+        let f3 = tm.mk_real_lt(r, one).unwrap();
+        let mut ctx = Context::new();
+        ctx.track_var(b);
+        for f in [f1, f2, f3] {
+            ctx.assert_term(f);
+        }
+        let c = saturating_count(&mut ctx, &mut tm, &[b], 100, None).unwrap();
+        assert_eq!(c, CellCount::Exact(4));
+    }
+
+    #[test]
+    fn deadline_in_the_past_reports_unknown() {
+        let mut tm = TermManager::new();
+        let (x, f) = small_instance(&mut tm);
+        let mut ctx = Context::new();
+        ctx.track_var(x);
+        ctx.assert_term(f);
+        let past = Instant::now();
+        let c = saturating_count(&mut ctx, &mut tm, &[x], 100, Some(past)).unwrap();
+        assert_eq!(c, CellCount::Unknown);
+    }
+
+    #[test]
+    fn multi_variable_projection() {
+        // x < 2 and y < 3 projected over {x, y}: 6 combinations.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(3));
+        let y = tm.mk_var("y", Sort::BitVec(3));
+        let two = tm.mk_bv_const(2, 3);
+        let three = tm.mk_bv_const(3, 3);
+        let f1 = tm.mk_bv_ult(x, two).unwrap();
+        let f2 = tm.mk_bv_ult(y, three).unwrap();
+        let mut ctx = Context::new();
+        ctx.track_var(x);
+        ctx.track_var(y);
+        ctx.assert_term(f1);
+        ctx.assert_term(f2);
+        let c = saturating_count(&mut ctx, &mut tm, &[x, y], 100, None).unwrap();
+        assert_eq!(c, CellCount::Exact(6));
+    }
+}

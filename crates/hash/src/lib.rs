@@ -1,0 +1,37 @@
+//! Pairwise-independent hash families for hashing-based model counting.
+//!
+//! `pact` partitions the projected solution space into cells by conjoining
+//! random hash constraints `h(S) = α` to the formula (§III of the paper).
+//! This crate implements the three families the paper evaluates:
+//!
+//! * [`HashFamily::Xor`] — bit-level XOR constraints, added natively to the
+//!   SAT core's XOR engine (the configuration that wins Table I);
+//! * [`HashFamily::Prime`] — word-level multiply-mod-prime;
+//! * [`HashFamily::Shift`] — word-level multiply-shift;
+//!
+//! together with the bit-vector [`slicing`](crate::slicing) the word-level
+//! families need and the [prime search](crate::primes) used by `H_prime`.
+//!
+//! # Example
+//!
+//! ```
+//! use pact_ir::{TermManager, Sort};
+//! use pact_hash::{generate, HashFamily};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut tm = TermManager::new();
+//! let x = tm.mk_var("x", Sort::BitVec(16));
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let h = generate(&tm, &[x], 4, HashFamily::Prime, &mut rng);
+//! assert_eq!(h.range(), 17); // smallest prime above 2^4
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod family;
+pub mod primes;
+pub mod slicing;
+
+pub use family::{generate, HashConstraint, HashFamily};
+pub use slicing::{projection_bits, slice_projection, Slice};

@@ -1,0 +1,83 @@
+//! Prime search for the multiply-mod-prime hash family.
+
+/// Returns `true` if `n` is prime.
+///
+/// Trial division is sufficient here: the `H_prime` family only needs the
+/// smallest prime above `2^ℓ`, and slice widths keep `ℓ` small (≤ 24).
+pub fn is_prime(n: u128) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    if n % 3 == 0 {
+        return n == 3;
+    }
+    let mut d = 5u128;
+    while d * d <= n {
+        if n % d == 0 || n % (d + 2) == 0 {
+            return false;
+        }
+        d += 6;
+    }
+    true
+}
+
+/// The smallest prime strictly greater than `n`.
+pub fn next_prime(n: u128) -> u128 {
+    let mut candidate = n + 1;
+    if candidate <= 2 {
+        return 2;
+    }
+    if candidate % 2 == 0 {
+        candidate += 1;
+    }
+    while !is_prime(candidate) {
+        candidate += 2;
+    }
+    candidate
+}
+
+/// Number of bits required to represent `n`.
+pub fn bit_width(n: u128) -> u32 {
+    128 - n.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u128> = (0..30).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn next_prime_after_powers_of_two() {
+        assert_eq!(next_prime(2), 3);
+        assert_eq!(next_prime(4), 5);
+        assert_eq!(next_prime(16), 17);
+        assert_eq!(next_prime(32), 37);
+        assert_eq!(next_prime(256), 257);
+        assert_eq!(next_prime(1 << 16), 65537);
+    }
+
+    #[test]
+    fn next_prime_is_strictly_greater() {
+        for n in [2u128, 3, 5, 7, 13, 97] {
+            assert!(next_prime(n) > n);
+            assert!(is_prime(next_prime(n)));
+        }
+    }
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(bit_width(1), 1);
+        assert_eq!(bit_width(2), 2);
+        assert_eq!(bit_width(3), 2);
+        assert_eq!(bit_width(17), 5);
+        assert_eq!(bit_width(65537), 17);
+    }
+}

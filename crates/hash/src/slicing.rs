@@ -1,0 +1,118 @@
+//! Slicing of projection variables into fixed-width chunks (§III-A).
+//!
+//! Word-level hash functions have a fixed domain size, but projection
+//! variables can have arbitrary widths.  Following the paper, each variable
+//! `x` of width `w` is cut into `⌈w/ℓ⌉` slices of width `ℓ`:
+//! `x(i) = x[(i+1)ℓ−1 : iℓ]` (the last slice may be narrower).
+
+use pact_ir::{BvValue, Sort, TermId, TermManager};
+
+/// One slice of a projection variable: bits `[lo, lo + width)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slice {
+    /// The variable being sliced.
+    pub var: TermId,
+    /// Least significant bit of the slice within the variable.
+    pub lo: u32,
+    /// Width of the slice in bits.
+    pub width: u32,
+}
+
+impl Slice {
+    /// Extracts the slice's value from a concrete value of the variable.
+    pub fn of_value(&self, value: &BvValue) -> BvValue {
+        value.extract(self.lo + self.width - 1, self.lo)
+    }
+
+    /// The individual bit positions covered by the slice.
+    pub fn bits(&self) -> impl Iterator<Item = u32> + '_ {
+        self.lo..self.lo + self.width
+    }
+}
+
+/// Total number of projection bits across a projection set.
+///
+/// Booleans count as one bit, bit-vectors as their width, bounded integers
+/// as the width of their encoding.
+pub fn projection_bits(tm: &TermManager, projection: &[TermId]) -> u32 {
+    projection
+        .iter()
+        .map(|&v| tm.sort(v).discrete_bits().unwrap_or(0))
+        .sum()
+}
+
+/// Cuts every projection variable into slices of width at most `ell`.
+///
+/// # Panics
+///
+/// Panics if a projection variable has a continuous sort; the counter
+/// validates this earlier.
+pub fn slice_projection(tm: &TermManager, projection: &[TermId], ell: u32) -> Vec<Slice> {
+    assert!(ell >= 1, "slice width must be at least one bit");
+    let mut slices = Vec::new();
+    for &var in projection {
+        let width = match tm.sort(var) {
+            Sort::Bool => 1,
+            Sort::BitVec(w) => w,
+            Sort::BoundedInt { .. } => tm.sort(var).discrete_bits().unwrap_or(1),
+            other => panic!("projection variable of continuous sort {other}"),
+        };
+        let mut lo = 0;
+        while lo < width {
+            let w = ell.min(width - lo);
+            slices.push(Slice { var, lo, width: w });
+            lo += w;
+        }
+    }
+    slices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_cover_the_variable_exactly() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(10));
+        let slices = slice_projection(&tm, &[x], 4);
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[0], Slice { var: x, lo: 0, width: 4 });
+        assert_eq!(slices[1], Slice { var: x, lo: 4, width: 4 });
+        assert_eq!(slices[2], Slice { var: x, lo: 8, width: 2 });
+        let total: u32 = slices.iter().map(|s| s.width).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn slice_values_recompose() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let value = BvValue::new(0b1011_0110, 8);
+        let slices = slice_projection(&tm, &[x], 3);
+        let mut recomposed: u128 = 0;
+        for s in &slices {
+            recomposed |= (s.of_value(&value).as_u128()) << s.lo;
+        }
+        assert_eq!(recomposed, value.as_u128());
+    }
+
+    #[test]
+    fn mixed_sorts_count_bits() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(6));
+        let b = tm.mk_var("b", Sort::Bool);
+        let n = tm.mk_var("n", Sort::BoundedInt { lo: 0, hi: 12 });
+        assert_eq!(projection_bits(&tm, &[x, b, n]), 6 + 1 + 4);
+        let slices = slice_projection(&tm, &[x, b, n], 4);
+        assert_eq!(slices.len(), 2 + 1 + 1);
+    }
+
+    #[test]
+    fn wide_slices_cap_at_variable_width() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(3));
+        let slices = slice_projection(&tm, &[x], 8);
+        assert_eq!(slices, vec![Slice { var: x, lo: 0, width: 3 }]);
+    }
+}

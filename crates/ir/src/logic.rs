@@ -1,0 +1,212 @@
+//! SMT-LIB logic names and detection of the logic a formula belongs to.
+
+use std::fmt;
+
+use crate::{Op, Sort, TermId, TermManager};
+
+/// The six SMT-LIB logics evaluated in the paper (Table I), plus a catch-all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Logic {
+    /// Arrays, bit-vectors, floating point and linear real arithmetic.
+    QfAbvfplra,
+    /// Arrays, bit-vectors and floating point.
+    QfAbvfp,
+    /// Arrays and bit-vectors.
+    QfAbv,
+    /// Bit-vectors, floating point and linear real arithmetic.
+    QfBvfplra,
+    /// Bit-vectors and floating point.
+    QfBvfp,
+    /// Uninterpreted functions and bit-vectors.
+    QfUfbv,
+    /// Pure bit-vectors.
+    QfBv,
+    /// Anything else supported by the term language.
+    #[default]
+    Other,
+}
+
+impl Logic {
+    /// All paper logics, in Table I order.
+    pub const TABLE_ONE: [Logic; 6] = [
+        Logic::QfAbvfplra,
+        Logic::QfAbvfp,
+        Logic::QfAbv,
+        Logic::QfBvfplra,
+        Logic::QfBvfp,
+        Logic::QfUfbv,
+    ];
+
+    /// The SMT-LIB name of the logic.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Logic::QfAbvfplra => "QF_ABVFPLRA",
+            Logic::QfAbvfp => "QF_ABVFP",
+            Logic::QfAbv => "QF_ABV",
+            Logic::QfBvfplra => "QF_BVFPLRA",
+            Logic::QfBvfp => "QF_BVFP",
+            Logic::QfUfbv => "QF_UFBV",
+            Logic::QfBv => "QF_BV",
+            Logic::Other => "ALL",
+        }
+    }
+
+    /// Parses an SMT-LIB logic name; unknown names map to [`Logic::Other`].
+    pub fn parse(name: &str) -> Logic {
+        match name {
+            "QF_ABVFPLRA" => Logic::QfAbvfplra,
+            "QF_ABVFP" => Logic::QfAbvfp,
+            "QF_ABV" | "QF_ABVLRA" => Logic::QfAbv,
+            "QF_BVFPLRA" => Logic::QfBvfplra,
+            "QF_BVFP" | "QF_FPBV" => Logic::QfBvfp,
+            "QF_UFBV" => Logic::QfUfbv,
+            "QF_BV" => Logic::QfBv,
+            _ => Logic::Other,
+        }
+    }
+
+    /// Returns `true` when the logic mixes discrete and continuous theories,
+    /// i.e. it is *hybrid* in the sense of the paper.
+    pub fn is_hybrid(&self) -> bool {
+        matches!(
+            self,
+            Logic::QfAbvfplra | Logic::QfAbvfp | Logic::QfBvfplra | Logic::QfBvfp
+        )
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Theory features observed in a formula.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TheoryProfile {
+    /// Formula contains bit-vector terms.
+    pub bitvectors: bool,
+    /// Formula contains real arithmetic terms.
+    pub reals: bool,
+    /// Formula contains floating point terms.
+    pub floats: bool,
+    /// Formula contains array terms.
+    pub arrays: bool,
+    /// Formula contains uninterpreted function applications.
+    pub uninterpreted: bool,
+    /// Formula contains bounded-integer terms.
+    pub bounded_ints: bool,
+}
+
+impl TheoryProfile {
+    /// Returns `true` when both a discrete and a continuous theory occur.
+    pub fn is_hybrid(&self) -> bool {
+        let discrete = self.bitvectors || self.bounded_ints;
+        let continuous = self.reals || self.floats;
+        discrete && continuous
+    }
+
+    /// Maps the profile onto the closest Table I logic.
+    pub fn logic(&self) -> Logic {
+        match (
+            self.arrays,
+            self.uninterpreted,
+            self.floats,
+            self.reals,
+        ) {
+            (true, _, true, true) => Logic::QfAbvfplra,
+            (true, _, true, false) => Logic::QfAbvfp,
+            (true, _, false, _) => Logic::QfAbv,
+            (false, false, true, true) => Logic::QfBvfplra,
+            (false, false, true, false) => Logic::QfBvfp,
+            (false, true, false, false) => Logic::QfUfbv,
+            (false, false, false, false) if self.bitvectors => Logic::QfBv,
+            _ => Logic::Other,
+        }
+    }
+}
+
+/// Walks the formula and records which theories it uses.
+pub fn profile(tm: &TermManager, roots: &[TermId]) -> TheoryProfile {
+    let mut p = TheoryProfile::default();
+    let mut seen = vec![false; tm.len()];
+    let mut stack: Vec<TermId> = roots.to_vec();
+    while let Some(t) = stack.pop() {
+        if seen[t.index()] {
+            continue;
+        }
+        seen[t.index()] = true;
+        match tm.sort(t) {
+            Sort::BitVec(_) => p.bitvectors = true,
+            Sort::Real => p.reals = true,
+            Sort::Float { .. } => p.floats = true,
+            Sort::Array { .. } => p.arrays = true,
+            Sort::BoundedInt { .. } => p.bounded_ints = true,
+            Sort::Bool => {}
+        }
+        if matches!(tm.op(t), Op::Apply(_)) {
+            p.uninterpreted = true;
+        }
+        if matches!(tm.op(t), Op::Select | Op::Store) {
+            p.arrays = true;
+        }
+        stack.extend(tm.children(t).iter().copied());
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rational;
+
+    #[test]
+    fn logic_names_round_trip() {
+        for logic in Logic::TABLE_ONE {
+            assert_eq!(Logic::parse(logic.name()), logic);
+        }
+        assert_eq!(Logic::parse("QF_LIA"), Logic::Other);
+    }
+
+    #[test]
+    fn hybrid_classification() {
+        assert!(Logic::QfBvfplra.is_hybrid());
+        assert!(Logic::QfAbvfp.is_hybrid());
+        assert!(!Logic::QfAbv.is_hybrid());
+        assert!(!Logic::QfUfbv.is_hybrid());
+    }
+
+    #[test]
+    fn profile_detects_theories() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let r = tm.mk_var("r", Sort::Real);
+        let c = tm.mk_bv_const(3, 8);
+        let bv = tm.mk_bv_ult(x, c).unwrap();
+        let half = tm.mk_real_const(Rational::new(1, 2));
+        let real = tm.mk_real_le(r, half).unwrap();
+        let f = tm.mk_and([bv, real]);
+        let p = profile(&tm, &[f]);
+        assert!(p.bitvectors);
+        assert!(p.reals);
+        assert!(!p.floats);
+        assert!(p.is_hybrid());
+        assert_eq!(p.logic(), Logic::Other); // BV + LRA without FP is not a Table I logic
+    }
+
+    #[test]
+    fn profile_maps_to_table_one_logics() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let a = tm.mk_var("a", Sort::array(Sort::BitVec(4), Sort::BitVec(8)));
+        let i = tm.mk_var("i", Sort::BitVec(4));
+        let sel = tm.mk_select(a, i).unwrap();
+        let f = tm.mk_eq(sel, x);
+        assert_eq!(profile(&tm, &[f]).logic(), Logic::QfAbv);
+
+        let g = tm.declare_fun("g", vec![Sort::BitVec(8)], Sort::BitVec(8));
+        let gx = tm.mk_apply(g, vec![x]).unwrap();
+        let f2 = tm.mk_eq(gx, x);
+        assert_eq!(profile(&tm, &[f2]).logic(), Logic::QfUfbv);
+    }
+}

@@ -1,0 +1,942 @@
+//! SMT-LIB 2 subset parser.
+//!
+//! Supports the command and term fragment needed by the logics of Table I:
+//! `set-logic`, `set-info` (with the `:projection` extension used by the
+//! counter), `declare-fun` / `declare-const`, `assert`, `check-sat`,
+//! `get-model` and `exit`; terms over booleans, bit-vectors, reals, floating
+//! point predicates, arrays, uninterpreted functions and `let` bindings.
+
+use std::collections::HashMap;
+
+use crate::logic::Logic;
+use crate::{IrError, Rational, Result, Sort, TermId, TermManager};
+
+/// The result of parsing an SMT-LIB script.
+#[derive(Debug, Clone, Default)]
+pub struct Script {
+    /// The declared logic (defaults to [`Logic::Other`]).
+    pub logic: Logic,
+    /// One entry per `assert` command.
+    pub asserts: Vec<TermId>,
+    /// Projection variables from `(set-info :projection (...))`, if present.
+    pub projection: Vec<TermId>,
+}
+
+/// Parses an SMT-LIB 2 script into `tm`.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] on malformed input and
+/// [`IrError::Unsupported`] for commands or operators outside the supported
+/// subset.
+pub fn parse_script(tm: &mut TermManager, input: &str) -> Result<Script> {
+    let tokens = tokenize(input)?;
+    let sexprs = parse_sexprs(&tokens)?;
+    let mut script = Script::default();
+    for sexpr in &sexprs {
+        apply_command(tm, sexpr, &mut script)?;
+    }
+    Ok(script)
+}
+
+/// Parses a single term (no surrounding command) against an existing manager.
+///
+/// Variables must already be declared in `tm`.
+pub fn parse_term(tm: &mut TermManager, input: &str) -> Result<TermId> {
+    let tokens = tokenize(input)?;
+    let sexprs = parse_sexprs(&tokens)?;
+    if sexprs.len() != 1 {
+        return Err(IrError::Parse {
+            line: 1,
+            message: format!("expected exactly one term, found {}", sexprs.len()),
+        });
+    }
+    let mut scope = HashMap::new();
+    term_of(tm, &sexprs[0], &mut scope)
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer and s-expressions
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Open(usize),
+    Close(usize),
+    Atom(String, usize),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' => {
+                while let Some(&c) = chars.peek() {
+                    chars.next();
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                tokens.push(Token::Open(line));
+                chars.next();
+            }
+            ')' => {
+                tokens.push(Token::Close(line));
+                chars.next();
+            }
+            '|' => {
+                chars.next();
+                let mut atom = String::new();
+                loop {
+                    match chars.next() {
+                        Some('|') => break,
+                        Some(c) => {
+                            if c == '\n' {
+                                line += 1;
+                            }
+                            atom.push(c);
+                        }
+                        None => {
+                            return Err(IrError::Parse {
+                                line,
+                                message: "unterminated quoted symbol".to_string(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Atom(atom, line));
+            }
+            '"' => {
+                chars.next();
+                let mut atom = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(c) => {
+                            if c == '\n' {
+                                line += 1;
+                            }
+                            atom.push(c);
+                        }
+                        None => {
+                            return Err(IrError::Parse {
+                                line,
+                                message: "unterminated string literal".to_string(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token::Atom(format!("\"{atom}\""), line));
+            }
+            _ => {
+                let mut atom = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == '(' || c == ')' || c == ';' {
+                        break;
+                    }
+                    atom.push(c);
+                    chars.next();
+                }
+                tokens.push(Token::Atom(atom, line));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// A parsed s-expression.
+#[derive(Debug, Clone, PartialEq)]
+enum Sexpr {
+    Atom(String, usize),
+    List(Vec<Sexpr>, usize),
+}
+
+impl Sexpr {
+    fn line(&self) -> usize {
+        match self {
+            Sexpr::Atom(_, l) | Sexpr::List(_, l) => *l,
+        }
+    }
+
+    fn as_atom(&self) -> Option<&str> {
+        match self {
+            Sexpr::Atom(a, _) => Some(a),
+            Sexpr::List(..) => None,
+        }
+    }
+
+    fn as_list(&self) -> Option<&[Sexpr]> {
+        match self {
+            Sexpr::List(l, _) => Some(l),
+            Sexpr::Atom(..) => None,
+        }
+    }
+}
+
+fn parse_sexprs(tokens: &[Token]) -> Result<Vec<Sexpr>> {
+    let mut pos = 0;
+    let mut result = Vec::new();
+    while pos < tokens.len() {
+        let (sexpr, next) = parse_one(tokens, pos)?;
+        result.push(sexpr);
+        pos = next;
+    }
+    Ok(result)
+}
+
+fn parse_one(tokens: &[Token], pos: usize) -> Result<(Sexpr, usize)> {
+    match &tokens[pos] {
+        Token::Atom(a, line) => Ok((Sexpr::Atom(a.clone(), *line), pos + 1)),
+        Token::Open(line) => {
+            let mut items = Vec::new();
+            let mut cur = pos + 1;
+            loop {
+                match tokens.get(cur) {
+                    Some(Token::Close(_)) => return Ok((Sexpr::List(items, *line), cur + 1)),
+                    Some(_) => {
+                        let (item, next) = parse_one(tokens, cur)?;
+                        items.push(item);
+                        cur = next;
+                    }
+                    None => {
+                        return Err(IrError::Parse {
+                            line: *line,
+                            message: "unbalanced parentheses".to_string(),
+                        })
+                    }
+                }
+            }
+        }
+        Token::Close(line) => Err(IrError::Parse {
+            line: *line,
+            message: "unexpected ')'".to_string(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+fn apply_command(tm: &mut TermManager, sexpr: &Sexpr, script: &mut Script) -> Result<()> {
+    let line = sexpr.line();
+    let items = sexpr.as_list().ok_or_else(|| IrError::Parse {
+        line,
+        message: "top-level input must be a command list".to_string(),
+    })?;
+    let head = items
+        .first()
+        .and_then(|s| s.as_atom())
+        .ok_or_else(|| IrError::Parse {
+            line,
+            message: "empty command".to_string(),
+        })?;
+    match head {
+        "set-logic" => {
+            let name = items.get(1).and_then(|s| s.as_atom()).unwrap_or("ALL");
+            script.logic = Logic::parse(name);
+        }
+        "set-info" => {
+            if items.get(1).and_then(|s| s.as_atom()) == Some(":projection") {
+                let vars = items.get(2).and_then(|s| s.as_list()).ok_or_else(|| {
+                    IrError::Parse {
+                        line,
+                        message: ":projection expects a list of variable names".to_string(),
+                    }
+                })?;
+                for v in vars {
+                    let name = v.as_atom().ok_or_else(|| IrError::Parse {
+                        line,
+                        message: "projection entries must be symbols".to_string(),
+                    })?;
+                    let var = tm.find_var(name).ok_or_else(|| IrError::Parse {
+                        line,
+                        message: format!("projection variable {name} is not declared"),
+                    })?;
+                    script.projection.push(var);
+                }
+            }
+        }
+        "set-option" | "check-sat" | "get-model" | "get-value" | "exit" | "echo" | "push"
+        | "pop" | "get-info" => {}
+        "declare-const" => {
+            let name = expect_atom(items.get(1), line, "declare-const name")?;
+            let sort = sort_of(items.get(2).ok_or_else(|| missing(line, "sort"))?)?;
+            tm.mk_var(name, sort);
+        }
+        "declare-fun" => {
+            let name = expect_atom(items.get(1), line, "declare-fun name")?;
+            let args = items
+                .get(2)
+                .and_then(|s| s.as_list())
+                .ok_or_else(|| missing(line, "argument sort list"))?;
+            let ret = sort_of(items.get(3).ok_or_else(|| missing(line, "return sort"))?)?;
+            if args.is_empty() {
+                tm.mk_var(name, ret);
+            } else {
+                let arg_sorts: Result<Vec<Sort>> = args.iter().map(sort_of).collect();
+                tm.declare_fun(name, arg_sorts?, ret);
+            }
+        }
+        "assert" => {
+            let body = items.get(1).ok_or_else(|| missing(line, "assert body"))?;
+            let mut scope = HashMap::new();
+            let t = term_of(tm, body, &mut scope)?;
+            script.asserts.push(t);
+        }
+        "define-fun" => {
+            return Err(IrError::Unsupported(
+                "define-fun (inline the definition before parsing)".to_string(),
+            ))
+        }
+        other => {
+            return Err(IrError::Unsupported(format!("command {other}")));
+        }
+    }
+    Ok(())
+}
+
+fn missing(line: usize, what: &str) -> IrError {
+    IrError::Parse {
+        line,
+        message: format!("missing {what}"),
+    }
+}
+
+fn expect_atom<'a>(sexpr: Option<&'a Sexpr>, line: usize, what: &str) -> Result<&'a str> {
+    sexpr
+        .and_then(|s| s.as_atom())
+        .ok_or_else(|| IrError::Parse {
+            line,
+            message: format!("expected symbol for {what}"),
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Sorts
+// ---------------------------------------------------------------------------
+
+fn sort_of(sexpr: &Sexpr) -> Result<Sort> {
+    let line = sexpr.line();
+    match sexpr {
+        Sexpr::Atom(a, _) => match a.as_str() {
+            "Bool" => Ok(Sort::Bool),
+            "Real" => Ok(Sort::Real),
+            "Float32" => Ok(Sort::float32()),
+            "Float64" => Ok(Sort::float64()),
+            other => Err(IrError::Parse {
+                line,
+                message: format!("unknown sort {other}"),
+            }),
+        },
+        Sexpr::List(items, _) => {
+            let atoms: Vec<&str> = items.iter().filter_map(|s| s.as_atom()).collect();
+            if atoms.len() == items.len() && atoms.first() == Some(&"_") {
+                match atoms.get(1) {
+                    Some(&"BitVec") => {
+                        let w: u32 = atoms
+                            .get(2)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| missing(line, "bit-vector width"))?;
+                        return Ok(Sort::BitVec(w));
+                    }
+                    Some(&"FloatingPoint") => {
+                        let e: u32 = atoms
+                            .get(2)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| missing(line, "exponent width"))?;
+                        let s: u32 = atoms
+                            .get(3)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| missing(line, "significand width"))?;
+                        return Ok(Sort::Float { exp: e, sig: s });
+                    }
+                    Some(&"BoundedInt") => {
+                        let lo: i64 = atoms
+                            .get(2)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| missing(line, "lower bound"))?;
+                        let hi: i64 = atoms
+                            .get(3)
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| missing(line, "upper bound"))?;
+                        return Ok(Sort::BoundedInt { lo, hi });
+                    }
+                    _ => {}
+                }
+            }
+            if items.first().and_then(|s| s.as_atom()) == Some("Array") {
+                let index = sort_of(items.get(1).ok_or_else(|| missing(line, "index sort"))?)?;
+                let element = sort_of(items.get(2).ok_or_else(|| missing(line, "element sort"))?)?;
+                return Ok(Sort::array(index, element));
+            }
+            Err(IrError::Parse {
+                line,
+                message: "unknown sort expression".to_string(),
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Terms
+// ---------------------------------------------------------------------------
+
+type Scope = HashMap<String, TermId>;
+
+fn term_of(tm: &mut TermManager, sexpr: &Sexpr, scope: &mut Scope) -> Result<TermId> {
+    let line = sexpr.line();
+    match sexpr {
+        Sexpr::Atom(a, _) => atom_term(tm, a, line, scope),
+        Sexpr::List(items, _) => {
+            if items.is_empty() {
+                return Err(IrError::Parse {
+                    line,
+                    message: "empty term".to_string(),
+                });
+            }
+            // Indexed operators: ((_ extract hi lo) t), (_ bvN w), etc.
+            if let Some(indexed) = items[0].as_list() {
+                return indexed_term(tm, indexed, &items[1..], line, scope);
+            }
+            let head = items[0].as_atom().unwrap_or_default().to_string();
+            if head == "_" {
+                return underscore_literal(tm, items, line);
+            }
+            if head == "let" {
+                return let_term(tm, items, line, scope);
+            }
+            let args: Result<Vec<TermId>> = items[1..]
+                .iter()
+                .map(|s| term_of(tm, s, scope))
+                .collect();
+            let args = args?;
+            apply_operator(tm, &head, args, line)
+        }
+    }
+}
+
+fn atom_term(tm: &mut TermManager, atom: &str, line: usize, scope: &Scope) -> Result<TermId> {
+    if let Some(&t) = scope.get(atom) {
+        return Ok(t);
+    }
+    match atom {
+        "true" => return Ok(tm.mk_true()),
+        "false" => return Ok(tm.mk_false()),
+        _ => {}
+    }
+    if let Some(bin) = atom.strip_prefix("#b") {
+        let width = bin.len() as u32;
+        let value = u128::from_str_radix(bin, 2).map_err(|_| IrError::Parse {
+            line,
+            message: format!("invalid binary literal {atom}"),
+        })?;
+        return Ok(tm.mk_bv_const(value, width));
+    }
+    if let Some(hex) = atom.strip_prefix("#x") {
+        let width = hex.len() as u32 * 4;
+        let value = u128::from_str_radix(hex, 16).map_err(|_| IrError::Parse {
+            line,
+            message: format!("invalid hex literal {atom}"),
+        })?;
+        return Ok(tm.mk_bv_const(value, width));
+    }
+    if atom.contains('.') {
+        if let Some(r) = Rational::parse(atom) {
+            return Ok(tm.mk_real_const(r));
+        }
+    }
+    if let Ok(i) = atom.parse::<i64>() {
+        return Ok(tm.mk_int_const(i));
+    }
+    tm.find_var(atom).ok_or_else(|| IrError::Parse {
+        line,
+        message: format!("undeclared symbol {atom}"),
+    })
+}
+
+fn underscore_literal(tm: &mut TermManager, items: &[Sexpr], line: usize) -> Result<TermId> {
+    // (_ bvN width)
+    let kind = items.get(1).and_then(|s| s.as_atom()).unwrap_or_default();
+    if let Some(value) = kind.strip_prefix("bv") {
+        let value: u128 = value.parse().map_err(|_| IrError::Parse {
+            line,
+            message: format!("invalid bit-vector literal {kind}"),
+        })?;
+        let width: u32 = items
+            .get(2)
+            .and_then(|s| s.as_atom())
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| missing(line, "bit-vector literal width"))?;
+        return Ok(tm.mk_bv_const(value, width));
+    }
+    Err(IrError::Unsupported(format!("indexed literal (_ {kind} ...)")))
+}
+
+fn let_term(
+    tm: &mut TermManager,
+    items: &[Sexpr],
+    line: usize,
+    scope: &mut Scope,
+) -> Result<TermId> {
+    let bindings = items
+        .get(1)
+        .and_then(|s| s.as_list())
+        .ok_or_else(|| missing(line, "let bindings"))?;
+    let body = items.get(2).ok_or_else(|| missing(line, "let body"))?;
+    let mut added = Vec::new();
+    // SMT-LIB `let` is parallel: evaluate all right-hand sides in the outer scope.
+    let mut new_bindings = Vec::new();
+    for binding in bindings {
+        let pair = binding.as_list().ok_or_else(|| missing(line, "let binding pair"))?;
+        let name = expect_atom(pair.first(), line, "let-bound name")?;
+        let value = term_of(tm, pair.get(1).ok_or_else(|| missing(line, "let value"))?, scope)?;
+        new_bindings.push((name.to_string(), value));
+    }
+    for (name, value) in new_bindings {
+        let previous = scope.insert(name.clone(), value);
+        added.push((name, previous));
+    }
+    let result = term_of(tm, body, scope);
+    for (name, previous) in added.into_iter().rev() {
+        match previous {
+            Some(prev) => {
+                scope.insert(name, prev);
+            }
+            None => {
+                scope.remove(&name);
+            }
+        }
+    }
+    result
+}
+
+fn indexed_term(
+    tm: &mut TermManager,
+    indexed: &[Sexpr],
+    args: &[Sexpr],
+    line: usize,
+    scope: &mut Scope,
+) -> Result<TermId> {
+    let atoms: Vec<&str> = indexed.iter().filter_map(|s| s.as_atom()).collect();
+    if atoms.first() != Some(&"_") {
+        return Err(IrError::Parse {
+            line,
+            message: "expected indexed operator".to_string(),
+        });
+    }
+    let arg_terms: Result<Vec<TermId>> = args.iter().map(|s| term_of(tm, s, scope)).collect();
+    let arg_terms = arg_terms?;
+    let idx = |i: usize| -> Result<u32> {
+        atoms
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| missing(line, "operator index"))
+    };
+    match atoms.get(1) {
+        Some(&"extract") => {
+            let hi = idx(2)?;
+            let lo = idx(3)?;
+            tm.mk_bv_extract(arg_terms[0], hi, lo)
+        }
+        Some(&"zero_extend") => tm.mk_bv_zero_extend(arg_terms[0], idx(2)?),
+        Some(&"sign_extend") => tm.mk_bv_sign_extend(arg_terms[0], idx(2)?),
+        Some(&"to_fp") => {
+            let e = idx(2)?;
+            let s = idx(3)?;
+            // Rounding-mode argument (first) is ignored by the relaxation.
+            let value = *arg_terms.last().ok_or_else(|| missing(line, "to_fp operand"))?;
+            tm.mk_real_to_fp(value, Sort::Float { exp: e, sig: s })
+        }
+        other => Err(IrError::Unsupported(format!("indexed operator {other:?}"))),
+    }
+}
+
+fn apply_operator(
+    tm: &mut TermManager,
+    head: &str,
+    args: Vec<TermId>,
+    line: usize,
+) -> Result<TermId> {
+    let need = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(IrError::Parse {
+                line,
+                message: format!("{head} expects {n} arguments, got {}", args.len()),
+            })
+        }
+    };
+    let first_is_real = args
+        .first()
+        .map(|&a| tm.sort(a) == Sort::Real)
+        .unwrap_or(false);
+    match head {
+        "not" => {
+            need(1)?;
+            Ok(tm.mk_not(args[0]))
+        }
+        "and" => Ok(tm.mk_and(args)),
+        "or" => Ok(tm.mk_or(args)),
+        "xor" => {
+            need(2)?;
+            tm.mk_xor(args[0], args[1])
+        }
+        "=>" => {
+            need(2)?;
+            tm.mk_implies(args[0], args[1])
+        }
+        "ite" => {
+            need(3)?;
+            tm.mk_ite(args[0], args[1], args[2])
+        }
+        "=" => {
+            if args.len() < 2 {
+                return Err(IrError::Parse {
+                    line,
+                    message: "= expects at least 2 arguments".to_string(),
+                });
+            }
+            let mut eqs = Vec::new();
+            for pair in args.windows(2) {
+                eqs.push(tm.mk_eq(pair[0], pair[1]));
+            }
+            Ok(tm.mk_and(eqs))
+        }
+        "distinct" => Ok(tm.mk_distinct(args)),
+        "bvnot" => {
+            need(1)?;
+            tm.mk_bv_not(args[0])
+        }
+        "bvneg" => {
+            need(1)?;
+            tm.mk_bv_neg(args[0])
+        }
+        "bvand" => fold_binop(tm, args, line, "bvand", TermManager::mk_bv_and),
+        "bvor" => fold_binop(tm, args, line, "bvor", TermManager::mk_bv_or),
+        "bvxor" => fold_binop(tm, args, line, "bvxor", TermManager::mk_bv_xor),
+        "bvadd" => fold_binop(tm, args, line, "bvadd", TermManager::mk_bv_add),
+        "bvsub" => fold_binop(tm, args, line, "bvsub", TermManager::mk_bv_sub),
+        "bvmul" => fold_binop(tm, args, line, "bvmul", TermManager::mk_bv_mul),
+        "bvudiv" => {
+            need(2)?;
+            tm.mk_bv_udiv(args[0], args[1])
+        }
+        "bvurem" => {
+            need(2)?;
+            tm.mk_bv_urem(args[0], args[1])
+        }
+        "bvshl" => {
+            need(2)?;
+            tm.mk_bv_shl(args[0], args[1])
+        }
+        "bvlshr" => {
+            need(2)?;
+            tm.mk_bv_lshr(args[0], args[1])
+        }
+        "bvashr" => {
+            need(2)?;
+            tm.mk_bv_ashr(args[0], args[1])
+        }
+        "concat" => fold_binop(tm, args, line, "concat", TermManager::mk_bv_concat),
+        "bvult" => {
+            need(2)?;
+            tm.mk_bv_ult(args[0], args[1])
+        }
+        "bvule" => {
+            need(2)?;
+            tm.mk_bv_ule(args[0], args[1])
+        }
+        "bvugt" => {
+            need(2)?;
+            tm.mk_bv_ult(args[1], args[0])
+        }
+        "bvuge" => {
+            need(2)?;
+            tm.mk_bv_ule(args[1], args[0])
+        }
+        "bvslt" => {
+            need(2)?;
+            tm.mk_bv_slt(args[0], args[1])
+        }
+        "bvsle" => {
+            need(2)?;
+            tm.mk_bv_sle(args[0], args[1])
+        }
+        "bvsgt" => {
+            need(2)?;
+            tm.mk_bv_slt(args[1], args[0])
+        }
+        "bvsge" => {
+            need(2)?;
+            tm.mk_bv_sle(args[1], args[0])
+        }
+        "+" if first_is_real => tm.mk_real_add(args),
+        "+" => {
+            need(2)?;
+            tm.mk_int_add(args[0], args[1])
+        }
+        "-" if args.len() == 1 => tm.mk_real_neg(args[0]),
+        "-" => {
+            need(2)?;
+            tm.mk_real_sub(args[0], args[1])
+        }
+        "*" => {
+            need(2)?;
+            tm.mk_real_mul(args[0], args[1])
+        }
+        "/" => {
+            need(2)?;
+            // Division by a constant is multiplication by its reciprocal.
+            if let crate::Op::RealConst(c) = tm.op(args[1]).clone() {
+                if !c.is_zero() {
+                    let recip = tm.mk_real_const(c.recip());
+                    return tm.mk_real_mul(args[0], recip);
+                }
+            }
+            Err(IrError::Unsupported(
+                "real division by a non-constant".to_string(),
+            ))
+        }
+        "<" if first_is_real => {
+            need(2)?;
+            tm.mk_real_lt(args[0], args[1])
+        }
+        "<=" if first_is_real => {
+            need(2)?;
+            tm.mk_real_le(args[0], args[1])
+        }
+        ">" if first_is_real => {
+            need(2)?;
+            tm.mk_real_lt(args[1], args[0])
+        }
+        ">=" if first_is_real => {
+            need(2)?;
+            tm.mk_real_le(args[1], args[0])
+        }
+        "<" => {
+            need(2)?;
+            tm.mk_int_lt(args[0], args[1])
+        }
+        "<=" => {
+            need(2)?;
+            tm.mk_int_le(args[0], args[1])
+        }
+        ">" => {
+            need(2)?;
+            tm.mk_int_lt(args[1], args[0])
+        }
+        ">=" => {
+            need(2)?;
+            tm.mk_int_le(args[1], args[0])
+        }
+        "fp.add" => {
+            // Rounding mode is the first argument when three are given.
+            let (a, b) = last_two(&args, line, "fp.add")?;
+            tm.mk_fp_add(a, b)
+        }
+        "fp.sub" => {
+            let (a, b) = last_two(&args, line, "fp.sub")?;
+            tm.mk_fp_sub(a, b)
+        }
+        "fp.mul" => {
+            let (a, b) = last_two(&args, line, "fp.mul")?;
+            tm.mk_fp_mul(a, b)
+        }
+        "fp.neg" => {
+            need(1)?;
+            tm.mk_fp_neg(args[0])
+        }
+        "fp.eq" => {
+            need(2)?;
+            tm.mk_fp_eq(args[0], args[1])
+        }
+        "fp.lt" => {
+            need(2)?;
+            tm.mk_fp_lt(args[0], args[1])
+        }
+        "fp.leq" => {
+            need(2)?;
+            tm.mk_fp_le(args[0], args[1])
+        }
+        "fp.gt" => {
+            need(2)?;
+            tm.mk_fp_lt(args[1], args[0])
+        }
+        "fp.geq" => {
+            need(2)?;
+            tm.mk_fp_le(args[1], args[0])
+        }
+        "fp.to_real" => {
+            need(1)?;
+            tm.mk_fp_to_real(args[0])
+        }
+        "select" => {
+            need(2)?;
+            tm.mk_select(args[0], args[1])
+        }
+        "store" => {
+            need(3)?;
+            tm.mk_store(args[0], args[1], args[2])
+        }
+        other => {
+            if let Some(fun) = tm.find_fun(other) {
+                return tm.mk_apply(fun, args);
+            }
+            Err(IrError::Unsupported(format!("operator {other}")))
+        }
+    }
+}
+
+fn last_two(args: &[TermId], line: usize, what: &str) -> Result<(TermId, TermId)> {
+    if args.len() < 2 {
+        return Err(IrError::Parse {
+            line,
+            message: format!("{what} expects at least 2 arguments"),
+        });
+    }
+    Ok((args[args.len() - 2], args[args.len() - 1]))
+}
+
+fn fold_binop(
+    tm: &mut TermManager,
+    args: Vec<TermId>,
+    line: usize,
+    what: &str,
+    f: fn(&mut TermManager, TermId, TermId) -> Result<TermId>,
+) -> Result<TermId> {
+    if args.len() < 2 {
+        return Err(IrError::Parse {
+            line,
+            message: format!("{what} expects at least 2 arguments"),
+        });
+    }
+    let mut acc = args[0];
+    for &a in &args[1..] {
+        acc = f(tm, acc, a)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic;
+
+    #[test]
+    fn parses_a_small_bv_script() {
+        let mut tm = TermManager::new();
+        let script = parse_script(
+            &mut tm,
+            r#"
+            (set-logic QF_BV)
+            (declare-fun x () (_ BitVec 8))
+            (declare-const y (_ BitVec 8))
+            (set-info :projection (x y))
+            (assert (bvult x (_ bv10 8)))
+            (assert (= (bvadd x y) #x20))
+            (check-sat)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(script.logic, Logic::QfBv);
+        assert_eq!(script.asserts.len(), 2);
+        assert_eq!(script.projection.len(), 2);
+    }
+
+    #[test]
+    fn parses_hybrid_script_with_let() {
+        let mut tm = TermManager::new();
+        let script = parse_script(
+            &mut tm,
+            r#"
+            (set-logic QF_BVFPLRA)
+            (declare-fun b () (_ BitVec 4))
+            (declare-fun r () Real)
+            (assert (let ((t (bvadd b #b0001))) (bvult t #b1000)))
+            (assert (and (<= 0.0 r) (< r 2.5)))
+            "#,
+        )
+        .unwrap();
+        assert_eq!(script.asserts.len(), 2);
+        let p = logic::profile(&tm, &script.asserts);
+        assert!(p.bitvectors && p.reals);
+    }
+
+    #[test]
+    fn parses_arrays_and_uf() {
+        let mut tm = TermManager::new();
+        let script = parse_script(
+            &mut tm,
+            r#"
+            (set-logic QF_ABV)
+            (declare-fun a () (Array (_ BitVec 4) (_ BitVec 8)))
+            (declare-fun i () (_ BitVec 4))
+            (declare-fun f ((_ BitVec 8)) (_ BitVec 8))
+            (assert (= (select (store a i #x0A) i) #x0A))
+            (assert (bvult (f #x01) #x10))
+            "#,
+        )
+        .unwrap();
+        assert_eq!(script.asserts.len(), 2);
+    }
+
+    #[test]
+    fn reports_undeclared_symbols() {
+        let mut tm = TermManager::new();
+        let err = parse_script(&mut tm, "(assert (bvult x (_ bv1 4)))").unwrap_err();
+        assert!(matches!(err, IrError::Parse { .. }));
+    }
+
+    #[test]
+    fn reports_unbalanced_parens() {
+        let mut tm = TermManager::new();
+        let err = parse_script(&mut tm, "(assert (and true false)").unwrap_err();
+        assert!(matches!(err, IrError::Parse { .. }));
+    }
+
+    #[test]
+    fn roundtrip_through_printer() {
+        use crate::printer;
+        let mut tm = TermManager::new();
+        let script = parse_script(
+            &mut tm,
+            r#"
+            (set-logic QF_BVFP)
+            (declare-fun x () (_ BitVec 6))
+            (declare-fun u () (_ FloatingPoint 8 24))
+            (set-info :projection (x))
+            (assert (bvule x (_ bv50 6)))
+            (assert (fp.leq u u))
+            "#,
+        )
+        .unwrap();
+        let printed = printer::script_to_smtlib(&tm, script.logic, &script.asserts, &script.projection);
+        let mut tm2 = TermManager::new();
+        let reparsed = parse_script(&mut tm2, &printed).unwrap();
+        assert_eq!(reparsed.logic, Logic::QfBvfp);
+        assert_eq!(reparsed.asserts.len(), script.asserts.len());
+        assert_eq!(reparsed.projection.len(), 1);
+    }
+
+    #[test]
+    fn parse_single_term() {
+        let mut tm = TermManager::new();
+        tm.mk_var("x", Sort::BitVec(8));
+        let t = parse_term(&mut tm, "(bvadd x (_ bv1 8))").unwrap();
+        assert_eq!(tm.sort(t), Sort::BitVec(8));
+    }
+}

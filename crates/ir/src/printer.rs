@@ -1,0 +1,288 @@
+//! SMT-LIB 2 printing of terms and whole scripts.
+//!
+//! The printer is the inverse of [`crate::parser`]: scripts it produces can
+//! be parsed back, which the round-trip tests in `tests/` rely on.
+
+use std::collections::HashSet;
+use std::fmt::Write;
+
+use crate::logic::Logic;
+use crate::{Op, Sort, TermId, TermManager};
+
+/// Renders a single term as an SMT-LIB 2 s-expression.
+///
+/// ```
+/// use pact_ir::{TermManager, Sort, printer};
+/// let mut tm = TermManager::new();
+/// let x = tm.mk_var("x", Sort::BitVec(4));
+/// let c = tm.mk_bv_const(3, 4);
+/// let f = tm.mk_bv_ult(x, c).unwrap();
+/// assert_eq!(printer::term_to_smtlib(&tm, f), "(bvult x (_ bv3 4))");
+/// ```
+pub fn term_to_smtlib(tm: &TermManager, t: TermId) -> String {
+    let mut out = String::new();
+    write_term(tm, t, &mut out);
+    out
+}
+
+fn write_term(tm: &TermManager, t: TermId, out: &mut String) {
+    let children = tm.children(t);
+    match tm.op(t) {
+        Op::Var(_) => out.push_str(tm.var_name(t).unwrap_or("?")),
+        Op::BoolConst(b) => out.push_str(if *b { "true" } else { "false" }),
+        Op::BvConst(v) => {
+            let _ = write!(out, "(_ bv{} {})", v.as_u128(), v.width());
+        }
+        Op::RealConst(r) => {
+            if r.is_negative() {
+                let _ = write!(out, "(- {})", rational_smtlib(&-*r));
+            } else {
+                out.push_str(&rational_smtlib(r));
+            }
+        }
+        Op::IntConst(i) => {
+            if *i < 0 {
+                let _ = write!(out, "(- {})", -i);
+            } else {
+                let _ = write!(out, "{i}");
+            }
+        }
+        op => {
+            out.push('(');
+            out.push_str(op_name(op));
+            for &c in children {
+                out.push(' ');
+                write_term(tm, c, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn rational_smtlib(r: &crate::Rational) -> String {
+    if r.is_integer() {
+        format!("{}.0", r.numer())
+    } else {
+        format!("(/ {}.0 {}.0)", r.numer(), r.denom())
+    }
+}
+
+fn op_name(op: &Op) -> &str {
+    match op {
+        Op::Not => "not",
+        Op::And => "and",
+        Op::Or => "or",
+        Op::Xor => "xor",
+        Op::Implies => "=>",
+        Op::Ite => "ite",
+        Op::Eq => "=",
+        Op::Distinct => "distinct",
+        Op::BvNot => "bvnot",
+        Op::BvAnd => "bvand",
+        Op::BvOr => "bvor",
+        Op::BvXor => "bvxor",
+        Op::BvNeg => "bvneg",
+        Op::BvAdd => "bvadd",
+        Op::BvSub => "bvsub",
+        Op::BvMul => "bvmul",
+        Op::BvUdiv => "bvudiv",
+        Op::BvUrem => "bvurem",
+        Op::BvShl => "bvshl",
+        Op::BvLshr => "bvlshr",
+        Op::BvAshr => "bvashr",
+        Op::BvConcat => "concat",
+        Op::BvUlt => "bvult",
+        Op::BvUle => "bvule",
+        Op::BvSlt => "bvslt",
+        Op::BvSle => "bvsle",
+        Op::RealAdd => "+",
+        Op::RealSub => "-",
+        Op::RealMul => "*",
+        Op::RealNeg => "-",
+        Op::RealLt => "<",
+        Op::RealLe => "<=",
+        Op::IntAdd => "+",
+        Op::IntLe => "<=",
+        Op::IntLt => "<",
+        Op::FpAdd => "fp.add",
+        Op::FpSub => "fp.sub",
+        Op::FpMul => "fp.mul",
+        Op::FpNeg => "fp.neg",
+        Op::FpEq => "fp.eq",
+        Op::FpLt => "fp.lt",
+        Op::FpLe => "fp.leq",
+        Op::FpToReal => "fp.to_real",
+        Op::RealToFp => "to_fp",
+        Op::Select => "select",
+        Op::Store => "store",
+        Op::Apply(_) => "apply",
+        Op::BvExtract { .. } | Op::BvZeroExtend(_) | Op::BvSignExtend(_) => "",
+        Op::Var(_) | Op::BoolConst(_) | Op::BvConst(_) | Op::RealConst(_) | Op::IntConst(_) => "",
+    }
+}
+
+/// Renders a whole SMT-LIB 2 script: `set-logic`, declarations of every
+/// variable and function reachable from `asserts`, an optional projection-set
+/// annotation, one `assert` per root, and `check-sat`.
+pub fn script_to_smtlib(
+    tm: &TermManager,
+    logic: Logic,
+    asserts: &[TermId],
+    projection: &[TermId],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "(set-logic {})", logic.name());
+    let mut declared_funs: HashSet<u32> = HashSet::new();
+    let mut all_roots = asserts.to_vec();
+    all_roots.extend_from_slice(projection);
+    for v in tm.vars_of(&all_roots) {
+        let name = tm.var_name(v).unwrap_or("?");
+        let _ = writeln!(out, "(declare-fun {name} () {})", sort_to_smtlib(&tm.sort(v)));
+    }
+    // The projection annotation references variables, so it must come after
+    // their declarations for the script to be re-parseable.
+    if !projection.is_empty() {
+        let names: Vec<&str> = projection
+            .iter()
+            .filter_map(|&v| tm.var_name(v))
+            .collect();
+        let _ = writeln!(out, "(set-info :projection ({}))", names.join(" "));
+    }
+    // Declare uninterpreted functions that occur in the asserts.
+    let mut stack: Vec<TermId> = asserts.to_vec();
+    let mut seen = vec![false; tm.len()];
+    while let Some(t) = stack.pop() {
+        if seen[t.index()] {
+            continue;
+        }
+        seen[t.index()] = true;
+        if let Op::Apply(f) = tm.op(t) {
+            if declared_funs.insert(*f) {
+                let decl = tm.fun_decl(*f);
+                let args: Vec<String> = decl.args.iter().map(sort_to_smtlib).collect();
+                let _ = writeln!(
+                    out,
+                    "(declare-fun {} ({}) {})",
+                    decl.name,
+                    args.join(" "),
+                    sort_to_smtlib(&decl.ret)
+                );
+            }
+        }
+        stack.extend(tm.children(t).iter().copied());
+    }
+    for &a in asserts {
+        let _ = writeln!(out, "(assert {})", term_to_full_smtlib(tm, a));
+    }
+    let _ = writeln!(out, "(check-sat)");
+    out
+}
+
+/// Like [`term_to_smtlib`] but renders indexed operators (`extract`,
+/// `zero_extend`, `sign_extend`) and UF applications with their real names.
+pub fn term_to_full_smtlib(tm: &TermManager, t: TermId) -> String {
+    let mut out = String::new();
+    write_full(tm, t, &mut out);
+    out
+}
+
+fn write_full(tm: &TermManager, t: TermId, out: &mut String) {
+    let children = tm.children(t);
+    match tm.op(t) {
+        Op::BvExtract { hi, lo } => {
+            let _ = write!(out, "((_ extract {hi} {lo}) ");
+            write_full(tm, children[0], out);
+            out.push(')');
+        }
+        Op::BvZeroExtend(by) => {
+            let _ = write!(out, "((_ zero_extend {by}) ");
+            write_full(tm, children[0], out);
+            out.push(')');
+        }
+        Op::BvSignExtend(by) => {
+            let _ = write!(out, "((_ sign_extend {by}) ");
+            write_full(tm, children[0], out);
+            out.push(')');
+        }
+        Op::RealToFp => {
+            if let Sort::Float { exp, sig } = tm.sort(t) {
+                let _ = write!(out, "((_ to_fp {exp} {sig}) ");
+                write_full(tm, children[0], out);
+                out.push(')');
+            }
+        }
+        Op::Apply(f) => {
+            let name = tm.fun_decl(*f).name.clone();
+            let _ = write!(out, "({name}");
+            for &c in children {
+                out.push(' ');
+                write_full(tm, c, out);
+            }
+            out.push(')');
+        }
+        Op::Var(_) | Op::BoolConst(_) | Op::BvConst(_) | Op::RealConst(_) | Op::IntConst(_) => {
+            write_term(tm, t, out)
+        }
+        op => {
+            out.push('(');
+            out.push_str(op_name(op));
+            for &c in children {
+                out.push(' ');
+                write_full(tm, c, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Renders a sort in SMT-LIB 2 syntax.
+pub fn sort_to_smtlib(sort: &Sort) -> String {
+    sort.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rational;
+
+    #[test]
+    fn prints_basic_terms() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let c = tm.mk_bv_const(5, 8);
+        let f = tm.mk_bv_ult(x, c).unwrap();
+        assert_eq!(term_to_smtlib(&tm, f), "(bvult x (_ bv5 8))");
+        let r = tm.mk_var("r", Sort::Real);
+        let half = tm.mk_real_const(Rational::new(1, 2));
+        let g = tm.mk_real_le(r, half).unwrap();
+        assert_eq!(term_to_smtlib(&tm, g), "(<= r (/ 1.0 2.0))");
+    }
+
+    #[test]
+    fn prints_indexed_operators() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let ex = tm.mk_bv_extract(x, 6, 3).unwrap();
+        assert_eq!(term_to_full_smtlib(&tm, ex), "((_ extract 6 3) x)");
+        let ze = tm.mk_bv_zero_extend(x, 4).unwrap();
+        assert_eq!(term_to_full_smtlib(&tm, ze), "((_ zero_extend 4) x)");
+    }
+
+    #[test]
+    fn script_includes_declarations_and_projection() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let r = tm.mk_var("r", Sort::Real);
+        let c = tm.mk_bv_const(3, 4);
+        let f1 = tm.mk_bv_ult(x, c).unwrap();
+        let one = tm.mk_real_const(Rational::ONE);
+        let f2 = tm.mk_real_lt(r, one).unwrap();
+        let script = script_to_smtlib(&tm, Logic::QfBvfplra, &[f1, f2], &[x]);
+        assert!(script.contains("(set-logic QF_BVFPLRA)"));
+        assert!(script.contains("(declare-fun x () (_ BitVec 4))"));
+        assert!(script.contains("(declare-fun r () Real)"));
+        assert!(script.contains("(set-info :projection (x))"));
+        assert!(script.contains("(assert (bvult x (_ bv3 4)))"));
+        assert!(script.trim_end().ends_with("(check-sat)"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Exact rational arithmetic on `i128` numerators / denominators.
+//!
+//! The simplex core in `pact-lra` and real constant folding both need exact
+//! rational arithmetic.  The generated workloads keep magnitudes small, so an
+//! `i128`-backed representation with eager normalisation is sufficient;
+//! arithmetic panics on overflow (documented on each operation) rather than
+//! silently wrapping.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
+///
+/// ```
+/// use pact_ir::Rational;
+/// let a = Rational::new(1, 3);
+/// let b = Rational::new(1, 6);
+/// assert_eq!(a + b, Rational::new(1, 2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Creates the integer rational `n / 1`.
+    pub fn from_int(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` when the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` when the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Returns `true` when the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Returns `true` when the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Largest integer not greater than the value.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer not less than the value.
+    pub fn ceil(&self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Approximate conversion to `f64`, for reporting only.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Parses a decimal literal such as `"3"`, `"-2.5"` or `"7/4"`.
+    ///
+    /// Returns `None` when the literal is malformed.
+    pub fn parse(text: &str) -> Option<Self> {
+        let text = text.trim();
+        if let Some((n, d)) = text.split_once('/') {
+            let n: i128 = n.trim().parse().ok()?;
+            let d: i128 = d.trim().parse().ok()?;
+            if d == 0 {
+                return None;
+            }
+            return Some(Rational::new(n, d));
+        }
+        if let Some((int_part, frac_part)) = text.split_once('.') {
+            let negative = int_part.trim_start().starts_with('-');
+            let int: i128 = if int_part.is_empty() || int_part == "-" {
+                0
+            } else {
+                int_part.parse().ok()?
+            };
+            if frac_part.is_empty() {
+                return Some(Rational::from_int(int));
+            }
+            let frac_digits: i128 = frac_part.parse().ok()?;
+            if frac_digits < 0 {
+                return None;
+            }
+            let scale = 10i128.checked_pow(frac_part.len() as u32)?;
+            let magnitude = int.abs() * scale + frac_digits;
+            let signed = if negative { -magnitude } else { magnitude };
+            return Some(Rational::new(signed, scale));
+        }
+        text.parse::<i128>().ok().map(Rational::from_int)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(
+            self.num * rhs.den + rhs.num * self.den,
+            self.den * rhs.den,
+        )
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(
+            self.num * rhs.den - rhs.num * self.den,
+            self.den * rhs.den,
+        )
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "division by zero rational");
+        Rational::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_on_construction() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 6);
+        assert_eq!(a + b, Rational::new(1, 2));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 18));
+        assert_eq!(a / b, Rational::from_int(2));
+        assert_eq!(-a, Rational::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 2) > Rational::from_int(3));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::from_int(5).floor(), 5);
+        assert_eq!(Rational::from_int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn parse_literals() {
+        assert_eq!(Rational::parse("3"), Some(Rational::from_int(3)));
+        assert_eq!(Rational::parse("-2.5"), Some(Rational::new(-5, 2)));
+        assert_eq!(Rational::parse("7/4"), Some(Rational::new(7, 4)));
+        assert_eq!(Rational::parse("0.125"), Some(Rational::new(1, 8)));
+        assert_eq!(Rational::parse("x"), None);
+        assert_eq!(Rational::parse("1/0"), None);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for r in [Rational::new(3, 7), Rational::from_int(-4), Rational::new(-9, 2)] {
+            assert_eq!(Rational::parse(&r.to_string()), Some(r));
+        }
+    }
+}

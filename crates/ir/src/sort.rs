@@ -1,0 +1,154 @@
+//! Sorts of the hybrid SMT term language.
+
+use std::fmt;
+
+/// A sort (type) in the hybrid SMT language.
+///
+/// Discrete sorts are [`Sort::Bool`], [`Sort::BitVec`] and
+/// [`Sort::BoundedInt`]; continuous sorts are [`Sort::Real`] and
+/// [`Sort::Float`].  Arrays combine an index and element sort.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// The booleans.
+    Bool,
+    /// Fixed-width bit-vectors; the payload is the width in bits (1..=128).
+    BitVec(u32),
+    /// Bounded integers `[lo, hi]`; the paper's §V future-work extension.
+    /// These are encoded as bit-vectors of minimal width by the solver.
+    BoundedInt {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// The real numbers (continuous).
+    Real,
+    /// IEEE-754-style floating point with the given exponent and significand
+    /// widths (continuous; handled by real relaxation in the solver).
+    Float {
+        /// Exponent width in bits.
+        exp: u32,
+        /// Significand width in bits (including the hidden bit).
+        sig: u32,
+    },
+    /// Arrays from `index` to `element`.
+    Array {
+        /// Index sort.
+        index: Box<Sort>,
+        /// Element sort.
+        element: Box<Sort>,
+    },
+}
+
+impl Sort {
+    /// The IEEE-754 single-precision float sort (`Float32`).
+    pub fn float32() -> Sort {
+        Sort::Float { exp: 8, sig: 24 }
+    }
+
+    /// The IEEE-754 double-precision float sort (`Float64`).
+    pub fn float64() -> Sort {
+        Sort::Float { exp: 11, sig: 53 }
+    }
+
+    /// Creates an array sort.
+    pub fn array(index: Sort, element: Sort) -> Sort {
+        Sort::Array {
+            index: Box::new(index),
+            element: Box::new(element),
+        }
+    }
+
+    /// Returns `true` for sorts whose domain is finite and enumerable
+    /// (booleans, bit-vectors, bounded integers).
+    pub fn is_discrete(&self) -> bool {
+        matches!(
+            self,
+            Sort::Bool | Sort::BitVec(_) | Sort::BoundedInt { .. }
+        )
+    }
+
+    /// Returns `true` for continuous sorts (reals and floats).
+    pub fn is_continuous(&self) -> bool {
+        matches!(self, Sort::Real | Sort::Float { .. })
+    }
+
+    /// Returns the bit-vector width, if this is a bit-vector sort.
+    pub fn bv_width(&self) -> Option<u32> {
+        match self {
+            Sort::BitVec(w) => Some(*w),
+            _ => None,
+        }
+    }
+
+    /// Number of bits needed to represent every value of a discrete scalar
+    /// sort, or `None` for continuous / array sorts.
+    ///
+    /// This is what the counter uses to size hash domains: booleans take one
+    /// bit, bit-vectors their width, bounded integers the minimal width that
+    /// covers `hi - lo`.
+    pub fn discrete_bits(&self) -> Option<u32> {
+        match self {
+            Sort::Bool => Some(1),
+            Sort::BitVec(w) => Some(*w),
+            Sort::BoundedInt { lo, hi } => {
+                let span = (*hi as i128 - *lo as i128).max(0) as u128;
+                let mut bits = 1;
+                while (1u128 << bits) <= span {
+                    bits += 1;
+                }
+                Some(bits)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::BitVec(w) => write!(f, "(_ BitVec {w})"),
+            Sort::BoundedInt { lo, hi } => write!(f, "(_ BoundedInt {lo} {hi})"),
+            Sort::Real => write!(f, "Real"),
+            Sort::Float { exp, sig } => write!(f, "(_ FloatingPoint {exp} {sig})"),
+            Sort::Array { index, element } => write!(f, "(Array {index} {element})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_and_continuous_classification() {
+        assert!(Sort::Bool.is_discrete());
+        assert!(Sort::BitVec(8).is_discrete());
+        assert!(Sort::BoundedInt { lo: 0, hi: 10 }.is_discrete());
+        assert!(!Sort::Real.is_discrete());
+        assert!(Sort::Real.is_continuous());
+        assert!(Sort::float32().is_continuous());
+        assert!(!Sort::array(Sort::BitVec(4), Sort::BitVec(8)).is_discrete());
+    }
+
+    #[test]
+    fn discrete_bits() {
+        assert_eq!(Sort::Bool.discrete_bits(), Some(1));
+        assert_eq!(Sort::BitVec(12).discrete_bits(), Some(12));
+        assert_eq!(Sort::BoundedInt { lo: 0, hi: 1 }.discrete_bits(), Some(1));
+        assert_eq!(Sort::BoundedInt { lo: 0, hi: 255 }.discrete_bits(), Some(8));
+        assert_eq!(Sort::BoundedInt { lo: -4, hi: 3 }.discrete_bits(), Some(3));
+        assert_eq!(Sort::Real.discrete_bits(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Sort::BitVec(8).to_string(), "(_ BitVec 8)");
+        assert_eq!(Sort::float32().to_string(), "(_ FloatingPoint 8 24)");
+        assert_eq!(
+            Sort::array(Sort::BitVec(4), Sort::Real).to_string(),
+            "(Array (_ BitVec 4) Real)"
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Term operators and the interned term representation.
+
+use crate::{BvValue, Rational, Sort};
+
+/// A handle to an interned term inside a [`crate::TermManager`].
+///
+/// `TermId`s are cheap to copy and compare; two ids are equal exactly when
+/// the corresponding terms are structurally identical (hash consing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    /// Raw index of the term inside its manager, useful as a dense map key.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Operators of the hybrid SMT term language.
+///
+/// Leaf operators ([`Op::Var`], the constants and [`Op::Apply`]) carry their
+/// payload inline; all other operators take their operands as term children.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    // ---- leaves ------------------------------------------------------
+    /// A free variable; the payload is the symbol index in the manager.
+    Var(u32),
+    /// A boolean constant.
+    BoolConst(bool),
+    /// A bit-vector constant.
+    BvConst(BvValue),
+    /// A real constant.
+    RealConst(Rational),
+    /// A bounded-integer constant.
+    IntConst(i64),
+
+    // ---- core booleans ----------------------------------------------
+    /// Logical negation.
+    Not,
+    /// N-ary conjunction.
+    And,
+    /// N-ary disjunction.
+    Or,
+    /// Binary boolean exclusive or.
+    Xor,
+    /// Implication `a => b`.
+    Implies,
+    /// If-then-else; the first child is the condition.
+    Ite,
+    /// Equality between two terms of the same sort.
+    Eq,
+    /// Pairwise distinctness.
+    Distinct,
+
+    // ---- bit-vectors --------------------------------------------------
+    /// Bitwise complement.
+    BvNot,
+    /// Bitwise and.
+    BvAnd,
+    /// Bitwise or.
+    BvOr,
+    /// Bitwise exclusive or.
+    BvXor,
+    /// Two's-complement negation.
+    BvNeg,
+    /// Modular addition.
+    BvAdd,
+    /// Modular subtraction.
+    BvSub,
+    /// Modular multiplication.
+    BvMul,
+    /// Unsigned division (SMT-LIB `bvudiv`; division by zero yields all ones).
+    BvUdiv,
+    /// Unsigned remainder (SMT-LIB `bvurem`; remainder by zero yields the dividend).
+    BvUrem,
+    /// Logical left shift.
+    BvShl,
+    /// Logical right shift.
+    BvLshr,
+    /// Arithmetic right shift.
+    BvAshr,
+    /// Concatenation; the first child holds the high bits.
+    BvConcat,
+    /// Bit extraction `[hi:lo]`, inclusive.
+    BvExtract {
+        /// Most significant extracted bit.
+        hi: u32,
+        /// Least significant extracted bit.
+        lo: u32,
+    },
+    /// Zero extension by the given number of bits.
+    BvZeroExtend(u32),
+    /// Sign extension by the given number of bits.
+    BvSignExtend(u32),
+    /// Unsigned less-than.
+    BvUlt,
+    /// Unsigned less-or-equal.
+    BvUle,
+    /// Signed less-than.
+    BvSlt,
+    /// Signed less-or-equal.
+    BvSle,
+
+    // ---- reals ---------------------------------------------------------
+    /// N-ary real addition.
+    RealAdd,
+    /// Binary real subtraction.
+    RealSub,
+    /// Real multiplication (the solver requires at least one constant factor).
+    RealMul,
+    /// Real negation.
+    RealNeg,
+    /// Strict real less-than.
+    RealLt,
+    /// Real less-or-equal.
+    RealLe,
+
+    // ---- bounded integers ----------------------------------------------
+    /// N-ary bounded-integer addition.
+    IntAdd,
+    /// Bounded-integer less-or-equal.
+    IntLe,
+    /// Bounded-integer less-than.
+    IntLt,
+
+    // ---- floating point (real-relaxed by the solver) --------------------
+    /// Floating point addition (round-to-nearest-even assumed).
+    FpAdd,
+    /// Floating point subtraction.
+    FpSub,
+    /// Floating point multiplication.
+    FpMul,
+    /// Floating point negation.
+    FpNeg,
+    /// Floating point equality (not the same as term equality for NaN).
+    FpEq,
+    /// Floating point less-than.
+    FpLt,
+    /// Floating point less-or-equal.
+    FpLe,
+    /// Conversion from floating point to real.
+    FpToReal,
+    /// Conversion from real to floating point.
+    RealToFp,
+
+    // ---- arrays ----------------------------------------------------------
+    /// Array read `(select a i)`.
+    Select,
+    /// Array write `(store a i v)`.
+    Store,
+
+    // ---- uninterpreted functions -----------------------------------------
+    /// Application of the uninterpreted function with the given symbol index.
+    Apply(u32),
+}
+
+impl Op {
+    /// Returns `true` if the operator is a leaf (takes no term children).
+    pub fn is_leaf(&self) -> bool {
+        matches!(
+            self,
+            Op::Var(_) | Op::BoolConst(_) | Op::BvConst(_) | Op::RealConst(_) | Op::IntConst(_)
+        )
+    }
+
+    /// Returns `true` if the operator is one of the constant leaves.
+    pub fn is_const(&self) -> bool {
+        matches!(
+            self,
+            Op::BoolConst(_) | Op::BvConst(_) | Op::RealConst(_) | Op::IntConst(_)
+        )
+    }
+}
+
+/// An interned term: operator, children and sort.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Term {
+    /// The operator at the root of this term.
+    pub op: Op,
+    /// Children, in SMT-LIB argument order.
+    pub children: Vec<TermId>,
+    /// The sort of the term.
+    pub sort: Sort,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_classification() {
+        assert!(Op::Var(0).is_leaf());
+        assert!(Op::BoolConst(true).is_leaf());
+        assert!(!Op::Var(0).is_const());
+        assert!(Op::BvConst(BvValue::new(3, 4)).is_const());
+        assert!(!Op::BvAdd.is_leaf());
+        assert!(!Op::Select.is_const());
+    }
+}

@@ -1,0 +1,205 @@
+//! Concrete bit-vector values.
+
+use std::fmt;
+
+/// A concrete bit-vector value of width 1..=128 bits.
+///
+/// Values are stored in a `u128` with all bits above `width` cleared.
+/// Widths above 128 bits are not needed by the counter: projection variables
+/// are sliced into narrow chunks before hashing (§III-A of the paper), and
+/// the generated workloads stay well below this limit.
+///
+/// ```
+/// use pact_ir::BvValue;
+/// let v = BvValue::new(0b1011, 4);
+/// assert_eq!(v.bit(0), true);
+/// assert_eq!(v.bit(2), false);
+/// assert_eq!(v.extract(3, 1).as_u128(), 0b101);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BvValue {
+    bits: u128,
+    width: u32,
+}
+
+impl BvValue {
+    /// Creates a bit-vector value, truncating `bits` to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 128.
+    pub fn new(bits: u128, width: u32) -> Self {
+        assert!(width >= 1 && width <= 128, "bit-vector width out of range: {width}");
+        BvValue {
+            bits: bits & Self::mask(width),
+            width,
+        }
+    }
+
+    /// The all-zero value of the given width.
+    pub fn zero(width: u32) -> Self {
+        BvValue::new(0, width)
+    }
+
+    /// The all-one value of the given width.
+    pub fn ones(width: u32) -> Self {
+        BvValue::new(u128::MAX, width)
+    }
+
+    fn mask(width: u32) -> u128 {
+        if width >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Unsigned interpretation of the value.
+    pub fn as_u128(&self) -> u128 {
+        self.bits
+    }
+
+    /// Two's-complement signed interpretation of the value.
+    pub fn as_i128(&self) -> i128 {
+        let sign_bit = 1u128 << (self.width - 1);
+        if self.width < 128 && (self.bits & sign_bit) != 0 {
+            (self.bits as i128) - (1i128 << self.width)
+        } else {
+            self.bits as i128
+        }
+    }
+
+    /// Returns bit `i` (little-endian: bit 0 is the least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: u32) -> bool {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Extracts bits `[hi:lo]` (inclusive, SMT-LIB convention) as a new value
+    /// of width `hi - lo + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= width`.
+    pub fn extract(&self, hi: u32, lo: u32) -> BvValue {
+        assert!(hi >= lo && hi < self.width, "invalid extract [{hi}:{lo}] on width {}", self.width);
+        BvValue::new(self.bits >> lo, hi - lo + 1)
+    }
+
+    /// Concatenates `self` (high part) with `low` (low part).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds 128.
+    pub fn concat(&self, low: &BvValue) -> BvValue {
+        let width = self.width + low.width;
+        assert!(width <= 128, "concatenation exceeds 128 bits");
+        BvValue::new((self.bits << low.width) | low.bits, width)
+    }
+
+    /// Modular addition.
+    pub fn wrapping_add(&self, other: &BvValue) -> BvValue {
+        debug_assert_eq!(self.width, other.width);
+        BvValue::new(self.bits.wrapping_add(other.bits), self.width)
+    }
+
+    /// Modular multiplication.
+    pub fn wrapping_mul(&self, other: &BvValue) -> BvValue {
+        debug_assert_eq!(self.width, other.width);
+        BvValue::new(self.bits.wrapping_mul(other.bits), self.width)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&self, other: &BvValue) -> BvValue {
+        debug_assert_eq!(self.width, other.width);
+        BvValue::new(self.bits ^ other.bits, self.width)
+    }
+}
+
+impl fmt::Debug for BvValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#b{self:b}")
+    }
+}
+
+impl fmt::Display for BvValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(_ bv{} {})", self.bits, self.width)
+    }
+}
+
+impl fmt::Binary for BvValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::LowerHex for BvValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_truncates() {
+        let v = BvValue::new(0x1ff, 8);
+        assert_eq!(v.as_u128(), 0xff);
+        assert_eq!(v.width(), 8);
+        assert_eq!(BvValue::ones(4).as_u128(), 0xf);
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(BvValue::new(0xff, 8).as_i128(), -1);
+        assert_eq!(BvValue::new(0x7f, 8).as_i128(), 127);
+        assert_eq!(BvValue::new(0x80, 8).as_i128(), -128);
+        assert_eq!(BvValue::new(5, 8).as_i128(), 5);
+    }
+
+    #[test]
+    fn extract_and_concat() {
+        let v = BvValue::new(0b1101_0110, 8);
+        assert_eq!(v.extract(7, 4).as_u128(), 0b1101);
+        assert_eq!(v.extract(3, 0).as_u128(), 0b0110);
+        let back = v.extract(7, 4).concat(&v.extract(3, 0));
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let a = BvValue::new(0xff, 8);
+        let b = BvValue::new(0x01, 8);
+        assert_eq!(a.wrapping_add(&b).as_u128(), 0);
+        assert_eq!(a.wrapping_mul(&BvValue::new(2, 8)).as_u128(), 0xfe);
+        assert_eq!(a.xor(&b).as_u128(), 0xfe);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = BvValue::new(0b101, 3);
+        assert_eq!(format!("{v}"), "(_ bv5 3)");
+        assert_eq!(format!("{v:b}"), "101");
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn zero_width_rejected() {
+        BvValue::new(0, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Rationals extended with an infinitesimal, used to model strict bounds.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub};
+
+use pact_ir::Rational;
+
+/// A value of the form `real + delta·δ` where `δ` is a positive
+/// infinitesimal.
+///
+/// Strict inequalities `x < c` are represented as the weak bound
+/// `x ≤ c - δ`, following the general-simplex formulation of
+/// Dutertre & de Moura.  Comparison is lexicographic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaRat {
+    /// The standard (real) part.
+    pub real: Rational,
+    /// The coefficient of the infinitesimal δ.
+    pub delta: Rational,
+}
+
+impl DeltaRat {
+    /// The zero value.
+    pub const ZERO: DeltaRat = DeltaRat {
+        real: Rational::ZERO,
+        delta: Rational::ZERO,
+    };
+
+    /// A purely real value.
+    pub fn real(r: Rational) -> Self {
+        DeltaRat {
+            real: r,
+            delta: Rational::ZERO,
+        }
+    }
+
+    /// `real + delta·δ`.
+    pub fn new(real: Rational, delta: Rational) -> Self {
+        DeltaRat { real, delta }
+    }
+
+    /// Multiplies by a rational scalar.
+    pub fn scale(&self, c: Rational) -> DeltaRat {
+        DeltaRat {
+            real: self.real * c,
+            delta: self.delta * c,
+        }
+    }
+
+    /// Substitutes a concrete positive value for δ.
+    pub fn concretize(&self, epsilon: Rational) -> Rational {
+        self.real + self.delta * epsilon
+    }
+}
+
+impl Add for DeltaRat {
+    type Output = DeltaRat;
+    fn add(self, rhs: DeltaRat) -> DeltaRat {
+        DeltaRat {
+            real: self.real + rhs.real,
+            delta: self.delta + rhs.delta,
+        }
+    }
+}
+
+impl AddAssign for DeltaRat {
+    fn add_assign(&mut self, rhs: DeltaRat) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for DeltaRat {
+    type Output = DeltaRat;
+    fn sub(self, rhs: DeltaRat) -> DeltaRat {
+        DeltaRat {
+            real: self.real - rhs.real,
+            delta: self.delta - rhs.delta,
+        }
+    }
+}
+
+impl Neg for DeltaRat {
+    type Output = DeltaRat;
+    fn neg(self) -> DeltaRat {
+        DeltaRat {
+            real: -self.real,
+            delta: -self.delta,
+        }
+    }
+}
+
+impl PartialOrd for DeltaRat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DeltaRat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.real
+            .cmp(&other.real)
+            .then(self.delta.cmp(&other.delta))
+    }
+}
+
+impl fmt::Display for DeltaRat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.delta.is_zero() {
+            write!(f, "{}", self.real)
+        } else {
+            write!(f, "{} + {}δ", self.real, self.delta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let one = DeltaRat::real(Rational::ONE);
+        let one_minus = DeltaRat::new(Rational::ONE, -Rational::ONE);
+        let one_plus = DeltaRat::new(Rational::ONE, Rational::ONE);
+        assert!(one_minus < one);
+        assert!(one < one_plus);
+        assert!(DeltaRat::real(Rational::from_int(2)) > one_plus);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = DeltaRat::new(Rational::ONE, Rational::ONE);
+        let b = DeltaRat::new(Rational::from_int(2), -Rational::ONE);
+        assert_eq!(a + b, DeltaRat::real(Rational::from_int(3)));
+        assert_eq!(a - a, DeltaRat::ZERO);
+        assert_eq!(
+            a.scale(Rational::from_int(2)),
+            DeltaRat::new(Rational::from_int(2), Rational::from_int(2))
+        );
+    }
+
+    #[test]
+    fn concretize_substitutes_epsilon() {
+        let v = DeltaRat::new(Rational::from_int(3), -Rational::ONE);
+        assert_eq!(
+            v.concretize(Rational::new(1, 4)),
+            Rational::new(11, 4)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Linear real arithmetic (QF_LRA) theory solver for the `pact` model
+//! counter.
+//!
+//! The continuous side of a hybrid SMT formula is decided by this crate: the
+//! boolean search in `pact-solver` hands a conjunction of linear atoms to
+//! [`Simplex`], which answers feasibility using the general simplex method of
+//! Dutertre & de Moura with [`DeltaRat`] infinitesimals for strict bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use pact_lra::{Simplex, LinExpr, LraVar, Constraint, Relation, LraResult};
+//! use pact_ir::Rational;
+//!
+//! // 0 <= x, x + y <= 2, y >= 1  is satisfiable.
+//! let (x, y) = (LraVar(0), LraVar(1));
+//! let mut simplex = Simplex::new(2);
+//! let mut nonneg = -LinExpr::from_var(x);
+//! simplex.add_constraint(Constraint::new(nonneg, Relation::Le));
+//! let mut sum = LinExpr::from_var(x) + LinExpr::from_var(y);
+//! sum.add_constant(Rational::from_int(-2));
+//! simplex.add_constraint(Constraint::new(sum, Relation::Le));
+//! let mut ylb = -LinExpr::from_var(y);
+//! ylb.add_constant(Rational::ONE);
+//! simplex.add_constraint(Constraint::new(ylb, Relation::Le));
+//! assert_eq!(simplex.check(), LraResult::Sat);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delta;
+mod linexpr;
+mod simplex;
+
+pub use delta::DeltaRat;
+pub use linexpr::{Constraint, LinExpr, LraVar, Relation};
+pub use simplex::{LraResult, Simplex};

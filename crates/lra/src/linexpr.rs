@@ -1,0 +1,303 @@
+//! Linear expressions and constraints over real-valued variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pact_ir::Rational;
+
+/// A real-valued theory variable, identified by a dense index.
+///
+/// The mapping between these indices and IR terms is maintained by the caller
+/// (the `pact-solver` crate keeps one `LraVar` per real-sorted term).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LraVar(pub u32);
+
+impl LraVar {
+    /// Dense index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + constant`.
+///
+/// ```
+/// use pact_lra::{LinExpr, LraVar};
+/// use pact_ir::Rational;
+/// let x = LraVar(0);
+/// let e = LinExpr::from_var(x) * Rational::from_int(3) + LinExpr::from_constant(Rational::ONE);
+/// assert_eq!(e.coeff(x), Rational::from_int(3));
+/// assert_eq!(e.constant(), Rational::ONE);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<LraVar, Rational>,
+    constant: Rational,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn from_constant(c: Rational) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The expression `1·v`.
+    pub fn from_var(v: LraVar) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(v, Rational::ONE);
+        LinExpr {
+            terms,
+            constant: Rational::ZERO,
+        }
+    }
+
+    /// Coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: LraVar) -> Rational {
+        self.terms.get(&v).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// The constant offset.
+    pub fn constant(&self) -> Rational {
+        self.constant
+    }
+
+    /// Adds `c·v` to the expression.
+    pub fn add_term(&mut self, v: LraVar, c: Rational) {
+        let entry = self.terms.entry(v).or_insert(Rational::ZERO);
+        *entry += c;
+        if entry.is_zero() {
+            self.terms.remove(&v);
+        }
+    }
+
+    /// Adds a constant to the expression.
+    pub fn add_constant(&mut self, c: Rational) {
+        self.constant += c;
+    }
+
+    /// Iterates over the `(variable, coefficient)` pairs with non-zero
+    /// coefficients, in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (LraVar, Rational)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Returns `true` when the expression has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The set of variables with non-zero coefficients.
+    pub fn vars(&self) -> Vec<LraVar> {
+        self.terms.keys().copied().collect()
+    }
+
+    /// Scales the whole expression by `c`.
+    pub fn scale(&mut self, c: Rational) {
+        if c.is_zero() {
+            self.terms.clear();
+            self.constant = Rational::ZERO;
+            return;
+        }
+        for coeff in self.terms.values_mut() {
+            *coeff = *coeff * c;
+        }
+        self.constant = self.constant * c;
+    }
+}
+
+impl std::ops::Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms {
+            self.add_term(v, c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl std::ops::Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms {
+            self.add_term(v, -c);
+        }
+        self.constant -= rhs.constant;
+        self
+    }
+}
+
+impl std::ops::Mul<Rational> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: Rational) -> LinExpr {
+        self.scale(rhs);
+        self
+    }
+}
+
+impl std::ops::Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        self.scale(-Rational::ONE);
+        self
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in self.iter() {
+            if first {
+                write!(f, "{c}*v{}", v.0)?;
+                first = false;
+            } else {
+                write!(f, " + {c}*v{}", v.0)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)
+        } else if !self.constant.is_zero() {
+            write!(f, " + {}", self.constant)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Comparison relation of a [`Constraint`] against zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `expr ≤ 0`
+    Le,
+    /// `expr < 0`
+    Lt,
+    /// `expr = 0`
+    Eq,
+    /// `expr ≥ 0`
+    Ge,
+    /// `expr > 0`
+    Gt,
+}
+
+impl Relation {
+    /// The relation satisfied by exactly the assignments violating `self`.
+    pub fn negate(self) -> Relation {
+        match self {
+            Relation::Le => Relation::Gt,
+            Relation::Lt => Relation::Ge,
+            Relation::Ge => Relation::Lt,
+            Relation::Gt => Relation::Le,
+            // The negation of an equality is a disjunction; callers split it.
+            Relation::Eq => panic!("negation of an equality is not a single relation"),
+        }
+    }
+}
+
+/// A linear constraint `expr ⋈ 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// Left-hand side, compared against zero.
+    pub expr: LinExpr,
+    /// The comparison relation.
+    pub rel: Relation,
+}
+
+impl Constraint {
+    /// Creates `expr ⋈ 0`.
+    pub fn new(expr: LinExpr, rel: Relation) -> Self {
+        Constraint { expr, rel }
+    }
+
+    /// Evaluates the constraint under a full assignment.
+    pub fn holds(&self, assignment: &dyn Fn(LraVar) -> Rational) -> bool {
+        let mut value = self.expr.constant();
+        for (v, c) in self.expr.iter() {
+            value += c * assignment(v);
+        }
+        match self.rel {
+            Relation::Le => value <= Rational::ZERO,
+            Relation::Lt => value < Rational::ZERO,
+            Relation::Eq => value == Rational::ZERO,
+            Relation::Ge => value >= Rational::ZERO,
+            Relation::Gt => value > Rational::ZERO,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.rel {
+            Relation::Le => "<=",
+            Relation::Lt => "<",
+            Relation::Eq => "=",
+            Relation::Ge => ">=",
+            Relation::Gt => ">",
+        };
+        write!(f, "{} {op} 0", self.expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_term_cancels_to_zero() {
+        let x = LraVar(0);
+        let mut e = LinExpr::from_var(x);
+        e.add_term(x, -Rational::ONE);
+        assert!(e.is_constant());
+        assert_eq!(e.coeff(x), Rational::ZERO);
+    }
+
+    #[test]
+    fn expression_arithmetic() {
+        let x = LraVar(0);
+        let y = LraVar(1);
+        let e = LinExpr::from_var(x) * Rational::from_int(2)
+            + LinExpr::from_var(y)
+            + LinExpr::from_constant(Rational::from_int(5));
+        assert_eq!(e.coeff(x), Rational::from_int(2));
+        assert_eq!(e.coeff(y), Rational::ONE);
+        assert_eq!(e.constant(), Rational::from_int(5));
+        let d = e.clone() - e.clone();
+        assert!(d.is_constant());
+        assert!(d.constant().is_zero());
+    }
+
+    #[test]
+    fn constraint_evaluation() {
+        // 2x + y - 4 <= 0
+        let x = LraVar(0);
+        let y = LraVar(1);
+        let mut e = LinExpr::from_var(x) * Rational::from_int(2) + LinExpr::from_var(y);
+        e.add_constant(Rational::from_int(-4));
+        let c = Constraint::new(e, Relation::Le);
+        let holds = c.holds(&|v| {
+            if v == x {
+                Rational::ONE
+            } else {
+                Rational::from_int(2)
+            }
+        });
+        assert!(holds); // 2 + 2 - 4 = 0 <= 0
+        let fails = c.holds(&|_| Rational::from_int(3));
+        assert!(!fails); // 6 + 3 - 4 = 5 > 0
+    }
+
+    #[test]
+    fn relation_negation() {
+        assert_eq!(Relation::Le.negate(), Relation::Gt);
+        assert_eq!(Relation::Lt.negate(), Relation::Ge);
+        assert_eq!(Relation::Ge.negate(), Relation::Lt);
+        assert_eq!(Relation::Gt.negate(), Relation::Le);
+    }
+}

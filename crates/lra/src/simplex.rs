@@ -1,0 +1,476 @@
+//! General simplex feasibility checking for conjunctions of linear
+//! constraints, following Dutertre & de Moura's SMT-oriented formulation.
+
+use std::collections::HashMap;
+
+use pact_ir::Rational;
+
+use crate::delta::DeltaRat;
+use crate::linexpr::{Constraint, LraVar, Relation};
+#[cfg(test)]
+use crate::linexpr::LinExpr;
+
+/// The verdict of a feasibility check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LraResult {
+    /// The conjunction is satisfiable; a witness is available through
+    /// [`Simplex::model_value`].
+    Sat,
+    /// The conjunction is unsatisfiable.
+    Unsat,
+}
+
+/// Internal variable index: original problem variables first, then one slack
+/// variable per asserted constraint.
+type VarIdx = usize;
+
+#[derive(Debug, Clone, Default)]
+struct Bounds {
+    lower: Option<DeltaRat>,
+    upper: Option<DeltaRat>,
+}
+
+/// A (non-incremental) simplex feasibility checker.
+///
+/// The intended use inside the lazy DPLL(T) loop is: collect the linear
+/// atoms that the boolean assignment forces to be true or false, translate
+/// them to [`Constraint`]s, run [`Simplex::check`], and either extract a
+/// model or report the conflict back to the boolean search.
+///
+/// ```
+/// use pact_lra::{Simplex, LinExpr, LraVar, Constraint, Relation, LraResult};
+/// use pact_ir::Rational;
+///
+/// let x = LraVar(0);
+/// // x - 3 > 0  and  x - 2 <= 0  is infeasible
+/// let mut gt = LinExpr::from_var(x);
+/// gt.add_constant(Rational::from_int(-3));
+/// let mut le = LinExpr::from_var(x);
+/// le.add_constant(Rational::from_int(-2));
+/// let mut simplex = Simplex::new(1);
+/// simplex.add_constraint(Constraint::new(gt, Relation::Gt));
+/// simplex.add_constraint(Constraint::new(le, Relation::Le));
+/// assert_eq!(simplex.check(), LraResult::Unsat);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simplex {
+    num_problem_vars: usize,
+    constraints: Vec<Constraint>,
+    /// Row for each basic variable: basic = Σ coeff · nonbasic.
+    rows: HashMap<VarIdx, HashMap<VarIdx, Rational>>,
+    bounds: Vec<Bounds>,
+    values: Vec<DeltaRat>,
+    trivially_unsat: bool,
+}
+
+impl Simplex {
+    /// Creates a checker over `num_vars` problem variables
+    /// (`LraVar(0) .. LraVar(num_vars - 1)`).
+    pub fn new(num_vars: usize) -> Self {
+        Simplex {
+            num_problem_vars: num_vars,
+            constraints: Vec::new(),
+            rows: HashMap::new(),
+            bounds: Vec::new(),
+            values: Vec::new(),
+            trivially_unsat: false,
+        }
+    }
+
+    /// Asserts a constraint.  Constraints accumulate until [`Simplex::check`].
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Number of asserted constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    fn build(&mut self) {
+        let n = self.num_problem_vars;
+        let total = n + self.constraints.len();
+        self.bounds = vec![Bounds::default(); total];
+        self.values = vec![DeltaRat::ZERO; total];
+        self.rows.clear();
+        self.trivially_unsat = false;
+
+        for (k, c) in self.constraints.clone().into_iter().enumerate() {
+            let slack = n + k;
+            // slack = Σ aᵢ·xᵢ  (the constant is folded into the bound).
+            let negated_const = -c.expr.constant();
+            if c.expr.is_constant() {
+                // Constant constraint: check it outright.
+                let holds = match c.rel {
+                    Relation::Le => c.expr.constant() <= Rational::ZERO,
+                    Relation::Lt => c.expr.constant() < Rational::ZERO,
+                    Relation::Eq => c.expr.constant().is_zero(),
+                    Relation::Ge => c.expr.constant() >= Rational::ZERO,
+                    Relation::Gt => c.expr.constant() > Rational::ZERO,
+                };
+                if !holds {
+                    self.trivially_unsat = true;
+                }
+                continue;
+            }
+            let mut row = HashMap::new();
+            for (v, coeff) in c.expr.iter() {
+                debug_assert!(v.index() < n, "constraint uses an undeclared variable");
+                row.insert(v.index(), coeff);
+            }
+            self.rows.insert(slack, row);
+            let b = &mut self.bounds[slack];
+            match c.rel {
+                Relation::Le => Self::tighten_upper(b, DeltaRat::real(negated_const)),
+                Relation::Lt => Self::tighten_upper(
+                    b,
+                    DeltaRat::new(negated_const, -Rational::ONE),
+                ),
+                Relation::Ge => Self::tighten_lower(b, DeltaRat::real(negated_const)),
+                Relation::Gt => Self::tighten_lower(
+                    b,
+                    DeltaRat::new(negated_const, Rational::ONE),
+                ),
+                Relation::Eq => {
+                    Self::tighten_upper(b, DeltaRat::real(negated_const));
+                    Self::tighten_lower(b, DeltaRat::real(negated_const));
+                }
+            }
+        }
+        // Initial assignment: nonbasic variables are 0; recompute basics.
+        self.recompute_basic_values();
+    }
+
+    fn tighten_upper(b: &mut Bounds, v: DeltaRat) {
+        match b.upper {
+            Some(existing) if existing <= v => {}
+            _ => b.upper = Some(v),
+        }
+    }
+
+    fn tighten_lower(b: &mut Bounds, v: DeltaRat) {
+        match b.lower {
+            Some(existing) if existing >= v => {}
+            _ => b.lower = Some(v),
+        }
+    }
+
+    fn recompute_basic_values(&mut self) {
+        let basics: Vec<VarIdx> = self.rows.keys().copied().collect();
+        for basic in basics {
+            let row = self.rows[&basic].clone();
+            let mut value = DeltaRat::ZERO;
+            for (&v, &coeff) in &row {
+                value += self.values[v].scale(coeff);
+            }
+            self.values[basic] = value;
+        }
+    }
+
+    /// Runs the feasibility check.
+    pub fn check(&mut self) -> LraResult {
+        self.build();
+        if self.trivially_unsat {
+            return LraResult::Unsat;
+        }
+        loop {
+            // Bland's rule: smallest violating basic variable.
+            let violating = self.find_violating_basic();
+            let (basic, need_increase) = match violating {
+                None => return LraResult::Sat,
+                Some(x) => x,
+            };
+            let target = if need_increase {
+                self.bounds[basic].lower.expect("violated lower bound")
+            } else {
+                self.bounds[basic].upper.expect("violated upper bound")
+            };
+            match self.find_pivot(basic, need_increase) {
+                None => return LraResult::Unsat,
+                Some(nonbasic) => self.pivot_and_update(basic, nonbasic, target),
+            }
+        }
+    }
+
+    fn find_violating_basic(&self) -> Option<(VarIdx, bool)> {
+        let mut basics: Vec<VarIdx> = self.rows.keys().copied().collect();
+        basics.sort_unstable();
+        for basic in basics {
+            let value = self.values[basic];
+            let b = &self.bounds[basic];
+            if let Some(lb) = b.lower {
+                if value < lb {
+                    return Some((basic, true));
+                }
+            }
+            if let Some(ub) = b.upper {
+                if value > ub {
+                    return Some((basic, false));
+                }
+            }
+        }
+        None
+    }
+
+    /// Finds a nonbasic variable that can be adjusted to move `basic` toward
+    /// its violated bound (Bland's rule: smallest index).
+    fn find_pivot(&self, basic: VarIdx, need_increase: bool) -> Option<VarIdx> {
+        let row = &self.rows[&basic];
+        let mut candidates: Vec<VarIdx> = row.keys().copied().collect();
+        candidates.sort_unstable();
+        for nonbasic in candidates {
+            let coeff = row[&nonbasic];
+            let b = &self.bounds[nonbasic];
+            let value = self.values[nonbasic];
+            // To increase `basic`: increase nonbasic if coeff > 0 (allowed when
+            // below its upper bound) or decrease nonbasic if coeff < 0 (allowed
+            // when above its lower bound).  Symmetrically for decreasing.
+            let can_move = if need_increase == coeff.is_positive() {
+                b.upper.map(|ub| value < ub).unwrap_or(true)
+            } else {
+                b.lower.map(|lb| value > lb).unwrap_or(true)
+            };
+            if can_move {
+                return Some(nonbasic);
+            }
+        }
+        None
+    }
+
+    /// Pivots `basic` out of the basis in favour of `nonbasic`, then sets the
+    /// (now nonbasic) old basic variable's value to `target`.
+    fn pivot_and_update(&mut self, basic: VarIdx, nonbasic: VarIdx, target: DeltaRat) {
+        let row = self.rows.remove(&basic).expect("basic variable has a row");
+        let pivot_coeff = row[&nonbasic];
+        // Express nonbasic in terms of (basic and the other nonbasics):
+        //   basic = Σ aᵢ·xᵢ  =>  nonbasic = (basic - Σ_{i≠nonbasic} aᵢ·xᵢ) / a_nonbasic
+        let mut new_row: HashMap<VarIdx, Rational> = HashMap::new();
+        new_row.insert(basic, Rational::ONE / pivot_coeff);
+        for (&v, &coeff) in &row {
+            if v != nonbasic {
+                new_row.insert(v, -coeff / pivot_coeff);
+            }
+        }
+        // Substitute into every other row that mentions `nonbasic`.
+        let other_basics: Vec<VarIdx> = self.rows.keys().copied().collect();
+        for other in other_basics {
+            let other_row = self.rows.get_mut(&other).expect("row exists");
+            if let Some(c) = other_row.remove(&nonbasic) {
+                for (&v, &coeff) in &new_row {
+                    let entry = other_row.entry(v).or_insert(Rational::ZERO);
+                    *entry += c * coeff;
+                    if entry.is_zero() {
+                        other_row.remove(&v);
+                    }
+                }
+            }
+        }
+        self.rows.insert(nonbasic, new_row);
+
+        // Update values: the old basic variable jumps to its violated bound;
+        // the new basic variable and all other basics are recomputed.
+        let delta = target - self.values[basic];
+        self.values[basic] = target;
+        self.values[nonbasic] = self.values[nonbasic] + delta.scale(Rational::ONE / pivot_coeff);
+        self.recompute_basic_values();
+    }
+
+    /// Concrete rational value of a problem variable in the satisfying
+    /// assignment found by the last successful [`Simplex::check`].
+    ///
+    /// Strict bounds are honoured by substituting a sufficiently small
+    /// positive value for the infinitesimal δ.
+    pub fn model_value(&self, v: LraVar) -> Rational {
+        let epsilon = self.suitable_epsilon();
+        self.values
+            .get(v.index())
+            .copied()
+            .unwrap_or(DeltaRat::ZERO)
+            .concretize(epsilon)
+    }
+
+    /// The full model over problem variables.
+    pub fn model(&self) -> Vec<Rational> {
+        let epsilon = self.suitable_epsilon();
+        (0..self.num_problem_vars)
+            .map(|i| self.values[i].concretize(epsilon))
+            .collect()
+    }
+
+    fn suitable_epsilon(&self) -> Rational {
+        let mut epsilon = Rational::ONE;
+        for (i, b) in self.bounds.iter().enumerate() {
+            let value = self.values[i];
+            if let Some(lb) = b.lower {
+                if lb.real < value.real && lb.delta > value.delta {
+                    let candidate = (value.real - lb.real) / (lb.delta - value.delta);
+                    if candidate < epsilon {
+                        epsilon = candidate;
+                    }
+                }
+            }
+            if let Some(ub) = b.upper {
+                if value.real < ub.real && value.delta > ub.delta {
+                    let candidate = (ub.real - value.real) / (value.delta - ub.delta);
+                    if candidate < epsilon {
+                        epsilon = candidate;
+                    }
+                }
+            }
+        }
+        epsilon * Rational::new(1, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(terms: &[(u32, i128)], constant: i128) -> LinExpr {
+        let mut e = LinExpr::from_constant(Rational::from_int(constant));
+        for &(v, c) in terms {
+            e.add_term(LraVar(v), Rational::from_int(c));
+        }
+        e
+    }
+
+    fn check_model(simplex: &Simplex, constraints: &[Constraint]) {
+        for c in constraints {
+            assert!(
+                c.holds(&|v| simplex.model_value(v)),
+                "model violates {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn satisfiable_box() {
+        // 0 <= x <= 1, 0 <= y <= 1, x + y >= 1
+        let cs = vec![
+            Constraint::new(expr(&[(0, -1)], 0), Relation::Le),  // -x <= 0
+            Constraint::new(expr(&[(0, 1)], -1), Relation::Le),  // x - 1 <= 0
+            Constraint::new(expr(&[(1, -1)], 0), Relation::Le),
+            Constraint::new(expr(&[(1, 1)], -1), Relation::Le),
+            Constraint::new(expr(&[(0, 1), (1, 1)], -1), Relation::Ge),
+        ];
+        let mut s = Simplex::new(2);
+        for c in &cs {
+            s.add_constraint(c.clone());
+        }
+        assert_eq!(s.check(), LraResult::Sat);
+        check_model(&s, &cs);
+    }
+
+    #[test]
+    fn infeasible_interval() {
+        // x > 3 and x <= 2
+        let cs = vec![
+            Constraint::new(expr(&[(0, 1)], -3), Relation::Gt),
+            Constraint::new(expr(&[(0, 1)], -2), Relation::Le),
+        ];
+        let mut s = Simplex::new(1);
+        for c in &cs {
+            s.add_constraint(c.clone());
+        }
+        assert_eq!(s.check(), LraResult::Unsat);
+    }
+
+    #[test]
+    fn strict_bounds_get_interior_point() {
+        // 0 < x < 1
+        let cs = vec![
+            Constraint::new(expr(&[(0, -1)], 0), Relation::Lt), // -x < 0
+            Constraint::new(expr(&[(0, 1)], -1), Relation::Lt), // x - 1 < 0
+        ];
+        let mut s = Simplex::new(1);
+        for c in &cs {
+            s.add_constraint(c.clone());
+        }
+        assert_eq!(s.check(), LraResult::Sat);
+        let x = s.model_value(LraVar(0));
+        assert!(x > Rational::ZERO && x < Rational::ONE, "x = {x}");
+        check_model(&s, &cs);
+    }
+
+    #[test]
+    fn strict_empty_interval_is_unsat() {
+        // x > 1 and x < 1
+        let cs = vec![
+            Constraint::new(expr(&[(0, 1)], -1), Relation::Gt),
+            Constraint::new(expr(&[(0, 1)], -1), Relation::Lt),
+        ];
+        let mut s = Simplex::new(1);
+        for c in &cs {
+            s.add_constraint(c.clone());
+        }
+        assert_eq!(s.check(), LraResult::Unsat);
+    }
+
+    #[test]
+    fn equalities_combine() {
+        // x + y = 4, x - y = 2  =>  x = 3, y = 1; additionally y >= 0.
+        let cs = vec![
+            Constraint::new(expr(&[(0, 1), (1, 1)], -4), Relation::Eq),
+            Constraint::new(expr(&[(0, 1), (1, -1)], -2), Relation::Eq),
+            Constraint::new(expr(&[(1, -1)], 0), Relation::Le),
+        ];
+        let mut s = Simplex::new(2);
+        for c in &cs {
+            s.add_constraint(c.clone());
+        }
+        assert_eq!(s.check(), LraResult::Sat);
+        assert_eq!(s.model_value(LraVar(0)), Rational::from_int(3));
+        assert_eq!(s.model_value(LraVar(1)), Rational::ONE);
+    }
+
+    #[test]
+    fn inconsistent_equalities() {
+        // x = 1 and x = 2
+        let cs = vec![
+            Constraint::new(expr(&[(0, 1)], -1), Relation::Eq),
+            Constraint::new(expr(&[(0, 1)], -2), Relation::Eq),
+        ];
+        let mut s = Simplex::new(1);
+        for c in &cs {
+            s.add_constraint(c.clone());
+        }
+        assert_eq!(s.check(), LraResult::Unsat);
+    }
+
+    #[test]
+    fn constant_constraints() {
+        let mut s = Simplex::new(0);
+        s.add_constraint(Constraint::new(expr(&[], -1), Relation::Le)); // -1 <= 0
+        assert_eq!(s.check(), LraResult::Sat);
+        let mut s = Simplex::new(0);
+        s.add_constraint(Constraint::new(expr(&[], 1), Relation::Le)); // 1 <= 0
+        assert_eq!(s.check(), LraResult::Unsat);
+    }
+
+    #[test]
+    fn larger_system_with_many_pivots() {
+        // A small flow-style system:
+        //   x0 + x1 >= 10, x0 <= 4, x1 <= 7, x0 >= 0, x1 >= 0
+        let cs = vec![
+            Constraint::new(expr(&[(0, 1), (1, 1)], -10), Relation::Ge),
+            Constraint::new(expr(&[(0, 1)], -4), Relation::Le),
+            Constraint::new(expr(&[(1, 1)], -7), Relation::Le),
+            Constraint::new(expr(&[(0, -1)], 0), Relation::Le),
+            Constraint::new(expr(&[(1, -1)], 0), Relation::Le),
+        ];
+        let mut s = Simplex::new(2);
+        for c in &cs {
+            s.add_constraint(c.clone());
+        }
+        assert_eq!(s.check(), LraResult::Sat);
+        check_model(&s, &cs);
+
+        // Tightening x1 <= 5 makes it infeasible (4 + 5 < 10).
+        let mut s2 = Simplex::new(2);
+        for c in &cs {
+            s2.add_constraint(c.clone());
+        }
+        s2.add_constraint(Constraint::new(expr(&[(1, 1)], -5), Relation::Le));
+        assert_eq!(s2.check(), LraResult::Unsat);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the simplex core: every `Sat` answer must come
+//! with a witness that satisfies all constraints, and systems with a known
+//! feasible point must never be reported `Unsat`.
+
+use proptest::prelude::*;
+
+use pact_ir::Rational;
+use pact_lra::{Constraint, LinExpr, LraResult, LraVar, Relation, Simplex};
+
+const NUM_VARS: usize = 3;
+
+#[derive(Debug, Clone)]
+struct RandomConstraint {
+    coeffs: Vec<i8>,
+    constant: i8,
+    relation: u8,
+}
+
+fn constraint_strategy() -> impl Strategy<Value = RandomConstraint> {
+    (
+        proptest::collection::vec(-4i8..=4, NUM_VARS),
+        -10i8..=10,
+        0u8..4,
+    )
+        .prop_map(|(coeffs, constant, relation)| RandomConstraint {
+            coeffs,
+            constant,
+            relation,
+        })
+}
+
+fn to_constraint(c: &RandomConstraint) -> Constraint {
+    let mut expr = LinExpr::from_constant(Rational::from_int(c.constant as i128));
+    for (i, &coeff) in c.coeffs.iter().enumerate() {
+        expr.add_term(LraVar(i as u32), Rational::from_int(coeff as i128));
+    }
+    let rel = match c.relation {
+        0 => Relation::Le,
+        1 => Relation::Lt,
+        2 => Relation::Ge,
+        _ => Relation::Gt,
+    };
+    Constraint::new(expr, rel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sat_answers_come_with_valid_witnesses(
+        constraints in proptest::collection::vec(constraint_strategy(), 1..8)
+    ) {
+        let cs: Vec<Constraint> = constraints.iter().map(to_constraint).collect();
+        let mut simplex = Simplex::new(NUM_VARS);
+        for c in &cs {
+            simplex.add_constraint(c.clone());
+        }
+        if simplex.check() == LraResult::Sat {
+            for c in &cs {
+                prop_assert!(
+                    c.holds(&|v| simplex.model_value(v)),
+                    "witness violates {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn systems_built_around_a_point_are_feasible(
+        point in proptest::collection::vec(-6i8..=6, NUM_VARS),
+        directions in proptest::collection::vec(
+            (proptest::collection::vec(-4i8..=4, NUM_VARS), any::<bool>()),
+            1..8,
+        ),
+    ) {
+        // Build constraints of the form a·x ⋈ a·p (⋈ ∈ {≤, ≥}) so the point p
+        // is feasible by construction; the solver must agree.
+        let mut simplex = Simplex::new(NUM_VARS);
+        for (coeffs, upper) in &directions {
+            let mut expr = LinExpr::zero();
+            let mut at_point = Rational::ZERO;
+            for (i, &c) in coeffs.iter().enumerate() {
+                expr.add_term(LraVar(i as u32), Rational::from_int(c as i128));
+                at_point += Rational::from_int(c as i128) * Rational::from_int(point[i] as i128);
+            }
+            expr.add_constant(-at_point);
+            let rel = if *upper { Relation::Le } else { Relation::Ge };
+            simplex.add_constraint(Constraint::new(expr, rel));
+        }
+        prop_assert_eq!(simplex.check(), LraResult::Sat);
+    }
+
+    #[test]
+    fn contradictory_interval_is_always_unsat(
+        coeffs in proptest::collection::vec(1i8..=4, NUM_VARS),
+        gap in 1i8..=10,
+        base in -10i8..=10,
+    ) {
+        // a·x ≤ base and a·x ≥ base + gap with gap > 0 is infeasible.
+        let mut le = LinExpr::zero();
+        let mut ge = LinExpr::zero();
+        for (i, &c) in coeffs.iter().enumerate() {
+            le.add_term(LraVar(i as u32), Rational::from_int(c as i128));
+            ge.add_term(LraVar(i as u32), Rational::from_int(c as i128));
+        }
+        le.add_constant(Rational::from_int(-(base as i128)));
+        ge.add_constant(Rational::from_int(-((base + gap) as i128)));
+        let mut simplex = Simplex::new(NUM_VARS);
+        simplex.add_constraint(Constraint::new(le, Relation::Le));
+        simplex.add_constraint(Constraint::new(ge, Relation::Ge));
+        prop_assert_eq!(simplex.check(), LraResult::Unsat);
+    }
+}

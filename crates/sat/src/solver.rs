@@ -1,0 +1,788 @@
+//! Conflict-driven clause learning SAT solver with native XOR reasoning.
+
+use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
+use crate::xor::{AddXor, XorEngine, XorEvent};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found; read it with [`Solver::model_value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+/// Aggregate search statistics, useful for benchmarking and regression tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently stored.
+    pub learnts: u64,
+    /// Number of XOR rows stored in the native XOR engine.
+    pub xor_rows: u64,
+}
+
+type ClauseRef = usize;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    clause: ClauseRef,
+    blocker: Lit,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const ACTIVITY_LIMIT: f64 = 1e100;
+const RESTART_BASE: u64 = 100;
+
+/// An incremental CDCL SAT solver with two-watched-literal propagation,
+/// VSIDS branching, first-UIP clause learning, Luby restarts, phase saving,
+/// solving under assumptions and a native XOR engine.
+///
+/// ```
+/// use pact_sat::{Solver, SatResult};
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[a.positive(), b.positive()]);
+/// s.add_clause(&[!a.positive()]);
+/// assert_eq!(s.solve(&[]), SatResult::Sat);
+/// assert!(s.model_value(b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    xor: XorEngine,
+    ok: bool,
+    stats: SatStats,
+    conflict_budget: Option<u64>,
+    model: Vec<bool>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarHeap::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            xor: XorEngine::new(),
+            ok: true,
+            stats: SatStats::default(),
+            conflict_budget: None,
+            model: Vec::new(),
+        }
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem clauses plus learnt clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Search statistics accumulated over all `solve` calls.
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
+    /// Limits the number of conflicts a single `solve` call may use.
+    ///
+    /// When the budget is exhausted the call returns [`SatResult::Unknown`].
+    /// `None` removes the limit.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    fn value(&self, lit: Lit) -> LBool {
+        self.assigns[lit.var().index()].of_lit(lit)
+    }
+
+    /// Adds a clause; returns `false` if the formula became trivially
+    /// unsatisfiable at level zero.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert!(self.decision_level() == 0, "clauses must be added at level 0");
+        let mut clause: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted = lits.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        for &l in &sorted {
+            if sorted.contains(&!l) && l.is_positive() {
+                return true; // tautology
+            }
+            match self.value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}
+                LBool::Undef => clause.push(l),
+            }
+        }
+        match clause.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                if !self.enqueue(clause[0], None) {
+                    self.ok = false;
+                    return false;
+                }
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(clause);
+                true
+            }
+        }
+    }
+
+    /// Adds a native XOR constraint `vars[0] ^ ... ^ vars[n-1] = rhs`.
+    ///
+    /// Returns `false` if the formula became trivially unsatisfiable.
+    pub fn add_xor(&mut self, vars: &[Var], rhs: bool) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert!(self.decision_level() == 0, "XOR rows must be added at level 0");
+        match self.xor.add_row(vars, rhs, &self.assigns) {
+            AddXor::Ok => {
+                self.stats.xor_rows = self.xor.len() as u64;
+                true
+            }
+            AddXor::Unit(lit) => {
+                if !self.enqueue(lit, None) {
+                    self.ok = false;
+                    return false;
+                }
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            AddXor::Unsat => {
+                self.ok = false;
+                false
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len();
+        self.watches[(!lits[0]).code()].push(Watcher {
+            clause: cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).code()].push(Watcher {
+            clause: cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause { lits });
+        cref
+    }
+
+    /// Stores a clause without attaching watchers; used for XOR reasons and
+    /// conflicts, which are only read during conflict analysis.
+    fn store_virtual_clause(&mut self, lits: Vec<Lit>) -> ClauseRef {
+        let cref = self.clauses.len();
+        self.clauses.push(Clause { lits });
+        cref
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) -> bool {
+        match self.value(lit) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                let v = lit.var().index();
+                self.assigns[v] = LBool::from_bool(lit.is_positive());
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.phase[v] = lit.is_positive();
+                self.trail.push(lit);
+                self.stats.propagations += 1;
+                true
+            }
+        }
+    }
+
+    /// Propagates all enqueued literals; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            if let Some(conflict) = self.propagate_clauses(p) {
+                return Some(conflict);
+            }
+            if let Some(conflict) = self.propagate_xor(p) {
+                return Some(conflict);
+            }
+        }
+        None
+    }
+
+    fn propagate_clauses(&mut self, p: Lit) -> Option<ClauseRef> {
+        let mut watchers = std::mem::take(&mut self.watches[p.code()]);
+        let mut i = 0;
+        let mut conflict = None;
+        while i < watchers.len() {
+            let w = watchers[i];
+            if self.value(w.blocker) == LBool::True {
+                i += 1;
+                continue;
+            }
+            let cref = w.clause;
+            // Ensure the false literal (¬p) is at position 1.
+            let false_lit = !p;
+            {
+                let clause = &mut self.clauses[cref];
+                if clause.lits[0] == false_lit {
+                    clause.lits.swap(0, 1);
+                }
+            }
+            let first = self.clauses[cref].lits[0];
+            if first != w.blocker && self.value(first) == LBool::True {
+                watchers[i] = Watcher {
+                    clause: cref,
+                    blocker: first,
+                };
+                i += 1;
+                continue;
+            }
+            // Look for a new literal to watch.
+            let mut new_watch = None;
+            {
+                let clause = &self.clauses[cref];
+                for (k, &l) in clause.lits.iter().enumerate().skip(2) {
+                    if self.value(l) != LBool::False {
+                        new_watch = Some(k);
+                        break;
+                    }
+                }
+            }
+            if let Some(k) = new_watch {
+                let clause = &mut self.clauses[cref];
+                clause.lits.swap(1, k);
+                let new_lit = clause.lits[1];
+                self.watches[(!new_lit).code()].push(Watcher {
+                    clause: cref,
+                    blocker: first,
+                });
+                watchers.swap_remove(i);
+                continue;
+            }
+            // Clause is unit or conflicting.
+            watchers[i] = Watcher {
+                clause: cref,
+                blocker: first,
+            };
+            i += 1;
+            if self.value(first) == LBool::False {
+                conflict = Some(cref);
+                self.qhead = self.trail.len();
+                break;
+            }
+            self.enqueue(first, Some(cref));
+        }
+        // Put back the watchers we have not consumed.
+        let existing = std::mem::take(&mut self.watches[p.code()]);
+        watchers.extend(existing);
+        self.watches[p.code()] = watchers;
+        conflict
+    }
+
+    fn propagate_xor(&mut self, p: Lit) -> Option<ClauseRef> {
+        let events = self.xor.on_assign(p.var(), &self.assigns);
+        for event in events {
+            match event {
+                XorEvent::Implied { lit, reason } => {
+                    let cref = self.store_virtual_clause(reason);
+                    if !self.enqueue(lit, Some(cref)) {
+                        // The implied literal is already false: the reason
+                        // clause is falsified and acts as the conflict.
+                        return Some(cref);
+                    }
+                }
+                XorEvent::Conflict(clause) => {
+                    let cref = self.store_virtual_clause(clause);
+                    return Some(cref);
+                }
+            }
+        }
+        None
+    }
+
+    fn cancel_until(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let bound = self.trail_lim[target_level as usize];
+        while self.trail.len() > bound {
+            let lit = self.trail.pop().expect("trail not empty");
+            let v = lit.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            if !self.order.contains(v) {
+                self.order.insert(v, &self.activity);
+            }
+        }
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > ACTIVITY_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+    }
+
+    /// First-UIP conflict analysis.  Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = conflict;
+        let mut trail_idx = self.trail.len();
+
+        loop {
+            let lits: Vec<Lit> = self.clauses[cref].lits.clone();
+            let skip_first = p.is_some();
+            for &q in lits.iter().skip(if skip_first { 1 } else { 0 }) {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal of the current level on the trail.
+            loop {
+                trail_idx -= 1;
+                let lit = self.trail[trail_idx];
+                if self.seen[lit.var().index()] {
+                    p = Some(lit);
+                    break;
+                }
+            }
+            let p_lit = p.expect("UIP literal");
+            counter -= 1;
+            self.seen[p_lit.var().index()] = false;
+            if counter == 0 {
+                learnt[0] = !p_lit;
+                break;
+            }
+            cref = self.reason[p_lit.var().index()].expect("implied literal has a reason");
+            // The reason clause stores the implied literal first; make sure of it.
+            let reason_lits = &mut self.clauses[cref].lits;
+            if reason_lits[0].var() != p_lit.var() {
+                if let Some(pos) = reason_lits.iter().position(|l| l.var() == p_lit.var()) {
+                    reason_lits.swap(0, pos);
+                }
+            }
+        }
+
+        for &l in &learnt[1..] {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Backjump level: highest level among the non-asserting literals.
+        let backjump = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, backjump)
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if !self.assigns[v.index()].is_assigned() {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// The Luby restart sequence 1, 1, 2, 1, 1, 2, 4, ... (0-indexed).
+    fn luby(mut x: u64) -> u64 {
+        let mut size = 1u64;
+        let mut seq = 0u32;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) / 2;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Solves the formula under the given assumptions.
+    ///
+    /// Assumption literals are treated as decisions that are never undone, so
+    /// the call answers "is the formula satisfiable with these literals set".
+    /// Learnt clauses persist across calls, giving incremental behaviour.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+        let budget_start = self.stats.conflicts;
+        let mut restart_count: u64 = 0;
+        let mut conflicts_since_restart: u64 = 0;
+
+        loop {
+            let conflict = self.propagate();
+            if let Some(conflict) = conflict {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                let (learnt, backjump) = self.analyze(conflict);
+                self.cancel_until(backjump);
+                if learnt.len() == 1 {
+                    if !self.enqueue(learnt[0], None) {
+                        self.ok = false;
+                        return SatResult::Unsat;
+                    }
+                } else {
+                    let cref = self.attach_learnt(learnt.clone());
+                    self.enqueue(learnt[0], Some(cref));
+                }
+                self.decay_activities();
+                if self.conflict_exhausted(budget_start) {
+                    self.cancel_until(0);
+                    return SatResult::Unknown;
+                }
+                if conflicts_since_restart >= RESTART_BASE * Self::luby(restart_count) {
+                    restart_count += 1;
+                    self.stats.restarts += 1;
+                    conflicts_since_restart = 0;
+                    let keep = (assumptions.len() as u32).min(self.decision_level());
+                    self.cancel_until(keep);
+                }
+            } else {
+                // No conflict: extend the assumption prefix or decide.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let next = assumptions[self.decision_level() as usize];
+                    match self.value(next) {
+                        LBool::True => {
+                            // Already implied; open an empty decision level to
+                            // keep the prefix aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.cancel_until(0);
+                            return SatResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(next, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        self.save_model();
+                        self.cancel_until(0);
+                        return SatResult::Sat;
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = v.lit(self.phase[v.index()]);
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn conflict_exhausted(&self, budget_start: u64) -> bool {
+        match self.conflict_budget {
+            Some(limit) => self.stats.conflicts - budget_start >= limit,
+            None => false,
+        }
+    }
+
+    fn attach_learnt(&mut self, lits: Vec<Lit>) -> ClauseRef {
+        self.stats.learnts += 1;
+        self.attach_clause(lits)
+    }
+
+    fn save_model(&mut self) {
+        self.model = self
+            .assigns
+            .iter()
+            .map(|&a| a == LBool::True)
+            .collect();
+    }
+
+    /// Value of `v` in the most recent satisfying assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last `solve` call did not return [`SatResult::Sat`] or
+    /// the variable was created afterwards.
+    pub fn model_value(&self, v: Var) -> bool {
+        self.model[v.index()]
+    }
+
+    /// The most recent satisfying assignment as literal values, one per
+    /// variable, or an empty slice if no model is available.
+    pub fn model(&self) -> &[bool] {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause(&[v[0].positive()]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.model_value(v[0]));
+        s.add_clause(&[v[0].negative()]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        // v0 -> v1 -> v2 -> v3, with v0 forced true.
+        s.add_clause(&[v[0].negative(), v[1].positive()]);
+        s.add_clause(&[v[1].negative(), v[2].positive()]);
+        s.add_clause(&[v[2].negative(), v[3].positive()]);
+        s.add_clause(&[v[0].positive()]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        for &x in &v {
+            assert!(s.model_value(x));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_three_into_two_is_unsat() {
+        // 3 pigeons, 2 holes: p_{i,j} = pigeon i in hole j.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
+        for row in &p {
+            s.add_clause(&[row[0].positive(), row[1].positive()]);
+        }
+        for j in 0..2 {
+            for i in 0..3 {
+                for k in (i + 1)..3 {
+                    s.add_clause(&[p[i][j].negative(), p[k][j].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn solving_under_assumptions_is_incremental() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[v[0].positive(), v[1].positive(), v[2].positive()]);
+        assert_eq!(s.solve(&[v[0].negative(), v[1].negative()]), SatResult::Sat);
+        assert!(s.model_value(v[2]));
+        assert_eq!(
+            s.solve(&[v[0].negative(), v[1].negative(), v[2].negative()]),
+            SatResult::Unsat
+        );
+        // The solver is still usable and satisfiable without assumptions.
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_forces_parity() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        let all: Vec<Var> = v.clone();
+        assert!(s.add_xor(&all, true));
+        assert!(s.add_clause(&[v[0].negative()]));
+        assert!(s.add_clause(&[v[1].negative()]));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.model_value(v[2]));
+        assert!(!s.model_value(v[0]));
+    }
+
+    #[test]
+    fn contradictory_xor_rows_are_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        assert!(s.add_xor(&v, true));
+        assert!(s.add_xor(&v, false) || !s.ok || s.solve(&[]) == SatResult::Unsat);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn xor_and_clauses_interact() {
+        // x0 ^ x1 ^ x2 = 0, x0 = 1, x1 = 1 implies x2 = 0.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_xor(&v, false);
+        s.add_clause(&[v[0].positive()]);
+        s.add_clause(&[v[1].positive()]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(!s.model_value(v[2]));
+        // Forcing x2 = 1 as an assumption must now fail.
+        assert_eq!(s.solve(&[v[2].positive()]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        // A hard instance: pigeonhole 6 into 5 with a budget of 1 conflict.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..6).map(|_| vars(&mut s, 5)).collect();
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&lits);
+        }
+        for j in 0..5 {
+            for i in 0..6 {
+                for k in (i + 1)..6 {
+                    s.add_clause(&[p[i][j].negative(), p[k][j].negative()]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(&[]), SatResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn enumeration_by_blocking_models() {
+        // Three free variables with one XOR constraint: exactly 4 models.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_xor(&v, true);
+        let mut count = 0;
+        while s.solve(&[]) == SatResult::Sat {
+            count += 1;
+            assert!(count <= 4, "more models than expected");
+            let blocking: Vec<Lit> = v
+                .iter()
+                .map(|&x| x.lit(!s.model_value(x)))
+                .collect();
+            s.add_clause(&blocking);
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 8);
+        for w in v.windows(2) {
+            s.add_clause(&[w[0].negative(), w[1].positive()]);
+        }
+        s.add_clause(&[v[0].positive()]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.stats().propagations > 0);
+    }
+}

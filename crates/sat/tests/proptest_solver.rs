@@ -1,0 +1,128 @@
+//! Property-based tests: the CDCL solver (with and without native XOR rows)
+//! must agree with a brute-force evaluator on random small formulas.
+
+use proptest::prelude::*;
+
+use pact_sat::{SatResult, Solver, Var};
+
+const NUM_VARS: usize = 6;
+
+/// A random instance description: clauses are literal lists (variable index,
+/// polarity); XOR rows are variable sets with a parity bit.
+#[derive(Debug, Clone)]
+struct RandomInstance {
+    clauses: Vec<Vec<(usize, bool)>>,
+    xors: Vec<(Vec<usize>, bool)>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = RandomInstance> {
+    let clause = proptest::collection::vec((0..NUM_VARS, any::<bool>()), 1..4);
+    let clauses = proptest::collection::vec(clause, 0..12);
+    let xor = (proptest::collection::vec(0..NUM_VARS, 1..5), any::<bool>());
+    let xors = proptest::collection::vec(xor, 0..4);
+    (clauses, xors).prop_map(|(clauses, xors)| RandomInstance { clauses, xors })
+}
+
+/// Evaluates the instance under an assignment given as a bit mask.
+fn holds(instance: &RandomInstance, mask: u32) -> bool {
+    let value = |v: usize| (mask >> v) & 1 == 1;
+    for clause in &instance.clauses {
+        if !clause.iter().any(|&(v, pos)| value(v) == pos) {
+            return false;
+        }
+    }
+    for (vars, rhs) in &instance.xors {
+        let parity = vars.iter().fold(false, |acc, &v| acc ^ value(v));
+        if parity != *rhs {
+            return false;
+        }
+    }
+    true
+}
+
+fn brute_force_satisfiable(instance: &RandomInstance) -> bool {
+    (0..(1u32 << NUM_VARS)).any(|mask| holds(instance, mask))
+}
+
+fn build_solver(instance: &RandomInstance) -> (Solver, Vec<Var>) {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..NUM_VARS).map(|_| solver.new_var()).collect();
+    for clause in &instance.clauses {
+        let lits: Vec<_> = clause.iter().map(|&(v, pos)| vars[v].lit(pos)).collect();
+        solver.add_clause(&lits);
+    }
+    for (xvars, rhs) in &instance.xors {
+        let xs: Vec<Var> = xvars.iter().map(|&v| vars[v]).collect();
+        solver.add_xor(&xs, *rhs);
+    }
+    (solver, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_verdict_matches_brute_force(instance in instance_strategy()) {
+        let expected = brute_force_satisfiable(&instance);
+        let (mut solver, vars) = build_solver(&instance);
+        match solver.solve(&[]) {
+            SatResult::Sat => {
+                prop_assert!(expected, "solver found a model for an unsatisfiable instance");
+                // The reported model must actually satisfy the instance.
+                let mut mask = 0u32;
+                for (i, v) in vars.iter().enumerate() {
+                    if solver.model_value(*v) {
+                        mask |= 1 << i;
+                    }
+                }
+                prop_assert!(holds(&instance, mask), "reported model does not satisfy the formula");
+            }
+            SatResult::Unsat => prop_assert!(!expected, "solver reported unsat on a satisfiable instance"),
+            SatResult::Unknown => prop_assert!(false, "no budget was set, unknown is impossible"),
+        }
+    }
+
+    #[test]
+    fn model_count_by_blocking_matches_brute_force(instance in instance_strategy()) {
+        let expected: u32 = (0..(1u32 << NUM_VARS)).filter(|&m| holds(&instance, m)).count() as u32;
+        let (mut solver, vars) = build_solver(&instance);
+        let mut found = 0u32;
+        while solver.solve(&[]) == SatResult::Sat {
+            found += 1;
+            prop_assert!(found <= 1 << NUM_VARS, "enumeration does not terminate");
+            let blocking: Vec<_> = vars
+                .iter()
+                .map(|&v| v.lit(!solver.model_value(v)))
+                .collect();
+            solver.add_clause(&blocking);
+        }
+        prop_assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn solving_under_assumptions_matches_conditioned_brute_force(
+        instance in instance_strategy(),
+        assumption_mask in 0u32..(1 << NUM_VARS),
+        assumed_vars in proptest::collection::vec(0..NUM_VARS, 0..3),
+    ) {
+        let (mut solver, vars) = build_solver(&instance);
+        let assumptions: Vec<_> = assumed_vars
+            .iter()
+            .map(|&v| vars[v].lit((assumption_mask >> v) & 1 == 1))
+            .collect();
+        let expected = (0..(1u32 << NUM_VARS)).any(|mask| {
+            holds(&instance, mask)
+                && assumed_vars
+                    .iter()
+                    .all(|&v| (mask >> v) & 1 == (assumption_mask >> v) & 1)
+        });
+        match solver.solve(&assumptions) {
+            SatResult::Sat => prop_assert!(expected),
+            SatResult::Unsat => prop_assert!(!expected),
+            SatResult::Unknown => prop_assert!(false, "no budget was set, unknown is impossible"),
+        }
+        // The solver must remain usable after an assumption-based query.
+        let unconditioned = solver.solve(&[]);
+        prop_assert_eq!(unconditioned == SatResult::Sat, brute_force_satisfiable(&instance));
+    }
+}

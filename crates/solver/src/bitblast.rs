@@ -1,0 +1,1137 @@
+//! Bit-blasting encoder: hybrid SMT terms → CNF + XOR + theory atoms.
+//!
+//! Discrete structure (booleans, bit-vectors, bounded integers) is encoded
+//! eagerly into the CDCL solver with Tseitin-style circuits.  Continuous
+//! atoms (real and relaxed floating-point comparisons) become fresh boolean
+//! abstraction literals whose theory meaning is recorded as
+//! [`TheoryAtom`]s; the lazy DPLL(T) loop in [`crate::Context`] checks their
+//! conjunction with the simplex core.
+
+use std::collections::HashMap;
+
+use pact_ir::{BvValue, Op, Sort, TermId, TermManager};
+use pact_lra::{Constraint, LinExpr, LraVar, Relation};
+use pact_sat::{Lit, Solver, Var};
+
+use crate::error::{Result, SolverError};
+
+/// A boolean abstraction literal together with its theory meaning.
+#[derive(Debug, Clone)]
+pub struct TheoryAtom {
+    /// The literal standing for the atom in the CNF encoding.
+    pub lit: Lit,
+    /// Constraint that must hold when the literal is true.
+    pub when_true: Constraint,
+    /// Constraint that must hold when the literal is false (absent for
+    /// equalities, whose negation is covered by auxiliary `<` / `>` atoms).
+    pub when_false: Option<Constraint>,
+}
+
+/// The bit-blasting encoder.
+///
+/// Owns the underlying SAT solver; the DPLL(T) driver adds theory lemmas and
+/// queries models through it.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    sat: Solver,
+    true_lit: Option<Lit>,
+    bool_map: HashMap<TermId, Lit>,
+    bv_map: HashMap<TermId, Vec<Lit>>,
+    int_map: HashMap<TermId, Vec<Lit>>,
+    real_var_map: HashMap<TermId, LraVar>,
+    real_expr_cache: HashMap<TermId, LinExpr>,
+    atoms: Vec<TheoryAtom>,
+    atom_of_term: HashMap<TermId, Lit>,
+    num_lra_vars: u32,
+}
+
+impl Encoder {
+    /// Creates an empty encoder with a fresh SAT solver.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// The underlying SAT solver (for solving and model extraction).
+    pub fn sat(&mut self) -> &mut Solver {
+        &mut self.sat
+    }
+
+    /// The registered theory atoms.
+    pub fn atoms(&self) -> &[TheoryAtom] {
+        &self.atoms
+    }
+
+    /// Number of real (LRA) theory variables allocated so far.
+    pub fn num_lra_vars(&self) -> usize {
+        self.num_lra_vars as usize
+    }
+
+    /// The LRA variable backing a real- or float-sorted IR variable, if it
+    /// was encoded.
+    pub fn lra_var(&self, t: TermId) -> Option<LraVar> {
+        self.real_var_map.get(&t).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Low-level gates
+    // ------------------------------------------------------------------
+
+    fn fresh(&mut self) -> Lit {
+        self.sat.new_var().positive()
+    }
+
+    /// A literal that is constrained to be true.
+    fn true_lit(&mut self) -> Lit {
+        match self.true_lit {
+            Some(l) => l,
+            None => {
+                let l = self.fresh();
+                self.sat.add_clause(&[l]);
+                self.true_lit = Some(l);
+                l
+            }
+        }
+    }
+
+    fn false_lit(&mut self) -> Lit {
+        !self.true_lit()
+    }
+
+    fn lit_of_bool(&mut self, b: bool) -> Lit {
+        if b {
+            self.true_lit()
+        } else {
+            self.false_lit()
+        }
+    }
+
+    fn and2(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return self.false_lit();
+        }
+        let g = self.fresh();
+        self.sat.add_clause(&[!g, a]);
+        self.sat.add_clause(&[!g, b]);
+        self.sat.add_clause(&[g, !a, !b]);
+        g
+    }
+
+    fn or2(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and2(!a, !b)
+    }
+
+    fn xor2(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == b {
+            return self.false_lit();
+        }
+        if a == !b {
+            return self.true_lit();
+        }
+        let g = self.fresh();
+        self.sat.add_clause(&[!g, a, b]);
+        self.sat.add_clause(&[!g, !a, !b]);
+        self.sat.add_clause(&[g, !a, b]);
+        self.sat.add_clause(&[g, a, !b]);
+        g
+    }
+
+    fn xnor2(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor2(a, b)
+    }
+
+    /// `if sel then a else b`.
+    fn mux(&mut self, sel: Lit, a: Lit, b: Lit) -> Lit {
+        if a == b {
+            return a;
+        }
+        let g = self.fresh();
+        self.sat.add_clause(&[!g, !sel, a]);
+        self.sat.add_clause(&[!g, sel, b]);
+        self.sat.add_clause(&[g, !sel, !a]);
+        self.sat.add_clause(&[g, sel, !b]);
+        g
+    }
+
+    fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits.len() {
+            0 => self.true_lit(),
+            1 => lits[0],
+            _ => {
+                let g = self.fresh();
+                let mut long = vec![g];
+                for &l in lits {
+                    self.sat.add_clause(&[!g, l]);
+                    long.push(!l);
+                }
+                self.sat.add_clause(&long);
+                g
+            }
+        }
+    }
+
+    fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        !self.and_many(&negated)
+    }
+
+    // ------------------------------------------------------------------
+    // Bit-vector circuits (all vectors are LSB first)
+    // ------------------------------------------------------------------
+
+    fn const_bits(&mut self, value: &BvValue) -> Vec<Lit> {
+        (0..value.width())
+            .map(|i| self.lit_of_bool(value.bit(i)))
+            .collect()
+    }
+
+    fn ripple_add(&mut self, a: &[Lit], b: &[Lit], carry_in: Lit) -> Vec<Lit> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut carry = carry_in;
+        let mut out = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let axb = self.xor2(a[i], b[i]);
+            let sum = self.xor2(axb, carry);
+            let c1 = self.and2(a[i], b[i]);
+            let c2 = self.and2(axb, carry);
+            carry = self.or2(c1, c2);
+            out.push(sum);
+        }
+        out
+    }
+
+    fn bv_add(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let f = self.false_lit();
+        self.ripple_add(a, b, f)
+    }
+
+    fn bv_not(&mut self, a: &[Lit]) -> Vec<Lit> {
+        a.iter().map(|&l| !l).collect()
+    }
+
+    fn bv_neg(&mut self, a: &[Lit]) -> Vec<Lit> {
+        let na = self.bv_not(a);
+        let zero = vec![self.false_lit(); a.len()];
+        let t = self.true_lit();
+        self.ripple_add(&na, &zero, t)
+    }
+
+    fn bv_sub(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let nb = self.bv_not(b);
+        let t = self.true_lit();
+        self.ripple_add(a, &nb, t)
+    }
+
+    fn bv_mul(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let mut acc = vec![self.false_lit(); w];
+        for i in 0..w {
+            // addend = (a << i) AND-masked by b[i]
+            let mut addend = vec![self.false_lit(); w];
+            for j in 0..w - i {
+                addend[i + j] = self.and2(a[j], b[i]);
+            }
+            acc = self.bv_add(&acc, &addend);
+        }
+        acc
+    }
+
+    fn bv_ult(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        // Iterate from LSB to MSB: lt_i = (¬a_i ∧ b_i) ∨ ((a_i ≡ b_i) ∧ lt_{i-1})
+        let mut lt = self.false_lit();
+        for i in 0..a.len() {
+            let bit_lt = self.and2(!a[i], b[i]);
+            let eq = self.xnor2(a[i], b[i]);
+            let carry = self.and2(eq, lt);
+            lt = self.or2(bit_lt, carry);
+        }
+        lt
+    }
+
+    fn bv_ule(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        !self.bv_ult(b, a)
+    }
+
+    fn bv_slt(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        // Flip the sign bits and compare unsigned.
+        let w = a.len();
+        let mut a2 = a.to_vec();
+        let mut b2 = b.to_vec();
+        a2[w - 1] = !a2[w - 1];
+        b2[w - 1] = !b2[w - 1];
+        self.bv_ult(&a2, &b2)
+    }
+
+    fn bv_sle(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        !self.bv_slt(b, a)
+    }
+
+    fn bv_eq(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let bits: Vec<Lit> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| self.xnor2(x, y))
+            .collect();
+        self.and_many(&bits)
+    }
+
+    fn bv_mux(&mut self, sel: Lit, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux(sel, x, y))
+            .collect()
+    }
+
+    fn bv_shift(&mut self, a: &[Lit], shift: &[Lit], kind: ShiftKind) -> Vec<Lit> {
+        let w = a.len();
+        let fill_top = match kind {
+            ShiftKind::Ashr => a[w - 1],
+            _ => self.false_lit(),
+        };
+        let mut result = a.to_vec();
+        // Barrel shifter over the shift bits that are within range.
+        let mut stages = 0;
+        while (1usize << stages) < w {
+            stages += 1;
+        }
+        for s in 0..stages.min(shift.len()) {
+            let amount = 1usize << s;
+            let mut shifted = Vec::with_capacity(w);
+            for i in 0..w {
+                let src = match kind {
+                    ShiftKind::Shl => {
+                        if i >= amount {
+                            result[i - amount]
+                        } else {
+                            self.false_lit()
+                        }
+                    }
+                    ShiftKind::Lshr | ShiftKind::Ashr => {
+                        if i + amount < w {
+                            result[i + amount]
+                        } else {
+                            fill_top
+                        }
+                    }
+                };
+                shifted.push(src);
+            }
+            result = self.bv_mux(shift[s], &shifted, &result);
+        }
+        // If any shift bit at or above `stages` is set the result saturates.
+        if shift.len() > stages {
+            let high = self.or_many(&shift[stages..]);
+            let saturated: Vec<Lit> = match kind {
+                ShiftKind::Shl | ShiftKind::Lshr => vec![self.false_lit(); w],
+                ShiftKind::Ashr => vec![fill_top; w],
+            };
+            result = self.bv_mux(high, &saturated, &result);
+        }
+        result
+    }
+
+    /// Restoring division producing `(quotient, remainder)`, with the SMT-LIB
+    /// convention for division by zero (`a / 0 = all-ones`, `a % 0 = a`).
+    fn bv_divrem(&mut self, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        let mut remainder = vec![self.false_lit(); w];
+        let mut quotient = vec![self.false_lit(); w];
+        for i in (0..w).rev() {
+            // remainder = (remainder << 1) | a[i]
+            let mut shifted = Vec::with_capacity(w);
+            shifted.push(a[i]);
+            shifted.extend_from_slice(&remainder[..w - 1]);
+            remainder = shifted;
+            let ge = self.bv_ule(b, &remainder);
+            let diff = self.bv_sub(&remainder, b);
+            remainder = self.bv_mux(ge, &diff, &remainder);
+            quotient[i] = ge;
+        }
+        let b_nonzero = self.or_many(b);
+        let all_ones = vec![self.true_lit(); w];
+        let quotient = self.bv_mux(b_nonzero, &quotient, &all_ones);
+        let remainder = self.bv_mux(b_nonzero, &remainder, a);
+        (quotient, remainder)
+    }
+
+    // ------------------------------------------------------------------
+    // Term encoding
+    // ------------------------------------------------------------------
+
+    /// Encodes and asserts a boolean term.
+    pub fn assert_term(&mut self, tm: &TermManager, t: TermId) -> Result<()> {
+        let lit = self.encode_bool(tm, t)?;
+        self.sat.add_clause(&[lit]);
+        Ok(())
+    }
+
+    /// Ensures the bits of a discrete variable exist in the SAT solver, so
+    /// that models and hash constraints range over it even when it does not
+    /// occur in any assertion.
+    pub fn ensure_var_bits(&mut self, tm: &TermManager, var: TermId) -> Result<()> {
+        match tm.sort(var) {
+            Sort::Bool => {
+                self.encode_bool(tm, var)?;
+            }
+            Sort::BitVec(_) => {
+                self.encode_bv(tm, var)?;
+            }
+            Sort::BoundedInt { .. } => {
+                self.encode_int(tm, var)?;
+            }
+            other => {
+                return Err(SolverError::Unsupported(format!(
+                    "projection variable of continuous sort {other}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// The SAT literals backing the bits of a discrete variable (LSB first).
+    ///
+    /// The variable must have been encoded (see [`Encoder::ensure_var_bits`]).
+    pub fn var_bits(&self, tm: &TermManager, var: TermId) -> Option<Vec<Lit>> {
+        match tm.sort(var) {
+            Sort::Bool => self.bool_map.get(&var).map(|&l| vec![l]),
+            Sort::BitVec(_) => self.bv_map.get(&var).cloned(),
+            Sort::BoundedInt { .. } => self.int_map.get(&var).cloned(),
+            _ => None,
+        }
+    }
+
+    /// Adds a native XOR constraint over the given literals.
+    pub fn add_xor_over_lits(&mut self, lits: &[Lit], rhs: bool) -> bool {
+        let mut parity = rhs;
+        let mut vars: Vec<Var> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if !l.is_positive() {
+                parity = !parity;
+            }
+            vars.push(l.var());
+        }
+        self.sat.add_xor(&vars, parity)
+    }
+
+    /// Encodes a boolean-sorted term to a literal.
+    pub fn encode_bool(&mut self, tm: &TermManager, t: TermId) -> Result<Lit> {
+        if let Some(&l) = self.bool_map.get(&t) {
+            return Ok(l);
+        }
+        let children = tm.children(t).to_vec();
+        let lit = match tm.op(t).clone() {
+            Op::BoolConst(b) => self.lit_of_bool(b),
+            Op::Var(_) => self.fresh(),
+            Op::Not => {
+                let c = self.encode_bool(tm, children[0])?;
+                !c
+            }
+            Op::And => {
+                let lits: Result<Vec<Lit>> =
+                    children.iter().map(|&c| self.encode_bool(tm, c)).collect();
+                let lits = lits?;
+                self.and_many(&lits)
+            }
+            Op::Or => {
+                let lits: Result<Vec<Lit>> =
+                    children.iter().map(|&c| self.encode_bool(tm, c)).collect();
+                let lits = lits?;
+                self.or_many(&lits)
+            }
+            Op::Xor => {
+                let a = self.encode_bool(tm, children[0])?;
+                let b = self.encode_bool(tm, children[1])?;
+                self.xor2(a, b)
+            }
+            Op::Implies => {
+                let a = self.encode_bool(tm, children[0])?;
+                let b = self.encode_bool(tm, children[1])?;
+                self.or2(!a, b)
+            }
+            Op::Ite => {
+                let c = self.encode_bool(tm, children[0])?;
+                let a = self.encode_bool(tm, children[1])?;
+                let b = self.encode_bool(tm, children[2])?;
+                self.mux(c, a, b)
+            }
+            Op::Eq => self.encode_equality(tm, t, children[0], children[1])?,
+            Op::Distinct => {
+                let mut pair_lits = Vec::new();
+                for i in 0..children.len() {
+                    for j in (i + 1)..children.len() {
+                        let eq =
+                            self.encode_equality(tm, t, children[i], children[j])?;
+                        pair_lits.push(!eq);
+                    }
+                }
+                self.and_many(&pair_lits)
+            }
+            Op::BvUlt => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                self.bv_ult(&a, &b)
+            }
+            Op::BvUle => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                self.bv_ule(&a, &b)
+            }
+            Op::BvSlt => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                self.bv_slt(&a, &b)
+            }
+            Op::BvSle => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                self.bv_sle(&a, &b)
+            }
+            Op::IntLe => {
+                let (a, b) = self.encode_int_pair(tm, children[0], children[1])?;
+                self.bv_ule(&a, &b)
+            }
+            Op::IntLt => {
+                let (a, b) = self.encode_int_pair(tm, children[0], children[1])?;
+                self.bv_ult(&a, &b)
+            }
+            Op::RealLt | Op::FpLt => {
+                let a = self.encode_real(tm, children[0])?;
+                let b = self.encode_real(tm, children[1])?;
+                self.register_inequality_atom(t, a, b, true)
+            }
+            Op::RealLe | Op::FpLe => {
+                let a = self.encode_real(tm, children[0])?;
+                let b = self.encode_real(tm, children[1])?;
+                self.register_inequality_atom(t, a, b, false)
+            }
+            Op::FpEq => {
+                let a = self.encode_real(tm, children[0])?;
+                let b = self.encode_real(tm, children[1])?;
+                self.register_equality_atom(t, a, b)
+            }
+            other => {
+                return Err(SolverError::Unsupported(format!(
+                    "boolean encoding of operator {other:?}"
+                )))
+            }
+        };
+        self.bool_map.insert(t, lit);
+        Ok(lit)
+    }
+
+    fn encode_equality(
+        &mut self,
+        tm: &TermManager,
+        eq_term: TermId,
+        a: TermId,
+        b: TermId,
+    ) -> Result<Lit> {
+        match tm.sort(a) {
+            Sort::Bool => {
+                let la = self.encode_bool(tm, a)?;
+                let lb = self.encode_bool(tm, b)?;
+                Ok(self.xnor2(la, lb))
+            }
+            Sort::BitVec(_) => {
+                let va = self.encode_bv(tm, a)?;
+                let vb = self.encode_bv(tm, b)?;
+                Ok(self.bv_eq(&va, &vb))
+            }
+            Sort::BoundedInt { .. } => {
+                let (va, vb) = self.encode_int_pair(tm, a, b)?;
+                Ok(self.bv_eq(&va, &vb))
+            }
+            Sort::Real | Sort::Float { .. } => {
+                let ea = self.encode_real(tm, a)?;
+                let eb = self.encode_real(tm, b)?;
+                Ok(self.register_equality_atom(eq_term, ea, eb))
+            }
+            Sort::Array { .. } => Err(SolverError::Unsupported(
+                "equality between array terms".to_string(),
+            )),
+        }
+    }
+
+    /// Encodes a bit-vector-sorted term to its bit literals (LSB first).
+    pub fn encode_bv(&mut self, tm: &TermManager, t: TermId) -> Result<Vec<Lit>> {
+        if let Some(bits) = self.bv_map.get(&t) {
+            return Ok(bits.clone());
+        }
+        let children = tm.children(t).to_vec();
+        let width = tm
+            .sort(t)
+            .bv_width()
+            .ok_or_else(|| SolverError::Internal("encode_bv on non-bitvector".to_string()))?
+            as usize;
+        let bits = match tm.op(t).clone() {
+            Op::BvConst(v) => self.const_bits(&v),
+            Op::Var(_) => (0..width).map(|_| self.fresh()).collect(),
+            Op::BvNot => {
+                let a = self.encode_bv(tm, children[0])?;
+                self.bv_not(&a)
+            }
+            Op::BvNeg => {
+                let a = self.encode_bv(tm, children[0])?;
+                self.bv_neg(&a)
+            }
+            Op::BvAnd | Op::BvOr | Op::BvXor => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                let op = tm.op(t).clone();
+                a.iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| match op {
+                        Op::BvAnd => self.and2(x, y),
+                        Op::BvOr => self.or2(x, y),
+                        _ => self.xor2(x, y),
+                    })
+                    .collect()
+            }
+            Op::BvAdd => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                self.bv_add(&a, &b)
+            }
+            Op::BvSub => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                self.bv_sub(&a, &b)
+            }
+            Op::BvMul => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                self.bv_mul(&a, &b)
+            }
+            Op::BvUdiv => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                self.bv_divrem(&a, &b).0
+            }
+            Op::BvUrem => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                self.bv_divrem(&a, &b).1
+            }
+            Op::BvShl => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                self.bv_shift(&a, &b, ShiftKind::Shl)
+            }
+            Op::BvLshr => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                self.bv_shift(&a, &b, ShiftKind::Lshr)
+            }
+            Op::BvAshr => {
+                let a = self.encode_bv(tm, children[0])?;
+                let b = self.encode_bv(tm, children[1])?;
+                self.bv_shift(&a, &b, ShiftKind::Ashr)
+            }
+            Op::BvConcat => {
+                // children[0] is the high part.
+                let hi = self.encode_bv(tm, children[0])?;
+                let lo = self.encode_bv(tm, children[1])?;
+                let mut bits = lo;
+                bits.extend(hi);
+                bits
+            }
+            Op::BvExtract { hi, lo } => {
+                let a = self.encode_bv(tm, children[0])?;
+                a[lo as usize..=hi as usize].to_vec()
+            }
+            Op::BvZeroExtend(by) => {
+                let mut a = self.encode_bv(tm, children[0])?;
+                let f = self.false_lit();
+                a.extend(std::iter::repeat(f).take(by as usize));
+                a
+            }
+            Op::BvSignExtend(by) => {
+                let a = self.encode_bv(tm, children[0])?;
+                let sign = *a.last().expect("non-empty bit-vector");
+                let mut bits = a;
+                bits.extend(std::iter::repeat(sign).take(by as usize));
+                bits
+            }
+            Op::Ite => {
+                let c = self.encode_bool(tm, children[0])?;
+                let a = self.encode_bv(tm, children[1])?;
+                let b = self.encode_bv(tm, children[2])?;
+                self.bv_mux(c, &a, &b)
+            }
+            other => {
+                return Err(SolverError::Unsupported(format!(
+                    "bit-vector encoding of operator {other:?}"
+                )))
+            }
+        };
+        debug_assert_eq!(bits.len(), width);
+        self.bv_map.insert(t, bits.clone());
+        Ok(bits)
+    }
+
+    // ------------------------------------------------------------------
+    // Bounded integers
+    // ------------------------------------------------------------------
+
+    fn int_width(sort: &Sort) -> Result<usize> {
+        match sort {
+            Sort::BoundedInt { lo, hi } => {
+                if *lo < 0 {
+                    return Err(SolverError::Unsupported(
+                        "bounded integers with negative lower bounds".to_string(),
+                    ));
+                }
+                // The value is stored directly (not offset by `lo`), so the
+                // width must be able to represent `hi` itself.
+                let mut bits = 1usize;
+                while (1i128 << bits) <= *hi as i128 {
+                    bits += 1;
+                }
+                Ok(bits)
+            }
+            other => Err(SolverError::Internal(format!(
+                "int encoding of sort {other}"
+            ))),
+        }
+    }
+
+    fn encode_int(&mut self, tm: &TermManager, t: TermId) -> Result<Vec<Lit>> {
+        if let Some(bits) = self.int_map.get(&t) {
+            return Ok(bits.clone());
+        }
+        let sort = tm.sort(t);
+        let children = tm.children(t).to_vec();
+        let bits = match tm.op(t).clone() {
+            Op::IntConst(v) => {
+                let width = Self::int_width(&sort)?.max(1);
+                let value = BvValue::new(v as u128, width as u32);
+                self.const_bits(&value)
+            }
+            Op::Var(_) => {
+                let (lo, hi) = match sort {
+                    Sort::BoundedInt { lo, hi } => (lo, hi),
+                    _ => unreachable!(),
+                };
+                let width = Self::int_width(&tm.sort(t))?;
+                let bits: Vec<Lit> = (0..width).map(|_| self.fresh()).collect();
+                // Constrain lo <= value <= hi.
+                let lo_bits = self.const_bits(&BvValue::new(lo as u128, width as u32));
+                let hi_bits = self.const_bits(&BvValue::new(hi as u128, width as u32));
+                let ge_lo = self.bv_ule(&lo_bits, &bits);
+                let le_hi = self.bv_ule(&bits, &hi_bits);
+                self.sat.add_clause(&[ge_lo]);
+                self.sat.add_clause(&[le_hi]);
+                bits
+            }
+            Op::IntAdd => {
+                let a = self.encode_int(tm, children[0])?;
+                let b = self.encode_int(tm, children[1])?;
+                let width = Self::int_width(&sort)?.max(a.len()).max(b.len());
+                let a = self.widen(a, width);
+                let b = self.widen(b, width);
+                self.bv_add(&a, &b)
+            }
+            Op::Ite => {
+                let c = self.encode_bool(tm, children[0])?;
+                let a = self.encode_int(tm, children[1])?;
+                let b = self.encode_int(tm, children[2])?;
+                let width = a.len().max(b.len());
+                let a = self.widen(a, width);
+                let b = self.widen(b, width);
+                self.bv_mux(c, &a, &b)
+            }
+            other => {
+                return Err(SolverError::Unsupported(format!(
+                    "bounded-integer encoding of operator {other:?}"
+                )))
+            }
+        };
+        self.int_map.insert(t, bits.clone());
+        Ok(bits)
+    }
+
+    fn widen(&mut self, mut bits: Vec<Lit>, width: usize) -> Vec<Lit> {
+        let f = self.false_lit();
+        while bits.len() < width {
+            bits.push(f);
+        }
+        bits
+    }
+
+    fn encode_int_pair(
+        &mut self,
+        tm: &TermManager,
+        a: TermId,
+        b: TermId,
+    ) -> Result<(Vec<Lit>, Vec<Lit>)> {
+        let ba = self.encode_int(tm, a)?;
+        let bb = self.encode_int(tm, b)?;
+        let width = ba.len().max(bb.len());
+        Ok((self.widen(ba, width), self.widen(bb, width)))
+    }
+
+    // ------------------------------------------------------------------
+    // Reals and relaxed floats
+    // ------------------------------------------------------------------
+
+    fn fresh_lra_var(&mut self) -> LraVar {
+        let v = LraVar(self.num_lra_vars);
+        self.num_lra_vars += 1;
+        v
+    }
+
+    /// Encodes a real- or float-sorted term as a linear expression.
+    pub fn encode_real(&mut self, tm: &TermManager, t: TermId) -> Result<LinExpr> {
+        if let Some(e) = self.real_expr_cache.get(&t) {
+            return Ok(e.clone());
+        }
+        let children = tm.children(t).to_vec();
+        let expr = match tm.op(t).clone() {
+            Op::RealConst(r) => LinExpr::from_constant(r),
+            Op::Var(_) => {
+                let v = match self.real_var_map.get(&t) {
+                    Some(&v) => v,
+                    None => {
+                        let v = self.fresh_lra_var();
+                        self.real_var_map.insert(t, v);
+                        v
+                    }
+                };
+                LinExpr::from_var(v)
+            }
+            Op::RealAdd | Op::FpAdd => {
+                let mut acc = LinExpr::zero();
+                for &c in &children {
+                    acc = acc + self.encode_real(tm, c)?;
+                }
+                acc
+            }
+            Op::RealSub | Op::FpSub => {
+                let a = self.encode_real(tm, children[0])?;
+                let b = self.encode_real(tm, children[1])?;
+                a - b
+            }
+            Op::RealNeg | Op::FpNeg => -self.encode_real(tm, children[0])?,
+            Op::RealMul | Op::FpMul => {
+                let a = self.encode_real(tm, children[0])?;
+                let b = self.encode_real(tm, children[1])?;
+                if a.is_constant() {
+                    b * a.constant()
+                } else if b.is_constant() {
+                    a * b.constant()
+                } else {
+                    return Err(SolverError::Unsupported(
+                        "non-linear real multiplication".to_string(),
+                    ));
+                }
+            }
+            Op::FpToReal | Op::RealToFp => self.encode_real(tm, children[0])?,
+            Op::Ite => {
+                // A fresh variable tied to each branch through conditional atoms.
+                let cond = self.encode_bool(tm, children[0])?;
+                let then_expr = self.encode_real(tm, children[1])?;
+                let else_expr = self.encode_real(tm, children[2])?;
+                let v = self.fresh_lra_var();
+                let ve = LinExpr::from_var(v);
+                let then_eq = self.fresh_eq_atom(ve.clone() - then_expr);
+                let else_eq = self.fresh_eq_atom(ve.clone() - else_expr);
+                self.sat.add_clause(&[!cond, then_eq]);
+                self.sat.add_clause(&[cond, else_eq]);
+                ve
+            }
+            other => {
+                return Err(SolverError::Unsupported(format!(
+                    "real encoding of operator {other:?}"
+                )))
+            }
+        };
+        self.real_expr_cache.insert(t, expr.clone());
+        Ok(expr)
+    }
+
+    /// Registers the atom `a < b` (strict) or `a ≤ b` with a fresh literal.
+    fn register_inequality_atom(
+        &mut self,
+        term: TermId,
+        a: LinExpr,
+        b: LinExpr,
+        strict: bool,
+    ) -> Lit {
+        if let Some(&l) = self.atom_of_term.get(&term) {
+            return l;
+        }
+        let lit = self.fresh();
+        let diff = a - b;
+        let (rel, neg_rel) = if strict {
+            (Relation::Lt, Relation::Ge)
+        } else {
+            (Relation::Le, Relation::Gt)
+        };
+        self.atoms.push(TheoryAtom {
+            lit,
+            when_true: Constraint::new(diff.clone(), rel),
+            when_false: Some(Constraint::new(diff, neg_rel)),
+        });
+        self.atom_of_term.insert(term, lit);
+        lit
+    }
+
+    /// Registers the atom `a = b`, splitting its negation into `<` / `>`.
+    fn register_equality_atom(&mut self, term: TermId, a: LinExpr, b: LinExpr) -> Lit {
+        if let Some(&l) = self.atom_of_term.get(&term) {
+            return l;
+        }
+        let diff = a - b;
+        let eq_lit = self.fresh();
+        self.atoms.push(TheoryAtom {
+            lit: eq_lit,
+            when_true: Constraint::new(diff.clone(), Relation::Eq),
+            when_false: None,
+        });
+        let lt_lit = self.fresh();
+        self.atoms.push(TheoryAtom {
+            lit: lt_lit,
+            when_true: Constraint::new(diff.clone(), Relation::Lt),
+            when_false: Some(Constraint::new(diff.clone(), Relation::Ge)),
+        });
+        let gt_lit = self.fresh();
+        self.atoms.push(TheoryAtom {
+            lit: gt_lit,
+            when_true: Constraint::new(diff, Relation::Gt),
+            when_false: Some(Constraint::new(LinExpr::zero(), Relation::Le)),
+        });
+        // eq ∨ lt ∨ gt; eq → ¬lt; eq → ¬gt.
+        self.sat.add_clause(&[eq_lit, lt_lit, gt_lit]);
+        self.sat.add_clause(&[!eq_lit, !lt_lit]);
+        self.sat.add_clause(&[!eq_lit, !gt_lit]);
+        self.atom_of_term.insert(term, eq_lit);
+        eq_lit
+    }
+
+    /// A fresh atom literal asserting `expr = 0` when true (no meaning when
+    /// false); used for `ite` over reals.
+    fn fresh_eq_atom(&mut self, expr: LinExpr) -> Lit {
+        let lit = self.fresh();
+        self.atoms.push(TheoryAtom {
+            lit,
+            when_true: Constraint::new(expr, Relation::Eq),
+            when_false: None,
+        });
+        lit
+    }
+
+    // ------------------------------------------------------------------
+    // Model extraction helpers
+    // ------------------------------------------------------------------
+
+    /// Reads the value of a discrete variable from the SAT model.
+    pub fn model_bits(&self, tm: &TermManager, var: TermId) -> Option<BvValue> {
+        let bits = self.var_bits(tm, var)?;
+        let model = self.sat.model();
+        let mut value = 0u128;
+        for (i, &lit) in bits.iter().enumerate() {
+            let assigned = model.get(lit.var().index()).copied().unwrap_or(false);
+            let bit = if lit.is_positive() { assigned } else { !assigned };
+            if bit {
+                value |= 1 << i;
+            }
+        }
+        Some(BvValue::new(value, bits.len().max(1) as u32))
+    }
+}
+
+/// Kinds of variable shifts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShiftKind {
+    Shl,
+    Lshr,
+    Ashr,
+}
+
+/// Re-exported for the DPLL(T) driver: truth value of an atom literal in the
+/// current SAT model, if the variable is assigned.
+pub fn atom_value_in_model(model: &[bool], lit: Lit) -> Option<bool> {
+    model
+        .get(lit.var().index())
+        .map(|&b| if lit.is_positive() { b } else { !b })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_ir::Rational;
+    use pact_sat::SatResult;
+
+    fn check(_tm: &TermManager, enc: &mut Encoder) -> SatResult {
+        enc.sat().solve(&[])
+    }
+
+    #[test]
+    fn encodes_bv_arithmetic_consistently() {
+        // x + 1 = 4 has the unique solution x = 3.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let one = tm.mk_bv_const(1, 4);
+        let four = tm.mk_bv_const(4, 4);
+        let sum = tm.mk_bv_add(x, one).unwrap();
+        let eq = tm.mk_eq(sum, four);
+        let mut enc = Encoder::new();
+        enc.assert_term(&tm, eq).unwrap();
+        assert_eq!(check(&tm, &mut enc), SatResult::Sat);
+        assert_eq!(enc.model_bits(&tm, x).unwrap().as_u128(), 3);
+    }
+
+    #[test]
+    fn encodes_multiplication() {
+        // x * 3 = 12 on 5 bits: x = 4 is a solution.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(5));
+        let three = tm.mk_bv_const(3, 5);
+        let twelve = tm.mk_bv_const(12, 5);
+        let prod = tm.mk_bv_mul(x, three).unwrap();
+        let eq = tm.mk_eq(prod, twelve);
+        let mut enc = Encoder::new();
+        enc.assert_term(&tm, eq).unwrap();
+        assert_eq!(check(&tm, &mut enc), SatResult::Sat);
+        let model = enc.model_bits(&tm, x).unwrap().as_u128();
+        assert_eq!((model * 3) % 32, 12);
+    }
+
+    #[test]
+    fn unsat_bv_constraints() {
+        // x < 2 and x > 5 is unsatisfiable.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let two = tm.mk_bv_const(2, 4);
+        let five = tm.mk_bv_const(5, 4);
+        let lt = tm.mk_bv_ult(x, two).unwrap();
+        let gt = tm.mk_bv_ult(five, x).unwrap();
+        let mut enc = Encoder::new();
+        enc.assert_term(&tm, lt).unwrap();
+        enc.assert_term(&tm, gt).unwrap();
+        assert_eq!(check(&tm, &mut enc), SatResult::Unsat);
+    }
+
+    #[test]
+    fn division_circuit_matches_semantics() {
+        // 13 / 3 = 4 and 13 % 3 = 1.
+        let mut tm = TermManager::new();
+        let a = tm.mk_var("a", Sort::BitVec(6));
+        let b = tm.mk_var("b", Sort::BitVec(6));
+        let q = tm.mk_bv_udiv(a, b).unwrap();
+        let r = tm.mk_bv_urem(a, b).unwrap();
+        let thirteen = tm.mk_bv_const(13, 6);
+        let three = tm.mk_bv_const(3, 6);
+        let f1 = tm.mk_eq(a, thirteen);
+        let f2 = tm.mk_eq(b, three);
+        let four = tm.mk_bv_const(4, 6);
+        let one = tm.mk_bv_const(1, 6);
+        let f3 = tm.mk_eq(q, four);
+        let f4 = tm.mk_eq(r, one);
+        let mut enc = Encoder::new();
+        for f in [f1, f2, f3, f4] {
+            enc.assert_term(&tm, f).unwrap();
+        }
+        assert_eq!(check(&tm, &mut enc), SatResult::Sat);
+    }
+
+    #[test]
+    fn shifts_match_semantics() {
+        // (1 << 3) = 8, (0b1000 >> 2) = 2.
+        let mut tm = TermManager::new();
+        let one = tm.mk_bv_const(1, 8);
+        let three = tm.mk_bv_const(3, 8);
+        let shl = tm.mk_bv_shl(one, three).unwrap();
+        let eight = tm.mk_bv_const(8, 8);
+        let f1 = tm.mk_eq(shl, eight);
+        let two = tm.mk_bv_const(2, 8);
+        let lshr = tm.mk_bv_lshr(eight, two).unwrap();
+        let f2 = tm.mk_eq(lshr, two);
+        let mut enc = Encoder::new();
+        enc.assert_term(&tm, f1).unwrap();
+        enc.assert_term(&tm, f2).unwrap();
+        assert_eq!(check(&tm, &mut enc), SatResult::Sat);
+    }
+
+    #[test]
+    fn free_projection_variable_gets_bits() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let mut enc = Encoder::new();
+        enc.ensure_var_bits(&tm, x).unwrap();
+        assert_eq!(enc.var_bits(&tm, x).unwrap().len(), 8);
+        assert_eq!(check(&tm, &mut enc), SatResult::Sat);
+        assert!(enc.model_bits(&tm, x).is_some());
+    }
+
+    #[test]
+    fn real_atoms_are_registered_not_decided() {
+        let mut tm = TermManager::new();
+        let r = tm.mk_var("r", Sort::Real);
+        let one = tm.mk_real_const(Rational::ONE);
+        let lt = tm.mk_real_lt(r, one).unwrap();
+        let mut enc = Encoder::new();
+        enc.assert_term(&tm, lt).unwrap();
+        assert_eq!(enc.atoms().len(), 1);
+        assert_eq!(check(&tm, &mut enc), SatResult::Sat);
+    }
+
+    #[test]
+    fn bounded_int_variables_are_range_constrained() {
+        let mut tm = TermManager::new();
+        let n = tm.mk_var("n", Sort::BoundedInt { lo: 2, hi: 5 });
+        let mut enc = Encoder::new();
+        enc.ensure_var_bits(&tm, n).unwrap();
+        // Enumerate all models of the free bounded integer: must be 4 (2..=5).
+        let bits = enc.var_bits(&tm, n).unwrap();
+        let mut count = 0;
+        while enc.sat().solve(&[]) == SatResult::Sat {
+            count += 1;
+            assert!(count <= 4);
+            let value = enc.model_bits(&tm, n).unwrap().as_u128();
+            assert!((2..=5).contains(&value));
+            let blocking: Vec<Lit> = bits
+                .iter()
+                .map(|&l| {
+                    let assigned = enc.sat().model()[l.var().index()];
+                    if assigned {
+                        !l.var().positive()
+                    } else {
+                        l.var().positive()
+                    }
+                })
+                .collect();
+            enc.sat().add_clause(&blocking);
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn native_xor_over_variable_bits() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(3));
+        let mut enc = Encoder::new();
+        enc.ensure_var_bits(&tm, x).unwrap();
+        let bits = enc.var_bits(&tm, x).unwrap();
+        // Parity of all bits must be odd: 4 of the 8 values remain.
+        enc.add_xor_over_lits(&bits, true);
+        let mut count = 0;
+        while enc.sat().solve(&[]) == SatResult::Sat {
+            count += 1;
+            assert!(count <= 4);
+            let value = enc.model_bits(&tm, x).unwrap();
+            assert_eq!(value.as_u128().count_ones() % 2, 1);
+            let blocking: Vec<Lit> = bits
+                .iter()
+                .map(|&l| {
+                    let assigned = enc.sat().model()[l.var().index()];
+                    l.var().lit(!assigned)
+                })
+                .collect();
+            enc.sat().add_clause(&blocking);
+        }
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,580 @@
+//! The incremental SMT oracle used by the counting algorithms.
+
+use pact_ir::{BvValue, Rational, Sort, TermId, TermManager, Value};
+use pact_lra::{LraResult, Simplex};
+use pact_sat::{Lit, SatResult};
+
+use crate::bitblast::{atom_value_in_model, Encoder};
+use crate::error::{Result, SolverError};
+use crate::preprocess::preprocess;
+
+/// Verdict of a [`Context::check`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverResult {
+    /// Satisfiable; a model is available.
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// The per-check resource budget was exhausted.
+    Unknown,
+}
+
+/// Tunable resource limits of the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Maximum CDCL conflicts per `check` call (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Maximum lazy theory-refinement iterations per `check` call.
+    pub max_theory_iterations: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_conflicts: None,
+            max_theory_iterations: 10_000,
+        }
+    }
+}
+
+/// Cumulative statistics over the lifetime of a context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Number of `check` calls answered.
+    pub checks: u64,
+    /// Number of SAT-solver invocations (≥ `checks` because of the lazy
+    /// theory loop).
+    pub sat_calls: u64,
+    /// Number of simplex feasibility checks.
+    pub theory_checks: u64,
+    /// Number of theory-refinement lemmas learnt.
+    pub theory_lemmas: u64,
+    /// Number of encoder rebuilds caused by `pop`.
+    pub rebuilds: u64,
+}
+
+/// One assertion on the stack: either a term or a native XOR constraint over
+/// specific bits of discrete variables.
+#[derive(Debug, Clone)]
+enum Assertion {
+    Term(TermId),
+    /// XOR of the chosen bits (`(variable, bit index)`) equals `rhs`.
+    XorBits(Vec<(TermId, u32)>, bool),
+}
+
+/// The incremental SMT oracle: an assertion stack with push/pop, `check`,
+/// and model extraction, in the style of the SMT-LIB command set.
+///
+/// Internally the discrete part is bit-blasted eagerly into a CDCL solver
+/// with native XOR support, and real/float atoms are refined lazily against
+/// a simplex core (DPLL(T)).  Within one stack frame the encoding is
+/// incremental: new assertions only append clauses, so the repeated
+/// model-blocking queries issued by `SaturatingCounter` reuse all previously
+/// learnt clauses, mirroring the paper's use of CVC5's incremental mode.
+///
+/// ```
+/// use pact_ir::{TermManager, Sort};
+/// use pact_solver::{Context, SolverResult};
+///
+/// let mut tm = TermManager::new();
+/// let x = tm.mk_var("x", Sort::BitVec(8));
+/// let c = tm.mk_bv_const(10, 8);
+/// let f = tm.mk_bv_ult(x, c).unwrap();
+/// let mut ctx = Context::new();
+/// ctx.assert_term(f);
+/// assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+/// let v = ctx.model_value(&tm, x).unwrap();
+/// assert!(v.as_bv().unwrap().as_u128() < 10);
+/// ```
+#[derive(Debug, Default)]
+pub struct Context {
+    assertions: Vec<Assertion>,
+    frames: Vec<usize>,
+    config: SolverConfig,
+    stats: OracleStats,
+    /// Variables whose bits must always exist (projection variables).
+    tracked_vars: Vec<TermId>,
+    encoder: Option<Encoder>,
+    /// Number of assertions already encoded into `encoder`.
+    encoded_up_to: usize,
+    /// Simplex witness (indexed by LRA variable) from the last SAT check.
+    real_model_values: Vec<Rational>,
+}
+
+impl Context {
+    /// Creates an oracle with default limits.
+    pub fn new() -> Self {
+        Context::default()
+    }
+
+    /// Creates an oracle with the given resource limits.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Context {
+            config,
+            ..Context::default()
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    /// Changes the resource limits for subsequent checks.
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.config = config;
+    }
+
+    /// Pushes a new assertion-stack frame.
+    pub fn push(&mut self) {
+        self.frames.push(self.assertions.len());
+    }
+
+    /// Pops the most recent frame, discarding its assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no frame to pop.
+    pub fn pop(&mut self) {
+        let mark = self.frames.pop().expect("pop without matching push");
+        if mark < self.encoded_up_to {
+            // Anything already encoded beyond the mark forces a rebuild.
+            self.encoder = None;
+            self.encoded_up_to = 0;
+            self.stats.rebuilds += 1;
+        }
+        self.assertions.truncate(mark);
+    }
+
+    /// Asserts a boolean term.
+    pub fn assert_term(&mut self, t: TermId) {
+        self.assertions.push(Assertion::Term(t));
+    }
+
+    /// Asserts a native XOR constraint over individual bits of discrete
+    /// variables: `⊕ bit ⊕ ... = rhs`.
+    ///
+    /// This is the fast path used by the `H_xor` hash family.
+    pub fn assert_xor_bits(&mut self, bits: Vec<(TermId, u32)>, rhs: bool) {
+        self.assertions.push(Assertion::XorBits(bits, rhs));
+    }
+
+    /// Declares a variable whose bits must exist in every encoding, even if
+    /// it never occurs in an assertion (used for projection variables so the
+    /// model and the hash constraints range over their full domain).
+    pub fn track_var(&mut self, var: TermId) {
+        if !self.tracked_vars.contains(&var) {
+            self.tracked_vars.push(var);
+            // Force re-encoding so the tracked variable's bits exist.
+            if self.encoder.is_some() {
+                self.encoder = None;
+                self.encoded_up_to = 0;
+            }
+        }
+    }
+
+    /// Checks satisfiability of the current assertion stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Unsupported`] when the formula falls outside
+    /// the supported fragment (e.g. non-linear real arithmetic or array
+    /// equality).
+    pub fn check(&mut self, tm: &mut TermManager) -> Result<SolverResult> {
+        self.stats.checks += 1;
+        self.ensure_encoded(tm)?;
+        let max_conflicts = self.config.max_conflicts;
+        let max_iters = self.config.max_theory_iterations;
+        self.encoder
+            .as_mut()
+            .expect("encoder exists")
+            .sat()
+            .set_conflict_budget(max_conflicts);
+
+        for _ in 0..max_iters {
+            self.stats.sat_calls += 1;
+            let verdict = self
+                .encoder
+                .as_mut()
+                .expect("encoder exists")
+                .sat()
+                .solve(&[]);
+            match verdict {
+                SatResult::Unsat => return Ok(SolverResult::Unsat),
+                SatResult::Unknown => return Ok(SolverResult::Unknown),
+                SatResult::Sat => {}
+            }
+            // Collect the theory constraints implied by the boolean model.
+            let (mut simplex, participating) = {
+                let encoder = self.encoder.as_mut().expect("encoder exists");
+                let model: Vec<bool> = encoder.sat().model().to_vec();
+                let mut simplex = Simplex::new(encoder.num_lra_vars());
+                let mut participating: Vec<Lit> = Vec::new();
+                for atom in encoder.atoms() {
+                    match atom_value_in_model(&model, atom.lit) {
+                        Some(true) => {
+                            simplex.add_constraint(atom.when_true.clone());
+                            participating.push(atom.lit);
+                        }
+                        Some(false) => {
+                            if let Some(neg) = &atom.when_false {
+                                simplex.add_constraint(neg.clone());
+                                participating.push(!atom.lit);
+                            }
+                        }
+                        None => {}
+                    }
+                }
+                (simplex, participating)
+            };
+            if participating.is_empty() {
+                self.real_model_values.clear();
+                return Ok(SolverResult::Sat);
+            }
+            self.stats.theory_checks += 1;
+            match simplex.check() {
+                LraResult::Sat => {
+                    self.real_model_values = simplex.model();
+                    return Ok(SolverResult::Sat);
+                }
+                LraResult::Unsat => {
+                    // Refinement lemma: at least one participating atom flips.
+                    self.stats.theory_lemmas += 1;
+                    let lemma: Vec<Lit> = participating.iter().map(|&l| !l).collect();
+                    let consistent = self
+                        .encoder
+                        .as_mut()
+                        .expect("encoder exists")
+                        .sat()
+                        .add_clause(&lemma);
+                    if !consistent {
+                        return Ok(SolverResult::Unsat);
+                    }
+                }
+            }
+        }
+        Ok(SolverResult::Unknown)
+    }
+
+    fn ensure_encoded(&mut self, tm: &mut TermManager) -> Result<()> {
+        if self.encoder.is_none() {
+            self.encoder = Some(Encoder::new());
+            self.encoded_up_to = 0;
+        }
+        // Encode tracked variables first so their bits always exist.
+        {
+            let encoder = self.encoder.as_mut().expect("encoder exists");
+            for &v in &self.tracked_vars {
+                encoder.ensure_var_bits(tm, v)?;
+            }
+        }
+        if self.encoded_up_to >= self.assertions.len() {
+            return Ok(());
+        }
+        let pending: Vec<Assertion> = self.assertions[self.encoded_up_to..].to_vec();
+        for assertion in pending {
+            match assertion {
+                Assertion::Term(t) => {
+                    let pre = preprocess(tm, &[t])?;
+                    let encoder = self.encoder.as_mut().expect("encoder exists");
+                    for a in pre.assertions.iter().chain(pre.axioms.iter()) {
+                        encoder.assert_term(tm, *a)?;
+                    }
+                }
+                Assertion::XorBits(bits, rhs) => {
+                    let encoder = self.encoder.as_mut().expect("encoder exists");
+                    let mut lits = Vec::with_capacity(bits.len());
+                    for (var, bit) in bits {
+                        encoder.ensure_var_bits(tm, var)?;
+                        let var_bits = encoder.var_bits(tm, var).ok_or_else(|| {
+                            SolverError::Internal("tracked variable has no bits".to_string())
+                        })?;
+                        let lit = *var_bits.get(bit as usize).ok_or_else(|| {
+                            SolverError::Internal(format!(
+                                "bit index {bit} out of range for hash constraint"
+                            ))
+                        })?;
+                        lits.push(lit);
+                    }
+                    encoder.add_xor_over_lits(&lits, rhs);
+                }
+            }
+        }
+        self.encoded_up_to = self.assertions.len();
+        Ok(())
+    }
+
+    /// Value of a variable in the most recent satisfying assignment.
+    ///
+    /// Discrete variables come from the SAT model; real and float variables
+    /// from the simplex witness (floats are reported as their relaxed real
+    /// value).  Returns `None` for unsupported sorts, for variables that were
+    /// never encoded, or if the last check was not satisfiable.
+    pub fn model_value(&self, tm: &TermManager, var: TermId) -> Option<Value> {
+        let encoder = self.encoder.as_ref()?;
+        match tm.sort(var) {
+            Sort::Bool => encoder
+                .model_bits(tm, var)
+                .map(|v| Value::Bool(v.as_u128() == 1)),
+            Sort::BitVec(_) => encoder.model_bits(tm, var).map(Value::Bv),
+            Sort::BoundedInt { .. } => encoder
+                .model_bits(tm, var)
+                .map(|v| Value::Int(v.as_u128() as i64)),
+            Sort::Real | Sort::Float { .. } => {
+                let lra = encoder.lra_var(var)?;
+                let value = self
+                    .real_model_values
+                    .get(lra.index())
+                    .copied()
+                    .unwrap_or(Rational::ZERO);
+                Some(Value::Real(value))
+            }
+            Sort::Array { .. } => None,
+        }
+    }
+
+    /// The projected model: the value of each projection variable in the
+    /// most recent satisfying assignment, in the order given.
+    pub fn projected_model(&self, tm: &TermManager, projection: &[TermId]) -> Option<Vec<BvValue>> {
+        let encoder = self.encoder.as_ref()?;
+        projection
+            .iter()
+            .map(|&v| encoder.model_bits(tm, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_ir::Sort;
+
+    #[test]
+    fn pure_bv_sat_and_model() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let c = tm.mk_bv_const(200, 8);
+        let f = tm.mk_bv_ult(c, x).unwrap();
+        let mut ctx = Context::new();
+        ctx.assert_term(f);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        let v = ctx.model_value(&tm, x).unwrap().as_bv().unwrap();
+        assert!(v.as_u128() > 200);
+    }
+
+    #[test]
+    fn hybrid_bv_lra_interaction() {
+        // b < 4 (bit-vector) and r > 0.5 and r < 1.0 (real): satisfiable.
+        let mut tm = TermManager::new();
+        let b = tm.mk_var("b", Sort::BitVec(4));
+        let r = tm.mk_var("r", Sort::Real);
+        let four = tm.mk_bv_const(4, 4);
+        let f1 = tm.mk_bv_ult(b, four).unwrap();
+        let half = tm.mk_real_const(Rational::new(1, 2));
+        let one = tm.mk_real_const(Rational::ONE);
+        let f2 = tm.mk_real_lt(half, r).unwrap();
+        let f3 = tm.mk_real_lt(r, one).unwrap();
+        let mut ctx = Context::new();
+        ctx.assert_term(f1);
+        ctx.assert_term(f2);
+        ctx.assert_term(f3);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        let rv = match ctx.model_value(&tm, r).unwrap() {
+            Value::Real(v) => v,
+            other => panic!("expected real value, got {other:?}"),
+        };
+        assert!(rv > Rational::new(1, 2) && rv < Rational::ONE);
+    }
+
+    #[test]
+    fn theory_conflict_makes_formula_unsat() {
+        // p selects between r < 0 and r > 1, but also r = 1/2 is asserted,
+        // and p is forced both ways through bv constraints -> unsat overall.
+        let mut tm = TermManager::new();
+        let r = tm.mk_var("r", Sort::Real);
+        let zero = tm.mk_real_const(Rational::ZERO);
+        let one = tm.mk_real_const(Rational::ONE);
+        let f1 = tm.mk_real_lt(r, zero).unwrap();
+        let f2 = tm.mk_real_lt(one, r).unwrap();
+        let both = tm.mk_and([f1, f2]);
+        let mut ctx = Context::new();
+        ctx.assert_term(both);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unsat);
+    }
+
+    #[test]
+    fn disjunction_over_real_atoms_needs_refinement() {
+        // (r < 0 ∨ r > 1) ∧ 0 <= r ∧ r <= 2  is satisfiable with r in (1, 2].
+        let mut tm = TermManager::new();
+        let r = tm.mk_var("r", Sort::Real);
+        let zero = tm.mk_real_const(Rational::ZERO);
+        let one = tm.mk_real_const(Rational::ONE);
+        let two = tm.mk_real_const(Rational::from_int(2));
+        let lt0 = tm.mk_real_lt(r, zero).unwrap();
+        let gt1 = tm.mk_real_lt(one, r).unwrap();
+        let disj = tm.mk_or([lt0, gt1]);
+        let ge0 = tm.mk_real_le(zero, r).unwrap();
+        let le2 = tm.mk_real_le(r, two).unwrap();
+        let mut ctx = Context::new();
+        ctx.assert_term(disj);
+        ctx.assert_term(ge0);
+        ctx.assert_term(le2);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        let rv = match ctx.model_value(&tm, r).unwrap() {
+            Value::Real(v) => v,
+            other => panic!("expected real value, got {other:?}"),
+        };
+        assert!(rv > Rational::ONE && rv <= Rational::from_int(2), "r = {rv}");
+    }
+
+    #[test]
+    fn push_pop_restores_satisfiability() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let three = tm.mk_bv_const(3, 4);
+        let f = tm.mk_bv_ult(x, three).unwrap();
+        let mut ctx = Context::new();
+        ctx.assert_term(f);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        ctx.push();
+        let zero = tm.mk_bv_const(0, 4);
+        let g = tm.mk_bv_ult(x, zero).unwrap(); // impossible
+        ctx.assert_term(g);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unsat);
+        ctx.pop();
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert!(ctx.stats().rebuilds >= 1);
+    }
+
+    #[test]
+    fn enumeration_with_blocking_within_a_frame() {
+        // x < 3 on 4 bits has exactly 3 projected models.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let three = tm.mk_bv_const(3, 4);
+        let f = tm.mk_bv_ult(x, three).unwrap();
+        let mut ctx = Context::new();
+        ctx.track_var(x);
+        ctx.assert_term(f);
+        let mut seen = Vec::new();
+        loop {
+            match ctx.check(&mut tm).unwrap() {
+                SolverResult::Sat => {
+                    let v = ctx.model_value(&tm, x).unwrap().as_bv().unwrap();
+                    assert!(v.as_u128() < 3);
+                    assert!(!seen.contains(&v.as_u128()), "model repeated");
+                    seen.push(v.as_u128());
+                    let c = tm.mk_bv_value(v);
+                    let eq = tm.mk_eq(x, c);
+                    let block = tm.mk_not(eq);
+                    ctx.assert_term(block);
+                }
+                SolverResult::Unsat => break,
+                SolverResult::Unknown => panic!("unexpected unknown"),
+            }
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn xor_bits_assertion_halves_the_space() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(3));
+        let mut ctx = Context::new();
+        ctx.track_var(x);
+        ctx.assert_xor_bits(vec![(x, 0), (x, 1), (x, 2)], true);
+        let mut count = 0;
+        loop {
+            match ctx.check(&mut tm).unwrap() {
+                SolverResult::Sat => {
+                    count += 1;
+                    assert!(count <= 4);
+                    let v = ctx.model_value(&tm, x).unwrap().as_bv().unwrap();
+                    assert_eq!(v.as_u128().count_ones() % 2, 1);
+                    let c = tm.mk_bv_value(v);
+                    let eq = tm.mk_eq(x, c);
+                    let block = tm.mk_not(eq);
+                    ctx.assert_term(block);
+                }
+                SolverResult::Unsat => break,
+                SolverResult::Unknown => panic!("unexpected unknown"),
+            }
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn arrays_and_uf_are_solved_via_preprocessing() {
+        let mut tm = TermManager::new();
+        let a = tm.mk_var("a", Sort::array(Sort::BitVec(2), Sort::BitVec(4)));
+        let i = tm.mk_var("i", Sort::BitVec(2));
+        let j = tm.mk_var("j", Sort::BitVec(2));
+        let si = tm.mk_select(a, i).unwrap();
+        let sj = tm.mk_select(a, j).unwrap();
+        let idx_eq = tm.mk_eq(i, j);
+        let val_neq = {
+            let eq = tm.mk_eq(si, sj);
+            tm.mk_not(eq)
+        };
+        // i = j but a[i] != a[j] violates congruence: unsat.
+        let mut ctx = Context::new();
+        ctx.assert_term(idx_eq);
+        ctx.assert_term(val_neq);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unsat);
+
+        let f = tm.declare_fun("f", vec![Sort::BitVec(4)], Sort::BitVec(4));
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let y = tm.mk_var("y", Sort::BitVec(4));
+        let fx = tm.mk_apply(f, vec![x]).unwrap();
+        let fy = tm.mk_apply(f, vec![y]).unwrap();
+        let xeqy = tm.mk_eq(x, y);
+        let fneq = {
+            let eq = tm.mk_eq(fx, fy);
+            tm.mk_not(eq)
+        };
+        let mut ctx2 = Context::new();
+        ctx2.assert_term(xeqy);
+        ctx2.assert_term(fneq);
+        assert_eq!(ctx2.check(&mut tm).unwrap(), SolverResult::Unsat);
+    }
+
+    #[test]
+    fn unknown_on_tiny_budget() {
+        // A multiplication constraint with a 1-conflict budget.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(10));
+        let y = tm.mk_var("y", Sort::BitVec(10));
+        let prod = tm.mk_bv_mul(x, y).unwrap();
+        let c = tm.mk_bv_const(851, 10);
+        let f = tm.mk_eq(prod, c);
+        let two = tm.mk_bv_const(2, 10);
+        let g1 = tm.mk_bv_ult(two, x).unwrap();
+        let g2 = tm.mk_bv_ult(two, y).unwrap();
+        let mut ctx = Context::with_config(SolverConfig {
+            max_conflicts: Some(1),
+            max_theory_iterations: 10,
+        });
+        ctx.assert_term(f);
+        ctx.assert_term(g1);
+        ctx.assert_term(g2);
+        let verdict = ctx.check(&mut tm).unwrap();
+        assert!(matches!(verdict, SolverResult::Unknown | SolverResult::Sat));
+    }
+
+    #[test]
+    fn float_predicates_are_relaxed_to_reals() {
+        let mut tm = TermManager::new();
+        let u = tm.mk_var("u", Sort::float32());
+        let v = tm.mk_var("v", Sort::float32());
+        let lt = tm.mk_fp_lt(u, v).unwrap();
+        let ge = {
+            let le = tm.mk_fp_le(v, u).unwrap();
+            le
+        };
+        let mut ctx = Context::new();
+        ctx.assert_term(lt);
+        ctx.assert_term(ge);
+        // u < v and v <= u is unsatisfiable under the real relaxation.
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unsat);
+    }
+}

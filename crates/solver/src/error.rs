@@ -1,0 +1,27 @@
+//! Error type of the SMT oracle.
+
+use std::fmt;
+
+/// Errors reported by the SMT oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// The formula uses a construct outside the supported fragment
+    /// (e.g. non-linear real multiplication or equality between arrays).
+    Unsupported(String),
+    /// An internal invariant was violated; indicates a bug.
+    Internal(String),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+            SolverError::Internal(what) => write!(f, "internal solver error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Result alias for oracle operations.
+pub type Result<T> = std::result::Result<T, SolverError>;

@@ -1,0 +1,53 @@
+//! The SMT oracle for the `pact` approximate model counter.
+//!
+//! This crate stands in for the CVC5 solver the paper builds on: it answers
+//! incremental satisfiability queries over hybrid SMT formulas (bit-vectors,
+//! booleans, bounded integers, linear real arithmetic, relaxed floating
+//! point, arrays and uninterpreted functions) and produces models projected
+//! onto discrete variables.
+//!
+//! Architecture (see `DESIGN.md` for the paper-to-repo mapping):
+//!
+//! * [`preprocess`] removes arrays and uninterpreted functions by
+//!   read-over-write rewriting and Ackermannization.
+//! * [`Encoder`](bitblast::Encoder) bit-blasts the discrete structure into
+//!   the `pact-sat` CDCL solver (with native XOR rows for hash constraints)
+//!   and abstracts real/float atoms into boolean literals.
+//! * [`Context`] runs the lazy DPLL(T) loop against the `pact-lra` simplex
+//!   core and exposes an SMT-LIB-style assert / push / pop / check / model
+//!   interface.
+//!
+//! # Example
+//!
+//! ```
+//! use pact_ir::{TermManager, Sort, Rational};
+//! use pact_solver::{Context, SolverResult};
+//!
+//! // A hybrid constraint: b < 8 (bit-vector) and 0 < r < 1 (real).
+//! let mut tm = TermManager::new();
+//! let b = tm.mk_var("b", Sort::BitVec(4));
+//! let r = tm.mk_var("r", Sort::Real);
+//! let eight = tm.mk_bv_const(8, 4);
+//! let zero = tm.mk_real_const(Rational::ZERO);
+//! let one = tm.mk_real_const(Rational::ONE);
+//! let f1 = tm.mk_bv_ult(b, eight).unwrap();
+//! let f2 = tm.mk_real_lt(zero, r).unwrap();
+//! let f3 = tm.mk_real_lt(r, one).unwrap();
+//!
+//! let mut ctx = Context::new();
+//! ctx.assert_term(f1);
+//! ctx.assert_term(f2);
+//! ctx.assert_term(f3);
+//! assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitblast;
+mod context;
+mod error;
+pub mod preprocess;
+
+pub use context::{Context, OracleStats, SolverConfig, SolverResult};
+pub use error::{Result, SolverError};

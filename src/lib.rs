@@ -1,0 +1,24 @@
+//! Umbrella crate of the `pact` reproduction workspace.
+//!
+//! The actual functionality lives in the member crates; this crate exists so
+//! that the repository-level `examples/` and `tests/` directories have a
+//! package to belong to, and it re-exports the public surface a downstream
+//! user typically needs:
+//!
+//! * [`pact`] — the approximate projected model counter (the paper's
+//!   contribution), plus the CDM baseline and the exact enumerator;
+//! * [`pact_ir`] — the term language and SMT-LIB parser/printer;
+//! * [`pact_solver`] — the SMT oracle;
+//! * [`pact_hash`] — the hash families;
+//! * [`pact_benchgen`] — the workload generators.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the paper-to-code map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pact;
+pub use pact_benchgen;
+pub use pact_hash;
+pub use pact_ir;
+pub use pact_solver;

@@ -1,0 +1,203 @@
+//! Cross-crate integration tests: SMT-LIB input → oracle → counter, checked
+//! against brute-force ground truth computed with the IR evaluator.
+
+use std::collections::HashMap;
+
+use pact::{
+    cdm_count, enumerate_count, pact_count, relative_error, CountOutcome, CounterConfig,
+    HashFamily,
+};
+use pact_benchgen::{paper_suite, SuiteParams};
+use pact_ir::{parser, BvValue, Sort, TermManager, Value};
+
+/// Brute-force projected count of a pure-bitvector formula with a single
+/// projected variable, using the IR evaluator as ground truth.
+fn brute_force_count(tm: &TermManager, formula: &[pact_ir::TermId], x: pact_ir::TermId) -> u64 {
+    let width = tm.sort(x).bv_width().expect("bitvector projection");
+    let mut count = 0;
+    for value in 0..(1u128 << width) {
+        let mut asg = HashMap::new();
+        asg.insert(x, Value::Bv(BvValue::new(value, width)));
+        let holds = formula
+            .iter()
+            .all(|&f| tm.eval(f, &asg) == Some(Value::Bool(true)));
+        if holds {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[test]
+fn smtlib_script_is_counted_end_to_end() {
+    let text = r#"
+        (set-logic QF_BVFPLRA)
+        (declare-fun cmd () (_ BitVec 7))
+        (declare-fun level () Real)
+        (set-info :projection (cmd))
+        (assert (bvule (_ bv16 7) cmd))
+        (assert (bvult cmd (_ bv76 7)))
+        (assert (and (<= 0.0 level) (< level 4.5)))
+    "#;
+    let mut tm = TermManager::new();
+    let script = parser::parse_script(&mut tm, text).unwrap();
+    let report = pact_count(
+        &mut tm,
+        &script.asserts,
+        &script.projection,
+        &CounterConfig::fast().with_seed(3),
+    )
+    .unwrap();
+    // 16..=75 → 60 projected models, below the threshold, so exact.
+    assert_eq!(report.outcome, CountOutcome::Exact(60));
+}
+
+#[test]
+fn exact_path_matches_brute_force_on_random_intervals() {
+    // Pure-BV formulas small enough for exhaustive ground truth.
+    for seed in 0..5u64 {
+        let mut tm = TermManager::new();
+        let width = 6;
+        let x = tm.mk_var("x", Sort::BitVec(width));
+        let lo = (seed * 7 + 3) % 40;
+        let hi = lo + 13 + seed * 3;
+        let lo_c = tm.mk_bv_const(lo as u128, width);
+        let hi_c = tm.mk_bv_const(hi.min(63) as u128, width);
+        let f1 = tm.mk_bv_ule(lo_c, x).unwrap();
+        let f2 = tm.mk_bv_ult(x, hi_c).unwrap();
+        let formula = vec![f1, f2];
+        let expected = brute_force_count(&tm, &formula, x);
+        let report =
+            pact_count(&mut tm, &formula, &[x], &CounterConfig::fast().with_seed(seed)).unwrap();
+        assert_eq!(
+            report.outcome,
+            CountOutcome::Exact(expected),
+            "seed {seed}: lo {lo} hi {hi}"
+        );
+    }
+}
+
+#[test]
+fn approximate_estimates_respect_the_error_bound_on_known_counts() {
+    // 8-bit x restricted to three-quarters of the space: 192 models,
+    // saturating the threshold so the hashing path runs.
+    let mut tm = TermManager::new();
+    let x = tm.mk_var("x", Sort::BitVec(8));
+    let c = tm.mk_bv_const(64, 8);
+    let f = tm.mk_bv_ule(c, x).unwrap();
+    let exact = 192.0;
+    for family in [HashFamily::Xor, HashFamily::Prime, HashFamily::Shift] {
+        let config = CounterConfig {
+            family,
+            seed: 19,
+            iterations_override: Some(9),
+            ..CounterConfig::default()
+        };
+        let report = pact_count(&mut tm, &[f], &[x], &config).unwrap();
+        let estimate = report.outcome.value().expect("a count");
+        let err = relative_error(exact, estimate).expect("positive counts");
+        // ε = 0.8 with reduced iterations: allow a little slack beyond the
+        // theoretical bound but catch gross mis-estimation.
+        assert!(
+            err <= 1.2,
+            "family {family}: estimate {estimate} vs exact {exact} (error {err:.3})"
+        );
+    }
+}
+
+#[test]
+fn enum_and_pact_agree_on_generated_instances() {
+    let suite = paper_suite(&SuiteParams {
+        per_logic: 1,
+        min_width: 5,
+        max_width: 5,
+        max_per_cluster: 5,
+        seed: 13,
+    });
+    for instance in &suite {
+        let mut tm = instance.tm.clone();
+        let exact = enumerate_count(
+            &mut tm,
+            &instance.asserts,
+            &instance.projection,
+            5_000,
+            &CounterConfig::fast(),
+        )
+        .unwrap();
+        let exact_value = match exact.outcome {
+            CountOutcome::Exact(n) => n as f64,
+            CountOutcome::Unsatisfiable => 0.0,
+            other => panic!("{}: enum gave {other:?}", instance.name),
+        };
+        let mut tm = instance.tm.clone();
+        let report = pact_count(
+            &mut tm,
+            &instance.asserts,
+            &instance.projection,
+            &CounterConfig::fast().with_seed(23),
+        )
+        .unwrap();
+        let estimate = report.outcome.value().expect("count available");
+        if exact_value == 0.0 {
+            assert_eq!(estimate, 0.0, "{}", instance.name);
+        } else {
+            let err = relative_error(exact_value, estimate).expect("positive counts");
+            assert!(
+                err <= 0.8,
+                "{}: pact {estimate} vs enum {exact_value} (error {err:.3})",
+                instance.name
+            );
+        }
+    }
+}
+
+#[test]
+fn cdm_baseline_runs_on_a_hybrid_instance() {
+    let suite = paper_suite(&SuiteParams {
+        per_logic: 1,
+        min_width: 5,
+        max_width: 5,
+        max_per_cluster: 5,
+        seed: 29,
+    });
+    // Pick the QF_BVFPLRA (CPS) instance: hybrid with reals.
+    let instance = suite
+        .iter()
+        .find(|i| i.logic == pact_ir::logic::Logic::QfBvfplra)
+        .expect("suite covers every logic");
+    let mut tm = instance.tm.clone();
+    let config = CounterConfig {
+        iterations_override: Some(2),
+        seed: 5,
+        ..CounterConfig::default()
+    };
+    let report = cdm_count(&mut tm, &instance.asserts, &instance.projection, &config).unwrap();
+    assert!(report.outcome.is_solved());
+    assert!(report.stats.oracle_calls > 0);
+}
+
+#[test]
+fn projected_count_ignores_continuous_variables() {
+    // The same discrete constraint with and without a continuous side
+    // condition must produce the same projected count (the continuous part
+    // is satisfiable for every projected assignment).
+    let mut tm = TermManager::new();
+    let b = tm.mk_var("b", Sort::BitVec(6));
+    let r = tm.mk_var("r", Sort::Real);
+    let c = tm.mk_bv_const(40, 6);
+    let discrete = tm.mk_bv_ult(b, c).unwrap();
+    let zero = tm.mk_real_const(pact_ir::Rational::ZERO);
+    let continuous = tm.mk_real_lt(zero, r).unwrap();
+
+    let just_discrete =
+        pact_count(&mut tm, &[discrete], &[b], &CounterConfig::fast().with_seed(1)).unwrap();
+    let hybrid = pact_count(
+        &mut tm,
+        &[discrete, continuous],
+        &[b],
+        &CounterConfig::fast().with_seed(1),
+    )
+    .unwrap();
+    assert_eq!(just_discrete.outcome, hybrid.outcome);
+    assert_eq!(just_discrete.outcome, CountOutcome::Exact(40));
+}

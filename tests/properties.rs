@@ -1,0 +1,220 @@
+//! Property-based tests on the workspace's core invariants.
+//!
+//! These cover the load-bearing equivalences of the reproduction:
+//! the bit-blasted oracle must agree with the reference evaluator, hash
+//! constraints must partition the space, rational arithmetic must behave like
+//! arithmetic, and the exact counting path must match brute force.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use pact::{pact_count, CountOutcome, CounterConfig};
+use pact_hash::{generate, HashFamily};
+use pact_ir::{BvValue, Rational, Sort, TermId, TermManager, Value};
+use pact_solver::{Context, SolverResult};
+use rand::{rngs::StdRng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Rational arithmetic
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rational_addition_is_commutative_and_associative(
+        a in -1000i128..1000, b in 1i128..50, c in -1000i128..1000, d in 1i128..50,
+        e in -1000i128..1000, f in 1i128..50,
+    ) {
+        let x = Rational::new(a, b);
+        let y = Rational::new(c, d);
+        let z = Rational::new(e, f);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y) + z, x + (y + z));
+        prop_assert_eq!(x - x, Rational::ZERO);
+    }
+
+    #[test]
+    fn rational_ordering_is_consistent_with_subtraction(
+        a in -1000i128..1000, b in 1i128..50, c in -1000i128..1000, d in 1i128..50,
+    ) {
+        let x = Rational::new(a, b);
+        let y = Rational::new(c, d);
+        prop_assert_eq!(x < y, (x - y).is_negative());
+        prop_assert_eq!(x == y, (x - y).is_zero());
+    }
+
+    #[test]
+    fn rational_parse_display_roundtrip(a in -10_000i128..10_000, b in 1i128..1000) {
+        let x = Rational::new(a, b);
+        prop_assert_eq!(Rational::parse(&x.to_string()), Some(x));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-vector value semantics
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bv_extract_concat_roundtrip(value in any::<u64>(), split in 1u32..31) {
+        let v = BvValue::new(value as u128, 32);
+        let hi = v.extract(31, split);
+        let lo = v.extract(split - 1, 0);
+        prop_assert_eq!(hi.concat(&lo), v);
+    }
+
+    #[test]
+    fn bv_arithmetic_matches_wrapping_semantics(a in any::<u16>(), b in any::<u16>()) {
+        let x = BvValue::new(a as u128, 16);
+        let y = BvValue::new(b as u128, 16);
+        prop_assert_eq!(x.wrapping_add(&y).as_u128(), a.wrapping_add(b) as u128);
+        prop_assert_eq!(x.wrapping_mul(&y).as_u128(), a.wrapping_mul(b) as u128);
+        prop_assert_eq!(x.xor(&y).as_u128(), (a ^ b) as u128);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle vs. reference evaluator
+// ---------------------------------------------------------------------------
+
+/// A small random BV formula over one 5-bit variable, built from a seed.
+fn build_formula(tm: &mut TermManager, x: TermId, spec: &[(u8, u8)]) -> Vec<TermId> {
+    let width = 5;
+    let mut asserts = Vec::new();
+    for &(op, raw) in spec {
+        let value = (raw % 32) as u128;
+        let c = tm.mk_bv_const(value, width);
+        let t = match op % 5 {
+            0 => tm.mk_bv_ule(c, x).unwrap(),
+            1 => tm.mk_bv_ult(x, c).unwrap(),
+            2 => {
+                let masked = tm.mk_bv_and(x, c).unwrap();
+                let zero = tm.mk_bv_const(0, width);
+                let eq = tm.mk_eq(masked, zero);
+                tm.mk_not(eq)
+            }
+            3 => {
+                let sum = tm.mk_bv_add(x, c).unwrap();
+                let bound = tm.mk_bv_const(24, width);
+                tm.mk_bv_ule(sum, bound).unwrap()
+            }
+            _ => {
+                let eq = tm.mk_eq(x, c);
+                tm.mk_not(eq)
+            }
+        };
+        asserts.push(t);
+    }
+    asserts
+}
+
+fn brute_force(tm: &TermManager, asserts: &[TermId], x: TermId) -> u64 {
+    (0..32u128)
+        .filter(|&v| {
+            let mut asg = HashMap::new();
+            asg.insert(x, Value::Bv(BvValue::new(v, 5)));
+            asserts
+                .iter()
+                .all(|&f| tm.eval(f, &asg) == Some(Value::Bool(true)))
+        })
+        .count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_counting_matches_brute_force(spec in proptest::collection::vec((0u8..5, any::<u8>()), 1..4)) {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(5));
+        let asserts = build_formula(&mut tm, x, &spec);
+        let expected = brute_force(&tm, &asserts, x);
+        let report = pact_count(&mut tm, &asserts, &[x], &CounterConfig::fast()).unwrap();
+        let outcome = report.outcome;
+        match outcome {
+            CountOutcome::Exact(n) => prop_assert_eq!(n, expected),
+            CountOutcome::Unsatisfiable => prop_assert_eq!(expected, 0),
+            other => prop_assert!(false, "unexpected outcome {:?}", other),
+        }
+    }
+
+    #[test]
+    fn oracle_models_satisfy_the_reference_evaluator(spec in proptest::collection::vec((0u8..5, any::<u8>()), 1..4)) {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(5));
+        let asserts = build_formula(&mut tm, x, &spec);
+        let mut ctx = Context::new();
+        ctx.track_var(x);
+        for &a in &asserts {
+            ctx.assert_term(a);
+        }
+        match ctx.check(&mut tm).unwrap() {
+            SolverResult::Sat => {
+                let v = ctx.model_value(&tm, x).unwrap();
+                let mut asg = HashMap::new();
+                asg.insert(x, v);
+                for &a in &asserts {
+                    prop_assert_eq!(tm.eval(a, &asg), Some(Value::Bool(true)));
+                }
+            }
+            SolverResult::Unsat => {
+                prop_assert_eq!(brute_force(&tm, &asserts, x), 0);
+            }
+            SolverResult::Unknown => prop_assert!(false, "unexpected unknown"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash constraints partition the projected space
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn solver_enumeration_agrees_with_hash_evaluation(seed in 0u64..500, family_idx in 0usize..3) {
+        let family = HashFamily::ALL[family_idx];
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ell = if family == HashFamily::Xor { 1 } else { 2 };
+        let h = generate(&tm, &[x], ell, family, &mut rng);
+
+        // Expected cell: evaluate the hash on every value.
+        let expected: Vec<u128> = (0..16u128)
+            .filter(|&v| {
+                let values: HashMap<TermId, BvValue> =
+                    [(x, BvValue::new(v, 4))].into_iter().collect();
+                h.eval(&values)
+            })
+            .collect();
+
+        // Observed cell: enumerate the models of the asserted constraint.
+        let mut ctx = Context::new();
+        ctx.track_var(x);
+        h.assert_into(&mut ctx, &mut tm);
+        let mut observed = Vec::new();
+        loop {
+            match ctx.check(&mut tm).unwrap() {
+                SolverResult::Sat => {
+                    let v = ctx.model_value(&tm, x).unwrap().as_bv().unwrap();
+                    observed.push(v.as_u128());
+                    prop_assert!(observed.len() <= 16, "runaway enumeration");
+                    let c = tm.mk_bv_value(v);
+                    let eq = tm.mk_eq(x, c);
+                    let block = tm.mk_not(eq);
+                    ctx.assert_term(block);
+                }
+                SolverResult::Unsat => break,
+                SolverResult::Unknown => prop_assert!(false, "unexpected unknown"),
+            }
+        }
+        observed.sort_unstable();
+        prop_assert_eq!(observed, expected);
+    }
+}
