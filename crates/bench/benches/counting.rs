@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use pact::{pact_count, CounterConfig};
 use pact_bench::{run_one, Configuration, HarnessConfig};
 use pact_benchgen::{generate_for_logic, GenParams};
 use pact_ir::logic::Logic;
@@ -35,5 +36,71 @@ fn bench_counting(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_counting);
+/// The round scheduler's speedup: a 16-iteration count on a saturating
+/// instance, serial vs. one worker per round.  The outcome is bit-identical
+/// for every thread count (asserted below), so the only difference the
+/// scheduler is allowed to make — wall-clock time — is what this measures.
+fn bench_parallel_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_rounds");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+    let params = GenParams {
+        scale: 2,
+        width: 9,
+        seed: 5,
+    };
+    let instance = generate_for_logic(Logic::QfBv, &params);
+    // No deadline: the cross-thread equality assertion below relies on the
+    // deadline-free determinism guarantee (a wall-clock budget could expire
+    // at a different round depending on thread count and machine load).
+    let config_for = |threads: usize| {
+        CounterConfig {
+            iterations_override: Some(16),
+            seed: 11,
+            ..CounterConfig::default()
+        }
+        .with_threads(threads)
+    };
+    // The scheduler must not change the result, only the wall-clock time.
+    let serial = pact_count(
+        &mut instance.tm.clone(),
+        &instance.asserts,
+        &instance.projection,
+        &config_for(1),
+    )
+    .expect("serial count");
+    let wide = pact_count(
+        &mut instance.tm.clone(),
+        &instance.asserts,
+        &instance.projection,
+        &config_for(16),
+    )
+    .expect("parallel count");
+    assert_eq!(
+        serial.outcome, wide.outcome,
+        "thread count changed the outcome"
+    );
+
+    for threads in [1usize, 2, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut tm = instance.tm.clone();
+                    pact_count(
+                        &mut tm,
+                        &instance.asserts,
+                        &instance.projection,
+                        &config_for(threads),
+                    )
+                    .expect("count under bench")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting, bench_parallel_rounds);
 criterion_main!(benches);

@@ -31,7 +31,9 @@ fn add_xor_as_cnf(solver: &mut Solver, vars: &[Var], rhs: bool) {
 
 fn build_chain(native: bool, vars_per_xor: usize, chains: usize) -> Solver {
     let mut solver = Solver::new();
-    let vars: Vec<Var> = (0..vars_per_xor + chains).map(|_| solver.new_var()).collect();
+    let vars: Vec<Var> = (0..vars_per_xor + chains)
+        .map(|_| solver.new_var())
+        .collect();
     for c in 0..chains {
         let slice: Vec<Var> = vars[c..c + vars_per_xor].to_vec();
         if native {

@@ -24,10 +24,8 @@ fn main() {
         seed: 11,
     });
     println!("instance,logic,family,exact,estimate,relative_error");
-    let mut per_family: Vec<(HashFamily, Vec<f64>)> = HashFamily::ALL
-        .iter()
-        .map(|&f| (f, Vec::new()))
-        .collect();
+    let mut per_family: Vec<(HashFamily, Vec<f64>)> =
+        HashFamily::ALL.iter().map(|&f| (f, Vec::new())).collect();
 
     for instance in &suite {
         let mut tm = instance.tm.clone();

@@ -33,7 +33,11 @@ fn main() {
     let records = run_suite(&suite, &harness);
     let series = cactus_series(&records);
     for (configuration, times) in &series {
-        eprintln!("{}: solved {} instances", configuration.label(), times.len());
+        eprintln!(
+            "{}: solved {} instances",
+            configuration.label(),
+            times.len()
+        );
     }
     print!("{}", cactus_report(&series));
 }

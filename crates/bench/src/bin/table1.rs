@@ -1,36 +1,136 @@
 //! Regenerates **Table I**: number of instances counted per logic for the
 //! CDM baseline and the three `pact` configurations.
 //!
-//! Usage: `cargo run -p pact-bench --bin table1 --release [per_logic] [timeout_secs]`
+//! Usage:
+//!
+//! ```text
+//! cargo run -p pact-bench --bin table1 --release -- \
+//!     [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini]
+//! ```
+//!
+//! * `--threads N` fans the suite's runs across `N` workers (`0` = all
+//!   cores; the default).  Each run keeps its own per-instance deadline.
+//! * `--json PATH` additionally writes every run record as JSON (the CI
+//!   smoke-bench artifact format).
+//! * `--mini` switches to the ~10-instance smoke suite with narrow widths
+//!   and a short default timeout, sized for a CI job.
 
 use std::time::Duration;
 
-use pact_bench::{run_suite, table_one, HarnessConfig};
+use pact_bench::{records_to_json, run_suite_parallel, table_one, HarnessConfig};
 use pact_benchgen::{paper_suite, SuiteParams};
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let per_logic: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
-    let timeout: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+struct Args {
+    per_logic: Option<u32>,
+    timeout: Option<u64>,
+    threads: usize,
+    json: Option<String>,
+    mini: bool,
+}
 
-    // Wider projections than the smoke defaults so the four configurations
-    // separate the way the paper's evaluation does.
-    let suite_params = SuiteParams {
-        per_logic,
-        min_width: 9,
-        max_width: 13,
-        ..SuiteParams::default()
+fn parse_args() -> Args {
+    let mut args = Args {
+        per_logic: None,
+        timeout: None,
+        threads: 0,
+        json: None,
+        mini: false,
     };
+    let mut positional = 0;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threads" => {
+                args.threads = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--json" => {
+                args.json = Some(iter.next().expect("--json needs a path"));
+            }
+            "--mini" => args.mini = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                eprintln!(
+                    "usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini]"
+                );
+                std::process::exit(2);
+            }
+            other => {
+                match positional {
+                    0 => match other.parse() {
+                        Ok(v) => args.per_logic = Some(v),
+                        Err(_) => usage_error("per_logic", other),
+                    },
+                    1 => match other.parse() {
+                        Ok(v) => args.timeout = Some(v),
+                        Err(_) => usage_error("timeout_secs", other),
+                    },
+                    _ => usage_error("(extra)", other),
+                }
+                positional += 1;
+            }
+        }
+    }
+    args
+}
+
+fn usage_error(slot: &str, got: &str) -> ! {
+    eprintln!("invalid {slot} argument: {got}");
+    eprintln!("usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+
+    let (suite_params, default_timeout) = if args.mini {
+        // ~10 instances at smoke scale: fast enough for a CI job while still
+        // covering every Table I logic.
+        (
+            SuiteParams {
+                per_logic: args.per_logic.unwrap_or(2),
+                min_width: 6,
+                max_width: 7,
+                max_per_cluster: 1,
+                seed: 7,
+            },
+            2,
+        )
+    } else {
+        // Wider projections than the smoke defaults so the four
+        // configurations separate the way the paper's evaluation does.
+        (
+            SuiteParams {
+                per_logic: args.per_logic.unwrap_or(4),
+                min_width: 9,
+                max_width: 13,
+                ..SuiteParams::default()
+            },
+            5,
+        )
+    };
+    let timeout = args.timeout.unwrap_or(default_timeout);
     let suite = paper_suite(&suite_params);
     eprintln!(
-        "running {} instances x 4 configurations (timeout {timeout}s per run)...",
-        suite.len()
+        "running {} instances x 4 configurations (timeout {timeout}s per run, {} threads)...",
+        suite.len(),
+        if args.threads == 0 {
+            "all".to_string()
+        } else {
+            args.threads.to_string()
+        }
     );
     let harness = HarnessConfig {
         timeout: Duration::from_secs(timeout),
         ..HarnessConfig::default()
     };
-    let records = run_suite(&suite, &harness);
+    let records = run_suite_parallel(&suite, &harness, args.threads);
     println!("Table I — instances counted per logic (projection on BV variables)\n");
     println!("{}", table_one(&records, &suite));
+    if let Some(path) = args.json {
+        std::fs::write(&path, records_to_json(&records)).expect("write JSON report");
+        eprintln!("wrote {} records to {path}", records.len());
+    }
 }

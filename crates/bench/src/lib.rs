@@ -17,6 +17,7 @@
 
 use std::time::Duration;
 
+use pact::parallel::{run_rounds, RoundOutput};
 use pact::{cdm_count, pact_count, CountOutcome, CountReport, CounterConfig, HashFamily};
 use pact_benchgen::Instance;
 use pact_ir::logic::Logic;
@@ -149,13 +150,90 @@ pub fn run_one(
 
 /// Runs every configuration on every instance of the suite.
 pub fn run_suite(instances: &[Instance], harness: &HarnessConfig) -> Vec<RunRecord> {
-    let mut records = Vec::with_capacity(instances.len() * Configuration::ALL.len());
-    for instance in instances {
-        for configuration in Configuration::ALL {
-            records.push(run_one(instance, configuration, harness));
+    run_suite_parallel(instances, harness, 1)
+}
+
+/// Runs every configuration on every instance, fanning the independent
+/// `(instance, configuration)` runs across `threads` workers (`0` = all
+/// cores).
+///
+/// Each run owns its clones of the instance's term manager and its own
+/// oracle, and each carries its own per-instance deadline
+/// ([`HarnessConfig::timeout`]), so a stuck instance only occupies one
+/// worker.  Records come back in the same deterministic order `run_suite`
+/// produces (instance-major, configuration-minor).  The per-record
+/// *verdicts* match a sequential run except near the timeout boundary:
+/// `wall_seconds` always reflects the actual run, and an instance whose
+/// runtime sits close to the deadline can tip either way when workers
+/// oversubscribe the cores.  Suite-level parallelism composes with, and is
+/// independent of, the round-level parallelism inside a single count
+/// ([`CounterConfig::parallel`]).
+pub fn run_suite_parallel(
+    instances: &[Instance],
+    harness: &HarnessConfig,
+    threads: usize,
+) -> Vec<RunRecord> {
+    let pairs: Vec<(&Instance, Configuration)> = instances
+        .iter()
+        .flat_map(|instance| {
+            Configuration::ALL
+                .iter()
+                .map(move |&configuration| (instance, configuration))
+        })
+        .collect();
+    let workers = pact::ParallelConfig { threads }.effective_threads();
+    // The counting engine's round scheduler is exactly the fan-out needed
+    // here: runs never stop the schedule, so every ticket is executed.
+    let outputs = run_rounds(workers, pairs.len() as u32, |i| {
+        let (instance, configuration) = pairs[i as usize];
+        RoundOutput {
+            value: run_one(instance, configuration, harness),
+            stop: false,
         }
+    });
+    outputs
+        .into_iter()
+        .map(|slot| slot.expect("no run stops the schedule"))
+        .collect()
+}
+
+/// Renders run records as a JSON array (one object per run), the format the
+/// CI smoke-bench job uploads as its artifact.
+pub fn records_to_json(records: &[RunRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, record) in records.iter().enumerate() {
+        let (kind, value, log2) = match record.report.outcome {
+            CountOutcome::Exact(n) => ("exact", n as f64, (n as f64).max(1.0).log2()),
+            CountOutcome::Approximate {
+                estimate,
+                log2_estimate,
+            } => ("approximate", estimate, log2_estimate),
+            CountOutcome::Unsatisfiable => ("unsat", 0.0, 0.0),
+            CountOutcome::Timeout => ("timeout", -1.0, -1.0),
+        };
+        let stats = &record.report.stats;
+        out.push_str(&format!(
+            concat!(
+                "  {{\"instance\": \"{}\", \"logic\": \"{}\", \"configuration\": \"{}\", ",
+                "\"outcome\": \"{}\", \"estimate\": {}, \"log2_estimate\": {}, ",
+                "\"oracle_calls\": {}, \"cells_explored\": {}, \"iterations\": {}, ",
+                "\"wall_seconds\": {:.6}}}{}\n"
+            ),
+            record.instance,
+            record.logic.name(),
+            record.configuration.label(),
+            kind,
+            value,
+            log2,
+            stats.oracle_calls,
+            stats.cells_explored,
+            stats.iterations,
+            stats.wall_seconds,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
     }
-    records
+    out.push_str("]\n");
+    out
 }
 
 /// Table I: the number of instances counted per logic and configuration.
@@ -172,9 +250,7 @@ pub fn table_one(records: &[RunRecord], instances: &[Instance]) -> String {
         for (k, configuration) in Configuration::ALL.iter().enumerate() {
             let solved = records
                 .iter()
-                .filter(|r| {
-                    r.logic == logic && r.configuration == *configuration && r.solved()
-                })
+                .filter(|r| r.logic == logic && r.configuration == *configuration && r.solved())
                 .count();
             totals[k] += solved;
             row.push_str(&format!(" {solved:>12}"));
@@ -268,6 +344,45 @@ mod tests {
     }
 
     #[test]
+    fn parallel_suite_runner_matches_sequential_outcomes() {
+        let suite: Vec<Instance> = tiny_suite().into_iter().take(2).collect();
+        let harness = HarnessConfig {
+            timeout: Duration::from_secs(10),
+            iterations: 1,
+            seed: 1,
+        };
+        let sequential = run_suite(&suite, &harness);
+        let parallel = run_suite_parallel(&suite, &harness, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.instance, b.instance, "record order must be stable");
+            assert_eq!(a.configuration, b.configuration);
+            assert_eq!(a.report.outcome, b.report.outcome);
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let suite = tiny_suite();
+        let harness = HarnessConfig {
+            timeout: Duration::from_secs(10),
+            iterations: 1,
+            seed: 1,
+        };
+        let records = vec![run_one(
+            &suite[0],
+            Configuration::Pact(HashFamily::Xor),
+            &harness,
+        )];
+        let json = records_to_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"configuration\": \"pact_xor\""));
+        assert!(json.contains("\"oracle_calls\""));
+        assert_eq!(json.matches("{\"instance\"").count(), records.len());
+    }
+
+    #[test]
     fn table_and_cactus_render() {
         let suite = tiny_suite();
         let harness = HarnessConfig {
@@ -279,7 +394,11 @@ mod tests {
         // rendering still covers every column (with zero entries).
         let mut records = Vec::new();
         for inst in &suite {
-            records.push(run_one(inst, Configuration::Pact(HashFamily::Xor), &harness));
+            records.push(run_one(
+                inst,
+                Configuration::Pact(HashFamily::Xor),
+                &harness,
+            ));
         }
         let table = table_one(&records, &suite);
         assert!(table.contains("QF_ABV"));

@@ -94,7 +94,10 @@ pub fn cps_robustness(params: &GenParams) -> Instance {
     }
     // The safety envelope is violated by the combined deviations: at least
     // one actuator can be attacked (disjunction keeps the count large).
-    let name = format!("cps_robustness_s{}_w{}_{}", params.scale, params.width, params.seed);
+    let name = format!(
+        "cps_robustness_s{}_w{}_{}",
+        params.scale, params.width, params.seed
+    );
     Instance {
         name,
         logic: Logic::QfBvfplra,
@@ -156,7 +159,10 @@ pub fn cfg_reachability(params: &GenParams) -> Instance {
     let always = tm.mk_true();
     asserts.push(tm.mk_or([reach_prev, always]));
 
-    let name = format!("cfg_reach_s{}_w{}_{}", params.scale, params.width, params.seed);
+    let name = format!(
+        "cfg_reach_s{}_w{}_{}",
+        params.scale, params.width, params.seed
+    );
     Instance {
         name,
         logic: Logic::QfAbv,
@@ -191,7 +197,7 @@ pub fn quantitative_verification(params: &GenParams) -> Instance {
         // Steps are bounded: step_k <= acc_0 (keeps everything satisfiable).
         asserts.push(tm.mk_fp_le(step, acc).unwrap());
         let next = tm.mk_fp_add(acc, step).unwrap();
-        let bit = (k % w) as u32;
+        let bit = k % w;
         let b = tm.mk_bv_extract(input, bit, bit).unwrap();
         let one = tm.mk_bv_const(1, 1);
         let taken = tm.mk_eq(b, one);
@@ -209,7 +215,10 @@ pub fn quantitative_verification(params: &GenParams) -> Instance {
     let c = tm.mk_bv_const(bound, w);
     asserts.push(tm.mk_bv_ult(input, c).unwrap());
 
-    let name = format!("quant_verif_s{}_w{}_{}", params.scale, params.width, params.seed);
+    let name = format!(
+        "quant_verif_s{}_w{}_{}",
+        params.scale, params.width, params.seed
+    );
     Instance {
         name,
         logic: Logic::QfBvfp,
@@ -264,7 +273,10 @@ pub fn information_flow(params: &GenParams) -> Instance {
     let low = tm.mk_bv_const(3, w);
     asserts.push(tm.mk_bv_ule(low, public).unwrap());
 
-    let name = format!("info_flow_s{}_w{}_{}", params.scale, params.width, params.seed);
+    let name = format!(
+        "info_flow_s{}_w{}_{}",
+        params.scale, params.width, params.seed
+    );
     Instance {
         name,
         logic: Logic::QfUfbv,
@@ -309,7 +321,10 @@ pub fn sensor_log(params: &GenParams) -> Instance {
     let trace_len = tm.mk_bv_const((1u128 << w) - (1u128 << (w - 3)), w);
     asserts.push(tm.mk_bv_ult(timestamp, trace_len).unwrap());
 
-    let name = format!("sensor_log_s{}_w{}_{}", params.scale, params.width, params.seed);
+    let name = format!(
+        "sensor_log_s{}_w{}_{}",
+        params.scale, params.width, params.seed
+    );
     Instance {
         name,
         logic: Logic::QfAbvfp,

@@ -119,12 +119,7 @@ pub fn filter_satisfiable(instances: Vec<Instance>, budget: Duration) -> Vec<Ins
 pub fn count_by_logic(instances: &[Instance]) -> Vec<(Logic, usize)> {
     Logic::TABLE_ONE
         .iter()
-        .map(|&logic| {
-            (
-                logic,
-                instances.iter().filter(|i| i.logic == logic).count(),
-            )
-        })
+        .map(|&logic| (logic, instances.iter().filter(|i| i.logic == logic).count()))
         .collect()
 }
 

@@ -24,6 +24,7 @@ use pact_ir::{TermId, TermManager};
 use pact_solver::{Context, Result, SolverError, SolverResult};
 
 use crate::config::CounterConfig;
+use crate::parallel::{run_rounds, RoundOutput};
 use crate::result::{median, CountOutcome, CountReport, CountStats};
 
 /// Number of formula copies needed so that a factor-2 estimate of the
@@ -49,17 +50,12 @@ pub fn cdm_count(
     projection: &[TermId],
     config: &CounterConfig,
 ) -> Result<CountReport> {
-    config
-        .validate()
-        .map_err(SolverError::Unsupported)?;
+    config.validate().map_err(SolverError::Unsupported)?;
     if projection.is_empty() {
-        return Err(SolverError::Unsupported(
-            "empty projection set".to_string(),
-        ));
+        return Err(SolverError::Unsupported("empty projection set".to_string()));
     }
     let start = Instant::now();
     let deadline = config.deadline.map(|d| start + d);
-    let mut rng = StdRng::seed_from_u64(config.seed);
     let q = copies_for_epsilon(config.epsilon);
     let iterations = config
         .iterations_override
@@ -99,87 +95,76 @@ pub fn cdm_count(
     let base = ctx.check(tm)?;
     ctx.pop();
     match base {
-        SolverResult::Unsat => {
-            return Ok(finish(CountOutcome::Unsatisfiable, stats, &ctx, start))
-        }
-        SolverResult::Unknown => {
-            return Ok(finish(CountOutcome::Timeout, stats, &ctx, start))
-        }
+        SolverResult::Unsat => return Ok(finish(CountOutcome::Unsatisfiable, stats, &ctx, start)),
+        SolverResult::Unknown => return Ok(finish(CountOutcome::Timeout, stats, &ctx, start)),
         SolverResult::Sat => {}
     }
 
-    let mut estimates = Vec::new();
-    'outer: for _ in 0..iterations {
+    // The outer rounds are independent, exactly like `pact_count`'s: each
+    // draws its own prefix-closed XOR list and probes its own cells, so the
+    // same scheduler fans them out with the same determinism guarantee
+    // (per-round RNG stream `seed ^ round`, per-round clones of the composed
+    // formula's term manager and oracle).
+    let workers = config.parallel.effective_threads();
+    let tm_snapshot: &TermManager = tm;
+    let copied_projections = &copied_projections;
+    let copies = &copies;
+    let outputs = run_rounds(workers, iterations, |round| {
         if deadline_passed(deadline) {
+            return RoundOutput {
+                value: Ok(CdmRound::deadline()),
+                stop: true,
+            };
+        }
+        let mut round_tm = tm_snapshot.clone();
+        let mut round_ctx = Context::with_config(config.solver);
+        for &v in copied_projections {
+            round_ctx.track_var(v);
+        }
+        for &c in copies {
+            round_ctx.assert_term(c);
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed ^ u64::from(round));
+        let value = cdm_round(
+            &mut round_tm,
+            &mut round_ctx,
+            copied_projections,
+            total_bits,
+            q,
+            deadline,
+            &mut rng,
+        );
+        match value {
+            Ok(mut outcome) => {
+                outcome.stats.oracle_calls = round_ctx.stats().checks;
+                let stop = outcome.timed_out;
+                RoundOutput {
+                    value: Ok(outcome),
+                    stop,
+                }
+            }
+            Err(error) => RoundOutput {
+                value: Err(error),
+                stop: true,
+            },
+        }
+    });
+
+    // Merge in round order; the first timed-out round ends the sequence but
+    // still contributes the work it did.
+    let mut estimates = Vec::new();
+    for slot in outputs {
+        let Some(record) = slot else { break };
+        let record = record?;
+        stats.cells_explored += record.stats.cells_explored;
+        stats.oracle_calls += record.stats.oracle_calls;
+        if let Some(estimate) = record.estimate {
+            estimates.push(estimate);
+            stats.iterations += 1;
+        }
+        if record.timed_out {
             break;
         }
-        // Draw one XOR constraint per possible level up front (prefix-closed
-        // like pact's H[i]).
-        let constraints: Vec<TermId> = (0..total_bits)
-            .map(|_| {
-                let h = generate(tm, &copied_projections, 1, HashFamily::Xor, &mut rng);
-                h.to_term(tm)
-            })
-            .collect();
-        let mut probe = |ctx: &mut Context, tm: &mut TermManager, m: usize| -> Result<Option<bool>> {
-            if deadline_passed(deadline) {
-                return Ok(None);
-            }
-            ctx.push();
-            for &c in &constraints[..m] {
-                ctx.assert_term(c);
-            }
-            let verdict = ctx.check(tm)?;
-            ctx.pop();
-            stats.cells_explored += 1;
-            Ok(match verdict {
-                SolverResult::Sat => Some(true),
-                SolverResult::Unsat => Some(false),
-                SolverResult::Unknown => None,
-            })
-        };
-        // Galloping search for the largest m with a non-empty cell.
-        let mut lo = 0usize; // known SAT
-        let mut hi: Option<usize> = None; // known UNSAT
-        let mut m = 1usize;
-        loop {
-            if m > total_bits {
-                break;
-            }
-            match probe(&mut ctx, tm, m)? {
-                Some(true) => {
-                    lo = lo.max(m);
-                    if m == total_bits {
-                        break;
-                    }
-                    m = (m * 2).min(total_bits);
-                }
-                Some(false) => {
-                    hi = Some(m);
-                    break;
-                }
-                None => break 'outer,
-            }
-        }
-        let mut upper = match hi {
-            Some(h) => h,
-            None => {
-                // Even all constraints leave a solution; use the full width.
-                estimates.push((lo as f64) / q as f64);
-                stats.iterations += 1;
-                continue;
-            }
-        };
-        while upper - lo > 1 {
-            let mid = lo + (upper - lo) / 2;
-            match probe(&mut ctx, tm, mid)? {
-                Some(true) => lo = mid,
-                Some(false) => upper = mid,
-                None => break 'outer,
-            }
-        }
-        estimates.push(lo as f64 / q as f64);
-        stats.iterations += 1;
     }
 
     let outcome = match median(&estimates) {
@@ -195,8 +180,137 @@ pub fn cdm_count(
     Ok(finish(outcome, stats, &ctx, start))
 }
 
-fn finish(outcome: CountOutcome, mut stats: CountStats, ctx: &Context, start: Instant) -> CountReport {
-    stats.oracle_calls = ctx.stats().checks;
+/// One scheduled CDM round: its estimate (if it completed), the work it did,
+/// and whether it ran out of budget.
+struct CdmRound {
+    estimate: Option<f64>,
+    stats: CountStats,
+    timed_out: bool,
+}
+
+impl CdmRound {
+    /// A round that observed the deadline before doing any work.
+    fn deadline() -> Self {
+        CdmRound {
+            estimate: None,
+            stats: CountStats::default(),
+            timed_out: true,
+        }
+    }
+}
+
+/// One iteration of the CDM loop: draw a prefix-closed XOR list, then find
+/// the largest prefix that still leaves the composed formula satisfiable
+/// with a galloping + binary search.
+fn cdm_round(
+    tm: &mut TermManager,
+    ctx: &mut Context,
+    copied_projections: &[TermId],
+    total_bits: usize,
+    q: u32,
+    deadline: Option<Instant>,
+    rng: &mut StdRng,
+) -> Result<CdmRound> {
+    let mut stats = CountStats::default();
+    // Draw one XOR constraint per possible level up front (prefix-closed
+    // like pact's H[i]).
+    let constraints: Vec<TermId> = (0..total_bits)
+        .map(|_| {
+            let h = generate(tm, copied_projections, 1, HashFamily::Xor, rng);
+            h.to_term(tm)
+        })
+        .collect();
+    let probe = |ctx: &mut Context,
+                 tm: &mut TermManager,
+                 m: usize,
+                 stats: &mut CountStats|
+     -> Result<Option<bool>> {
+        if deadline_passed(deadline) {
+            return Ok(None);
+        }
+        ctx.push();
+        for &c in &constraints[..m] {
+            ctx.assert_term(c);
+        }
+        let verdict = ctx.check(tm)?;
+        ctx.pop();
+        stats.cells_explored += 1;
+        Ok(match verdict {
+            SolverResult::Sat => Some(true),
+            SolverResult::Unsat => Some(false),
+            SolverResult::Unknown => None,
+        })
+    };
+    // Galloping search for the largest m with a non-empty cell.
+    let mut lo = 0usize; // known SAT
+    let mut hi: Option<usize> = None; // known UNSAT
+    let mut m = 1usize;
+    loop {
+        if m > total_bits {
+            break;
+        }
+        match probe(ctx, tm, m, &mut stats)? {
+            Some(true) => {
+                lo = lo.max(m);
+                if m == total_bits {
+                    break;
+                }
+                m = (m * 2).min(total_bits);
+            }
+            Some(false) => {
+                hi = Some(m);
+                break;
+            }
+            None => {
+                return Ok(CdmRound {
+                    estimate: None,
+                    stats,
+                    timed_out: true,
+                })
+            }
+        }
+    }
+    let mut upper = match hi {
+        Some(h) => h,
+        None => {
+            // Even all constraints leave a solution; use the full width.
+            return Ok(CdmRound {
+                estimate: Some(lo as f64 / f64::from(q)),
+                stats,
+                timed_out: false,
+            });
+        }
+    };
+    while upper - lo > 1 {
+        let mid = lo + (upper - lo) / 2;
+        match probe(ctx, tm, mid, &mut stats)? {
+            Some(true) => lo = mid,
+            Some(false) => upper = mid,
+            None => {
+                return Ok(CdmRound {
+                    estimate: None,
+                    stats,
+                    timed_out: true,
+                })
+            }
+        }
+    }
+    Ok(CdmRound {
+        estimate: Some(lo as f64 / f64::from(q)),
+        stats,
+        timed_out: false,
+    })
+}
+
+fn finish(
+    outcome: CountOutcome,
+    mut stats: CountStats,
+    ctx: &Context,
+    start: Instant,
+) -> CountReport {
+    // Rounds ran on their own oracles and already merged their call counts;
+    // add the base context's calls (the satisfiability pre-check) on top.
+    stats.oracle_calls += ctx.stats().checks;
     stats.wall_seconds = start.elapsed().as_secs_f64();
     CountReport { outcome, stats }
 }
@@ -249,6 +363,32 @@ mod tests {
                 assert!(err <= 3.0, "estimate {estimate} too far from 64");
             }
             other => panic!("expected approximate count, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cdm_outcome_is_identical_for_every_thread_count() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(6));
+        let c = tm.mk_bv_const(63, 6);
+        let f = tm.mk_bv_ule(x, c).unwrap(); // 64 models
+        let reports: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                let config = CounterConfig {
+                    iterations_override: Some(5),
+                    seed: 2,
+                    ..CounterConfig::default()
+                }
+                .with_threads(threads);
+                cdm_count(&mut tm, &[f], &[x], &config).unwrap()
+            })
+            .collect();
+        for report in &reports[1..] {
+            assert_eq!(report.outcome, reports[0].outcome);
+            assert_eq!(report.stats.oracle_calls, reports[0].stats.oracle_calls);
+            assert_eq!(report.stats.cells_explored, reports[0].stats.cells_explored);
+            assert_eq!(report.stats.iterations, reports[0].stats.iterations);
         }
     }
 

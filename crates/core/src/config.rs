@@ -5,6 +5,53 @@ use std::time::Duration;
 use pact_hash::HashFamily;
 use pact_solver::SolverConfig;
 
+/// Thread scheduling of the independent outer rounds of the counting
+/// algorithms.
+///
+/// The rounds of Algorithm 1 (and of the CDM baseline) are independent: each
+/// draws its own hash functions and measures its own cells.  The scheduler
+/// fans them out over a scoped thread pool; every round derives its RNG
+/// stream from `seed ^ round` and runs against its own clones of the term
+/// manager and oracle, so the reported outcome is bit-identical for every
+/// thread count (only wall-clock time changes).
+///
+/// The bit-identical guarantee assumes no deadline fires mid-run: a
+/// [`CounterConfig::deadline`] is checked against the wall clock, so *which*
+/// round first observes it depends on how fast rounds complete — and that
+/// varies with the thread count (and machine load).  Deadline-free runs, and
+/// runs that comfortably fit their budget, are exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of worker threads for the outer rounds.  `1` (the default)
+    /// runs rounds on the calling thread; `0` uses all available cores.
+    pub threads: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { threads: 1 }
+    }
+}
+
+impl ParallelConfig {
+    /// Uses every core the OS reports.
+    pub fn auto() -> Self {
+        ParallelConfig { threads: 0 }
+    }
+
+    /// The number of workers to actually spawn (resolves `0` to the core
+    /// count, with a floor of one).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
 /// Configuration shared by [`crate::pact_count`], the CDM baseline and the
 /// exact enumerator.
 ///
@@ -31,6 +78,9 @@ pub struct CounterConfig {
     /// theoretical confidence for wall-clock time; `None` keeps the paper's
     /// value.
     pub iterations_override: Option<u32>,
+    /// Thread scheduling of the outer rounds (deterministic for every
+    /// thread count; see [`ParallelConfig`]).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for CounterConfig {
@@ -43,6 +93,7 @@ impl Default for CounterConfig {
             deadline: None,
             solver: SolverConfig::default(),
             iterations_override: None,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -81,6 +132,15 @@ impl CounterConfig {
         self
     }
 
+    /// Returns a copy running the outer rounds on `threads` workers
+    /// (`0` = all cores).  Absent a mid-run deadline expiry, the outcome is
+    /// identical for every value; only wall-clock time changes (see
+    /// [`ParallelConfig`] for the caveat).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallel = ParallelConfig { threads };
+        self
+    }
+
     /// Validates the parameters.
     ///
     /// # Errors
@@ -112,14 +172,21 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_parameters() {
-        let mut c = CounterConfig::default();
-        c.epsilon = 0.0;
-        assert!(c.validate().is_err());
-        c.epsilon = 0.8;
-        c.delta = 1.0;
-        assert!(c.validate().is_err());
-        c.delta = -0.1;
-        assert!(c.validate().is_err());
+        let zero_epsilon = CounterConfig {
+            epsilon: 0.0,
+            ..CounterConfig::default()
+        };
+        assert!(zero_epsilon.validate().is_err());
+        let delta_too_big = CounterConfig {
+            delta: 1.0,
+            ..CounterConfig::default()
+        };
+        assert!(delta_too_big.validate().is_err());
+        let negative_delta = CounterConfig {
+            delta: -0.1,
+            ..CounterConfig::default()
+        };
+        assert!(negative_delta.validate().is_err());
     }
 
     #[test]
@@ -127,9 +194,20 @@ mod tests {
         let c = CounterConfig::default()
             .with_family(HashFamily::Prime)
             .with_seed(7)
-            .with_deadline(Duration::from_secs(5));
+            .with_deadline(Duration::from_secs(5))
+            .with_threads(4);
         assert_eq!(c.family, HashFamily::Prime);
         assert_eq!(c.seed, 7);
         assert_eq!(c.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(c.parallel.threads, 4);
+    }
+
+    #[test]
+    fn parallel_config_resolves_workers() {
+        assert_eq!(ParallelConfig::default().effective_threads(), 1);
+        assert_eq!(ParallelConfig { threads: 8 }.effective_threads(), 8);
+        // `0` asks for every core; the exact count is machine-dependent but
+        // never zero.
+        assert!(ParallelConfig::auto().effective_threads() >= 1);
     }
 }

@@ -27,8 +27,7 @@ pub struct Constants {
 pub fn get_constants(epsilon: f64, delta: f64, family: HashFamily) -> Constants {
     assert!(epsilon > 0.0, "epsilon must be positive");
     assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
-    let thresh =
-        1.0 + 9.84 * (1.0 + epsilon / (1.0 + epsilon)) * (1.0 + 1.0 / epsilon).powi(2);
+    let thresh = 1.0 + 9.84 * (1.0 + epsilon / (1.0 + epsilon)) * (1.0 + 1.0 / epsilon).powi(2);
     let thresh = thresh.ceil() as u64;
     let log_term = (3.0 / delta).log2();
     let (iterations, ell) = match family {

@@ -11,6 +11,7 @@ use pact_solver::{Context, Result, SolverError};
 
 use crate::config::CounterConfig;
 use crate::constants::get_constants;
+use crate::parallel::{run_rounds, RoundOutput};
 use crate::result::{median, CountOutcome, CountReport, CountStats};
 use crate::saturating::{saturating_count, CellCount};
 
@@ -46,13 +47,9 @@ pub fn pact_count(
     projection: &[TermId],
     config: &CounterConfig,
 ) -> Result<CountReport> {
-    config
-        .validate()
-        .map_err(SolverError::Unsupported)?;
+    config.validate().map_err(SolverError::Unsupported)?;
     if projection.is_empty() {
-        return Err(SolverError::Unsupported(
-            "empty projection set".to_string(),
-        ));
+        return Err(SolverError::Unsupported("empty projection set".to_string()));
     }
     let start = Instant::now();
     let deadline = config.deadline.map(|d| start + d);
@@ -61,8 +58,6 @@ pub fn pact_count(
         .iterations_override
         .unwrap_or(constants.iterations)
         .max(1);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-
     let mut ctx = Context::with_config(config.solver);
     for &v in projection {
         ctx.track_var(v);
@@ -94,25 +89,75 @@ pub fn pact_count(
     // Maximum number of hash constraints ever needed: enough to cut the
     // projected space down to (expected) single solutions.
     let total_bits = projection_bits(tm, projection).max(1);
-    let mut estimates: Vec<f64> = Vec::new();
 
-    for _ in 0..iterations {
+    // The outer rounds are independent: each gets its own term-manager
+    // clone, its own oracle and an RNG stream derived from `seed ^ round`,
+    // so the scheduler can fan them out across threads without changing the
+    // result (see `parallel.rs` for the determinism argument).
+    let workers = config.parallel.effective_threads();
+    let tm_snapshot: &TermManager = tm;
+    let thresh = constants.thresh;
+    let ell = constants.ell;
+    let outputs = run_rounds(workers, iterations, |round| {
         if deadline_passed(deadline) {
-            break;
+            return RoundOutput {
+                value: Ok(RoundRecord::deadline()),
+                stop: true,
+            };
         }
-        let outcome = one_round(
-            tm,
-            &mut ctx,
+        let mut round_tm = tm_snapshot.clone();
+        let mut round_ctx = Context::with_config(config.solver);
+        for &v in projection {
+            round_ctx.track_var(v);
+        }
+        for &f in formula {
+            round_ctx.assert_term(f);
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed ^ u64::from(round));
+        let mut round_stats = CountStats::default();
+        let result = one_round(
+            &mut round_tm,
+            &mut round_ctx,
             projection,
             config,
-            constants.thresh,
-            constants.ell,
+            thresh,
+            ell,
             total_bits,
             deadline,
             &mut rng,
-            &mut stats,
-        )?;
-        match outcome {
+            &mut round_stats,
+        );
+        round_stats.oracle_calls = round_ctx.stats().checks;
+        match result {
+            Ok(outcome) => {
+                let stop = matches!(outcome, RoundOutcome::Timeout);
+                RoundOutput {
+                    value: Ok(RoundRecord {
+                        outcome,
+                        stats: round_stats,
+                    }),
+                    stop,
+                }
+            }
+            Err(error) => RoundOutput {
+                value: Err(error),
+                stop: true,
+            },
+        }
+    });
+
+    // Merge in round order; the first stopping round ends the sequence, and
+    // a partially counted (timed-out) round still contributes its stats.
+    let mut estimates: Vec<f64> = Vec::new();
+    for slot in outputs {
+        let Some(record) = slot else { break };
+        let record = record?;
+        stats.cells_explored += record.stats.cells_explored;
+        stats.oracle_calls += record.stats.oracle_calls;
+        if record.stats.final_hash_count > 0 {
+            stats.final_hash_count = record.stats.final_hash_count;
+        }
+        match record.outcome {
             RoundOutcome::Estimate(value) => {
                 estimates.push(value);
                 stats.iterations += 1;
@@ -123,17 +168,41 @@ pub fn pact_count(
     }
 
     let outcome = match median(&estimates) {
-        Some(estimate) if !estimates.is_empty() => CountOutcome::Approximate {
+        Some(estimate) => CountOutcome::Approximate {
             estimate,
             log2_estimate: estimate.log2(),
         },
-        _ => CountOutcome::Timeout,
+        None => CountOutcome::Timeout,
     };
     Ok(finish(outcome, stats, &ctx, start))
 }
 
-fn finish(outcome: CountOutcome, mut stats: CountStats, ctx: &Context, start: Instant) -> CountReport {
-    stats.oracle_calls = ctx.stats().checks;
+/// One scheduled round's result: what it concluded plus the work it did
+/// (merged into the report even when the round timed out mid-cell).
+struct RoundRecord {
+    outcome: RoundOutcome,
+    stats: CountStats,
+}
+
+impl RoundRecord {
+    /// A round that observed the deadline before doing any work.
+    fn deadline() -> Self {
+        RoundRecord {
+            outcome: RoundOutcome::Timeout,
+            stats: CountStats::default(),
+        }
+    }
+}
+
+fn finish(
+    outcome: CountOutcome,
+    mut stats: CountStats,
+    ctx: &Context,
+    start: Instant,
+) -> CountReport {
+    // Rounds ran on their own oracles and already merged their call counts;
+    // add the base context's calls (the initial exactness check) on top.
+    stats.oracle_calls += ctx.stats().checks;
     stats.wall_seconds = start.elapsed().as_secs_f64();
     CountReport { outcome, stats }
 }
@@ -175,9 +244,9 @@ fn one_round(
 
     // Measure |Sol(F ∧ H[0..i])↓S| with the saturating counter.
     let measure = |ctx: &mut Context,
-                       tm: &mut TermManager,
-                       constraints: &[HashConstraint],
-                       stats: &mut CountStats|
+                   tm: &mut TermManager,
+                   constraints: &[HashConstraint],
+                   stats: &mut CountStats|
      -> Result<CellCount> {
         if deadline_passed(deadline) {
             return Ok(CellCount::Unknown);
@@ -278,11 +347,7 @@ mod tests {
     use pact_ir::Sort;
 
     /// Builds `x < bound` over `width`-bit `x` (projected count = `bound`).
-    fn interval_instance(
-        tm: &mut TermManager,
-        width: u32,
-        bound: u128,
-    ) -> (TermId, TermId) {
+    fn interval_instance(tm: &mut TermManager, width: u32, bound: u128) -> (TermId, TermId) {
         let x = tm.mk_fresh_var("x", Sort::BitVec(width));
         let c = tm.mk_bv_const(bound, width);
         let f = tm.mk_bv_ult(x, c).unwrap();
@@ -403,7 +468,7 @@ mod tests {
     }
 
     #[test]
-    fn zero_deadline_times_out() {
+    fn zero_deadline_times_out_with_partial_stats() {
         let mut tm = TermManager::new();
         let (x, f) = interval_instance(&mut tm, 8, 200);
         let config = CounterConfig {
@@ -412,6 +477,32 @@ mod tests {
         };
         let report = pact_count(&mut tm, &[f], &[x], &config).unwrap();
         assert_eq!(report.outcome, CountOutcome::Timeout);
+        // The work done before the deadline is reported, not discarded: the
+        // base cell was opened (and immediately abandoned), and the clock
+        // was read.
+        assert!(report.stats.cells_explored >= 1);
+        assert!(report.stats.wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn mid_run_deadline_keeps_partial_stats() {
+        // A saturating instance with far more iterations than a short budget
+        // allows: whether the deadline lands mid-cell or between rounds, the
+        // partial work must show up in the stats.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(12));
+        let c = tm.mk_bv_const(2048, 12);
+        let f = tm.mk_bv_ule(c, x).unwrap(); // 2048 models: saturates
+        let config = CounterConfig {
+            deadline: Some(std::time::Duration::from_millis(40)),
+            iterations_override: Some(500),
+            seed: 1,
+            ..CounterConfig::default()
+        };
+        let report = pact_count(&mut tm, &[f], &[x], &config).unwrap();
+        assert!(report.stats.cells_explored >= 1);
+        assert!(report.stats.oracle_calls >= 1);
+        assert!(report.stats.wall_seconds > 0.0);
     }
 
     #[test]
@@ -428,5 +519,37 @@ mod tests {
         let a = pact_count(&mut tm, &[f], &[x], &config).unwrap();
         let b = pact_count(&mut tm, &[f], &[x], &config).unwrap();
         assert_eq!(a.outcome, b.outcome);
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_the_outcome() {
+        // The scheduler's contract: same seed ⇒ identical outcome and
+        // identical deterministic stats for every thread count.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let c = tm.mk_bv_const(16, 8);
+        let f = tm.mk_bv_ule(c, x).unwrap(); // 240 models: saturates
+        let reports: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                let config = CounterConfig {
+                    iterations_override: Some(9),
+                    seed: 42,
+                    ..CounterConfig::default()
+                }
+                .with_threads(threads);
+                pact_count(&mut tm, &[f], &[x], &config).unwrap()
+            })
+            .collect();
+        for report in &reports[1..] {
+            assert_eq!(report.outcome, reports[0].outcome);
+            assert_eq!(report.stats.oracle_calls, reports[0].stats.oracle_calls);
+            assert_eq!(report.stats.cells_explored, reports[0].stats.cells_explored);
+            assert_eq!(report.stats.iterations, reports[0].stats.iterations);
+            assert_eq!(
+                report.stats.final_hash_count,
+                reports[0].stats.final_hash_count
+            );
+        }
     }
 }

@@ -75,8 +75,7 @@ mod tests {
         let x = tm.mk_var("x", Sort::BitVec(6));
         let c = tm.mk_bv_const(17, 6);
         let f = tm.mk_bv_ult(x, c).unwrap();
-        let report =
-            enumerate_count(&mut tm, &[f], &[x], 1_000, &CounterConfig::fast()).unwrap();
+        let report = enumerate_count(&mut tm, &[f], &[x], 1_000, &CounterConfig::fast()).unwrap();
         assert_eq!(report.outcome, CountOutcome::Exact(17));
     }
 
@@ -100,8 +99,7 @@ mod tests {
         let eq = tm.mk_eq(x, a);
         let neq = tm.mk_not(eq);
         let both = tm.mk_and([f1, f2, neq]);
-        let report =
-            enumerate_count(&mut tm, &[both], &[x], 100, &CounterConfig::fast()).unwrap();
+        let report = enumerate_count(&mut tm, &[both], &[x], 100, &CounterConfig::fast()).unwrap();
         assert_eq!(report.outcome, CountOutcome::Unsatisfiable);
     }
 }

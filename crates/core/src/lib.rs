@@ -47,11 +47,12 @@ mod config;
 mod constants;
 mod counter;
 mod enumerate;
+pub mod parallel;
 mod result;
 pub mod saturating;
 
 pub use cdm::{cdm_count, copies_for_epsilon};
-pub use config::CounterConfig;
+pub use config::{CounterConfig, ParallelConfig};
 pub use constants::{get_constants, Constants};
 pub use counter::pact_count;
 pub use enumerate::enumerate_count;

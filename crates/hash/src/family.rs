@@ -62,10 +62,7 @@ pub struct HashConstraint {
 #[derive(Debug, Clone)]
 enum HashKind {
     /// Parity of the chosen bits equals `rhs`.
-    Xor {
-        bits: Vec<(TermId, u32)>,
-        rhs: bool,
-    },
+    Xor { bits: Vec<(TermId, u32)>, rhs: bool },
     /// `((Σ aᵢ·sliceᵢ + b) mod modulus) >> shift == target`, computed in
     /// `width`-bit arithmetic.  `shift == 0` for `H_prime` (where `modulus`
     /// is prime); for `H_shift` the modulus is `2^width` and the top `ℓ`
@@ -291,16 +288,17 @@ pub fn generate(
             // Accumulator width: big enough for the products and the sum, and
             // at least max_slice + ell - 1 as required for pairwise independence.
             let width = (max_slice + ell + bit_width(d + 1)).max(max_slice + ell);
-            let modulus = if width >= 128 { u128::MAX } else { 1u128 << width };
+            let modulus = if width >= 128 {
+                u128::MAX
+            } else {
+                1u128 << width
+            };
             let bound = if width >= 128 {
                 u128::MAX
             } else {
                 1u128 << width
             };
-            let coeffs: Vec<u128> = slices
-                .iter()
-                .map(|_| rng.random_range(0..bound))
-                .collect();
+            let coeffs: Vec<u128> = slices.iter().map(|_| rng.random_range(0..bound)).collect();
             let offset = rng.random_range(0..bound);
             let target = rng.random_range(0..(1u128 << ell));
             HashConstraint {
@@ -331,13 +329,7 @@ mod tests {
         StdRng::seed_from_u64(seed)
     }
 
-    fn eval_term_on(
-        tm: &TermManager,
-        term: TermId,
-        var: TermId,
-        value: u128,
-        width: u32,
-    ) -> bool {
+    fn eval_term_on(tm: &TermManager, term: TermId, var: TermId, value: u128, width: u32) -> bool {
         let mut asg = HashMap::new();
         asg.insert(var, Value::Bv(BvValue::new(value, width)));
         match tm.eval(term, &asg) {
@@ -353,8 +345,9 @@ mod tests {
         for family in HashFamily::ALL {
             let a = generate(&tm, &[x], 3, family, &mut rng(7));
             let b = generate(&tm, &[x], 3, family, &mut rng(7));
-            let values: HashMap<TermId, BvValue> =
-                [(x, BvValue::new(0b1010_1100_0011, 12))].into_iter().collect();
+            let values: HashMap<TermId, BvValue> = [(x, BvValue::new(0b1010_1100_0011, 12))]
+                .into_iter()
+                .collect();
             assert_eq!(a.eval(&values), b.eval(&values));
             assert_eq!(a.range(), b.range());
         }
@@ -364,7 +357,10 @@ mod tests {
     fn ranges_match_the_paper() {
         let mut tm = TermManager::new();
         let x = tm.mk_var("x", Sort::BitVec(16));
-        assert_eq!(generate(&tm, &[x], 4, HashFamily::Xor, &mut rng(1)).range(), 2);
+        assert_eq!(
+            generate(&tm, &[x], 4, HashFamily::Xor, &mut rng(1)).range(),
+            2
+        );
         assert_eq!(
             generate(&tm, &[x], 4, HashFamily::Prime, &mut rng(1)).range(),
             17
@@ -507,18 +503,12 @@ mod tests {
         let h = generate(&tm, &[x, y], 2, HashFamily::Prime, &mut r);
         // The constraint must depend on both variables for this seed (the
         // coefficients are non-zero with overwhelming probability).
-        let v1: HashMap<TermId, BvValue> = [
-            (x, BvValue::new(1, 5)),
-            (y, BvValue::new(0, 3)),
-        ]
-        .into_iter()
-        .collect();
-        let v2: HashMap<TermId, BvValue> = [
-            (x, BvValue::new(1, 5)),
-            (y, BvValue::new(5, 3)),
-        ]
-        .into_iter()
-        .collect();
+        let v1: HashMap<TermId, BvValue> = [(x, BvValue::new(1, 5)), (y, BvValue::new(0, 3))]
+            .into_iter()
+            .collect();
+        let v2: HashMap<TermId, BvValue> = [(x, BvValue::new(1, 5)), (y, BvValue::new(5, 3))]
+            .into_iter()
+            .collect();
         // Not asserting inequality of results (could collide), only that
         // evaluation is well-defined over multi-variable projections.
         let _ = h.eval(&v1);

@@ -8,15 +8,15 @@ pub fn is_prime(n: u128) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
-    if n % 3 == 0 {
+    if n.is_multiple_of(3) {
         return n == 3;
     }
     let mut d = 5u128;
     while d * d <= n {
-        if n % d == 0 || n % (d + 2) == 0 {
+        if n.is_multiple_of(d) || n.is_multiple_of(d + 2) {
             return false;
         }
         d += 6;
@@ -30,7 +30,7 @@ pub fn next_prime(n: u128) -> u128 {
     if candidate <= 2 {
         return 2;
     }
-    if candidate % 2 == 0 {
+    if candidate.is_multiple_of(2) {
         candidate += 1;
     }
     while !is_prime(candidate) {

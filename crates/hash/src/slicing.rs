@@ -77,9 +77,30 @@ mod tests {
         let x = tm.mk_var("x", Sort::BitVec(10));
         let slices = slice_projection(&tm, &[x], 4);
         assert_eq!(slices.len(), 3);
-        assert_eq!(slices[0], Slice { var: x, lo: 0, width: 4 });
-        assert_eq!(slices[1], Slice { var: x, lo: 4, width: 4 });
-        assert_eq!(slices[2], Slice { var: x, lo: 8, width: 2 });
+        assert_eq!(
+            slices[0],
+            Slice {
+                var: x,
+                lo: 0,
+                width: 4
+            }
+        );
+        assert_eq!(
+            slices[1],
+            Slice {
+                var: x,
+                lo: 4,
+                width: 4
+            }
+        );
+        assert_eq!(
+            slices[2],
+            Slice {
+                var: x,
+                lo: 8,
+                width: 2
+            }
+        );
         let total: u32 = slices.iter().map(|s| s.width).sum();
         assert_eq!(total, 10);
     }
@@ -113,6 +134,13 @@ mod tests {
         let mut tm = TermManager::new();
         let x = tm.mk_var("x", Sort::BitVec(3));
         let slices = slice_projection(&tm, &[x], 8);
-        assert_eq!(slices, vec![Slice { var: x, lo: 0, width: 3 }]);
+        assert_eq!(
+            slices,
+            vec![Slice {
+                var: x,
+                lo: 0,
+                width: 3
+            }]
+        );
     }
 }

@@ -77,3 +77,17 @@ impl std::error::Error for IrError {}
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, IrError>;
+
+// Send/Sync audit: the counting engine clones `TermManager` into worker
+// threads (one clone per scheduled round), so these bounds are part of the
+// crate's contract.  All term storage is owned (`Vec`s, `String`s,
+// `HashMap`s of plain data) and `unsafe` is forbidden crate-wide, so the
+// auto traits hold structurally; these assertions make any future
+// `Rc`/`RefCell`/raw-pointer regression a compile error here rather than a
+// confusing one in `pact-core`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TermManager>();
+    assert_send_sync::<Term>();
+    assert_send_sync::<Value>();
+};

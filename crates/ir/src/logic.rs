@@ -108,12 +108,7 @@ impl TheoryProfile {
 
     /// Maps the profile onto the closest Table I logic.
     pub fn logic(&self) -> Logic {
-        match (
-            self.arrays,
-            self.uninterpreted,
-            self.floats,
-            self.reals,
-        ) {
+        match (self.arrays, self.uninterpreted, self.floats, self.reals) {
             (true, _, true, true) => Logic::QfAbvfplra,
             (true, _, true, false) => Logic::QfAbvfp,
             (true, _, false, _) => Logic::QfAbv,

@@ -254,7 +254,10 @@ impl TermManager {
         self.intern(Term {
             op: Op::IntConst(value),
             children: vec![],
-            sort: Sort::BoundedInt { lo: value, hi: value },
+            sort: Sort::BoundedInt {
+                lo: value,
+                hi: value,
+            },
         })
     }
 
@@ -367,11 +370,7 @@ impl TermManager {
         let sort = self.sort(then);
         if sort != self.sort(els) {
             return Err(IrError::SortMismatch {
-                context: format!(
-                    "ite branches: {} vs {}",
-                    self.sort(then),
-                    self.sort(els)
-                ),
+                context: format!("ite branches: {} vs {}", self.sort(then), self.sort(els)),
             });
         }
         match self.op(cond) {
@@ -442,9 +441,11 @@ impl TermManager {
     // ------------------------------------------------------------------
 
     fn bv_width_of(&self, id: TermId, context: &str) -> Result<u32> {
-        self.sort(id).bv_width().ok_or_else(|| IrError::SortMismatch {
-            context: format!("{context}: expected bit-vector, got {}", self.sort(id)),
-        })
+        self.sort(id)
+            .bv_width()
+            .ok_or_else(|| IrError::SortMismatch {
+                context: format!("{context}: expected bit-vector, got {}", self.sort(id)),
+            })
     }
 
     fn mk_bv_binop(&mut self, op: Op, a: TermId, b: TermId, name: &str) -> Result<TermId> {
@@ -463,10 +464,7 @@ impl TermManager {
                 Op::BvXor => Some(x.xor(&y)),
                 Op::BvAnd => Some(BvValue::new(x.as_u128() & y.as_u128(), wa)),
                 Op::BvOr => Some(BvValue::new(x.as_u128() | y.as_u128(), wa)),
-                Op::BvSub => Some(BvValue::new(
-                    x.as_u128().wrapping_sub(y.as_u128()),
-                    wa,
-                )),
+                Op::BvSub => Some(BvValue::new(x.as_u128().wrapping_sub(y.as_u128()), wa)),
                 _ => None,
             };
             if let Some(v) = folded {
@@ -938,7 +936,10 @@ impl TermManager {
     /// Array read `(select a i)`.
     pub fn mk_select(&mut self, array: TermId, index: TermId) -> Result<TermId> {
         match self.sort(array) {
-            Sort::Array { index: isort, element } => {
+            Sort::Array {
+                index: isort,
+                element,
+            } => {
                 if *isort != self.sort(index) {
                     return Err(IrError::SortMismatch {
                         context: format!(
@@ -963,7 +964,10 @@ impl TermManager {
     pub fn mk_store(&mut self, array: TermId, index: TermId, value: TermId) -> Result<TermId> {
         let sort = self.sort(array);
         match &sort {
-            Sort::Array { index: isort, element } => {
+            Sort::Array {
+                index: isort,
+                element,
+            } => {
                 if **isort != self.sort(index) || **element != self.sort(value) {
                     return Err(IrError::SortMismatch {
                         context: "store index/value sorts do not match array sort".to_string(),
@@ -1137,7 +1141,11 @@ impl TermManager {
             }
             Op::Ite => {
                 let c = self.eval(self.children(t)[0], assignment)?.as_bool()?;
-                let branch = if c { self.children(t)[1] } else { self.children(t)[2] };
+                let branch = if c {
+                    self.children(t)[1]
+                } else {
+                    self.children(t)[2]
+                };
                 self.eval(branch, assignment)
             }
             Op::Eq => {
@@ -1167,10 +1175,22 @@ impl TermManager {
             }
             Op::BvNeg => {
                 let a = self.eval(self.children(t)[0], assignment)?.as_bv()?;
-                Some(Value::Bv(BvValue::new(a.as_u128().wrapping_neg(), a.width())))
+                Some(Value::Bv(BvValue::new(
+                    a.as_u128().wrapping_neg(),
+                    a.width(),
+                )))
             }
-            Op::BvAdd | Op::BvSub | Op::BvMul | Op::BvAnd | Op::BvOr | Op::BvXor | Op::BvUdiv
-            | Op::BvUrem | Op::BvShl | Op::BvLshr | Op::BvAshr => {
+            Op::BvAdd
+            | Op::BvSub
+            | Op::BvMul
+            | Op::BvAnd
+            | Op::BvOr
+            | Op::BvXor
+            | Op::BvUdiv
+            | Op::BvUrem
+            | Op::BvShl
+            | Op::BvLshr
+            | Op::BvAshr => {
                 let a = self.eval(self.children(t)[0], assignment)?.as_bv()?;
                 let b = self.eval(self.children(t)[1], assignment)?.as_bv()?;
                 let w = a.width();
@@ -1246,7 +1266,12 @@ impl TermManager {
                 let w = a.width() + by;
                 let v = a.as_i128();
                 let bits = if v < 0 {
-                    (v as u128) & (if w >= 128 { u128::MAX } else { (1u128 << w) - 1 })
+                    (v as u128)
+                        & (if w >= 128 {
+                            u128::MAX
+                        } else {
+                            (1u128 << w) - 1
+                        })
                 } else {
                     v as u128
                 };
@@ -1314,8 +1339,18 @@ impl TermManager {
                 Some(Value::Bool(a < b))
             }
             // Theory-specific reasoning required; not evaluable here.
-            Op::FpAdd | Op::FpSub | Op::FpMul | Op::FpNeg | Op::FpEq | Op::FpLt | Op::FpLe
-            | Op::FpToReal | Op::RealToFp | Op::Select | Op::Store | Op::Apply(_) => None,
+            Op::FpAdd
+            | Op::FpSub
+            | Op::FpMul
+            | Op::FpNeg
+            | Op::FpEq
+            | Op::FpLt
+            | Op::FpLe
+            | Op::FpToReal
+            | Op::RealToFp
+            | Op::Select
+            | Op::Store
+            | Op::Apply(_) => None,
         }
     }
 

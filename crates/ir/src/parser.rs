@@ -250,12 +250,14 @@ fn apply_command(tm: &mut TermManager, sexpr: &Sexpr, script: &mut Script) -> Re
         }
         "set-info" => {
             if items.get(1).and_then(|s| s.as_atom()) == Some(":projection") {
-                let vars = items.get(2).and_then(|s| s.as_list()).ok_or_else(|| {
-                    IrError::Parse {
-                        line,
-                        message: ":projection expects a list of variable names".to_string(),
-                    }
-                })?;
+                let vars =
+                    items
+                        .get(2)
+                        .and_then(|s| s.as_list())
+                        .ok_or_else(|| IrError::Parse {
+                            line,
+                            message: ":projection expects a list of variable names".to_string(),
+                        })?;
                 for v in vars {
                     let name = v.as_atom().ok_or_else(|| IrError::Parse {
                         line,
@@ -418,10 +420,8 @@ fn term_of(tm: &mut TermManager, sexpr: &Sexpr, scope: &mut Scope) -> Result<Ter
             if head == "let" {
                 return let_term(tm, items, line, scope);
             }
-            let args: Result<Vec<TermId>> = items[1..]
-                .iter()
-                .map(|s| term_of(tm, s, scope))
-                .collect();
+            let args: Result<Vec<TermId>> =
+                items[1..].iter().map(|s| term_of(tm, s, scope)).collect();
             let args = args?;
             apply_operator(tm, &head, args, line)
         }
@@ -482,7 +482,9 @@ fn underscore_literal(tm: &mut TermManager, items: &[Sexpr], line: usize) -> Res
             .ok_or_else(|| missing(line, "bit-vector literal width"))?;
         return Ok(tm.mk_bv_const(value, width));
     }
-    Err(IrError::Unsupported(format!("indexed literal (_ {kind} ...)")))
+    Err(IrError::Unsupported(format!(
+        "indexed literal (_ {kind} ...)"
+    )))
 }
 
 fn let_term(
@@ -500,9 +502,15 @@ fn let_term(
     // SMT-LIB `let` is parallel: evaluate all right-hand sides in the outer scope.
     let mut new_bindings = Vec::new();
     for binding in bindings {
-        let pair = binding.as_list().ok_or_else(|| missing(line, "let binding pair"))?;
+        let pair = binding
+            .as_list()
+            .ok_or_else(|| missing(line, "let binding pair"))?;
         let name = expect_atom(pair.first(), line, "let-bound name")?;
-        let value = term_of(tm, pair.get(1).ok_or_else(|| missing(line, "let value"))?, scope)?;
+        let value = term_of(
+            tm,
+            pair.get(1).ok_or_else(|| missing(line, "let value"))?,
+            scope,
+        )?;
         new_bindings.push((name.to_string(), value));
     }
     for (name, value) in new_bindings {
@@ -557,7 +565,9 @@ fn indexed_term(
             let e = idx(2)?;
             let s = idx(3)?;
             // Rounding-mode argument (first) is ignored by the relaxation.
-            let value = *arg_terms.last().ok_or_else(|| missing(line, "to_fp operand"))?;
+            let value = *arg_terms
+                .last()
+                .ok_or_else(|| missing(line, "to_fp operand"))?;
             tm.mk_real_to_fp(value, Sort::Float { exp: e, sig: s })
         }
         other => Err(IrError::Unsupported(format!("indexed operator {other:?}"))),
@@ -924,7 +934,8 @@ mod tests {
             "#,
         )
         .unwrap();
-        let printed = printer::script_to_smtlib(&tm, script.logic, &script.asserts, &script.projection);
+        let printed =
+            printer::script_to_smtlib(&tm, script.logic, &script.asserts, &script.projection);
         let mut tm2 = TermManager::new();
         let reparsed = parse_script(&mut tm2, &printed).unwrap();
         assert_eq!(reparsed.logic, Logic::QfBvfp);

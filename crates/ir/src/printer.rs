@@ -137,15 +137,16 @@ pub fn script_to_smtlib(
     all_roots.extend_from_slice(projection);
     for v in tm.vars_of(&all_roots) {
         let name = tm.var_name(v).unwrap_or("?");
-        let _ = writeln!(out, "(declare-fun {name} () {})", sort_to_smtlib(&tm.sort(v)));
+        let _ = writeln!(
+            out,
+            "(declare-fun {name} () {})",
+            sort_to_smtlib(&tm.sort(v))
+        );
     }
     // The projection annotation references variables, so it must come after
     // their declarations for the script to be re-parseable.
     if !projection.is_empty() {
-        let names: Vec<&str> = projection
-            .iter()
-            .filter_map(|&v| tm.var_name(v))
-            .collect();
+        let names: Vec<&str> = projection.iter().filter_map(|&v| tm.var_name(v)).collect();
         let _ = writeln!(out, "(set-info :projection ({}))", names.join(" "));
     }
     // Declare uninterpreted functions that occur in the asserts.

@@ -191,10 +191,7 @@ impl From<i64> for Rational {
 impl Add for Rational {
     type Output = Rational;
     fn add(self, rhs: Rational) -> Rational {
-        Rational::new(
-            self.num * rhs.den + rhs.num * self.den,
-            self.den * rhs.den,
-        )
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
     }
 }
 
@@ -207,10 +204,7 @@ impl AddAssign for Rational {
 impl Sub for Rational {
     type Output = Rational;
     fn sub(self, rhs: Rational) -> Rational {
-        Rational::new(
-            self.num * rhs.den - rhs.num * self.den,
-            self.den * rhs.den,
-        )
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
     }
 }
 
@@ -309,7 +303,11 @@ mod tests {
 
     #[test]
     fn display_round_trips() {
-        for r in [Rational::new(3, 7), Rational::from_int(-4), Rational::new(-9, 2)] {
+        for r in [
+            Rational::new(3, 7),
+            Rational::from_int(-4),
+            Rational::new(-9, 2),
+        ] {
             assert_eq!(Rational::parse(&r.to_string()), Some(r));
         }
     }

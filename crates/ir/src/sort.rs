@@ -62,10 +62,7 @@ impl Sort {
     /// Returns `true` for sorts whose domain is finite and enumerable
     /// (booleans, bit-vectors, bounded integers).
     pub fn is_discrete(&self) -> bool {
-        matches!(
-            self,
-            Sort::Bool | Sort::BitVec(_) | Sort::BoundedInt { .. }
-        )
+        matches!(self, Sort::Bool | Sort::BitVec(_) | Sort::BoundedInt { .. })
     }
 
     /// Returns `true` for continuous sorts (reals and floats).

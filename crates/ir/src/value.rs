@@ -29,7 +29,10 @@ impl BvValue {
     ///
     /// Panics if `width` is zero or greater than 128.
     pub fn new(bits: u128, width: u32) -> Self {
-        assert!(width >= 1 && width <= 128, "bit-vector width out of range: {width}");
+        assert!(
+            (1..=128).contains(&width),
+            "bit-vector width out of range: {width}"
+        );
         BvValue {
             bits: bits & Self::mask(width),
             width,
@@ -80,7 +83,11 @@ impl BvValue {
     ///
     /// Panics if `i >= width`.
     pub fn bit(&self, i: u32) -> bool {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         (self.bits >> i) & 1 == 1
     }
 
@@ -91,7 +98,11 @@ impl BvValue {
     ///
     /// Panics if `hi < lo` or `hi >= width`.
     pub fn extract(&self, hi: u32, lo: u32) -> BvValue {
-        assert!(hi >= lo && hi < self.width, "invalid extract [{hi}:{lo}] on width {}", self.width);
+        assert!(
+            hi >= lo && hi < self.width,
+            "invalid extract [{hi}:{lo}] on width {}",
+            self.width
+        );
         BvValue::new(self.bits >> lo, hi - lo + 1)
     }
 

@@ -143,9 +143,6 @@ mod tests {
     #[test]
     fn concretize_substitutes_epsilon() {
         let v = DeltaRat::new(Rational::from_int(3), -Rational::ONE);
-        assert_eq!(
-            v.concretize(Rational::new(1, 4)),
-            Rational::new(11, 4)
-        );
+        assert_eq!(v.concretize(Rational::new(1, 4)), Rational::new(11, 4));
     }
 }

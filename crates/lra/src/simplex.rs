@@ -6,9 +6,9 @@ use std::collections::HashMap;
 use pact_ir::Rational;
 
 use crate::delta::DeltaRat;
-use crate::linexpr::{Constraint, LraVar, Relation};
 #[cfg(test)]
 use crate::linexpr::LinExpr;
+use crate::linexpr::{Constraint, LraVar, Relation};
 
 /// The verdict of a feasibility check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,15 +122,11 @@ impl Simplex {
             let b = &mut self.bounds[slack];
             match c.rel {
                 Relation::Le => Self::tighten_upper(b, DeltaRat::real(negated_const)),
-                Relation::Lt => Self::tighten_upper(
-                    b,
-                    DeltaRat::new(negated_const, -Rational::ONE),
-                ),
+                Relation::Lt => {
+                    Self::tighten_upper(b, DeltaRat::new(negated_const, -Rational::ONE))
+                }
                 Relation::Ge => Self::tighten_lower(b, DeltaRat::real(negated_const)),
-                Relation::Gt => Self::tighten_lower(
-                    b,
-                    DeltaRat::new(negated_const, Rational::ONE),
-                ),
+                Relation::Gt => Self::tighten_lower(b, DeltaRat::new(negated_const, Rational::ONE)),
                 Relation::Eq => {
                     Self::tighten_upper(b, DeltaRat::real(negated_const));
                     Self::tighten_lower(b, DeltaRat::real(negated_const));
@@ -271,7 +267,7 @@ impl Simplex {
         // the new basic variable and all other basics are recomputed.
         let delta = target - self.values[basic];
         self.values[basic] = target;
-        self.values[nonbasic] = self.values[nonbasic] + delta.scale(Rational::ONE / pivot_coeff);
+        self.values[nonbasic] += delta.scale(Rational::ONE / pivot_coeff);
         self.recompute_basic_values();
     }
 
@@ -336,10 +332,7 @@ mod tests {
 
     fn check_model(simplex: &Simplex, constraints: &[Constraint]) {
         for c in constraints {
-            assert!(
-                c.holds(&|v| simplex.model_value(v)),
-                "model violates {c}"
-            );
+            assert!(c.holds(&|v| simplex.model_value(v)), "model violates {c}");
         }
     }
 
@@ -347,8 +340,8 @@ mod tests {
     fn satisfiable_box() {
         // 0 <= x <= 1, 0 <= y <= 1, x + y >= 1
         let cs = vec![
-            Constraint::new(expr(&[(0, -1)], 0), Relation::Le),  // -x <= 0
-            Constraint::new(expr(&[(0, 1)], -1), Relation::Le),  // x - 1 <= 0
+            Constraint::new(expr(&[(0, -1)], 0), Relation::Le), // -x <= 0
+            Constraint::new(expr(&[(0, 1)], -1), Relation::Le), // x - 1 <= 0
             Constraint::new(expr(&[(1, -1)], 0), Relation::Le),
             Constraint::new(expr(&[(1, 1)], -1), Relation::Le),
             Constraint::new(expr(&[(0, 1), (1, 1)], -1), Relation::Ge),

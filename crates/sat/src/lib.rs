@@ -37,3 +37,13 @@ pub mod xor;
 
 pub use lit::{LBool, Lit, Var};
 pub use solver::{SatResult, SatStats, Solver};
+
+// Send audit: `Solver` instances live inside the per-round oracles the
+// counting engine schedules across threads.  The solver owns all its state
+// (clause arena, watch lists, trail — plain `Vec`s) and `unsafe` is
+// forbidden crate-wide, so `Send` holds structurally; this assertion pins
+// that property at the crate boundary.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Solver>();
+};

@@ -164,7 +164,10 @@ impl Solver {
         if !self.ok {
             return false;
         }
-        debug_assert!(self.decision_level() == 0, "clauses must be added at level 0");
+        debug_assert!(
+            self.decision_level() == 0,
+            "clauses must be added at level 0"
+        );
         let mut clause: Vec<Lit> = Vec::with_capacity(lits.len());
         let mut sorted = lits.to_vec();
         sorted.sort();
@@ -206,7 +209,10 @@ impl Solver {
         if !self.ok {
             return false;
         }
-        debug_assert!(self.decision_level() == 0, "XOR rows must be added at level 0");
+        debug_assert!(
+            self.decision_level() == 0,
+            "XOR rows must be added at level 0"
+        );
         match self.xor.add_row(vars, rhs, &self.assigns) {
             AddXor::Ok => {
                 self.stats.xor_rows = self.xor.len() as u64;
@@ -606,11 +612,7 @@ impl Solver {
     }
 
     fn save_model(&mut self) {
-        self.model = self
-            .assigns
-            .iter()
-            .map(|&a| a == LBool::True)
-            .collect();
+        self.model = self.assigns.iter().map(|&a| a == LBool::True).collect();
     }
 
     /// Value of `v` in the most recent satisfying assignment.
@@ -672,10 +674,10 @@ mod tests {
         for row in &p {
             s.add_clause(&[row[0].positive(), row[1].positive()]);
         }
-        for j in 0..2 {
-            for i in 0..3 {
-                for k in (i + 1)..3 {
-                    s.add_clause(&[p[i][j].negative(), p[k][j].negative()]);
+        for i in 0..3 {
+            for k in (i + 1)..3 {
+                for (a, b) in p[i].iter().zip(&p[k]) {
+                    s.add_clause(&[a.negative(), b.negative()]);
                 }
             }
         }
@@ -742,10 +744,10 @@ mod tests {
             let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
             s.add_clause(&lits);
         }
-        for j in 0..5 {
-            for i in 0..6 {
-                for k in (i + 1)..6 {
-                    s.add_clause(&[p[i][j].negative(), p[k][j].negative()]);
+        for i in 0..6 {
+            for k in (i + 1)..6 {
+                for (a, b) in p[i].iter().zip(&p[k]) {
+                    s.add_clause(&[a.negative(), b.negative()]);
                 }
             }
         }
@@ -765,10 +767,7 @@ mod tests {
         while s.solve(&[]) == SatResult::Sat {
             count += 1;
             assert!(count <= 4, "more models than expected");
-            let blocking: Vec<Lit> = v
-                .iter()
-                .map(|&x| x.lit(!s.model_value(x)))
-                .collect();
+            let blocking: Vec<Lit> = v.iter().map(|&x| x.lit(!s.model_value(x))).collect();
             s.add_clause(&blocking);
         }
         assert_eq!(count, 4);

@@ -235,8 +235,14 @@ mod tests {
         // x0 ^ x0 = 0 is trivially true
         assert_eq!(eng.add_row(&[Var(0), Var(0)], false, &a), AddXor::Ok);
         // x1 = 1 reduces to a unit
-        assert_eq!(eng.add_row(&[Var(1)], true, &a), AddXor::Unit(Var(1).positive()));
-        assert_eq!(eng.add_row(&[Var(1)], false, &a), AddXor::Unit(Var(1).negative()));
+        assert_eq!(
+            eng.add_row(&[Var(1)], true, &a),
+            AddXor::Unit(Var(1).positive())
+        );
+        assert_eq!(
+            eng.add_row(&[Var(1)], false, &a),
+            AddXor::Unit(Var(1).negative())
+        );
         assert!(eng.is_empty());
     }
 

@@ -269,11 +269,7 @@ impl Encoder {
     }
 
     fn bv_eq(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
-        let bits: Vec<Lit> = a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| self.xnor2(x, y))
-            .collect();
+        let bits: Vec<Lit> = a.iter().zip(b).map(|(&x, &y)| self.xnor2(x, y)).collect();
         self.and_many(&bits)
     }
 
@@ -296,7 +292,7 @@ impl Encoder {
         while (1usize << stages) < w {
             stages += 1;
         }
-        for s in 0..stages.min(shift.len()) {
+        for (s, &shift_bit) in shift.iter().enumerate().take(stages) {
             let amount = 1usize << s;
             let mut shifted = Vec::with_capacity(w);
             for i in 0..w {
@@ -318,7 +314,7 @@ impl Encoder {
                 };
                 shifted.push(src);
             }
-            result = self.bv_mux(shift[s], &shifted, &result);
+            result = self.bv_mux(shift_bit, &shifted, &result);
         }
         // If any shift bit at or above `stages` is set the result saturates.
         if shift.len() > stages {
@@ -461,8 +457,7 @@ impl Encoder {
                 let mut pair_lits = Vec::new();
                 for i in 0..children.len() {
                     for j in (i + 1)..children.len() {
-                        let eq =
-                            self.encode_equality(tm, t, children[i], children[j])?;
+                        let eq = self.encode_equality(tm, t, children[i], children[j])?;
                         pair_lits.push(!eq);
                     }
                 }
@@ -644,14 +639,14 @@ impl Encoder {
             Op::BvZeroExtend(by) => {
                 let mut a = self.encode_bv(tm, children[0])?;
                 let f = self.false_lit();
-                a.extend(std::iter::repeat(f).take(by as usize));
+                a.extend(std::iter::repeat_n(f, by as usize));
                 a
             }
             Op::BvSignExtend(by) => {
                 let a = self.encode_bv(tm, children[0])?;
                 let sign = *a.last().expect("non-empty bit-vector");
                 let mut bits = a;
-                bits.extend(std::iter::repeat(sign).take(by as usize));
+                bits.extend(std::iter::repeat_n(sign, by as usize));
                 bits
             }
             Op::Ite => {
@@ -933,7 +928,11 @@ impl Encoder {
         let mut value = 0u128;
         for (i, &lit) in bits.iter().enumerate() {
             let assigned = model.get(lit.var().index()).copied().unwrap_or(false);
-            let bit = if lit.is_positive() { assigned } else { !assigned };
+            let bit = if lit.is_positive() {
+                assigned
+            } else {
+                !assigned
+            };
             if bit {
                 value |= 1 << i;
             }

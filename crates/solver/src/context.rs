@@ -424,7 +424,10 @@ mod tests {
             Value::Real(v) => v,
             other => panic!("expected real value, got {other:?}"),
         };
-        assert!(rv > Rational::ONE && rv <= Rational::from_int(2), "r = {rv}");
+        assert!(
+            rv > Rational::ONE && rv <= Rational::from_int(2),
+            "r = {rv}"
+        );
     }
 
     #[test]
@@ -567,10 +570,7 @@ mod tests {
         let u = tm.mk_var("u", Sort::float32());
         let v = tm.mk_var("v", Sort::float32());
         let lt = tm.mk_fp_lt(u, v).unwrap();
-        let ge = {
-            let le = tm.mk_fp_le(v, u).unwrap();
-            le
-        };
+        let ge = tm.mk_fp_le(v, u).unwrap();
         let mut ctx = Context::new();
         ctx.assert_term(lt);
         ctx.assert_term(ge);

@@ -51,3 +51,15 @@ pub mod preprocess;
 
 pub use context::{Context, OracleStats, SolverConfig, SolverResult};
 pub use error::{Result, SolverError};
+
+// Send audit: the counting engine builds one `Context` per scheduled round
+// and moves it into a worker thread.  The context owns its assertion stack,
+// encoder and witness storage outright (no shared-ownership types; `unsafe`
+// is forbidden crate-wide), so `Send` holds structurally; this assertion
+// pins that property at the crate boundary.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Context>();
+    assert_send::<bitblast::Encoder>();
+    assert_send::<SolverError>();
+};

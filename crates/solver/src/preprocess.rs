@@ -221,7 +221,9 @@ fn rebuild(tm: &mut TermManager, op: &Op, children: &[TermId], original: TermId)
         Op::Or => tm.mk_or(children.iter().copied()),
         Op::Xor => tm.mk_xor(children[0], children[1]).map_err(err)?,
         Op::Implies => tm.mk_implies(children[0], children[1]).map_err(err)?,
-        Op::Ite => tm.mk_ite(children[0], children[1], children[2]).map_err(err)?,
+        Op::Ite => tm
+            .mk_ite(children[0], children[1], children[2])
+            .map_err(err)?,
         Op::Eq => tm.mk_eq(children[0], children[1]),
         Op::Distinct => tm.mk_distinct(children.to_vec()),
         Op::BvNot => tm.mk_bv_not(children[0]).map_err(err)?,
@@ -266,7 +268,9 @@ fn rebuild(tm: &mut TermManager, op: &Op, children: &[TermId], original: TermId)
             let sort = tm.sort(original);
             tm.mk_real_to_fp(children[0], sort).map_err(err)?
         }
-        Op::Store => tm.mk_store(children[0], children[1], children[2]).map_err(err)?,
+        Op::Store => tm
+            .mk_store(children[0], children[1], children[2])
+            .map_err(err)?,
         Op::Select | Op::Apply(_) => {
             return Err(SolverError::Internal(
                 "select/apply must be handled by the caller".to_string(),

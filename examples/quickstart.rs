@@ -30,7 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let projection = vec![b];
 
     // ---- Exact reference -------------------------------------------------
-    let exact = enumerate_count(&mut tm, &formula, &projection, 10_000, &CounterConfig::fast())?;
+    let exact = enumerate_count(
+        &mut tm,
+        &formula,
+        &projection,
+        10_000,
+        &CounterConfig::fast(),
+    )?;
     println!("enum (exact) : {}", exact.outcome);
 
     // ---- Approximate count with pact -------------------------------------

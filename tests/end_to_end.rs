@@ -4,8 +4,7 @@
 use std::collections::HashMap;
 
 use pact::{
-    cdm_count, enumerate_count, pact_count, relative_error, CountOutcome, CounterConfig,
-    HashFamily,
+    cdm_count, enumerate_count, pact_count, relative_error, CountOutcome, CounterConfig, HashFamily,
 };
 use pact_benchgen::{paper_suite, SuiteParams};
 use pact_ir::{parser, BvValue, Sort, TermManager, Value};
@@ -67,8 +66,13 @@ fn exact_path_matches_brute_force_on_random_intervals() {
         let f2 = tm.mk_bv_ult(x, hi_c).unwrap();
         let formula = vec![f1, f2];
         let expected = brute_force_count(&tm, &formula, x);
-        let report =
-            pact_count(&mut tm, &formula, &[x], &CounterConfig::fast().with_seed(seed)).unwrap();
+        let report = pact_count(
+            &mut tm,
+            &formula,
+            &[x],
+            &CounterConfig::fast().with_seed(seed),
+        )
+        .unwrap();
         assert_eq!(
             report.outcome,
             CountOutcome::Exact(expected),
@@ -189,8 +193,13 @@ fn projected_count_ignores_continuous_variables() {
     let zero = tm.mk_real_const(pact_ir::Rational::ZERO);
     let continuous = tm.mk_real_lt(zero, r).unwrap();
 
-    let just_discrete =
-        pact_count(&mut tm, &[discrete], &[b], &CounterConfig::fast().with_seed(1)).unwrap();
+    let just_discrete = pact_count(
+        &mut tm,
+        &[discrete],
+        &[b],
+        &CounterConfig::fast().with_seed(1),
+    )
+    .unwrap();
     let hybrid = pact_count(
         &mut tm,
         &[discrete, continuous],

@@ -1,0 +1,168 @@
+//! Thread-count determinism of the counting engine.
+//!
+//! The round scheduler's contract: for a fixed seed, `pact_count` (and the
+//! CDM baseline) report the *same* outcome and the same deterministic
+//! statistics for every thread count — parallelism may only change
+//! wall-clock time.  These tests pin that contract on generated instances
+//! from three qualitatively different regimes: a discrete-only formula, a
+//! hybrid discrete/continuous formula, and an unsatisfiable formula.
+
+use pact::{cdm_count, pact_count, CountOutcome, CountReport, CounterConfig};
+use pact_benchgen::{cfg_reachability, cps_robustness, hybrid_controller, GenParams, Instance};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A discrete-only instance (bit-vector projection, bit-vector + array
+/// constraints, no continuous variables).
+fn bitvec_instance() -> Instance {
+    cfg_reachability(&GenParams {
+        scale: 2,
+        width: 7,
+        seed: 9,
+    })
+}
+
+/// A hybrid instance: bit-vector projection with real- and float-typed
+/// side constraints (the paper's CPS robustness workload).
+fn hybrid_instance() -> Instance {
+    cps_robustness(&GenParams {
+        scale: 1,
+        width: 6,
+        seed: 4,
+    })
+}
+
+/// An unsatisfiable instance: a generated formula plus a contradictory
+/// bound on the projected variable.
+fn unsat_instance() -> Instance {
+    let mut instance = hybrid_controller(&GenParams {
+        scale: 1,
+        width: 6,
+        seed: 2,
+    });
+    let mode = instance.projection[0];
+    let zero = instance.tm.mk_bv_const(0, 6);
+    let impossible = instance.tm.mk_bv_ult(mode, zero).unwrap();
+    instance.asserts.push(impossible);
+    instance
+}
+
+fn count_with_threads(instance: &Instance, threads: usize) -> CountReport {
+    let config = CounterConfig {
+        iterations_override: Some(7),
+        seed: 13,
+        ..CounterConfig::default()
+    }
+    .with_threads(threads);
+    let mut tm = instance.tm.clone();
+    pact_count(&mut tm, &instance.asserts, &instance.projection, &config)
+        .unwrap_or_else(|e| panic!("{} with {threads} threads failed: {e}", instance.name))
+}
+
+/// Asserts the deterministic part of two reports is identical (everything
+/// except `wall_seconds`, the one field parallelism is allowed to change).
+fn assert_reports_match(name: &str, threads: usize, report: &CountReport, baseline: &CountReport) {
+    assert_eq!(
+        report.outcome, baseline.outcome,
+        "{name}: outcome changed with {threads} threads"
+    );
+    assert_eq!(
+        report.stats.oracle_calls, baseline.stats.oracle_calls,
+        "{name}: oracle calls changed with {threads} threads"
+    );
+    assert_eq!(
+        report.stats.cells_explored, baseline.stats.cells_explored,
+        "{name}: cells explored changed with {threads} threads"
+    );
+    assert_eq!(
+        report.stats.iterations, baseline.stats.iterations,
+        "{name}: iteration count changed with {threads} threads"
+    );
+    assert_eq!(
+        report.stats.final_hash_count, baseline.stats.final_hash_count,
+        "{name}: final hash count changed with {threads} threads"
+    );
+}
+
+#[test]
+fn bitvec_instance_counts_identically_for_every_thread_count() {
+    let instance = bitvec_instance();
+    let baseline = count_with_threads(&instance, 1);
+    assert!(
+        matches!(
+            baseline.outcome,
+            CountOutcome::Approximate { .. } | CountOutcome::Exact(_)
+        ),
+        "expected a count, got {:?}",
+        baseline.outcome
+    );
+    for threads in &THREAD_COUNTS[1..] {
+        let report = count_with_threads(&instance, *threads);
+        assert_reports_match(&instance.name, *threads, &report, &baseline);
+    }
+}
+
+#[test]
+fn hybrid_instance_counts_identically_for_every_thread_count() {
+    let instance = hybrid_instance();
+    let baseline = count_with_threads(&instance, 1);
+    assert!(
+        matches!(
+            baseline.outcome,
+            CountOutcome::Approximate { .. } | CountOutcome::Exact(_)
+        ),
+        "expected a count, got {:?}",
+        baseline.outcome
+    );
+    for threads in &THREAD_COUNTS[1..] {
+        let report = count_with_threads(&instance, *threads);
+        assert_reports_match(&instance.name, *threads, &report, &baseline);
+    }
+}
+
+#[test]
+fn unsat_instance_counts_identically_for_every_thread_count() {
+    let instance = unsat_instance();
+    let baseline = count_with_threads(&instance, 1);
+    assert_eq!(baseline.outcome, CountOutcome::Unsatisfiable);
+    for threads in &THREAD_COUNTS[1..] {
+        let report = count_with_threads(&instance, *threads);
+        assert_reports_match(&instance.name, *threads, &report, &baseline);
+    }
+}
+
+#[test]
+fn cdm_baseline_counts_identically_for_every_thread_count() {
+    let instance = bitvec_instance();
+    let run = |threads: usize| {
+        let config = CounterConfig {
+            iterations_override: Some(3),
+            seed: 5,
+            ..CounterConfig::default()
+        }
+        .with_threads(threads);
+        let mut tm = instance.tm.clone();
+        cdm_count(&mut tm, &instance.asserts, &instance.projection, &config)
+            .expect("cdm count succeeds")
+    };
+    let baseline = run(1);
+    for threads in &THREAD_COUNTS[1..] {
+        let report = run(*threads);
+        assert_reports_match("cdm", *threads, &report, &baseline);
+    }
+}
+
+#[test]
+fn auto_thread_count_matches_the_serial_outcome() {
+    let instance = hybrid_instance();
+    let baseline = count_with_threads(&instance, 1);
+    let config = CounterConfig {
+        iterations_override: Some(7),
+        seed: 13,
+        parallel: pact::ParallelConfig::auto(),
+        ..CounterConfig::default()
+    };
+    let mut tm = instance.tm.clone();
+    let report = pact_count(&mut tm, &instance.asserts, &instance.projection, &config).unwrap();
+    assert_reports_match(&instance.name, 0, &report, &baseline);
+}

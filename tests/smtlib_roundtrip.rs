@@ -32,7 +32,10 @@ fn every_logic_round_trips_through_smtlib() {
         let mut tm2 = TermManager::new();
         let script = parser::parse_script(&mut tm2, &text)
             .unwrap_or_else(|e| panic!("{logic}: exported script failed to parse: {e}"));
-        assert_eq!(script.logic, logic, "logic annotation survives the roundtrip");
+        assert_eq!(
+            script.logic, logic,
+            "logic annotation survives the roundtrip"
+        );
         assert_eq!(
             script.projection.len(),
             instance.projection.len(),
@@ -56,9 +59,9 @@ fn every_logic_round_trips_through_smtlib() {
 #[test]
 fn parser_rejects_malformed_scripts() {
     for bad in [
-        "(assert (bvult x (_ bv1 4)))",      // undeclared symbol
-        "(declare-fun x () (_ BitVec 4)",    // unbalanced parens
-        "(set-info :projection (y))",        // undeclared projection variable
+        "(assert (bvult x (_ bv1 4)))",   // undeclared symbol
+        "(declare-fun x () (_ BitVec 4)", // unbalanced parens
+        "(set-info :projection (y))",     // undeclared projection variable
         "(declare-fun x () (_ BitVec 4)) (assert (frobnicate x))", // unknown operator
     ] {
         let mut tm = TermManager::new();
@@ -73,11 +76,14 @@ fn parser_rejects_malformed_scripts() {
 fn counts_are_stable_across_reexport() {
     // Export, parse, re-export: the second export must equal the first
     // (printing is deterministic and parsing is faithful).
-    let instance = generate_for_logic(Logic::QfAbv, &GenParams {
-        scale: 2,
-        width: 6,
-        seed: 55,
-    });
+    let instance = generate_for_logic(
+        Logic::QfAbv,
+        &GenParams {
+            scale: 2,
+            width: 6,
+            seed: 55,
+        },
+    );
     let first = instance.to_smtlib();
     let mut tm = TermManager::new();
     let script = parser::parse_script(&mut tm, &first).unwrap();
@@ -86,8 +92,22 @@ fn counts_are_stable_across_reexport() {
     let mut tm2 = TermManager::new();
     let script2 = parser::parse_script(&mut tm2, &second).unwrap();
     assert_eq!(script.asserts.len(), script2.asserts.len());
-    let c1 = enumerate_count(&mut tm, &script.asserts, &script.projection, 5_000, &CounterConfig::fast()).unwrap();
-    let c2 = enumerate_count(&mut tm2, &script2.asserts, &script2.projection, 5_000, &CounterConfig::fast()).unwrap();
+    let c1 = enumerate_count(
+        &mut tm,
+        &script.asserts,
+        &script.projection,
+        5_000,
+        &CounterConfig::fast(),
+    )
+    .unwrap();
+    let c2 = enumerate_count(
+        &mut tm2,
+        &script2.asserts,
+        &script2.projection,
+        5_000,
+        &CounterConfig::fast(),
+    )
+    .unwrap();
     assert_eq!(c1.outcome, c2.outcome);
     assert!(matches!(c1.outcome, CountOutcome::Exact(_)));
 }

@@ -1,0 +1,269 @@
+//! A small, dependency-free shim of the `criterion` benchmarking crate.
+//!
+//! Bench targets in this workspace use `criterion_group!`/`criterion_main!`,
+//! benchmark groups with `sample_size`/`measurement_time`, `bench_function`
+//! and `bench_with_input`.  This shim reproduces that surface with a plain
+//! wall-clock sampler:
+//!
+//! * under `cargo bench` (cargo passes `--bench`) every benchmark is timed
+//!   for `sample_size` samples within `measurement_time` and a median /
+//!   min / max line is printed;
+//! * under `cargo test` (no `--bench` argument) every benchmark body runs
+//!   exactly once, so benches double as smoke tests — the same contract real
+//!   criterion implements.
+//!
+//! No statistical analysis, plotting or HTML reports; numbers print to
+//! stdout, one line per benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-exported for API compatibility.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendering, printed as `function/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    /// `true` under `cargo bench`; `false` under `cargo test`, where every
+    /// benchmark runs exactly once as a smoke test.
+    measure: bool,
+    /// Substring filter from the command line (`cargo bench -- <filter>`);
+    /// benchmarks whose `group/id` does not contain it are skipped.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut measure = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" {
+                measure = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion { measure, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name and sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget per benchmark; sampling stops early when it is
+    /// exhausted.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if let Some(filter) = &self.criterion.filter {
+            if !format!("{}/{}", self.name, id.id).contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            measure: self.criterion.measure,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures on behalf of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    measure: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing each call (or exactly once in test
+    /// mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if !self.measure {
+            println!("{group}/{id}: ok (test mode, 1 iteration)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples collected");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{group}/{id}: median {median:?} (min {min:?}, max {max:?}, {} samples)",
+            sorted.len()
+        );
+    }
+}
+
+/// Declares a group function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_render_as_function_slash_parameter() {
+        let id = BenchmarkId::new("family", "w8");
+        assert_eq!(id.id, "family/w8");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.id, "plain");
+    }
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut criterion = Criterion {
+            measure: false,
+            filter: None,
+        };
+        let mut group = criterion.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut criterion = Criterion {
+            measure: true,
+            filter: None,
+        };
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_secs(1));
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("n", 1), &3u32, |b, &x| {
+            b.iter(|| runs += x)
+        });
+        group.finish();
+        assert!(runs >= 3, "at least one sample must run");
+    }
+}

@@ -1,0 +1,126 @@
+//! A small, dependency-free shim of the `proptest` crate.
+//!
+//! The workspace's property tests use a narrow slice of proptest's API —
+//! the [`proptest!`] macro, integer-range and tuple strategies,
+//! [`collection::vec`], [`any`], `prop_map` and the `prop_assert*` macros —
+//! and this crate provides exactly that slice so the tests build without
+//! registry access.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * inputs are drawn from a fixed-seed deterministic RNG, so runs are
+//!   reproducible (and identical in CI and locally);
+//! * failing cases are reported by the standard panic message without
+//!   shrinking;
+//! * strategies generate values directly instead of building value trees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Arbitrary, Strategy};
+
+/// Returns the canonical strategy for `T` (uniform over the whole domain).
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property; failures panic with the generated
+/// inputs visible in the standard test output.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `cases` inputs from its strategies and runs
+/// the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            for _case in 0..runner.cases() {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), runner.rng());)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -5i32..5, b in 1u8..=9, c in any::<bool>()) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!((1..=9).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn vec_lengths_respect_the_size_range(
+            v in crate::collection::vec((0usize..4, any::<bool>()), 2..6)
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (x, _) in v {
+                prop_assert!(x < 4);
+            }
+        }
+
+        #[test]
+        fn prop_map_transforms_values(n in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert!(n < 20);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The (much simplified) test runner: case counts and the input RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of inputs drawn per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate's default; individual suites usually lower it.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives one property: owns the case budget and the input RNG.
+///
+/// The RNG is seeded from the property's name, so every property sees a
+/// stable input stream across runs and machines (full reproducibility in
+/// exchange for proptest's persistence files).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates the runner for the named property.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the property name: stable, dependency-free.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of inputs to draw.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The input RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

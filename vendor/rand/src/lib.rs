@@ -1,0 +1,265 @@
+//! A small, deterministic, dependency-free stand-in for the `rand` crate.
+//!
+//! The workspace builds in environments without registry access, so the
+//! subset of `rand` the counter actually uses is vendored here:
+//!
+//! * [`rngs::StdRng`] — a fixed, seedable PRNG (xoshiro256++ seeded through
+//!   SplitMix64);
+//! * [`SeedableRng::seed_from_u64`] — the only construction path the
+//!   workspace uses;
+//! * [`RngExt`] — `random::<T>()` and `random_range(..)` for the primitive
+//!   integer types and ranges the hash families and generators draw from.
+//!
+//! Determinism is load-bearing: the counting algorithms promise bit-identical
+//! results for a fixed seed regardless of thread count, so the stream
+//! produced by [`rngs::StdRng`] must never depend on platform, process state
+//! or global entropy.  Everything here is pure integer arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Random number generators.
+pub mod rngs {
+    /// A deterministic pseudo-random generator (xoshiro256++).
+    ///
+    /// Statistical quality is far beyond what hashing-based counting needs,
+    /// and the implementation is a handful of rotates and xors, so it is also
+    /// fast enough for the hot generation loops.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Builds the generator from a full 256-bit state expanded from
+        /// `seed` with SplitMix64 (the reference seeding procedure).
+        pub(crate) fn from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next 64 uniformly distributed bits.
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next_u64_impl()
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng::from_u64(seed)
+        }
+    }
+}
+
+/// The raw bit source every generator implements.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 128 uniformly distributed bits.
+    fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+}
+
+/// Deterministic seeding; the workspace only ever seeds from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from an `RngCore` (`rand`'s `Standard`
+/// distribution, reduced to what the workspace samples).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u128()
+    }
+}
+
+impl Standard for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u128() as i128
+    }
+}
+
+/// Ranges a value can be drawn uniformly from.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Draws a uniform value below `span` (`span > 0`) by 128-bit rejection
+/// sampling, so every bound the workspace uses (up to full `u128` ranges) is
+/// exact and unbiased.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u128() & (span - 1);
+    }
+    // Rejection zone: the incomplete final copy of [0, span).
+    let zone = u128::MAX - (u128::MAX % span);
+    loop {
+        let draw = rng.next_u128();
+        if draw < zone {
+            return draw % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                // Width of the range, computed in the unsigned counterpart so
+                // signed ranges spanning zero cannot overflow.
+                let span = self.end.wrapping_sub(self.start) as $u as u128;
+                let offset = uniform_below(rng, span) as $u as $t;
+                self.start.wrapping_add(offset)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = end.wrapping_sub(start) as $u as u128;
+                if span == <$u>::MAX as u128 {
+                    return rng.next_u128() as $u as $t;
+                }
+                let offset = uniform_below(rng, span + 1) as $u as $t;
+                start.wrapping_add(offset)
+            }
+        }
+    )*};
+}
+impl_sample_range!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize
+);
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait RngExt: RngCore {
+    /// Draws one uniformly distributed value of type `T`.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let differs = (0..10).any(|_| a.random::<u64>() != c.random::<u64>());
+        assert!(differs, "different seeds produced identical streams");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u128 = rng.random_range(10u128..17);
+            assert!((10..17).contains(&v));
+            let w: i8 = rng.random_range(-4i8..=4);
+            assert!((-4..=4).contains(&w));
+            let z: usize = rng.random_range(0usize..3);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn all_values_of_a_small_range_are_hit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "sampler misses values: {seen:?}");
+    }
+
+    #[test]
+    fn bool_draws_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let trues = (0..1000).filter(|_| rng.random::<bool>()).count();
+        assert!((300..=700).contains(&trues), "bias: {trues}/1000 true");
+    }
+}
