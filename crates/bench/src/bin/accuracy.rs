@@ -6,7 +6,8 @@
 
 use std::time::Duration;
 
-use pact::{enumerate_count, pact_count, relative_error, CountOutcome, CounterConfig, HashFamily};
+use pact::{relative_error, CountOutcome, CounterConfig, HashFamily};
+use pact_bench::instance_session;
 use pact_benchgen::{paper_suite, SuiteParams};
 
 fn main() {
@@ -28,15 +29,13 @@ fn main() {
         HashFamily::ALL.iter().map(|&f| (f, Vec::new())).collect();
 
     for instance in &suite {
-        let mut tm = instance.tm.clone();
+        // One session per instance: the problem is declared once and counted
+        // once exactly plus once per hash family.
+        let Ok(mut session) = instance_session(instance) else {
+            continue;
+        };
         let exact_cfg = CounterConfig::default().with_deadline(Duration::from_secs(timeout));
-        let exact = match enumerate_count(
-            &mut tm,
-            &instance.asserts,
-            &instance.projection,
-            5_000,
-            &exact_cfg,
-        ) {
+        let exact = match session.enumerate_with(5_000, &exact_cfg) {
             Ok(report) => match report.outcome {
                 CountOutcome::Exact(n) if n >= 1 => n as f64,
                 _ => continue, // no exact reference available
@@ -44,7 +43,6 @@ fn main() {
             Err(_) => continue,
         };
         for family in HashFamily::ALL {
-            let mut tm = instance.tm.clone();
             let config = CounterConfig {
                 family,
                 seed: 17,
@@ -52,11 +50,10 @@ fn main() {
                 iterations_override: Some(5),
                 ..CounterConfig::default()
             };
-            let outcome =
-                match pact_count(&mut tm, &instance.asserts, &instance.projection, &config) {
-                    Ok(report) => report.outcome,
-                    Err(_) => continue,
-                };
+            let outcome = match session.count_with(&config) {
+                Ok(report) => report.outcome,
+                Err(_) => continue,
+            };
             if let Some(estimate) = outcome.value() {
                 if let Some(err) = relative_error(exact, estimate) {
                     println!(

@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run -p pact-bench --bin oracle_calls --release [max_width]`
 
-use pact::{pact_count, CounterConfig, HashFamily};
+use pact::{HashFamily, Session};
 use pact_ir::{Sort, TermManager};
 
 fn main() {
@@ -20,13 +20,14 @@ fn main() {
         let x = tm.mk_var("x", Sort::BitVec(width));
         let half = tm.mk_bv_const(1u128 << (width - 1), width);
         let f = tm.mk_bv_ule(half, x).unwrap();
-        let config = CounterConfig {
-            family: HashFamily::Xor,
-            iterations_override: Some(3),
-            seed: 9,
-            ..CounterConfig::default()
-        };
-        match pact_count(&mut tm, &[f], &[x], &config) {
+        let session = Session::builder(tm)
+            .assert(f)
+            .project(x)
+            .family(HashFamily::Xor)
+            .iterations(3)
+            .seed(9)
+            .build();
+        match session.and_then(|mut s| s.count()) {
             Ok(report) => {
                 let iters = report.stats.iterations.max(1) as f64;
                 println!(

@@ -17,9 +17,13 @@
 
 use std::time::Duration;
 
+use pact_bench::cli::ArgError;
 use pact_bench::{records_to_json, run_suite_parallel, table_one, HarnessConfig};
 use pact_benchgen::{paper_suite, SuiteParams};
 
+const USAGE: &str = "usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini]";
+
+#[derive(Debug, PartialEq)]
 struct Args {
     per_logic: Option<u32>,
     timeout: Option<u64>,
@@ -28,7 +32,7 @@ struct Args {
     mini: bool,
 }
 
-fn parse_args() -> Args {
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
     let mut args = Args {
         per_logic: None,
         timeout: None,
@@ -37,53 +41,64 @@ fn parse_args() -> Args {
         mini: false,
     };
     let mut positional = 0;
-    let mut iter = std::env::args().skip(1);
+    let mut iter = argv.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--threads" => {
-                args.threads = iter
+                let value = iter
                     .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a number");
+                    .ok_or(ArgError::MissingValue { flag: "--threads" })?;
+                args.threads = value.parse().map_err(|_| ArgError::InvalidValue {
+                    slot: "--threads",
+                    got: value,
+                })?;
             }
             "--json" => {
-                args.json = Some(iter.next().expect("--json needs a path"));
+                args.json = Some(
+                    iter.next()
+                        .ok_or(ArgError::MissingValue { flag: "--json" })?,
+                );
             }
             "--mini" => args.mini = true,
             other if other.starts_with("--") => {
-                eprintln!("unknown flag {other}");
-                eprintln!(
-                    "usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini]"
-                );
-                std::process::exit(2);
+                return Err(ArgError::UnknownFlag {
+                    flag: other.to_string(),
+                });
             }
             other => {
                 match positional {
-                    0 => match other.parse() {
-                        Ok(v) => args.per_logic = Some(v),
-                        Err(_) => usage_error("per_logic", other),
-                    },
-                    1 => match other.parse() {
-                        Ok(v) => args.timeout = Some(v),
-                        Err(_) => usage_error("timeout_secs", other),
-                    },
-                    _ => usage_error("(extra)", other),
+                    0 => {
+                        args.per_logic =
+                            Some(other.parse().map_err(|_| ArgError::InvalidValue {
+                                slot: "per_logic",
+                                got: other.to_string(),
+                            })?)
+                    }
+                    1 => {
+                        args.timeout = Some(other.parse().map_err(|_| ArgError::InvalidValue {
+                            slot: "timeout_secs",
+                            got: other.to_string(),
+                        })?)
+                    }
+                    _ => {
+                        return Err(ArgError::UnexpectedPositional {
+                            got: other.to_string(),
+                        })
+                    }
                 }
                 positional += 1;
             }
         }
     }
-    args
-}
-
-fn usage_error(slot: &str, got: &str) -> ! {
-    eprintln!("invalid {slot} argument: {got}");
-    eprintln!("usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini]");
-    std::process::exit(2);
+    Ok(args)
 }
 
 fn main() {
-    let args = parse_args();
+    let args = parse_args(std::env::args().skip(1)).unwrap_or_else(|error| {
+        eprintln!("{error}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    });
 
     let (suite_params, default_timeout) = if args.mini {
         // ~10 instances at smoke scale: fast enough for a CI job while still
@@ -132,5 +147,67 @@ fn main() {
     if let Some(path) = args.json {
         std::fs::write(&path, records_to_json(&records)).expect("write JSON report");
         eprintln!("wrote {} records to {path}", records.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_and_positionals_parse() {
+        let args = parse_args(argv(&[
+            "3",
+            "7",
+            "--threads",
+            "4",
+            "--json",
+            "out.json",
+            "--mini",
+        ]))
+        .unwrap();
+        assert_eq!(args.per_logic, Some(3));
+        assert_eq!(args.timeout, Some(7));
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.json.as_deref(), Some("out.json"));
+        assert!(args.mini);
+    }
+
+    #[test]
+    fn bad_invocations_report_typed_errors() {
+        assert_eq!(
+            parse_args(argv(&["--threads"])),
+            Err(ArgError::MissingValue { flag: "--threads" })
+        );
+        assert_eq!(
+            parse_args(argv(&["--threads", "lots"])),
+            Err(ArgError::InvalidValue {
+                slot: "--threads",
+                got: "lots".to_string()
+            })
+        );
+        assert_eq!(
+            parse_args(argv(&["--frobnicate"])),
+            Err(ArgError::UnknownFlag {
+                flag: "--frobnicate".to_string()
+            })
+        );
+        assert_eq!(
+            parse_args(argv(&["two"])),
+            Err(ArgError::InvalidValue {
+                slot: "per_logic",
+                got: "two".to_string()
+            })
+        );
+        assert_eq!(
+            parse_args(argv(&["1", "2", "3"])),
+            Err(ArgError::UnexpectedPositional {
+                got: "3".to_string()
+            })
+        );
     }
 }

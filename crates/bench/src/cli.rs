@@ -1,0 +1,76 @@
+//! Typed argument parsing for the harness binaries.
+//!
+//! The binaries used to `expect(...)` / `process::exit` their way through
+//! `std::env::args`, which made bad invocations untestable and the messages
+//! inconsistent.  [`ArgError`] is the structured replacement: parsers return
+//! it, `main` renders it (plus the usage line) once, and tests assert on the
+//! variant instead of on stderr text.
+
+use std::fmt;
+
+/// A command-line argument the harness binaries could not accept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag the binary does not know.
+    UnknownFlag {
+        /// The flag as given, including the leading dashes.
+        flag: String,
+    },
+    /// A flag that needs a value was the last argument.
+    MissingValue {
+        /// The flag missing its value.
+        flag: &'static str,
+    },
+    /// A value that failed to parse for its slot.
+    InvalidValue {
+        /// The positional slot or flag the value was destined for.
+        slot: &'static str,
+        /// The rejected text.
+        got: String,
+    },
+    /// More positional arguments than the binary takes.
+    UnexpectedPositional {
+        /// The first extra argument.
+        got: String,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::UnknownFlag { flag } => write!(f, "unknown flag {flag}"),
+            ArgError::MissingValue { flag } => write!(f, "{flag} needs a value"),
+            ArgError::InvalidValue { slot, got } => {
+                write!(f, "invalid {slot} argument: {got}")
+            }
+            ArgError::UnexpectedPositional { got } => {
+                write!(f, "unexpected extra argument: {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = ArgError::UnknownFlag {
+            flag: "--frobnicate".into(),
+        };
+        assert!(e.to_string().contains("--frobnicate"));
+        let e = ArgError::InvalidValue {
+            slot: "per_logic",
+            got: "many".into(),
+        };
+        assert!(e.to_string().contains("per_logic"));
+        assert!(e.to_string().contains("many"));
+        assert_eq!(
+            ArgError::MissingValue { flag: "--threads" }.to_string(),
+            "--threads needs a value"
+        );
+    }
+}

@@ -18,9 +18,11 @@
 use std::time::Duration;
 
 use pact::parallel::{run_rounds, RoundOutput};
-use pact::{cdm_count, pact_count, CountOutcome, CountReport, CounterConfig, HashFamily};
+use pact::{CountOutcome, CountReport, CounterConfig, HashFamily, Session};
 use pact_benchgen::Instance;
 use pact_ir::logic::Logic;
+
+pub mod cli;
 
 /// One counting configuration of the evaluation: the CDM baseline or `pact`
 /// with one of the three hash families.
@@ -114,28 +116,34 @@ impl HarnessConfig {
     }
 }
 
-/// Runs one configuration on one instance (cloning the instance's term
-/// manager so runs stay independent).
+/// Declares one instance as a counting [`Session`] (cloning the instance's
+/// term manager so runs stay independent).
+///
+/// The harness deliberately goes through the session API: one declared
+/// problem is counted under all four configurations of the evaluation via
+/// [`Session::count_with`] / [`Session::count_cdm_with`].
+///
+/// # Errors
+///
+/// Returns [`pact::CountError`] when the instance declares no projection
+/// (generated instances always do).
+pub fn instance_session(instance: &Instance) -> Result<Session, pact::CountError> {
+    Session::builder(instance.tm.clone())
+        .assert_all(&instance.asserts)
+        .project_all(&instance.projection)
+        .build()
+}
+
+/// Runs one configuration on one instance.
 pub fn run_one(
     instance: &Instance,
     configuration: Configuration,
     harness: &HarnessConfig,
 ) -> RunRecord {
-    let mut tm = instance.tm.clone();
-    let report = match configuration {
-        Configuration::Cdm => cdm_count(
-            &mut tm,
-            &instance.asserts,
-            &instance.projection,
-            &harness.counter_config(HashFamily::Xor),
-        ),
-        Configuration::Pact(family) => pact_count(
-            &mut tm,
-            &instance.asserts,
-            &instance.projection,
-            &harness.counter_config(family),
-        ),
-    };
+    let report = instance_session(instance).and_then(|mut session| match configuration {
+        Configuration::Cdm => session.count_cdm_with(&harness.counter_config(HashFamily::Xor)),
+        Configuration::Pact(family) => session.count_with(&harness.counter_config(family)),
+    });
     let report = report.unwrap_or(CountReport {
         outcome: CountOutcome::Timeout,
         stats: pact::CountStats::default(),
@@ -197,8 +205,34 @@ pub fn run_suite_parallel(
         .collect()
 }
 
+/// Version of the per-record JSON schema emitted by [`records_to_json`].
+///
+/// Bump this (and the round-trip test pinning the field list) whenever a
+/// field is added, removed or re-typed, so downstream consumers of the CI
+/// artifact can dispatch on `schema_version` instead of sniffing keys.
+pub const RECORD_SCHEMA_VERSION: u32 = 1;
+
+/// The field names of one JSON record, in emission order (the schema that
+/// [`RECORD_SCHEMA_VERSION`] versions).
+pub const RECORD_SCHEMA_FIELDS: [&str; 11] = [
+    "schema_version",
+    "instance",
+    "logic",
+    "configuration",
+    "outcome",
+    "estimate",
+    "log2_estimate",
+    "oracle_calls",
+    "cells_explored",
+    "iterations",
+    "wall_seconds",
+];
+
 /// Renders run records as a JSON array (one object per run), the format the
 /// CI smoke-bench job uploads as its artifact.
+///
+/// Every record carries a `schema_version` field (see
+/// [`RECORD_SCHEMA_VERSION`]).
 pub fn records_to_json(records: &[RunRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, record) in records.iter().enumerate() {
@@ -214,11 +248,13 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
         let stats = &record.report.stats;
         out.push_str(&format!(
             concat!(
-                "  {{\"instance\": \"{}\", \"logic\": \"{}\", \"configuration\": \"{}\", ",
+                "  {{\"schema_version\": {}, ",
+                "\"instance\": \"{}\", \"logic\": \"{}\", \"configuration\": \"{}\", ",
                 "\"outcome\": \"{}\", \"estimate\": {}, \"log2_estimate\": {}, ",
                 "\"oracle_calls\": {}, \"cells_explored\": {}, \"iterations\": {}, ",
                 "\"wall_seconds\": {:.6}}}{}\n"
             ),
+            RECORD_SCHEMA_VERSION,
             record.instance,
             record.logic.name(),
             record.configuration.label(),
@@ -234,6 +270,29 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
     }
     out.push_str("]\n");
     out
+}
+
+/// Parses one emitted record line back into its `(key, value)` pairs, with
+/// string values unquoted.  This is the test-side half of the schema
+/// round-trip: it understands exactly the flat format [`records_to_json`]
+/// writes (no nesting, no escapes), which is the point — the schema is
+/// pinned, not general.  Deliberately test-only: artifact consumers
+/// should use a real JSON parser.
+#[cfg(test)]
+fn parse_record_line(line: &str) -> Option<Vec<(String, String)>> {
+    let line = line.trim().trim_end_matches(',');
+    let body = line.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    for pair in body.split(", ") {
+        let (key, value) = pair.split_once(": ")?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .unwrap_or(value);
+        fields.push((key.to_string(), value.to_string()));
+    }
+    Some(fields)
 }
 
 /// Table I: the number of instances counted per logic and configuration.
@@ -379,7 +438,78 @@ mod tests {
         assert!(json.ends_with("]\n"));
         assert!(json.contains("\"configuration\": \"pact_xor\""));
         assert!(json.contains("\"oracle_calls\""));
-        assert_eq!(json.matches("{\"instance\"").count(), records.len());
+        assert_eq!(json.matches("{\"schema_version\"").count(), records.len());
+    }
+
+    #[test]
+    fn json_records_round_trip_and_pin_the_schema() {
+        let suite = tiny_suite();
+        let harness = HarnessConfig {
+            timeout: Duration::from_secs(10),
+            iterations: 1,
+            seed: 1,
+        };
+        let records = vec![
+            run_one(&suite[0], Configuration::Pact(HashFamily::Xor), &harness),
+            run_one(&suite[0], Configuration::Cdm, &harness),
+        ];
+        let json = records_to_json(&records);
+        let parsed: Vec<Vec<(String, String)>> = json
+            .lines()
+            .filter(|l| l.trim_start().starts_with('{'))
+            .map(|l| parse_record_line(l).expect("well-formed record line"))
+            .collect();
+        assert_eq!(parsed.len(), records.len());
+        for (fields, record) in parsed.iter().zip(&records) {
+            // The schema is pinned: exactly these keys, in this order.
+            let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, RECORD_SCHEMA_FIELDS);
+            // And the values round-trip.
+            let get = |key: &str| {
+                fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.as_str())
+                    .unwrap()
+            };
+            assert_eq!(
+                get("schema_version").parse::<u32>().unwrap(),
+                RECORD_SCHEMA_VERSION
+            );
+            assert_eq!(get("instance"), record.instance);
+            assert_eq!(get("logic"), record.logic.name());
+            assert_eq!(get("configuration"), record.configuration.label());
+            assert_eq!(
+                get("oracle_calls").parse::<u64>().unwrap(),
+                record.report.stats.oracle_calls
+            );
+            assert_eq!(
+                get("iterations").parse::<u32>().unwrap(),
+                record.report.stats.iterations
+            );
+            let wall = get("wall_seconds").parse::<f64>().unwrap();
+            assert!((wall - record.report.stats.wall_seconds).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn instance_sessions_count_under_every_configuration() {
+        let suite = tiny_suite();
+        let mut session = instance_session(&suite[0]).expect("generated instances project");
+        let harness = HarnessConfig {
+            timeout: Duration::from_secs(10),
+            iterations: 1,
+            seed: 1,
+        };
+        // One declared problem, four strategies — no re-declaration.
+        let cdm = session
+            .count_cdm_with(&harness.counter_config(HashFamily::Xor))
+            .unwrap();
+        assert!(cdm.stats.wall_seconds >= 0.0);
+        for family in HashFamily::ALL {
+            let report = session.count_with(&harness.counter_config(family)).unwrap();
+            assert!(report.stats.oracle_calls > 0, "family {family}");
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! every oracle query is over a formula `q` times larger, with hash
 //! constraints spanning all `q·|S|` projected bits, encoded as ordinary
 //! bit-vector terms (the CDM tool has no native XOR engine).
+//!
+//! Like Algorithm 1 the engine is generic over the [`Oracle`] backend and
+//! observes the shared [`RunControl`] (deadline, cancellation, progress).
 
 use std::time::Instant;
 
@@ -21,11 +24,14 @@ use rand::SeedableRng;
 
 use pact_hash::{generate, projection_bits, HashFamily};
 use pact_ir::{TermId, TermManager};
-use pact_solver::{Context, Result, SolverError, SolverResult};
+use pact_solver::{Oracle, SolverResult};
 
 use crate::config::CounterConfig;
+use crate::error::{CountError, CountResult};
 use crate::parallel::{run_rounds, RoundOutput};
+use crate::progress::{ProgressEvent, RunControl};
 use crate::result::{median, CountOutcome, CountReport, CountStats};
+use crate::session::Session;
 
 /// Number of formula copies needed so that a factor-2 estimate of the
 /// composed count gives a `(1+ε)` estimate of the original count.
@@ -40,22 +46,52 @@ pub fn copies_for_epsilon(epsilon: f64) -> u32 {
 /// constraints over the copied projection bits, expressed as bit-vector
 /// terms.
 ///
+/// This is the compatibility form; [`Session::count_cdm`] counts the same
+/// problem repeatedly without re-declaring it.
+///
 /// # Errors
 ///
-/// Propagates [`SolverError`] for unsupported constructs or invalid
-/// configurations.
+/// Returns [`CountError::Config`] for invalid parameters,
+/// [`CountError::EmptyProjection`] for an empty projection set, and
+/// [`CountError::Solver`] for unsupported constructs.
 pub fn cdm_count(
     tm: &mut TermManager,
     formula: &[TermId],
     projection: &[TermId],
     config: &CounterConfig,
-) -> Result<CountReport> {
-    config.validate().map_err(SolverError::Unsupported)?;
+) -> CountResult<CountReport> {
+    config.validate()?;
     if projection.is_empty() {
-        return Err(SolverError::Unsupported("empty projection set".to_string()));
+        return Err(CountError::EmptyProjection);
+    }
+    let mut session = Session::builder(std::mem::take(tm))
+        .assert_all(formula)
+        .project_all(projection)
+        .config(config.clone())
+        .build()
+        .expect("configuration validated above");
+    let result = session.count_cdm();
+    *tm = session.into_term_manager();
+    result
+}
+
+/// The engine behind [`cdm_count`] and [`Session::count_cdm`].
+pub(crate) fn count_cdm(
+    tm: &mut TermManager,
+    formula: &[TermId],
+    projection: &[TermId],
+    config: &CounterConfig,
+    hooks: &RunControl,
+) -> CountResult<CountReport> {
+    config.validate()?;
+    if projection.is_empty() {
+        return Err(CountError::EmptyProjection);
     }
     let start = Instant::now();
-    let deadline = config.deadline.map(|d| start + d);
+    let ctrl = RunControl {
+        deadline: config.deadline.map(|d| start + d),
+        ..hooks.clone()
+    };
     let q = copies_for_epsilon(config.epsilon);
     let iterations = config
         .iterations_override
@@ -79,7 +115,7 @@ pub fn cdm_count(
         }
     }
 
-    let mut ctx = Context::with_config(config.solver);
+    let mut ctx = config.oracle_factory.build(config.solver);
     for &v in &copied_projections {
         ctx.track_var(v);
     }
@@ -95,8 +131,22 @@ pub fn cdm_count(
     let base = ctx.check(tm)?;
     ctx.pop();
     match base {
-        SolverResult::Unsat => return Ok(finish(CountOutcome::Unsatisfiable, stats, &ctx, start)),
-        SolverResult::Unknown => return Ok(finish(CountOutcome::Timeout, stats, &ctx, start)),
+        SolverResult::Unsat => {
+            return Ok(finish(
+                CountOutcome::Unsatisfiable,
+                stats,
+                ctx.stats().checks,
+                start,
+            ))
+        }
+        SolverResult::Unknown => {
+            return Ok(finish(
+                CountOutcome::Timeout,
+                stats,
+                ctx.stats().checks,
+                start,
+            ))
+        }
         SolverResult::Sat => {}
     }
 
@@ -104,20 +154,21 @@ pub fn cdm_count(
     // draws its own prefix-closed XOR list and probes its own cells, so the
     // same scheduler fans them out with the same determinism guarantee
     // (per-round RNG stream `seed ^ round`, per-round clones of the composed
-    // formula's term manager and oracle).
+    // formula's term manager and a per-round oracle from the factory).
     let workers = config.parallel.effective_threads();
     let tm_snapshot: &TermManager = tm;
     let copied_projections = &copied_projections;
     let copies = &copies;
+    let ctrl_ref = &ctrl;
     let outputs = run_rounds(workers, iterations, |round| {
-        if deadline_passed(deadline) {
+        if ctrl_ref.interrupted() {
             return RoundOutput {
-                value: Ok(CdmRound::deadline()),
+                value: Ok(CdmRound::interrupted()),
                 stop: true,
             };
         }
         let mut round_tm = tm_snapshot.clone();
-        let mut round_ctx = Context::with_config(config.solver);
+        let mut round_ctx = config.oracle_factory.build(config.solver);
         for &v in copied_projections {
             round_ctx.track_var(v);
         }
@@ -127,16 +178,21 @@ pub fn cdm_count(
         let mut rng = StdRng::seed_from_u64(config.seed ^ u64::from(round));
         let value = cdm_round(
             &mut round_tm,
-            &mut round_ctx,
+            &mut *round_ctx,
             copied_projections,
             total_bits,
             q,
-            deadline,
+            ctrl_ref,
+            round,
             &mut rng,
         );
         match value {
             Ok(mut outcome) => {
                 outcome.stats.oracle_calls = round_ctx.stats().checks;
+                ctrl_ref.emit(ProgressEvent::Round {
+                    round,
+                    estimate: outcome.estimate,
+                });
                 let stop = outcome.timed_out;
                 RoundOutput {
                     value: Ok(outcome),
@@ -177,7 +233,7 @@ pub fn cdm_count(
         }
         None => CountOutcome::Timeout,
     };
-    Ok(finish(outcome, stats, &ctx, start))
+    Ok(finish(outcome, stats, ctx.stats().checks, start))
 }
 
 /// One scheduled CDM round: its estimate (if it completed), the work it did,
@@ -189,8 +245,9 @@ struct CdmRound {
 }
 
 impl CdmRound {
-    /// A round that observed the deadline before doing any work.
-    fn deadline() -> Self {
+    /// A round that observed the deadline (or a cancellation request)
+    /// before doing any work.
+    fn interrupted() -> Self {
         CdmRound {
             estimate: None,
             stats: CountStats::default(),
@@ -202,15 +259,17 @@ impl CdmRound {
 /// One iteration of the CDM loop: draw a prefix-closed XOR list, then find
 /// the largest prefix that still leaves the composed formula satisfiable
 /// with a galloping + binary search.
+#[allow(clippy::too_many_arguments)]
 fn cdm_round(
     tm: &mut TermManager,
-    ctx: &mut Context,
+    ctx: &mut dyn Oracle,
     copied_projections: &[TermId],
     total_bits: usize,
     q: u32,
-    deadline: Option<Instant>,
+    ctrl: &RunControl,
+    round: u32,
     rng: &mut StdRng,
-) -> Result<CdmRound> {
+) -> CountResult<CdmRound> {
     let mut stats = CountStats::default();
     // Draw one XOR constraint per possible level up front (prefix-closed
     // like pact's H[i]).
@@ -220,12 +279,12 @@ fn cdm_round(
             h.to_term(tm)
         })
         .collect();
-    let probe = |ctx: &mut Context,
+    let probe = |ctx: &mut dyn Oracle,
                  tm: &mut TermManager,
                  m: usize,
                  stats: &mut CountStats|
-     -> Result<Option<bool>> {
-        if deadline_passed(deadline) {
+     -> CountResult<Option<bool>> {
+        if ctrl.interrupted() {
             return Ok(None);
         }
         ctx.push();
@@ -235,6 +294,10 @@ fn cdm_round(
         let verdict = ctx.check(tm)?;
         ctx.pop();
         stats.cells_explored += 1;
+        ctrl.emit(ProgressEvent::Cell {
+            round,
+            cells_in_round: stats.cells_explored,
+        });
         Ok(match verdict {
             SolverResult::Sat => Some(true),
             SolverResult::Unsat => Some(false),
@@ -305,18 +368,14 @@ fn cdm_round(
 fn finish(
     outcome: CountOutcome,
     mut stats: CountStats,
-    ctx: &Context,
+    base_checks: u64,
     start: Instant,
 ) -> CountReport {
     // Rounds ran on their own oracles and already merged their call counts;
-    // add the base context's calls (the satisfiability pre-check) on top.
-    stats.oracle_calls += ctx.stats().checks;
+    // add the base oracle's calls (the satisfiability pre-check) on top.
+    stats.oracle_calls += base_checks;
     stats.wall_seconds = start.elapsed().as_secs_f64();
     CountReport { outcome, stats }
-}
-
-fn deadline_passed(deadline: Option<Instant>) -> bool {
-    deadline.map(|d| Instant::now() >= d).unwrap_or(false)
 }
 
 #[cfg(test)]

@@ -1,9 +1,78 @@
 //! Configuration of the counting algorithms.
 
+use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use pact_hash::HashFamily;
-use pact_solver::SolverConfig;
+use pact_solver::{Context, Oracle, SolverConfig};
+
+use crate::error::ConfigError;
+
+/// Builds the SMT oracle a counting run talks to.
+///
+/// The counting core is generic over the [`Oracle`] trait; this factory is
+/// the hook that decides *which* implementation gets built.  It is invoked
+/// once for the base context and once per scheduled round — with a parallel
+/// [`ParallelConfig`] that means once per worker-claimed round, on the
+/// worker's own thread, so implementations must be `Send + Sync`.
+///
+/// The default factory builds the workspace's own [`Context`]; tests and
+/// alternative backends swap in their own with [`OracleFactory::new`] (see
+/// `tests/session.rs` for an instrumented example).
+#[derive(Clone, Default)]
+pub struct OracleFactory {
+    /// `None` is the built-in backend ([`Context`]); `Some` a custom one.
+    build: Option<Arc<BuildOracleFn>>,
+}
+
+/// The constructor closure an [`OracleFactory`] stores.
+type BuildOracleFn = dyn Fn(SolverConfig) -> Box<dyn Oracle> + Send + Sync;
+
+impl OracleFactory {
+    /// Wraps a constructor closure.  The closure receives the run's
+    /// [`SolverConfig`] (resource limits) and returns a fresh oracle.
+    pub fn new(build: impl Fn(SolverConfig) -> Box<dyn Oracle> + Send + Sync + 'static) -> Self {
+        OracleFactory {
+            build: Some(Arc::new(build)),
+        }
+    }
+
+    /// Builds one oracle with the given resource limits.
+    pub fn build(&self, config: SolverConfig) -> Box<dyn Oracle> {
+        match &self.build {
+            Some(build) => build(config),
+            None => Box::new(Context::with_config(config)),
+        }
+    }
+
+    /// Whether this is the built-in [`Context`] backend.
+    pub fn is_default(&self) -> bool {
+        self.build.is_none()
+    }
+}
+
+impl fmt::Debug for OracleFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_default() {
+            f.write_str("OracleFactory(Context)")
+        } else {
+            f.write_str("OracleFactory(custom)")
+        }
+    }
+}
+
+impl PartialEq for OracleFactory {
+    /// Two default factories are equal; custom factories compare by closure
+    /// identity.
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.build, &other.build) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
 
 /// Thread scheduling of the independent outer rounds of the counting
 /// algorithms.
@@ -81,6 +150,10 @@ pub struct CounterConfig {
     /// Thread scheduling of the outer rounds (deterministic for every
     /// thread count; see [`ParallelConfig`]).
     pub parallel: ParallelConfig,
+    /// Which [`Oracle`] backend the run builds — once for the base context
+    /// and once per scheduled round, so parallel rounds each get their own
+    /// oracle.  Defaults to the workspace's [`Context`].
+    pub oracle_factory: OracleFactory,
 }
 
 impl Default for CounterConfig {
@@ -94,6 +167,7 @@ impl Default for CounterConfig {
             solver: SolverConfig::default(),
             iterations_override: None,
             parallel: ParallelConfig::default(),
+            oracle_factory: OracleFactory::default(),
         }
     }
 }
@@ -141,17 +215,27 @@ impl CounterConfig {
         self
     }
 
+    /// Returns a copy building its oracles through `factory` instead of the
+    /// default [`Context`] backend.
+    pub fn with_oracle_factory(mut self, factory: OracleFactory) -> Self {
+        self.oracle_factory = factory;
+        self
+    }
+
     /// Validates the parameters.
     ///
     /// # Errors
     ///
-    /// Returns a message if `ε ≤ 0` or `δ` is outside `(0, 1)`.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the typed [`ConfigError`] variant for the first parameter
+    /// outside its valid range (`ε ≤ 0`, or `δ` outside `(0, 1)`).
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.epsilon <= 0.0 {
-            return Err(format!("epsilon must be positive, got {}", self.epsilon));
+            return Err(ConfigError::NonPositiveEpsilon {
+                epsilon: self.epsilon,
+            });
         }
         if self.delta <= 0.0 || self.delta >= 1.0 {
-            return Err(format!("delta must be in (0, 1), got {}", self.delta));
+            return Err(ConfigError::DeltaOutOfRange { delta: self.delta });
         }
         Ok(())
     }
@@ -200,6 +284,42 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert_eq!(c.deadline, Some(Duration::from_secs(5)));
         assert_eq!(c.parallel.threads, 4);
+    }
+
+    #[test]
+    fn validation_errors_carry_the_offending_value() {
+        let bad_epsilon = CounterConfig {
+            epsilon: -2.0,
+            ..CounterConfig::default()
+        };
+        assert_eq!(
+            bad_epsilon.validate(),
+            Err(ConfigError::NonPositiveEpsilon { epsilon: -2.0 })
+        );
+        let bad_delta = CounterConfig {
+            delta: 1.5,
+            ..CounterConfig::default()
+        };
+        assert_eq!(
+            bad_delta.validate(),
+            Err(ConfigError::DeltaOutOfRange { delta: 1.5 })
+        );
+    }
+
+    #[test]
+    fn oracle_factories_compare_by_identity() {
+        // Two default configs are equal (both build the Context backend)...
+        assert_eq!(CounterConfig::default(), CounterConfig::default());
+        assert!(CounterConfig::default().oracle_factory.is_default());
+        // ...a custom factory equals its clones but not an unrelated one.
+        let custom = OracleFactory::new(|cfg| Box::new(Context::with_config(cfg)));
+        assert_eq!(custom.clone(), custom);
+        assert_ne!(custom, OracleFactory::default());
+        assert!(!custom.is_default());
+        let mut oracle = custom.build(SolverConfig::default());
+        assert_eq!(oracle.stats().checks, 0);
+        oracle.push();
+        oracle.pop();
     }
 
     #[test]

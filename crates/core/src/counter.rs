@@ -1,4 +1,11 @@
 //! Algorithm 1: the `pact` approximate projected model counter.
+//!
+//! The public entry points are [`Session::count`](crate::Session::count) and
+//! the compatibility wrapper [`pact_count`]; both drive the engine in this
+//! module, which is generic over the [`Oracle`] backend (built through
+//! [`CounterConfig::oracle_factory`], once per scheduled round) and threads a
+//! [`RunControl`] — deadline, cancellation token, progress observer — through
+//! the round scheduler and the saturating counter.
 
 use std::time::Instant;
 
@@ -7,13 +14,16 @@ use rand::SeedableRng;
 
 use pact_hash::{generate, projection_bits, HashConstraint, HashFamily};
 use pact_ir::{TermId, TermManager};
-use pact_solver::{Context, Result, SolverError};
+use pact_solver::Oracle;
 
 use crate::config::CounterConfig;
 use crate::constants::get_constants;
+use crate::error::{CountError, CountResult};
 use crate::parallel::{run_rounds, RoundOutput};
+use crate::progress::{ProgressEvent, RunControl};
 use crate::result::{median, CountOutcome, CountReport, CountStats};
-use crate::saturating::{saturating_count, CellCount};
+use crate::saturating::{saturating_count_ctl, CellCount};
+use crate::session::Session;
 
 /// Counts the projected models of `formula` over `projection` with
 /// `(ε, δ)` guarantees (Algorithm 1 of the paper).
@@ -21,10 +31,17 @@ use crate::saturating::{saturating_count, CellCount};
 /// `formula` is a conjunction of assertions; `projection` is the set `S` of
 /// discrete variables onto which solutions are projected.
 ///
+/// This is the compatibility form of the API: it builds a one-shot
+/// [`Session`] around the borrowed term manager and counts once.  New code
+/// that counts the same problem repeatedly (or needs progress reporting and
+/// cancellation) should build the session directly via [`Session::builder`].
+///
 /// # Errors
 ///
-/// Returns [`SolverError`] when the formula uses constructs outside the
-/// supported fragment, or when the configuration is invalid.
+/// Returns [`CountError::Config`] for invalid `(ε, δ)` parameters,
+/// [`CountError::EmptyProjection`] for an empty projection set, and
+/// [`CountError::Solver`] when the formula uses constructs outside the
+/// oracle's supported fragment.
 ///
 /// # Example
 ///
@@ -46,19 +63,51 @@ pub fn pact_count(
     formula: &[TermId],
     projection: &[TermId],
     config: &CounterConfig,
-) -> Result<CountReport> {
-    config.validate().map_err(SolverError::Unsupported)?;
+) -> CountResult<CountReport> {
+    // Validate before taking the term manager so an error leaves the
+    // caller's `tm` untouched.
+    config.validate()?;
     if projection.is_empty() {
-        return Err(SolverError::Unsupported("empty projection set".to_string()));
+        return Err(CountError::EmptyProjection);
+    }
+    let mut session = Session::builder(std::mem::take(tm))
+        .assert_all(formula)
+        .project_all(projection)
+        .config(config.clone())
+        .build()
+        .expect("configuration validated above");
+    let result = session.count();
+    *tm = session.into_term_manager();
+    result
+}
+
+/// The engine behind [`pact_count`] and [`Session::count`].
+///
+/// `hooks` carries the cancellation token and progress observer; its
+/// deadline field is overwritten with the absolute instant derived from
+/// `config.deadline`.
+pub(crate) fn count_pact(
+    tm: &mut TermManager,
+    formula: &[TermId],
+    projection: &[TermId],
+    config: &CounterConfig,
+    hooks: &RunControl,
+) -> CountResult<CountReport> {
+    config.validate()?;
+    if projection.is_empty() {
+        return Err(CountError::EmptyProjection);
     }
     let start = Instant::now();
-    let deadline = config.deadline.map(|d| start + d);
+    let ctrl = RunControl {
+        deadline: config.deadline.map(|d| start + d),
+        ..hooks.clone()
+    };
     let constants = get_constants(config.epsilon, config.delta, config.family);
     let iterations = config
         .iterations_override
         .unwrap_or(constants.iterations)
         .max(1);
-    let mut ctx = Context::with_config(config.solver);
+    let mut ctx = config.oracle_factory.build(config.solver);
     for &v in projection {
         ctx.track_var(v);
     }
@@ -70,18 +119,37 @@ pub fn pact_count(
 
     // Line 3-4: if the whole projected space is already small, the count is exact.
     ctx.push();
-    let base = saturating_count(&mut ctx, tm, projection, constants.thresh, deadline)?;
+    let base = saturating_count_ctl(&mut *ctx, tm, projection, constants.thresh, &ctrl)?;
     ctx.pop();
     stats.cells_explored += 1;
+    ctrl.emit(ProgressEvent::Cell {
+        round: 0,
+        cells_in_round: 1,
+    });
     match base {
         CellCount::Exact(0) => {
-            return Ok(finish(CountOutcome::Unsatisfiable, stats, &ctx, start));
+            return Ok(finish(
+                CountOutcome::Unsatisfiable,
+                stats,
+                ctx.stats().checks,
+                start,
+            ));
         }
         CellCount::Exact(n) => {
-            return Ok(finish(CountOutcome::Exact(n), stats, &ctx, start));
+            return Ok(finish(
+                CountOutcome::Exact(n),
+                stats,
+                ctx.stats().checks,
+                start,
+            ));
         }
         CellCount::Unknown => {
-            return Ok(finish(CountOutcome::Timeout, stats, &ctx, start));
+            return Ok(finish(
+                CountOutcome::Timeout,
+                stats,
+                ctx.stats().checks,
+                start,
+            ));
         }
         CellCount::Saturated => {}
     }
@@ -91,22 +159,24 @@ pub fn pact_count(
     let total_bits = projection_bits(tm, projection).max(1);
 
     // The outer rounds are independent: each gets its own term-manager
-    // clone, its own oracle and an RNG stream derived from `seed ^ round`,
-    // so the scheduler can fan them out across threads without changing the
-    // result (see `parallel.rs` for the determinism argument).
+    // clone, its own oracle (built through the factory, on the worker's own
+    // thread) and an RNG stream derived from `seed ^ round`, so the
+    // scheduler can fan them out across threads without changing the result
+    // (see `parallel.rs` for the determinism argument).
     let workers = config.parallel.effective_threads();
     let tm_snapshot: &TermManager = tm;
     let thresh = constants.thresh;
     let ell = constants.ell;
+    let ctrl_ref = &ctrl;
     let outputs = run_rounds(workers, iterations, |round| {
-        if deadline_passed(deadline) {
+        if ctrl_ref.interrupted() {
             return RoundOutput {
-                value: Ok(RoundRecord::deadline()),
+                value: Ok(RoundRecord::interrupted()),
                 stop: true,
             };
         }
         let mut round_tm = tm_snapshot.clone();
-        let mut round_ctx = Context::with_config(config.solver);
+        let mut round_ctx = config.oracle_factory.build(config.solver);
         for &v in projection {
             round_ctx.track_var(v);
         }
@@ -117,19 +187,27 @@ pub fn pact_count(
         let mut round_stats = CountStats::default();
         let result = one_round(
             &mut round_tm,
-            &mut round_ctx,
+            &mut *round_ctx,
             projection,
             config,
             thresh,
             ell,
             total_bits,
-            deadline,
+            ctrl_ref,
+            round,
             &mut rng,
             &mut round_stats,
         );
         round_stats.oracle_calls = round_ctx.stats().checks;
         match result {
             Ok(outcome) => {
+                ctrl_ref.emit(ProgressEvent::Round {
+                    round,
+                    estimate: match &outcome {
+                        RoundOutcome::Estimate(value) => Some(*value),
+                        _ => None,
+                    },
+                });
                 let stop = matches!(outcome, RoundOutcome::Timeout);
                 RoundOutput {
                     value: Ok(RoundRecord {
@@ -174,7 +252,7 @@ pub fn pact_count(
         },
         None => CountOutcome::Timeout,
     };
-    Ok(finish(outcome, stats, &ctx, start))
+    Ok(finish(outcome, stats, ctx.stats().checks, start))
 }
 
 /// One scheduled round's result: what it concluded plus the work it did
@@ -185,8 +263,9 @@ struct RoundRecord {
 }
 
 impl RoundRecord {
-    /// A round that observed the deadline before doing any work.
-    fn deadline() -> Self {
+    /// A round that observed the deadline (or a cancellation request)
+    /// before doing any work.
+    fn interrupted() -> Self {
         RoundRecord {
             outcome: RoundOutcome::Timeout,
             stats: CountStats::default(),
@@ -197,18 +276,14 @@ impl RoundRecord {
 fn finish(
     outcome: CountOutcome,
     mut stats: CountStats,
-    ctx: &Context,
+    base_checks: u64,
     start: Instant,
 ) -> CountReport {
     // Rounds ran on their own oracles and already merged their call counts;
-    // add the base context's calls (the initial exactness check) on top.
-    stats.oracle_calls += ctx.stats().checks;
+    // add the base oracle's calls (the initial exactness check) on top.
+    stats.oracle_calls += base_checks;
     stats.wall_seconds = start.elapsed().as_secs_f64();
     CountReport { outcome, stats }
-}
-
-fn deadline_passed(deadline: Option<Instant>) -> bool {
-    deadline.map(|d| Instant::now() >= d).unwrap_or(false)
 }
 
 enum RoundOutcome {
@@ -224,16 +299,17 @@ enum RoundOutcome {
 #[allow(clippy::too_many_arguments)]
 fn one_round(
     tm: &mut TermManager,
-    ctx: &mut Context,
+    ctx: &mut dyn Oracle,
     projection: &[TermId],
     config: &CounterConfig,
     thresh: u64,
     ell: u32,
     total_bits: u32,
-    deadline: Option<Instant>,
+    ctrl: &RunControl,
+    round: u32,
     rng: &mut StdRng,
     stats: &mut CountStats,
-) -> Result<RoundOutcome> {
+) -> CountResult<RoundOutcome> {
     // How many cells a single hash of this family splits into.
     let probe_range = generate(tm, projection, ell, config.family, rng).range();
     let bits_per_hash = (probe_range as f64).log2();
@@ -243,22 +319,26 @@ fn one_round(
         .collect();
 
     // Measure |Sol(F ∧ H[0..i])↓S| with the saturating counter.
-    let measure = |ctx: &mut Context,
+    let measure = |ctx: &mut dyn Oracle,
                    tm: &mut TermManager,
                    constraints: &[HashConstraint],
                    stats: &mut CountStats|
-     -> Result<CellCount> {
-        if deadline_passed(deadline) {
+     -> CountResult<CellCount> {
+        if ctrl.interrupted() {
             return Ok(CellCount::Unknown);
         }
         ctx.push();
         for h in constraints {
             h.assert_into(ctx, tm);
         }
-        let result = saturating_count(ctx, tm, projection, thresh, deadline);
+        let result = saturating_count_ctl(ctx, tm, projection, thresh, ctrl);
         ctx.pop();
         stats.cells_explored += 1;
-        result
+        ctrl.emit(ProgressEvent::Cell {
+            round,
+            cells_in_round: stats.cells_explored,
+        });
+        Ok(result?)
     };
 
     // Galloping (exponential + binary) search for the boundary index i such
@@ -464,7 +544,13 @@ mod tests {
         let x = tm.mk_var("x", Sort::BitVec(4));
         let c = tm.mk_bv_const(3, 4);
         let f = tm.mk_bv_ult(x, c).unwrap();
-        assert!(pact_count(&mut tm, &[f], &[], &CounterConfig::fast()).is_err());
+        assert_eq!(
+            pact_count(&mut tm, &[f], &[], &CounterConfig::fast()),
+            Err(CountError::EmptyProjection)
+        );
+        // The error path must leave the caller's term manager usable.
+        let report = pact_count(&mut tm, &[f], &[x], &CounterConfig::fast()).unwrap();
+        assert_eq!(report.outcome, CountOutcome::Exact(3));
     }
 
     #[test]

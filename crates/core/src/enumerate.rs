@@ -3,11 +3,13 @@
 use std::time::Instant;
 
 use pact_ir::{TermId, TermManager};
-use pact_solver::{Context, Result};
 
 use crate::config::CounterConfig;
+use crate::error::{CountError, CountResult};
+use crate::progress::{ProgressEvent, RunControl};
 use crate::result::{CountOutcome, CountReport, CountStats};
-use crate::saturating::{saturating_count, CellCount};
+use crate::saturating::{saturating_count_ctl, CellCount};
+use crate::session::Session;
 
 /// Counts projected models exactly by enumerating and blocking them, up to
 /// `limit` models.
@@ -18,9 +20,18 @@ use crate::saturating::{saturating_count, CellCount};
 /// reaches `limit` (or whose budget expires) report
 /// [`CountOutcome::Timeout`].
 ///
+/// This is the compatibility form; [`Session::enumerate`] counts the same
+/// problem repeatedly without re-declaring it, and reports every discovered
+/// model to the session's progress observer.
+///
 /// # Errors
 ///
-/// Propagates [`pact_solver::SolverError`] for unsupported constructs.
+/// Returns [`CountError::Config`] for invalid parameters,
+/// [`CountError::EmptyProjection`] for an empty projection set, and
+/// [`CountError::Solver`] for unsupported constructs.  Note that the
+/// `(ε, δ)` fields are validated for uniformity with the other entry
+/// points even though enumeration does not use them — a deliberate
+/// tightening over the pre-session API, which skipped validation here.
 ///
 /// # Example
 ///
@@ -41,10 +52,41 @@ pub fn enumerate_count(
     projection: &[TermId],
     limit: u64,
     config: &CounterConfig,
-) -> Result<CountReport> {
+) -> CountResult<CountReport> {
+    config.validate()?;
+    if projection.is_empty() {
+        return Err(CountError::EmptyProjection);
+    }
+    let mut session = Session::builder(std::mem::take(tm))
+        .assert_all(formula)
+        .project_all(projection)
+        .config(config.clone())
+        .build()
+        .expect("configuration validated above");
+    let result = session.enumerate(limit);
+    *tm = session.into_term_manager();
+    result
+}
+
+/// The engine behind [`enumerate_count`] and [`Session::enumerate`].
+pub(crate) fn count_enumerate(
+    tm: &mut TermManager,
+    formula: &[TermId],
+    projection: &[TermId],
+    limit: u64,
+    config: &CounterConfig,
+    hooks: &RunControl,
+) -> CountResult<CountReport> {
+    config.validate()?;
+    if projection.is_empty() {
+        return Err(CountError::EmptyProjection);
+    }
     let start = Instant::now();
-    let deadline = config.deadline.map(|d| start + d);
-    let mut ctx = Context::with_config(config.solver);
+    let ctrl = RunControl {
+        deadline: config.deadline.map(|d| start + d),
+        ..hooks.clone()
+    };
+    let mut ctx = config.oracle_factory.build(config.solver);
     for &v in projection {
         ctx.track_var(v);
     }
@@ -52,10 +94,14 @@ pub fn enumerate_count(
         ctx.assert_term(f);
     }
     let mut stats = CountStats::default();
-    let result = saturating_count(&mut ctx, tm, projection, limit, deadline)?;
+    let result = saturating_count_ctl(&mut *ctx, tm, projection, limit, &ctrl)?;
     stats.cells_explored = 1;
     stats.oracle_calls = ctx.stats().checks;
     stats.wall_seconds = start.elapsed().as_secs_f64();
+    ctrl.emit(ProgressEvent::Cell {
+        round: 0,
+        cells_in_round: 1,
+    });
     let outcome = match result {
         CellCount::Exact(0) => CountOutcome::Unsatisfiable,
         CellCount::Exact(n) => CountOutcome::Exact(n),

@@ -1,0 +1,126 @@
+//! Structured error types of the counting API.
+//!
+//! The counting engine distinguishes *configuration* mistakes (caught before
+//! any solving starts, [`ConfigError`]) from *problem* mistakes (an empty
+//! projection set) and from *solver* failures surfaced by the oracle
+//! ([`SolverError`]).  [`CountError`] is the union the public entry points
+//! return; it is `#[non_exhaustive]` so future failure classes (e.g. a
+//! remote-oracle transport error) can be added without a breaking release.
+
+use std::fmt;
+
+use pact_solver::SolverError;
+
+/// A parameter of [`crate::CounterConfig`] is outside its valid range.
+///
+/// Every variant carries the offending value so callers (CLIs, services) can
+/// render precise diagnostics without parsing message strings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// The tolerance `ε` of the `(ε, δ)` guarantee must be positive.
+    NonPositiveEpsilon {
+        /// The rejected value.
+        epsilon: f64,
+    },
+    /// The confidence `δ` must lie strictly inside `(0, 1)`.
+    DeltaOutOfRange {
+        /// The rejected value.
+        delta: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositiveEpsilon { epsilon } => {
+                write!(f, "epsilon must be positive, got {epsilon}")
+            }
+            ConfigError::DeltaOutOfRange { delta } => {
+                write!(f, "delta must be in (0, 1), got {delta}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Any failure of a counting run.
+///
+/// Returned by [`crate::Session`]'s methods and by the compatibility
+/// wrappers [`crate::pact_count`], [`crate::cdm_count`] and
+/// [`crate::enumerate_count`].  Budget exhaustion (deadline, solver limits)
+/// and cooperative cancellation are *not* errors: they are reported as
+/// [`crate::CountOutcome::Timeout`] so partial statistics survive.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CountError {
+    /// The counter configuration is invalid.
+    Config(ConfigError),
+    /// The projection set is empty: a projected count needs at least one
+    /// variable to project onto.
+    EmptyProjection,
+    /// The SMT oracle rejected the formula (unsupported fragment) or hit an
+    /// internal error.
+    Solver(SolverError),
+}
+
+impl fmt::Display for CountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountError::Config(e) => write!(f, "invalid configuration: {e}"),
+            CountError::EmptyProjection => f.write_str("empty projection set"),
+            CountError::Solver(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CountError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CountError::Config(e) => Some(e),
+            CountError::EmptyProjection => None,
+            CountError::Solver(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for CountError {
+    fn from(e: ConfigError) -> Self {
+        CountError::Config(e)
+    }
+}
+
+impl From<SolverError> for CountError {
+    fn from(e: SolverError) -> Self {
+        CountError::Solver(e)
+    }
+}
+
+/// Result alias of the counting API.
+pub type CountResult<T> = std::result::Result<T, CountError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_carry_typed_fields() {
+        let e = ConfigError::NonPositiveEpsilon { epsilon: -1.5 };
+        assert!(e.to_string().contains("-1.5"));
+        let e = ConfigError::DeltaOutOfRange { delta: 1.0 };
+        assert!(e.to_string().contains('1'));
+        match CountError::from(e) {
+            CountError::Config(ConfigError::DeltaOutOfRange { delta }) => assert_eq!(delta, 1.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solver_errors_convert_and_chain() {
+        let solver = SolverError::Unsupported("nonlinear".to_string());
+        let err = CountError::from(solver.clone());
+        assert_eq!(err, CountError::Solver(solver));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(std::error::Error::source(&CountError::EmptyProjection).is_none());
+    }
+}

@@ -18,9 +18,13 @@
 //!
 //! # Quickstart
 //!
+//! The primary API is the [`Session`]: declare the problem once (it owns the
+//! term manager, the formula and the projection set), then count it as many
+//! times — and under as many configurations — as needed.
+//!
 //! ```
 //! use pact_ir::{TermManager, Sort, Rational};
-//! use pact::{pact_count, CounterConfig, CountOutcome};
+//! use pact::{Session, CountOutcome};
 //!
 //! // A hybrid formula: 8-bit b, real r, with  b ≥ 32  ∧  0 < r < 1.
 //! let mut tm = TermManager::new();
@@ -34,10 +38,22 @@
 //! let f3 = tm.mk_real_lt(r, one).unwrap();
 //!
 //! // Count the projected models over {b} (the true count is 224).
-//! let config = CounterConfig::fast().with_seed(1);
-//! let report = pact_count(&mut tm, &[f1, f2, f3], &[b], &config).unwrap();
+//! let mut session = Session::builder(tm)
+//!     .assert_all(&[f1, f2, f3])
+//!     .project(b)
+//!     .seed(1)
+//!     .iterations(3)
+//!     .build()
+//!     .unwrap();
+//! let report = session.count().unwrap();
 //! assert!(report.outcome.value().unwrap() > 0.0);
 //! ```
+//!
+//! The original free functions remain as thin compatibility wrappers over
+//! the session (they borrow a [`TermManager`](pact_ir::TermManager) instead
+//! of owning one); sessions additionally offer progress observation
+//! ([`Progress`]), cooperative cancellation ([`CancellationToken`]) and
+//! pluggable oracle backends ([`OracleFactory`], [`Oracle`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,17 +63,24 @@ mod config;
 mod constants;
 mod counter;
 mod enumerate;
+mod error;
 pub mod parallel;
+mod progress;
 mod result;
 pub mod saturating;
+mod session;
 
 pub use cdm::{cdm_count, copies_for_epsilon};
-pub use config::{CounterConfig, ParallelConfig};
+pub use config::{CounterConfig, OracleFactory, ParallelConfig};
 pub use constants::{get_constants, Constants};
 pub use counter::pact_count;
 pub use enumerate::enumerate_count;
+pub use error::{ConfigError, CountError, CountResult};
+pub use progress::{CancellationToken, Progress, ProgressEvent, RunControl};
 pub use result::{median, relative_error, CountOutcome, CountReport, CountStats};
+pub use session::{Session, SessionBuilder};
 
-// Re-export the pieces callers need to drive the counter.
+// Re-export the pieces callers need to drive the counter (and to implement
+// custom oracle backends).
 pub use pact_hash::HashFamily;
-pub use pact_solver::{SolverConfig, SolverError};
+pub use pact_solver::{Context, Oracle, OracleStats, SolverConfig, SolverError, SolverResult};

@@ -4,7 +4,9 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use pact_ir::{BvValue, TermId, TermManager};
-use pact_solver::{Context, Result, SolverResult};
+use pact_solver::{Oracle, Result, SolverResult};
+
+use crate::progress::{ProgressEvent, RunControl};
 
 /// The size of a cell as measured by the saturating counter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,28 +47,58 @@ impl CellCount {
 /// `deadline` is the absolute instant after which the enumeration gives up
 /// with [`CellCount::Unknown`].
 ///
+/// This is the deadline-only compatibility form; [`saturating_count_ctl`]
+/// additionally observes a cancellation token and reports each discovered
+/// model to a progress observer.
+///
 /// # Errors
 ///
 /// Propagates [`pact_solver::SolverError`] for unsupported constructs.
-pub fn saturating_count(
-    ctx: &mut Context,
+pub fn saturating_count<O: Oracle + ?Sized>(
+    ctx: &mut O,
     tm: &mut TermManager,
     projection: &[TermId],
     thresh: u64,
     deadline: Option<Instant>,
 ) -> Result<CellCount> {
+    saturating_count_ctl(
+        ctx,
+        tm,
+        projection,
+        thresh,
+        &RunControl::with_deadline(deadline),
+    )
+}
+
+/// [`saturating_count`] under a full [`RunControl`]: the enumeration checks
+/// the deadline *and* the cancellation token before every oracle call, and
+/// emits a [`ProgressEvent::Model`] for every projected model it finds.
+///
+/// Cancellation surfaces as [`CellCount::Unknown`], the same verdict as a
+/// deadline expiry or an oracle give-up, so callers need exactly one
+/// "stop now" path.
+///
+/// # Errors
+///
+/// Propagates [`pact_solver::SolverError`] for unsupported constructs.
+pub fn saturating_count_ctl<O: Oracle + ?Sized>(
+    ctx: &mut O,
+    tm: &mut TermManager,
+    projection: &[TermId],
+    thresh: u64,
+    ctrl: &RunControl,
+) -> Result<CellCount> {
     let mut count = 0u64;
     loop {
-        if let Some(d) = deadline {
-            if Instant::now() >= d {
-                return Ok(CellCount::Unknown);
-            }
+        if ctrl.interrupted() {
+            return Ok(CellCount::Unknown);
         }
         match ctx.check(tm)? {
             SolverResult::Unsat => return Ok(CellCount::Exact(count)),
             SolverResult::Unknown => return Ok(CellCount::Unknown),
             SolverResult::Sat => {
                 count += 1;
+                ctrl.emit(ProgressEvent::Model { found: count });
                 if count >= thresh {
                     return Ok(CellCount::Saturated);
                 }
@@ -80,8 +112,8 @@ pub fn saturating_count(
 }
 
 /// Asserts `¬(S = model)` so the same projected assignment is not found again.
-pub fn block_projected_model(
-    ctx: &mut Context,
+pub fn block_projected_model<O: Oracle + ?Sized>(
+    ctx: &mut O,
     tm: &mut TermManager,
     projection: &[TermId],
     model: &[BvValue],
@@ -116,8 +148,8 @@ pub fn block_projected_model(
 
 /// Collects the projected model as a map keyed by projection variable, which
 /// is the representation the hash-constraint evaluator expects.
-pub fn projected_model_map(
-    ctx: &Context,
+pub fn projected_model_map<O: Oracle + ?Sized>(
+    ctx: &O,
     tm: &TermManager,
     projection: &[TermId],
 ) -> Option<HashMap<TermId, BvValue>> {
@@ -128,7 +160,9 @@ pub fn projected_model_map(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::progress::CancellationToken;
     use pact_ir::Sort;
+    use pact_solver::Context;
 
     fn small_instance(tm: &mut TermManager) -> (TermId, TermId) {
         // x < 6 over 4 bits: exactly 6 projected models.
@@ -221,6 +255,23 @@ mod tests {
         ctx.assert_term(f);
         let past = Instant::now();
         let c = saturating_count(&mut ctx, &mut tm, &[x], 100, Some(past)).unwrap();
+        assert_eq!(c, CellCount::Unknown);
+    }
+
+    #[test]
+    fn cancelled_token_reports_unknown() {
+        let mut tm = TermManager::new();
+        let (x, f) = small_instance(&mut tm);
+        let mut ctx = Context::new();
+        ctx.track_var(x);
+        ctx.assert_term(f);
+        let token = CancellationToken::new();
+        token.cancel();
+        let ctrl = RunControl {
+            cancel: Some(token),
+            ..RunControl::default()
+        };
+        let c = saturating_count_ctl(&mut ctx, &mut tm, &[x], 100, &ctrl).unwrap();
         assert_eq!(c, CellCount::Unknown);
     }
 

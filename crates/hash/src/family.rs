@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 
 use pact_ir::{BvValue, TermId, TermManager};
-use pact_solver::Context;
+use pact_solver::Oracle;
 
 use crate::primes::{bit_width, next_prime};
 use crate::slicing::{slice_projection, Slice};
@@ -47,8 +47,8 @@ impl std::fmt::Display for HashFamily {
 
 /// A single generated hash constraint `h(S) = α`.
 ///
-/// The constraint both (a) knows how to assert itself into a solver
-/// [`Context`] — natively for XOR, as a bit-vector term otherwise — and
+/// The constraint both (a) knows how to assert itself into any solver
+/// [`Oracle`] — natively for XOR, as a bit-vector term otherwise — and
 /// (b) can be evaluated on concrete projected values, which is how the test
 /// suite checks that the symbolic encoding agrees with the mathematical
 /// definition of the family.
@@ -91,11 +91,11 @@ impl HashConstraint {
         self.range
     }
 
-    /// Asserts the constraint into the oracle.
+    /// Asserts the constraint into any [`Oracle`] backend.
     ///
     /// XOR constraints take the native path (`assert_xor_bits`); word-level
     /// constraints are built as bit-vector terms.
-    pub fn assert_into(&self, ctx: &mut Context, tm: &mut TermManager) {
+    pub fn assert_into<O: Oracle + ?Sized>(&self, ctx: &mut O, tm: &mut TermManager) {
         match &self.kind {
             HashKind::Xor { bits, rhs } => {
                 ctx.assert_xor_bits(bits.clone(), *rhs);
@@ -322,7 +322,7 @@ pub fn generate(
 mod tests {
     use super::*;
     use pact_ir::{Sort, Value};
-    use pact_solver::SolverResult;
+    use pact_solver::{Context, SolverResult};
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> StdRng {

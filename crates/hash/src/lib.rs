@@ -9,8 +9,8 @@
 //! * [`HashFamily::Prime`] — word-level multiply-mod-prime;
 //! * [`HashFamily::Shift`] — word-level multiply-shift;
 //!
-//! together with the bit-vector [`slicing`](crate::slicing) the word-level
-//! families need and the [prime search](crate::primes) used by `H_prime`.
+//! together with the bit-vector [`slicing`] the word-level families need
+//! and the [prime search](crate::primes) used by `H_prime`.
 //!
 //! # Example
 //!

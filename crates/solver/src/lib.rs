@@ -16,6 +16,9 @@
 //! * [`Context`] runs the lazy DPLL(T) loop against the `pact-lra` simplex
 //!   core and exposes an SMT-LIB-style assert / push / pop / check / model
 //!   interface.
+//! * [`Oracle`] abstracts that interface into a trait, so the counting
+//!   engine (and its tests) can swap in alternative or instrumented
+//!   backends; `Context` is the reference implementation.
 //!
 //! # Example
 //!
@@ -47,10 +50,12 @@
 pub mod bitblast;
 mod context;
 mod error;
+mod oracle;
 pub mod preprocess;
 
 pub use context::{Context, OracleStats, SolverConfig, SolverResult};
 pub use error::{Result, SolverError};
+pub use oracle::Oracle;
 
 // Send audit: the counting engine builds one `Context` per scheduled round
 // and moves it into a worker thread.  The context owns its assertion stack,
@@ -62,4 +67,7 @@ const _: () = {
     assert_send::<Context>();
     assert_send::<bitblast::Encoder>();
     assert_send::<SolverError>();
+    // `Oracle: Send` is a supertrait bound, so boxed trait objects cross the
+    // scheduler's thread boundary too.
+    assert_send::<Box<dyn Oracle>>();
 };

@@ -1,0 +1,211 @@
+//! The [`Oracle`] trait: the abstract SMT backend of the counting engine.
+//!
+//! The paper treats the SMT solver as a black-box oracle answering projected
+//! satisfiability queries; this trait is that black box as a Rust interface.
+//! [`Context`] is the workspace's own DPLL(T) implementation of it, and the
+//! counting crate (`pact`) is generic over the trait, so alternative backends
+//! — portfolio oracles, incremental encoders that survive `pop`, an external
+//! solver behind a pipe, instrumented test doubles — plug in without touching
+//! the counting algorithms.
+//!
+//! The trait mirrors the SMT-LIB command subset the counters actually use:
+//! an assertion stack (`push`/`pop`/`assert_term`), the native XOR fast path
+//! for the `H_xor` hash family, projected model extraction, and cumulative
+//! statistics.  Implementations must be [`Send`]: the round scheduler builds
+//! one oracle per round and moves it into a worker thread.
+
+use pact_ir::{BvValue, TermId, TermManager, Value};
+
+use crate::context::{Context, OracleStats, SolverResult};
+use crate::error::Result;
+
+/// An incremental SMT oracle, as the counting algorithms see it.
+///
+/// Semantics follow the SMT-LIB assertion-stack model: assertions accumulate
+/// in the current frame, `push` opens a frame, `pop` discards the most recent
+/// frame, and `check` decides the conjunction of everything asserted.  After
+/// a [`SolverResult::Sat`] verdict the model-extraction methods must report a
+/// satisfying assignment until the next `check`, `pop`, or assertion.
+///
+/// # Implementing the trait
+///
+/// [`Context`] is the reference implementation.  Custom oracles typically
+/// wrap it (delegating every method) to instrument, cache, or fan out
+/// queries; a from-scratch implementation only needs to honour the stack
+/// discipline above and the blocking-based enumeration pattern used by the
+/// saturating counter (repeated `check` + `assert_term` of a blocking
+/// clause within one frame).
+pub trait Oracle: Send {
+    /// Pushes a new assertion-stack frame.
+    fn push(&mut self);
+
+    /// Pops the most recent frame, discarding its assertions.
+    ///
+    /// # Panics
+    ///
+    /// May panic if there is no frame to pop (a caller bug).
+    fn pop(&mut self);
+
+    /// Asserts a boolean term in the current frame.
+    fn assert_term(&mut self, t: TermId);
+
+    /// Asserts a native XOR constraint over individual bits of discrete
+    /// variables: `⊕ bit ⊕ ... = rhs` (the `H_xor` fast path).
+    ///
+    /// Implementations without a native XOR engine may encode the constraint
+    /// as an ordinary term.
+    fn assert_xor_bits(&mut self, bits: Vec<(TermId, u32)>, rhs: bool);
+
+    /// Declares a variable whose bits must exist in every encoding even if
+    /// it never occurs in an assertion (projection variables).
+    fn track_var(&mut self, var: TermId);
+
+    /// Checks satisfiability of the current assertion stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SolverError`] when the formula falls outside the
+    /// backend's supported fragment.
+    fn check(&mut self, tm: &mut TermManager) -> Result<SolverResult>;
+
+    /// Value of a variable in the most recent satisfying assignment, or
+    /// `None` if the last check was not satisfiable (or the sort is
+    /// unsupported).
+    fn model_value(&self, tm: &TermManager, var: TermId) -> Option<Value>;
+
+    /// The projected model: the value of each projection variable in the
+    /// most recent satisfying assignment, in the order given.
+    fn projected_model(&self, tm: &TermManager, projection: &[TermId]) -> Option<Vec<BvValue>>;
+
+    /// Cumulative statistics over the oracle's lifetime.
+    fn stats(&self) -> OracleStats;
+}
+
+impl Oracle for Context {
+    fn push(&mut self) {
+        Context::push(self);
+    }
+
+    fn pop(&mut self) {
+        Context::pop(self);
+    }
+
+    fn assert_term(&mut self, t: TermId) {
+        Context::assert_term(self, t);
+    }
+
+    fn assert_xor_bits(&mut self, bits: Vec<(TermId, u32)>, rhs: bool) {
+        Context::assert_xor_bits(self, bits, rhs);
+    }
+
+    fn track_var(&mut self, var: TermId) {
+        Context::track_var(self, var);
+    }
+
+    fn check(&mut self, tm: &mut TermManager) -> Result<SolverResult> {
+        Context::check(self, tm)
+    }
+
+    fn model_value(&self, tm: &TermManager, var: TermId) -> Option<Value> {
+        Context::model_value(self, tm, var)
+    }
+
+    fn projected_model(&self, tm: &TermManager, projection: &[TermId]) -> Option<Vec<BvValue>> {
+        Context::projected_model(self, tm, projection)
+    }
+
+    fn stats(&self) -> OracleStats {
+        Context::stats(self)
+    }
+}
+
+impl<O: Oracle + ?Sized> Oracle for Box<O> {
+    fn push(&mut self) {
+        (**self).push();
+    }
+
+    fn pop(&mut self) {
+        (**self).pop();
+    }
+
+    fn assert_term(&mut self, t: TermId) {
+        (**self).assert_term(t);
+    }
+
+    fn assert_xor_bits(&mut self, bits: Vec<(TermId, u32)>, rhs: bool) {
+        (**self).assert_xor_bits(bits, rhs);
+    }
+
+    fn track_var(&mut self, var: TermId) {
+        (**self).track_var(var);
+    }
+
+    fn check(&mut self, tm: &mut TermManager) -> Result<SolverResult> {
+        (**self).check(tm)
+    }
+
+    fn model_value(&self, tm: &TermManager, var: TermId) -> Option<Value> {
+        (**self).model_value(tm, var)
+    }
+
+    fn projected_model(&self, tm: &TermManager, projection: &[TermId]) -> Option<Vec<BvValue>> {
+        (**self).projected_model(tm, projection)
+    }
+
+    fn stats(&self) -> OracleStats {
+        (**self).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_ir::Sort;
+
+    /// Drives the reference implementation purely through the trait object
+    /// surface, proving object safety and the stack discipline.
+    #[test]
+    fn context_works_behind_a_trait_object() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let three = tm.mk_bv_const(3, 4);
+        let f = tm.mk_bv_ult(x, three).unwrap();
+        let mut oracle: Box<dyn Oracle> = Box::new(Context::new());
+        oracle.track_var(x);
+        oracle.assert_term(f);
+        assert_eq!(oracle.check(&mut tm).unwrap(), SolverResult::Sat);
+        let model = oracle.projected_model(&tm, &[x]).unwrap();
+        assert!(model[0].as_u128() < 3);
+
+        oracle.push();
+        let zero = tm.mk_bv_const(0, 4);
+        let g = tm.mk_bv_ult(x, zero).unwrap();
+        oracle.assert_term(g);
+        assert_eq!(oracle.check(&mut tm).unwrap(), SolverResult::Unsat);
+        oracle.pop();
+        assert_eq!(oracle.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert!(oracle.stats().checks >= 3);
+    }
+
+    #[test]
+    fn xor_assertions_work_through_the_trait() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(2));
+        let mut oracle: Box<dyn Oracle> = Box::new(Context::new());
+        oracle.track_var(x);
+        oracle.assert_xor_bits(vec![(x, 0), (x, 1)], true);
+        // Odd parity over 2 bits: {01, 10}.
+        let mut found = 0;
+        while oracle.check(&mut tm).unwrap() == SolverResult::Sat {
+            let v = oracle.model_value(&tm, x).unwrap().as_bv().unwrap();
+            assert_eq!(v.as_u128().count_ones(), 1);
+            found += 1;
+            assert!(found <= 2);
+            let c = tm.mk_bv_value(v);
+            let eq = tm.mk_eq(x, c);
+            let block = tm.mk_not(eq);
+            oracle.assert_term(block);
+        }
+        assert_eq!(found, 2);
+    }
+}

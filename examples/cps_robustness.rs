@@ -1,14 +1,15 @@
 //! CPS robustness quantification (the paper's first motivating application).
 //!
 //! Generates the automotive CPS attack-vector instance from `pact-benchgen`,
-//! counts the viable attack vectors with all three hash families, and reports
-//! how the configurations compare — a miniature of Table I on one instance.
+//! declares it once as a counting [`Session`], counts the viable attack
+//! vectors with all three hash families, and reports how the configurations
+//! compare — a miniature of Table I on one instance.
 //!
 //! Run with: `cargo run --example cps_robustness --release`
 
 use std::time::Duration;
 
-use pact::{pact_count, CounterConfig, HashFamily};
+use pact::{HashFamily, Session};
 use pact_benchgen::{cps_robustness, GenParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,16 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("projection: {} bits", instance.projection_bits());
     println!();
 
+    // The problem is declared once; each family is just a config override.
+    let mut session = Session::builder(instance.tm.clone())
+        .assert_all(&instance.asserts)
+        .project_all(&instance.projection)
+        .seed(7)
+        .iterations(5)
+        .deadline(Duration::from_secs(30))
+        .build()?;
+
     for family in HashFamily::ALL {
-        let mut tm = instance.tm.clone();
-        let config = CounterConfig {
-            family,
-            seed: 7,
-            iterations_override: Some(5),
-            deadline: Some(Duration::from_secs(30)),
-            ..CounterConfig::default()
-        };
-        let report = pact_count(&mut tm, &instance.asserts, &instance.projection, &config)?;
+        let config = session.config().clone().with_family(family);
+        let report = session.count_with(&config)?;
         println!(
             "pact_{:<6}: {:<18} oracle calls {:>5}  wall {:.2}s",
             family,

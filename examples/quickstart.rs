@@ -1,19 +1,22 @@
-//! Quickstart: count the projected models of a small hybrid SMT formula.
+//! Quickstart: count the projected models of a small hybrid SMT formula,
+//! then watch (and abort) a long-running count.
 //!
-//! Builds the formula programmatically, runs `pact` with the `H_xor` family
-//! and the paper's `(ε, δ) = (0.8, 0.2)`, and prints the estimate next to the
-//! exact count from the `enum` baseline.
+//! Part 1 declares a hybrid formula as a counting [`Session`], compares the
+//! `pact` estimate against the exact `enum` baseline, and re-counts under a
+//! second hash family without re-declaring the problem.  Part 2 attaches a
+//! progress observer to a deliberately long count and cancels it from inside
+//! the observer after a handful of rounds — the pattern a service front-end
+//! or an interactive UI uses to keep long counts responsive.
 //!
 //! Run with: `cargo run --example quickstart --release`
 
-use pact::{enumerate_count, pact_count, relative_error, CounterConfig, HashFamily};
+use pact::{relative_error, CancellationToken, HashFamily, ProgressEvent, Session};
 use pact_ir::{Rational, Sort, TermManager};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // ---- Build a hybrid formula -----------------------------------------
+    // ---- Part 1: declare once, count many ways --------------------------
     // Discrete side: an 8-bit sensor reading `b` that must exceed 32.
-    // Continuous side: a real-valued duty cycle `r` in (0, 1) that must stay
-    // below b/256 (a linking constraint between the two domains).
+    // Continuous side: a real-valued duty cycle `r` in (0, 1).
     let mut tm = TermManager::new();
     let b = tm.mk_var("b", Sort::BitVec(8));
     let r = tm.mk_var("r", Sort::Real);
@@ -26,28 +29,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let positive = tm.mk_real_lt(zero, r)?;
     let bounded = tm.mk_real_lt(r, one)?;
 
-    let formula = vec![discrete, positive, bounded];
-    let projection = vec![b];
+    let mut session = Session::builder(tm)
+        .assert_all(&[discrete, positive, bounded])
+        .project(b)
+        .family(HashFamily::Xor)
+        .seed(42)
+        .iterations(9)
+        .build()?;
 
-    // ---- Exact reference -------------------------------------------------
-    let exact = enumerate_count(
-        &mut tm,
-        &formula,
-        &projection,
-        10_000,
-        &CounterConfig::fast(),
-    )?;
+    // Exact reference from the same declared problem.
+    let exact = session.enumerate(10_000)?;
     println!("enum (exact) : {}", exact.outcome);
 
-    // ---- Approximate count with pact -------------------------------------
-    let config = CounterConfig::default()
-        .with_family(HashFamily::Xor)
-        .with_seed(42);
-    let config = CounterConfig {
-        iterations_override: Some(9),
-        ..config
-    };
-    let report = pact_count(&mut tm, &formula, &projection, &config)?;
+    // Approximate count with the paper's (ε, δ) = (0.8, 0.2).
+    let report = session.count()?;
     println!("pact_xor     : {}", report.outcome);
     println!(
         "oracle calls : {}, cells explored: {}, wall time: {:.2}s",
@@ -59,5 +54,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("observed error e = {err:.3} (theoretical bound ε = 0.8)");
         }
     }
+
+    // Same problem, different hash family: no re-declaration needed.
+    let prime = session.config().clone().with_family(HashFamily::Prime);
+    println!("pact_prime   : {}", session.count_with(&prime)?.outcome);
+
+    // ---- Part 2: progress reporting + cancellation ----------------------
+    // A deliberately long count: 2048 saturating models and 500 requested
+    // rounds.  The observer prints round completions and pulls the plug
+    // after five of them; the partial work comes back in the report.
+    let mut tm = TermManager::new();
+    let x = tm.mk_var("x", Sort::BitVec(12));
+    let c = tm.mk_bv_const(2048, 12);
+    let f = tm.mk_bv_ule(c, x)?;
+
+    let token = CancellationToken::new();
+    let trigger = token.clone();
+    let mut long_session = Session::builder(tm)
+        .assert(f)
+        .project(x)
+        .seed(1)
+        .iterations(500)
+        .cancellation(token)
+        .on_progress(move |event| {
+            if let ProgressEvent::Round { round, estimate } = event {
+                println!("  round {round:>3} finished: estimate {estimate:?}");
+                if *round >= 4 {
+                    println!("  five rounds are enough — cancelling");
+                    trigger.cancel();
+                }
+            }
+        })
+        .build()?;
+
+    println!("\nlong count with progress + cancellation:");
+    let partial = long_session.count()?;
+    println!(
+        "cancelled after {} of 500 rounds: {} ({} oracle calls kept)",
+        partial.stats.iterations, partial.outcome, partial.stats.oracle_calls
+    );
     Ok(())
 }

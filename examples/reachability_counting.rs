@@ -1,12 +1,13 @@
 //! Counting reachable program paths (the paper's second motivating
 //! application): how many inputs of a small control-flow graph reach the
-//! interesting block, counted exactly and approximately.
+//! interesting block, counted exactly, approximately, and with the CDM
+//! baseline — all three from one declared [`Session`].
 //!
 //! Run with: `cargo run --example reachability_counting --release`
 
 use std::time::Duration;
 
-use pact::{cdm_count, enumerate_count, pact_count, CounterConfig, HashFamily};
+use pact::{HashFamily, Session};
 use pact_benchgen::{cfg_reachability, GenParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,34 +20,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("SMT-LIB export of the instance:\n");
     println!("{}", instance.to_smtlib());
 
-    let budget = Duration::from_secs(30);
+    let mut session = Session::builder(instance.tm.clone())
+        .assert_all(&instance.asserts)
+        .project_all(&instance.projection)
+        .family(HashFamily::Xor)
+        .iterations(7)
+        .deadline(Duration::from_secs(30))
+        .seed(3)
+        .build()?;
 
     // Exact reference (small enough to enumerate).
-    let mut tm = instance.tm.clone();
-    let exact = enumerate_count(
-        &mut tm,
-        &instance.asserts,
-        &instance.projection,
-        50_000,
-        &CounterConfig::default().with_deadline(budget),
-    )?;
+    let exact = session.enumerate(50_000)?;
     println!("enum (exact)  : {}", exact.outcome);
 
     // pact with the winning configuration.
-    let mut tm = instance.tm.clone();
-    let config = CounterConfig {
-        family: HashFamily::Xor,
-        iterations_override: Some(7),
-        deadline: Some(budget),
-        seed: 3,
-        ..CounterConfig::default()
-    };
-    let approx = pact_count(&mut tm, &instance.asserts, &instance.projection, &config)?;
+    let approx = session.count()?;
     println!("pact_xor      : {}", approx.outcome);
 
     // The CDM baseline on the same instance (note the call count).
-    let mut tm = instance.tm.clone();
-    let cdm = cdm_count(&mut tm, &instance.asserts, &instance.projection, &config)?;
+    let cdm = session.count_cdm()?;
     println!("CDM baseline  : {}", cdm.outcome);
     println!(
         "oracle calls  : pact_xor {} vs CDM {}",

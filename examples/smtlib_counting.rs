@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example smtlib_counting --release [file.smt2]`
 
-use pact::{pact_count, CounterConfig, HashFamily};
+use pact::{HashFamily, Session};
 use pact_ir::{parser, TermManager};
 
 const BUILTIN: &str = r#"
@@ -43,13 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         script.projection.len()
     );
 
-    let config = CounterConfig {
-        family: HashFamily::Xor,
-        iterations_override: Some(9),
-        seed: 1,
-        ..CounterConfig::default()
-    };
-    let report = pact_count(&mut tm, &script.asserts, &script.projection, &config)?;
+    let mut session = Session::builder(tm)
+        .assert_all(&script.asserts)
+        .project_all(&script.projection)
+        .family(HashFamily::Xor)
+        .iterations(9)
+        .seed(1)
+        .build()?;
+    let report = session.count()?;
     println!("projected model count: {}", report.outcome);
     println!(
         "(oracle calls {}, cells {}, {:.2}s)",

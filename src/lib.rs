@@ -6,13 +6,16 @@
 //! user typically needs:
 //!
 //! * [`pact`] — the approximate projected model counter (the paper's
-//!   contribution), plus the CDM baseline and the exact enumerator;
+//!   contribution), plus the CDM baseline and the exact enumerator, fronted
+//!   by the [`Session`] API;
 //! * [`pact_ir`] — the term language and SMT-LIB parser/printer;
-//! * [`pact_solver`] — the SMT oracle;
+//! * [`pact_solver`] — the SMT oracle ([`Oracle`] trait + `Context`
+//!   reference implementation);
 //! * [`pact_hash`] — the hash families;
 //! * [`pact_benchgen`] — the workload generators.
 //!
-//! See `README.md` for a tour and `DESIGN.md` for the paper-to-code map.
+//! See `README.md` for a tour, `DESIGN.md` for the paper-to-code map, and
+//! `EXPERIMENTS.md` for how the evaluation is regenerated.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,3 +25,10 @@ pub use pact_benchgen;
 pub use pact_hash;
 pub use pact_ir;
 pub use pact_solver;
+
+// The session surface, re-exported flat for downstream convenience: most
+// users need exactly these names.
+pub use pact::{
+    CancellationToken, ConfigError, CountError, CountOutcome, CountReport, CountResult,
+    CounterConfig, Oracle, OracleFactory, Progress, ProgressEvent, Session, SessionBuilder,
+};

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
-use pact::{pact_count, CountOutcome, CounterConfig};
+use pact::{median, pact_count, relative_error, CountOutcome, CounterConfig};
 use pact_hash::{generate, HashFamily};
 use pact_ir::{BvValue, Rational, Sort, TermId, TermManager, Value};
 use pact_solver::{Context, SolverResult};
@@ -166,6 +166,75 @@ proptest! {
             }
             SolverResult::Unknown => prop_assert!(false, "unexpected unknown"),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accuracy metrics: relative_error and median edge cases
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn relative_error_is_finite_symmetric_and_nonnegative_on_positive_counts(
+        a in 1u64..1_000_000_000, b in 1u64..1_000_000_000,
+    ) {
+        // Fractional counts (estimates are rarely integers).
+        let x = a as f64 / 16.0;
+        let y = b as f64 / 16.0;
+        let e1 = relative_error(x, y).expect("positive counts are in the domain");
+        let e2 = relative_error(y, x).expect("positive counts are in the domain");
+        prop_assert!(e1.is_finite() && !e1.is_nan());
+        prop_assert!(e1 >= 0.0);
+        // The metric is symmetric by construction: max(b/s, s/b) − 1.
+        prop_assert!((e1 - e2).abs() <= 1e-12 * e1.max(1.0));
+        if a == b {
+            prop_assert_eq!(e1, 0.0);
+        }
+    }
+
+    #[test]
+    fn relative_error_rejects_zero_and_negative_counts(
+        positive in 1u64..1_000_000, negative in 1i64..1_000_000,
+    ) {
+        let pos = positive as f64;
+        let neg = -(negative as f64);
+        // Zero on exactly one side: undefined.
+        prop_assert_eq!(relative_error(0.0, pos), None);
+        prop_assert_eq!(relative_error(pos, 0.0), None);
+        // Negative counts: undefined on either side.
+        prop_assert_eq!(relative_error(neg, pos), None);
+        prop_assert_eq!(relative_error(pos, neg), None);
+        prop_assert_eq!(relative_error(neg, neg), None);
+        // Two zero counts are a perfect match.
+        prop_assert_eq!(relative_error(0.0, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn median_returns_a_nan_free_element_at_the_lower_middle(
+        raw in proptest::collection::vec(0u32..1_000_000, 1..40),
+    ) {
+        let values: Vec<f64> = raw.iter().map(|&v| v as f64 / 8.0).collect();
+        let m = median(&values).expect("non-empty list has a median");
+        prop_assert!(!m.is_nan());
+        // The median is always one of the inputs (no averaging for
+        // even-length lists: ApproxMC-style lower median)...
+        prop_assert!(values.contains(&m));
+        // ...specifically the element at index (n-1)/2 of the sorted list,
+        // for odd and even lengths alike.
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN inputs"));
+        prop_assert_eq!(m, sorted[(sorted.len() - 1) / 2]);
+        // Single-element lists are their own median.
+        if values.len() == 1 {
+            prop_assert_eq!(m, values[0]);
+        }
+        // At least half the values are >= the median and at least half <=.
+        let le = values.iter().filter(|&&v| v <= m).count();
+        let ge = values.iter().filter(|&&v| v >= m).count();
+        prop_assert!(2 * le >= values.len());
+        prop_assert!(2 * ge >= values.len());
     }
 }
 
