@@ -18,6 +18,7 @@ fn bench_counting(c: &mut Criterion) {
         timeout: Duration::from_secs(2),
         iterations: 1,
         seed: 1,
+        ..HarnessConfig::default()
     };
     let params = GenParams {
         scale: 1,

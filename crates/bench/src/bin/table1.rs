@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! cargo run -p pact-bench --bin table1 --release -- \
-//!     [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini]
+//!     [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini] \
+//!     [--backend rebuild|incremental|both]
 //! ```
 //!
 //! * `--threads N` fans the suite's runs across `N` workers (`0` = all
@@ -14,14 +15,17 @@
 //!   smoke-bench artifact format).
 //! * `--mini` switches to the ~10-instance smoke suite with narrow widths
 //!   and a short default timeout, sized for a CI job.
+//! * `--backend` selects the oracle backend; `both` runs the whole suite
+//!   once per backend so the artifact carries per-backend `rebuilds` and
+//!   oracle wall time (how the incremental speedup is tracked across PRs).
 
 use std::time::Duration;
 
 use pact_bench::cli::ArgError;
-use pact_bench::{records_to_json, run_suite_parallel, table_one, HarnessConfig};
+use pact_bench::{records_to_json, run_suite_parallel, table_one, Backend, HarnessConfig};
 use pact_benchgen::{paper_suite, SuiteParams};
 
-const USAGE: &str = "usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini]";
+const USAGE: &str = "usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini] [--backend rebuild|incremental|both]";
 
 #[derive(Debug, PartialEq)]
 struct Args {
@@ -30,6 +34,7 @@ struct Args {
     threads: usize,
     json: Option<String>,
     mini: bool,
+    backends: Vec<Backend>,
 }
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
@@ -39,6 +44,7 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> 
         threads: 0,
         json: None,
         mini: false,
+        backends: vec![Backend::Rebuild],
     };
     let mut positional = 0;
     let mut iter = argv.into_iter();
@@ -60,6 +66,22 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> 
                 );
             }
             "--mini" => args.mini = true,
+            "--backend" => {
+                let value = iter
+                    .next()
+                    .ok_or(ArgError::MissingValue { flag: "--backend" })?;
+                args.backends = match value.as_str() {
+                    "rebuild" => vec![Backend::Rebuild],
+                    "incremental" => vec![Backend::Incremental],
+                    "both" => Backend::ALL.to_vec(),
+                    _ => {
+                        return Err(ArgError::InvalidValue {
+                            slot: "--backend",
+                            got: value,
+                        })
+                    }
+                };
+            }
             other if other.starts_with("--") => {
                 return Err(ArgError::UnknownFlag {
                     flag: other.to_string(),
@@ -137,16 +159,24 @@ fn main() {
             args.threads.to_string()
         }
     );
-    let harness = HarnessConfig {
-        timeout: Duration::from_secs(timeout),
-        ..HarnessConfig::default()
-    };
-    let records = run_suite_parallel(&suite, &harness, args.threads);
-    println!("Table I — instances counted per logic (projection on BV variables)\n");
-    println!("{}", table_one(&records, &suite));
+    let mut all_records = Vec::new();
+    for backend in &args.backends {
+        let harness = HarnessConfig {
+            timeout: Duration::from_secs(timeout),
+            backend: *backend,
+            ..HarnessConfig::default()
+        };
+        let records = run_suite_parallel(&suite, &harness, args.threads);
+        println!(
+            "Table I — instances counted per logic (projection on BV variables, {} backend)\n",
+            backend.label()
+        );
+        println!("{}", table_one(&records, &suite));
+        all_records.extend(records);
+    }
     if let Some(path) = args.json {
-        std::fs::write(&path, records_to_json(&records)).expect("write JSON report");
-        eprintln!("wrote {} records to {path}", records.len());
+        std::fs::write(&path, records_to_json(&all_records)).expect("write JSON report");
+        eprintln!("wrote {} records to {path}", all_records.len());
     }
 }
 
@@ -168,6 +198,8 @@ mod tests {
             "--json",
             "out.json",
             "--mini",
+            "--backend",
+            "both",
         ]))
         .unwrap();
         assert_eq!(args.per_logic, Some(3));
@@ -175,6 +207,32 @@ mod tests {
         assert_eq!(args.threads, 4);
         assert_eq!(args.json.as_deref(), Some("out.json"));
         assert!(args.mini);
+        assert_eq!(args.backends, vec![Backend::Rebuild, Backend::Incremental]);
+    }
+
+    #[test]
+    fn backend_flag_parses_each_choice() {
+        assert_eq!(
+            parse_args(argv(&[])).unwrap().backends,
+            vec![Backend::Rebuild]
+        );
+        assert_eq!(
+            parse_args(argv(&["--backend", "incremental"]))
+                .unwrap()
+                .backends,
+            vec![Backend::Incremental]
+        );
+        assert_eq!(
+            parse_args(argv(&["--backend", "sideways"])),
+            Err(ArgError::InvalidValue {
+                slot: "--backend",
+                got: "sideways".to_string()
+            })
+        );
+        assert_eq!(
+            parse_args(argv(&["--backend"])),
+            Err(ArgError::MissingValue { flag: "--backend" })
+        );
     }
 
     #[test]

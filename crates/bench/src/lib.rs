@@ -54,6 +54,31 @@ impl Configuration {
     }
 }
 
+/// Which built-in oracle backend a run used (the `OracleFactory` choice):
+/// the reference rebuild-on-`pop` encoder or the activation-literal
+/// incremental encoder that survives `pop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The default rebuilding `Context` backend.
+    #[default]
+    Rebuild,
+    /// The activation-literal `IncrementalContext` backend (zero rebuilds).
+    Incremental,
+}
+
+impl Backend {
+    /// Both backends, in artifact emission order.
+    pub const ALL: [Backend; 2] = [Backend::Rebuild, Backend::Incremental];
+
+    /// Column label used in reports and the JSON artifact.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Rebuild => "rebuild",
+            Backend::Incremental => "incremental",
+        }
+    }
+}
+
 /// The result of running one configuration on one instance.
 #[derive(Debug, Clone)]
 pub struct RunRecord {
@@ -63,6 +88,8 @@ pub struct RunRecord {
     pub logic: Logic,
     /// Which configuration ran.
     pub configuration: Configuration,
+    /// Which oracle backend ran it.
+    pub backend: Backend,
     /// The counting report (outcome + stats).
     pub report: CountReport,
 }
@@ -91,6 +118,8 @@ pub struct HarnessConfig {
     pub iterations: u32,
     /// RNG seed shared by all runs.
     pub seed: u64,
+    /// Oracle backend every run builds (see [`Backend`]).
+    pub backend: Backend,
 }
 
 impl Default for HarnessConfig {
@@ -99,6 +128,7 @@ impl Default for HarnessConfig {
             timeout: Duration::from_secs(5),
             iterations: 3,
             seed: 42,
+            backend: Backend::Rebuild,
         }
     }
 }
@@ -113,6 +143,7 @@ impl HarnessConfig {
             iterations_override: Some(self.iterations),
             ..CounterConfig::default()
         }
+        .with_incremental(self.backend == Backend::Incremental)
     }
 }
 
@@ -152,6 +183,7 @@ pub fn run_one(
         instance: instance.name.clone(),
         logic: instance.logic,
         configuration,
+        backend: harness.backend,
         report,
     }
 }
@@ -210,21 +242,24 @@ pub fn run_suite_parallel(
 /// Bump this (and the round-trip test pinning the field list) whenever a
 /// field is added, removed or re-typed, so downstream consumers of the CI
 /// artifact can dispatch on `schema_version` instead of sniffing keys.
-pub const RECORD_SCHEMA_VERSION: u32 = 1;
+pub const RECORD_SCHEMA_VERSION: u32 = 2;
 
 /// The field names of one JSON record, in emission order (the schema that
 /// [`RECORD_SCHEMA_VERSION`] versions).
-pub const RECORD_SCHEMA_FIELDS: [&str; 11] = [
+pub const RECORD_SCHEMA_FIELDS: [&str; 14] = [
     "schema_version",
     "instance",
     "logic",
     "configuration",
+    "backend",
     "outcome",
     "estimate",
     "log2_estimate",
     "oracle_calls",
     "cells_explored",
     "iterations",
+    "rebuilds",
+    "oracle_seconds",
     "wall_seconds",
 ];
 
@@ -250,20 +285,25 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
             concat!(
                 "  {{\"schema_version\": {}, ",
                 "\"instance\": \"{}\", \"logic\": \"{}\", \"configuration\": \"{}\", ",
+                "\"backend\": \"{}\", ",
                 "\"outcome\": \"{}\", \"estimate\": {}, \"log2_estimate\": {}, ",
                 "\"oracle_calls\": {}, \"cells_explored\": {}, \"iterations\": {}, ",
+                "\"rebuilds\": {}, \"oracle_seconds\": {:.6}, ",
                 "\"wall_seconds\": {:.6}}}{}\n"
             ),
             RECORD_SCHEMA_VERSION,
             record.instance,
             record.logic.name(),
             record.configuration.label(),
+            record.backend.label(),
             kind,
             value,
             log2,
             stats.oracle_calls,
             stats.cells_explored,
             stats.iterations,
+            stats.rebuilds,
+            stats.oracle_seconds,
             stats.wall_seconds,
             if i + 1 < records.len() { "," } else { "" },
         ));
@@ -393,6 +433,7 @@ mod tests {
             timeout: Duration::from_secs(10),
             iterations: 1,
             seed: 1,
+            ..HarnessConfig::default()
         };
         // Only exercise the first instance to keep the test fast.
         for configuration in Configuration::ALL {
@@ -409,6 +450,7 @@ mod tests {
             timeout: Duration::from_secs(10),
             iterations: 1,
             seed: 1,
+            ..HarnessConfig::default()
         };
         let sequential = run_suite(&suite, &harness);
         let parallel = run_suite_parallel(&suite, &harness, 4);
@@ -427,6 +469,7 @@ mod tests {
             timeout: Duration::from_secs(10),
             iterations: 1,
             seed: 1,
+            ..HarnessConfig::default()
         };
         let records = vec![run_one(
             &suite[0],
@@ -448,6 +491,7 @@ mod tests {
             timeout: Duration::from_secs(10),
             iterations: 1,
             seed: 1,
+            ..HarnessConfig::default()
         };
         let records = vec![
             run_one(&suite[0], Configuration::Pact(HashFamily::Xor), &harness),
@@ -479,10 +523,16 @@ mod tests {
             assert_eq!(get("instance"), record.instance);
             assert_eq!(get("logic"), record.logic.name());
             assert_eq!(get("configuration"), record.configuration.label());
+            assert_eq!(get("backend"), record.backend.label());
             assert_eq!(
                 get("oracle_calls").parse::<u64>().unwrap(),
                 record.report.stats.oracle_calls
             );
+            assert_eq!(
+                get("rebuilds").parse::<u64>().unwrap(),
+                record.report.stats.rebuilds
+            );
+            assert!(get("oracle_seconds").parse::<f64>().unwrap() >= 0.0);
             assert_eq!(
                 get("iterations").parse::<u32>().unwrap(),
                 record.report.stats.iterations
@@ -493,6 +543,51 @@ mod tests {
     }
 
     #[test]
+    fn backends_agree_on_outcomes_and_differ_on_rebuilds() {
+        // The per-backend smoke-bench rows must be comparable: identical
+        // deterministic outcome slices, with the rebuild column separating
+        // the backends (that column is what tracks the speedup across PRs).
+        let suite = tiny_suite();
+        let base = HarnessConfig {
+            timeout: Duration::from_secs(10),
+            iterations: 1,
+            seed: 1,
+            ..HarnessConfig::default()
+        };
+        let configuration = Configuration::Pact(HashFamily::Xor);
+        let rebuild = run_one(
+            &suite[0],
+            configuration,
+            &HarnessConfig {
+                backend: Backend::Rebuild,
+                ..base
+            },
+        );
+        let incremental = run_one(
+            &suite[0],
+            configuration,
+            &HarnessConfig {
+                backend: Backend::Incremental,
+                ..base
+            },
+        );
+        assert_eq!(rebuild.backend.label(), "rebuild");
+        assert_eq!(incremental.backend.label(), "incremental");
+        assert_eq!(rebuild.report.outcome, incremental.report.outcome);
+        assert_eq!(
+            rebuild.report.stats.oracle_calls,
+            incremental.report.stats.oracle_calls
+        );
+        assert_eq!(incremental.report.stats.rebuilds, 0);
+        assert!(incremental.report.stats.oracle_seconds >= 0.0);
+        // The JSON artifact distinguishes the rows.
+        let json = records_to_json(&[rebuild, incremental]);
+        assert!(json.contains("\"backend\": \"rebuild\""));
+        assert!(json.contains("\"backend\": \"incremental\""));
+        assert!(json.contains("\"rebuilds\": 0"));
+    }
+
+    #[test]
     fn instance_sessions_count_under_every_configuration() {
         let suite = tiny_suite();
         let mut session = instance_session(&suite[0]).expect("generated instances project");
@@ -500,6 +595,7 @@ mod tests {
             timeout: Duration::from_secs(10),
             iterations: 1,
             seed: 1,
+            ..HarnessConfig::default()
         };
         // One declared problem, four strategies — no re-declaration.
         let cdm = session
@@ -519,6 +615,7 @@ mod tests {
             timeout: Duration::from_secs(10),
             iterations: 1,
             seed: 1,
+            ..HarnessConfig::default()
         };
         // Run only the xor configuration over the suite for speed; the
         // rendering still covers every column (with zero entries).

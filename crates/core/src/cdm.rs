@@ -30,7 +30,7 @@ use crate::config::CounterConfig;
 use crate::error::{CountError, CountResult};
 use crate::parallel::{run_rounds, RoundOutput};
 use crate::progress::{ProgressEvent, RunControl};
-use crate::result::{median, CountOutcome, CountReport, CountStats};
+use crate::result::{finish_report as finish, median, CountOutcome, CountReport, CountStats};
 use crate::session::Session;
 
 /// Number of formula copies needed so that a factor-2 estimate of the
@@ -127,25 +127,22 @@ pub(crate) fn count_cdm(
     let total_bits = projection_bits(tm, &copied_projections).max(1) as usize;
 
     // Quick unsatisfiability check.
+    let oracle_timer = Instant::now();
     ctx.push();
     let base = ctx.check(tm)?;
     ctx.pop();
+    stats.oracle_seconds += oracle_timer.elapsed().as_secs_f64();
     match base {
         SolverResult::Unsat => {
             return Ok(finish(
                 CountOutcome::Unsatisfiable,
                 stats,
-                ctx.stats().checks,
+                ctx.stats(),
                 start,
             ))
         }
         SolverResult::Unknown => {
-            return Ok(finish(
-                CountOutcome::Timeout,
-                stats,
-                ctx.stats().checks,
-                start,
-            ))
+            return Ok(finish(CountOutcome::Timeout, stats, ctx.stats(), start))
         }
         SolverResult::Sat => {}
     }
@@ -188,7 +185,9 @@ pub(crate) fn count_cdm(
         );
         match value {
             Ok(mut outcome) => {
-                outcome.stats.oracle_calls = round_ctx.stats().checks;
+                let oracle_stats = round_ctx.stats();
+                outcome.stats.oracle_calls = oracle_stats.checks;
+                outcome.stats.rebuilds = oracle_stats.rebuilds;
                 ctrl_ref.emit(ProgressEvent::Round {
                     round,
                     estimate: outcome.estimate,
@@ -214,6 +213,8 @@ pub(crate) fn count_cdm(
         let record = record?;
         stats.cells_explored += record.stats.cells_explored;
         stats.oracle_calls += record.stats.oracle_calls;
+        stats.rebuilds += record.stats.rebuilds;
+        stats.oracle_seconds += record.stats.oracle_seconds;
         if let Some(estimate) = record.estimate {
             estimates.push(estimate);
             stats.iterations += 1;
@@ -233,7 +234,7 @@ pub(crate) fn count_cdm(
         }
         None => CountOutcome::Timeout,
     };
-    Ok(finish(outcome, stats, ctx.stats().checks, start))
+    Ok(finish(outcome, stats, ctx.stats(), start))
 }
 
 /// One scheduled CDM round: its estimate (if it completed), the work it did,
@@ -287,12 +288,14 @@ fn cdm_round(
         if ctrl.interrupted() {
             return Ok(None);
         }
+        let oracle_timer = Instant::now();
         ctx.push();
         for &c in &constraints[..m] {
             ctx.assert_term(c);
         }
         let verdict = ctx.check(tm)?;
         ctx.pop();
+        stats.oracle_seconds += oracle_timer.elapsed().as_secs_f64();
         stats.cells_explored += 1;
         ctrl.emit(ProgressEvent::Cell {
             round,
@@ -363,19 +366,6 @@ fn cdm_round(
         stats,
         timed_out: false,
     })
-}
-
-fn finish(
-    outcome: CountOutcome,
-    mut stats: CountStats,
-    base_checks: u64,
-    start: Instant,
-) -> CountReport {
-    // Rounds ran on their own oracles and already merged their call counts;
-    // add the base oracle's calls (the satisfiability pre-check) on top.
-    stats.oracle_calls += base_checks;
-    stats.wall_seconds = start.elapsed().as_secs_f64();
-    CountReport { outcome, stats }
 }
 
 #[cfg(test)]

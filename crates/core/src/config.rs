@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pact_hash::HashFamily;
-use pact_solver::{Context, Oracle, SolverConfig};
+use pact_solver::{Context, IncrementalContext, Oracle, SolverConfig};
 
 use crate::error::ConfigError;
 
@@ -17,13 +17,27 @@ use crate::error::ConfigError;
 /// [`ParallelConfig`] that means once per worker-claimed round, on the
 /// worker's own thread, so implementations must be `Send + Sync`.
 ///
-/// The default factory builds the workspace's own [`Context`]; tests and
-/// alternative backends swap in their own with [`OracleFactory::new`] (see
-/// `tests/session.rs` for an instrumented example).
+/// The default factory builds the workspace's own rebuilding [`Context`];
+/// [`OracleFactory::incremental`] selects the activation-literal
+/// [`IncrementalContext`] whose encoder survives `pop` (zero rebuilds across
+/// the galloping search); tests and alternative backends swap in their own
+/// with [`OracleFactory::new`] (see `tests/session.rs` for an instrumented
+/// example).
 #[derive(Clone, Default)]
 pub struct OracleFactory {
-    /// `None` is the built-in backend ([`Context`]); `Some` a custom one.
-    build: Option<Arc<BuildOracleFn>>,
+    backend: Backend,
+}
+
+/// Which constructor an [`OracleFactory`] runs.
+#[derive(Clone, Default)]
+enum Backend {
+    /// The reference rebuild-on-`pop` backend.
+    #[default]
+    Rebuild,
+    /// The activation-literal backend that survives `pop`.
+    Incremental,
+    /// A user-supplied constructor closure.
+    Custom(Arc<BuildOracleFn>),
 }
 
 /// The constructor closure an [`OracleFactory`] stores.
@@ -34,41 +48,64 @@ impl OracleFactory {
     /// [`SolverConfig`] (resource limits) and returns a fresh oracle.
     pub fn new(build: impl Fn(SolverConfig) -> Box<dyn Oracle> + Send + Sync + 'static) -> Self {
         OracleFactory {
-            build: Some(Arc::new(build)),
+            backend: Backend::Custom(Arc::new(build)),
+        }
+    }
+
+    /// The activation-literal backend ([`IncrementalContext`]): `pop`
+    /// retires frames instead of rebuilding the encoder, so learnt clauses
+    /// and branching activities survive every push/pop cycle of the
+    /// counting loop and [`pact_solver::OracleStats::rebuilds`] stays 0.
+    /// The reported count is bit-identical to the default backend's.
+    pub fn incremental() -> Self {
+        OracleFactory {
+            backend: Backend::Incremental,
         }
     }
 
     /// Builds one oracle with the given resource limits.
     pub fn build(&self, config: SolverConfig) -> Box<dyn Oracle> {
-        match &self.build {
-            Some(build) => build(config),
-            None => Box::new(Context::with_config(config)),
+        match &self.backend {
+            Backend::Rebuild => Box::new(Context::with_config(config)),
+            Backend::Incremental => Box::new(IncrementalContext::with_config(config)),
+            Backend::Custom(build) => build(config),
         }
     }
 
-    /// Whether this is the built-in [`Context`] backend.
+    /// Whether this is the built-in rebuilding [`Context`] backend.
     pub fn is_default(&self) -> bool {
-        self.build.is_none()
+        matches!(self.backend, Backend::Rebuild)
+    }
+
+    /// Whether this is the built-in [`IncrementalContext`] backend.
+    pub fn is_incremental(&self) -> bool {
+        matches!(self.backend, Backend::Incremental)
+    }
+
+    /// Short backend name for reports and benchmark columns.
+    pub fn label(&self) -> &'static str {
+        match self.backend {
+            Backend::Rebuild => "rebuild",
+            Backend::Incremental => "incremental",
+            Backend::Custom(_) => "custom",
+        }
     }
 }
 
 impl fmt::Debug for OracleFactory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_default() {
-            f.write_str("OracleFactory(Context)")
-        } else {
-            f.write_str("OracleFactory(custom)")
-        }
+        write!(f, "OracleFactory({})", self.label())
     }
 }
 
 impl PartialEq for OracleFactory {
-    /// Two default factories are equal; custom factories compare by closure
-    /// identity.
+    /// The two built-in backends compare by kind; custom factories compare
+    /// by closure identity.
     fn eq(&self, other: &Self) -> bool {
-        match (&self.build, &other.build) {
-            (None, None) => true,
-            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+        match (&self.backend, &other.backend) {
+            (Backend::Rebuild, Backend::Rebuild) => true,
+            (Backend::Incremental, Backend::Incremental) => true,
+            (Backend::Custom(a), Backend::Custom(b)) => Arc::ptr_eq(a, b),
             _ => false,
         }
     }
@@ -222,6 +259,20 @@ impl CounterConfig {
         self
     }
 
+    /// Returns a copy selecting between the two built-in oracle backends:
+    /// `true` picks the activation-literal [`IncrementalContext`] (encoder
+    /// survives `pop`; zero rebuilds), `false` the default rebuilding
+    /// [`Context`].  Shorthand for [`CounterConfig::with_oracle_factory`]
+    /// with [`OracleFactory::incremental`].
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.oracle_factory = if incremental {
+            OracleFactory::incremental()
+        } else {
+            OracleFactory::default()
+        };
+        self
+    }
+
     /// Validates the parameters.
     ///
     /// # Errors
@@ -311,15 +362,37 @@ mod tests {
         // Two default configs are equal (both build the Context backend)...
         assert_eq!(CounterConfig::default(), CounterConfig::default());
         assert!(CounterConfig::default().oracle_factory.is_default());
-        // ...a custom factory equals its clones but not an unrelated one.
+        // ...as are two incremental factories (same built-in backend)...
+        assert_eq!(OracleFactory::incremental(), OracleFactory::incremental());
+        assert_ne!(OracleFactory::incremental(), OracleFactory::default());
+        // ...while a custom factory equals its clones but not an unrelated
+        // one.
         let custom = OracleFactory::new(|cfg| Box::new(Context::with_config(cfg)));
         assert_eq!(custom.clone(), custom);
         assert_ne!(custom, OracleFactory::default());
+        assert_ne!(custom, OracleFactory::incremental());
         assert!(!custom.is_default());
         let mut oracle = custom.build(SolverConfig::default());
         assert_eq!(oracle.stats().checks, 0);
         oracle.push();
         oracle.pop();
+    }
+
+    #[test]
+    fn backend_selection_round_trips_through_the_config() {
+        let incremental = CounterConfig::default().with_incremental(true);
+        assert!(incremental.oracle_factory.is_incremental());
+        assert!(!incremental.oracle_factory.is_default());
+        assert_eq!(incremental.oracle_factory.label(), "incremental");
+        let back = incremental.with_incremental(false);
+        assert!(back.oracle_factory.is_default());
+        assert_eq!(back.oracle_factory.label(), "rebuild");
+        assert_eq!(back, CounterConfig::default());
+        // The incremental factory builds a working oracle.
+        let mut oracle = OracleFactory::incremental().build(SolverConfig::default());
+        oracle.push();
+        oracle.pop();
+        assert_eq!(oracle.stats().rebuilds, 0);
     }
 
     #[test]

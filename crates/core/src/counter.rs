@@ -21,7 +21,7 @@ use crate::constants::get_constants;
 use crate::error::{CountError, CountResult};
 use crate::parallel::{run_rounds, RoundOutput};
 use crate::progress::{ProgressEvent, RunControl};
-use crate::result::{median, CountOutcome, CountReport, CountStats};
+use crate::result::{finish_report as finish, median, CountOutcome, CountReport, CountStats};
 use crate::saturating::{saturating_count_ctl, CellCount};
 use crate::session::Session;
 
@@ -118,9 +118,11 @@ pub(crate) fn count_pact(
     let mut stats = CountStats::default();
 
     // Line 3-4: if the whole projected space is already small, the count is exact.
+    let oracle_timer = Instant::now();
     ctx.push();
     let base = saturating_count_ctl(&mut *ctx, tm, projection, constants.thresh, &ctrl)?;
     ctx.pop();
+    stats.oracle_seconds += oracle_timer.elapsed().as_secs_f64();
     stats.cells_explored += 1;
     ctrl.emit(ProgressEvent::Cell {
         round: 0,
@@ -131,25 +133,15 @@ pub(crate) fn count_pact(
             return Ok(finish(
                 CountOutcome::Unsatisfiable,
                 stats,
-                ctx.stats().checks,
+                ctx.stats(),
                 start,
             ));
         }
         CellCount::Exact(n) => {
-            return Ok(finish(
-                CountOutcome::Exact(n),
-                stats,
-                ctx.stats().checks,
-                start,
-            ));
+            return Ok(finish(CountOutcome::Exact(n), stats, ctx.stats(), start));
         }
         CellCount::Unknown => {
-            return Ok(finish(
-                CountOutcome::Timeout,
-                stats,
-                ctx.stats().checks,
-                start,
-            ));
+            return Ok(finish(CountOutcome::Timeout, stats, ctx.stats(), start));
         }
         CellCount::Saturated => {}
     }
@@ -198,7 +190,9 @@ pub(crate) fn count_pact(
             &mut rng,
             &mut round_stats,
         );
-        round_stats.oracle_calls = round_ctx.stats().checks;
+        let oracle_stats = round_ctx.stats();
+        round_stats.oracle_calls = oracle_stats.checks;
+        round_stats.rebuilds = oracle_stats.rebuilds;
         match result {
             Ok(outcome) => {
                 ctrl_ref.emit(ProgressEvent::Round {
@@ -232,6 +226,8 @@ pub(crate) fn count_pact(
         let record = record?;
         stats.cells_explored += record.stats.cells_explored;
         stats.oracle_calls += record.stats.oracle_calls;
+        stats.rebuilds += record.stats.rebuilds;
+        stats.oracle_seconds += record.stats.oracle_seconds;
         if record.stats.final_hash_count > 0 {
             stats.final_hash_count = record.stats.final_hash_count;
         }
@@ -252,7 +248,7 @@ pub(crate) fn count_pact(
         },
         None => CountOutcome::Timeout,
     };
-    Ok(finish(outcome, stats, ctx.stats().checks, start))
+    Ok(finish(outcome, stats, ctx.stats(), start))
 }
 
 /// One scheduled round's result: what it concluded plus the work it did
@@ -271,19 +267,6 @@ impl RoundRecord {
             stats: CountStats::default(),
         }
     }
-}
-
-fn finish(
-    outcome: CountOutcome,
-    mut stats: CountStats,
-    base_checks: u64,
-    start: Instant,
-) -> CountReport {
-    // Rounds ran on their own oracles and already merged their call counts;
-    // add the base oracle's calls (the initial exactness check) on top.
-    stats.oracle_calls += base_checks;
-    stats.wall_seconds = start.elapsed().as_secs_f64();
-    CountReport { outcome, stats }
 }
 
 enum RoundOutcome {
@@ -327,12 +310,14 @@ fn one_round(
         if ctrl.interrupted() {
             return Ok(CellCount::Unknown);
         }
+        let oracle_timer = Instant::now();
         ctx.push();
         for h in constraints {
             h.assert_into(ctx, tm);
         }
         let result = saturating_count_ctl(ctx, tm, projection, thresh, ctrl);
         ctx.pop();
+        stats.oracle_seconds += oracle_timer.elapsed().as_secs_f64();
         stats.cells_explored += 1;
         ctrl.emit(ProgressEvent::Cell {
             round,

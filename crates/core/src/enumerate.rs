@@ -94,9 +94,13 @@ pub(crate) fn count_enumerate(
         ctx.assert_term(f);
     }
     let mut stats = CountStats::default();
+    let oracle_timer = Instant::now();
     let result = saturating_count_ctl(&mut *ctx, tm, projection, limit, &ctrl)?;
+    stats.oracle_seconds = oracle_timer.elapsed().as_secs_f64();
     stats.cells_explored = 1;
-    stats.oracle_calls = ctx.stats().checks;
+    let oracle_stats = ctx.stats();
+    stats.oracle_calls = oracle_stats.checks;
+    stats.rebuilds = oracle_stats.rebuilds;
     stats.wall_seconds = start.elapsed().as_secs_f64();
     ctrl.emit(ProgressEvent::Cell {
         round: 0,

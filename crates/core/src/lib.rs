@@ -83,4 +83,6 @@ pub use session::{Session, SessionBuilder};
 // Re-export the pieces callers need to drive the counter (and to implement
 // custom oracle backends).
 pub use pact_hash::HashFamily;
-pub use pact_solver::{Context, Oracle, OracleStats, SolverConfig, SolverError, SolverResult};
+pub use pact_solver::{
+    Context, IncrementalContext, Oracle, OracleStats, SolverConfig, SolverError, SolverResult,
+};

@@ -15,6 +15,15 @@ pub struct CountStats {
     pub final_hash_count: u32,
     /// Wall-clock time spent, in seconds.
     pub wall_seconds: f64,
+    /// Number of encoder rebuilds across every oracle the run built (the
+    /// rebuilding backend pays one per `pop` that crosses encoded
+    /// assertions; the incremental backend reports 0).  Deterministic for a
+    /// fixed seed and backend, like `oracle_calls`.
+    pub rebuilds: u64,
+    /// Wall-clock seconds spent inside oracle work (cell measurements),
+    /// summed over all rounds — with parallel rounds this can exceed
+    /// `wall_seconds`, like CPU time.
+    pub oracle_seconds: f64,
 }
 
 /// The outcome of a counting run.
@@ -71,6 +80,23 @@ pub struct CountReport {
     pub outcome: CountOutcome,
     /// How much work it took.
     pub stats: CountStats,
+}
+
+/// Seals a run's statistics into a report: the rounds ran on their own
+/// oracles and already merged their call and rebuild counts into `stats`;
+/// the base oracle's (the run's initial check) are added on top here, and
+/// the wall clock is stamped.  Shared by the `pact` and CDM engines so a
+/// stat added to [`CountStats`] is threaded through exactly once.
+pub(crate) fn finish_report(
+    outcome: CountOutcome,
+    mut stats: CountStats,
+    base: pact_solver::OracleStats,
+    start: std::time::Instant,
+) -> CountReport {
+    stats.oracle_calls += base.checks;
+    stats.rebuilds += base.rebuilds;
+    stats.wall_seconds = start.elapsed().as_secs_f64();
+    CountReport { outcome, stats }
 }
 
 /// The observed relative error `e = max(b/s, s/b) − 1` between a baseline

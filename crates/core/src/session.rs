@@ -323,6 +323,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects between the two built-in oracle backends: `true` picks the
+    /// activation-literal incremental backend
+    /// ([`pact_solver::IncrementalContext`]), whose encoder — learnt
+    /// clauses, branching activities — survives every `push`/`pop` cycle of
+    /// the counting loop (`CountStats::rebuilds` stays 0), `false` the
+    /// default rebuilding [`pact_solver::Context`].  The reported count is
+    /// bit-identical either way; only the work profile changes.
+    pub fn incremental(mut self, incremental: bool) -> Self {
+        self.config = self.config.with_incremental(incremental);
+        self
+    }
+
     /// Attaches a progress observer (see [`Progress`]).
     pub fn progress(mut self, observer: Arc<dyn Progress>) -> Self {
         self.progress = Some(observer);
@@ -447,6 +459,33 @@ mod tests {
         // The CDM baseline runs on the same declared problem too.
         let cdm = session.count_cdm().unwrap();
         assert!(cdm.outcome.value().is_some());
+    }
+
+    #[test]
+    fn incremental_backend_counts_without_rebuilds() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let c = tm.mk_bv_const(16, 8);
+        let f = tm.mk_bv_ule(c, x).unwrap(); // 240 models: saturates
+        let mut session = Session::builder(tm)
+            .assert(f)
+            .project(x)
+            .seed(42)
+            .iterations(3)
+            .incremental(true)
+            .build()
+            .unwrap();
+        assert!(session.config().oracle_factory.is_incremental());
+        let report = session.count().unwrap();
+        assert!(matches!(report.outcome, CountOutcome::Approximate { .. }));
+        // The whole galloping search ran without a single encoder rebuild.
+        assert_eq!(report.stats.rebuilds, 0);
+        // Toggling back restores the default backend (which does rebuild).
+        let rebuild = session
+            .count_with(&session.config().clone().with_incremental(false))
+            .unwrap();
+        assert_eq!(rebuild.outcome, report.outcome);
+        assert!(rebuild.stats.rebuilds > 0);
     }
 
     #[test]

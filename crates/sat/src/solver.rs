@@ -206,31 +206,50 @@ impl Solver {
     ///
     /// Returns `false` if the formula became trivially unsatisfiable.
     pub fn add_xor(&mut self, vars: &[Var], rhs: bool) -> bool {
+        self.add_xor_tracked(vars, rhs).0
+    }
+
+    /// Like [`Solver::add_xor`], additionally reporting the engine id of the
+    /// stored row (`None` when the row simplified away) so the caller can
+    /// retire it later with [`Solver::deactivate_xor`].
+    pub fn add_xor_tracked(&mut self, vars: &[Var], rhs: bool) -> (bool, Option<usize>) {
         if !self.ok {
-            return false;
+            return (false, None);
         }
         debug_assert!(
             self.decision_level() == 0,
             "XOR rows must be added at level 0"
         );
         match self.xor.add_row(vars, rhs, &self.assigns) {
-            AddXor::Ok => {
+            AddXor::Stored(row) => {
                 self.stats.xor_rows = self.xor.len() as u64;
-                true
+                (true, Some(row))
             }
+            AddXor::Trivial => (true, None),
             AddXor::Unit(lit) => {
                 if !self.enqueue(lit, None) {
                     self.ok = false;
-                    return false;
+                    return (false, None);
                 }
                 self.ok = self.propagate().is_none();
-                self.ok
+                (self.ok, None)
             }
             AddXor::Unsat => {
                 self.ok = false;
-                false
+                (false, None)
             }
         }
+    }
+
+    /// Retires a stored XOR row (see [`XorEngine::deactivate`]): it stops
+    /// propagating and conflicting.  Must be called at decision level zero,
+    /// i.e. between `solve` calls.
+    pub fn deactivate_xor(&mut self, row: usize) {
+        debug_assert!(
+            self.decision_level() == 0,
+            "XOR rows must be retired at level 0"
+        );
+        self.xor.deactivate(row);
     }
 
     fn attach_clause(&mut self, lits: Vec<Lit>) -> ClauseRef {
@@ -516,7 +535,25 @@ impl Solver {
     /// Assumption literals are treated as decisions that are never undone, so
     /// the call answers "is the formula satisfiable with these literals set".
     /// Learnt clauses persist across calls, giving incremental behaviour.
+    /// A clause learnt while refuting an assumption contains that
+    /// assumption's negation as an ordinary literal, so it is implied by the
+    /// formula alone and remains sound for later calls with different
+    /// assumptions (this is what lets activation-literal encodings retire a
+    /// frame by asserting the unit negation afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption literal refers to a variable that was never
+    /// created (a caller bug; the check is unconditional because the failure
+    /// mode — indexing garbage deep inside propagation — is otherwise hard
+    /// to trace back to the bad literal).
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        for &a in assumptions {
+            assert!(
+                a.var().index() < self.num_vars(),
+                "assumption {a} refers to a variable that does not exist"
+            );
+        }
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -771,6 +808,107 @@ mod tests {
             s.add_clause(&blocking);
         }
         assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn activation_literal_gates_clauses_and_survives_retirement() {
+        // The incremental-oracle pattern: clauses guarded by an activation
+        // literal `a` only bite while `a` is assumed, and asserting the unit
+        // `¬a` afterwards retires them without touching the rest.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let a = s.new_var();
+        // Guarded constraint: a -> x.
+        s.add_clause(&[a.negative(), x.positive()]);
+        assert_eq!(s.solve(&[a.positive()]), SatResult::Sat);
+        assert!(s.model_value(x));
+        // Without the assumption, x is free again.
+        assert_eq!(s.solve(&[x.negative()]), SatResult::Sat);
+        assert!(!s.model_value(x));
+        // Retire the frame: the guarded clause is permanently satisfied.
+        assert!(s.add_clause(&[a.negative()]));
+        assert_eq!(s.solve(&[x.negative()]), SatResult::Sat);
+    }
+
+    #[test]
+    fn refuting_an_assumption_keeps_the_solver_usable() {
+        // F ∧ a is unsat, so solving under `a` answers Unsat — but the
+        // learnt consequence (¬a) must be implied by F alone, leaving the
+        // solver satisfiable without the assumption and consistent with the
+        // later unit retirement of `a`.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let a = s.new_var();
+        s.add_clause(&[a.negative(), x.positive()]);
+        s.add_clause(&[a.negative(), x.negative()]);
+        assert_eq!(s.solve(&[a.positive()]), SatResult::Unsat);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.add_clause(&[a.negative()]));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn slack_variable_neutralises_an_xor_row_after_retirement() {
+        // A guarded XOR row: x0 ^ x1 ^ slack = 1 with (¬a ∨ ¬slack).  While
+        // `a` is assumed the slack is forced off and the row enforces odd
+        // parity; after retiring `¬a` the free slack absorbs any parity.
+        let mut s = Solver::new();
+        let x0 = s.new_var();
+        let x1 = s.new_var();
+        let slack = s.new_var();
+        let a = s.new_var();
+        assert!(s.add_xor(&[x0, x1, slack], true));
+        assert!(s.add_clause(&[a.negative(), slack.negative()]));
+        // Active frame: even parity over (x0, x1) is impossible.
+        assert_eq!(
+            s.solve(&[a.positive(), x0.positive(), x1.positive()]),
+            SatResult::Unsat
+        );
+        assert_eq!(
+            s.solve(&[a.positive(), x0.positive(), x1.negative()]),
+            SatResult::Sat
+        );
+        // Retired frame: every (x0, x1) combination is allowed again.
+        assert!(s.add_clause(&[a.negative()]));
+        assert_eq!(s.solve(&[x0.positive(), x1.positive()]), SatResult::Sat);
+        assert_eq!(s.solve(&[x0.negative(), x1.negative()]), SatResult::Sat);
+    }
+
+    #[test]
+    fn conflict_budget_applies_under_assumptions() {
+        // Pigeonhole 6-into-5 again, but queried under an assumption: the
+        // budget must still bound the work and leave the solver reusable.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..6).map(|_| vars(&mut s, 5)).collect();
+        let a = s.new_var();
+        for row in &p {
+            let mut lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            lits.push(a.negative());
+            s.add_clause(&lits);
+        }
+        for i in 0..6 {
+            for k in (i + 1)..6 {
+                for (x, y) in p[i].iter().zip(&p[k]) {
+                    s.add_clause(&[x.negative(), y.negative(), a.negative()]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(&[a.positive()]), SatResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(&[a.positive()]), SatResult::Unsat);
+        // The guarded instance stays satisfiable once the frame is retired.
+        assert!(s.add_clause(&[a.negative()]));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn unknown_assumption_variables_are_rejected() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause(&[v.positive()]);
+        s.solve(&[Var(99).positive()]);
     }
 
     #[test]

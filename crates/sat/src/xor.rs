@@ -12,8 +12,11 @@ use crate::lit::{LBool, Lit, Var};
 /// Outcome of adding an XOR row at decision level zero.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AddXor {
-    /// The row was stored (or was trivially satisfied).
-    Ok,
+    /// The row was stored under the given engine id (pass it to
+    /// [`XorEngine::deactivate`] to retire the row later).
+    Stored(usize),
+    /// The row was trivially satisfied; nothing was stored.
+    Trivial,
     /// The row reduced to a unit literal that must be enqueued by the caller.
     Unit(Lit),
     /// The row reduced to `false`; the formula is unsatisfiable.
@@ -43,6 +46,10 @@ struct XorRow {
     rhs: bool,
     /// Positions (into `vars`) of the two watched variables.
     watch: [usize; 2],
+    /// Deactivated rows are skipped by propagation (and lazily dropped from
+    /// the occurrence lists).  Used by activation-literal frames to retire
+    /// their hash constraints on `pop` without touching the rest.
+    active: bool,
 }
 
 /// The XOR engine: a set of parity rows with two watched variables each.
@@ -105,7 +112,7 @@ impl XorEngine {
                 if rhs {
                     AddXor::Unsat
                 } else {
-                    AddXor::Ok
+                    AddXor::Trivial
                 }
             }
             1 => AddXor::Unit(reduced[0].lit(rhs)),
@@ -119,9 +126,21 @@ impl XorEngine {
                     vars: reduced,
                     rhs,
                     watch: [0, 1],
+                    active: true,
                 });
-                AddXor::Ok
+                AddXor::Stored(row_idx)
             }
+        }
+    }
+
+    /// Retires a stored row: it no longer propagates or conflicts, and its
+    /// occurrence-list entries are dropped lazily as their variables are
+    /// assigned.  Must be called at decision level zero (between solves) —
+    /// assignments already on the trail are unaffected.  Deactivating an
+    /// already-inactive row is a no-op.
+    pub fn deactivate(&mut self, row: usize) {
+        if let Some(r) = self.rows.get_mut(row) {
+            r.active = false;
         }
     }
 
@@ -143,6 +162,10 @@ impl XorEngine {
                 break;
             }
             let row = &mut self.rows[row_idx];
+            if !row.active {
+                // Lazily drop retired rows from the occurrence lists.
+                continue;
+            }
             let which = if row.vars[row.watch[0]] == var { 0 } else { 1 };
             // Try to move the watch to an unassigned, unwatched variable.
             let other_watch_pos = row.watch[1 - which];
@@ -233,7 +256,7 @@ mod tests {
         // x0 ^ x0 = 1  is unsatisfiable
         assert_eq!(eng.add_row(&[Var(0), Var(0)], true, &a), AddXor::Unsat);
         // x0 ^ x0 = 0 is trivially true
-        assert_eq!(eng.add_row(&[Var(0), Var(0)], false, &a), AddXor::Ok);
+        assert_eq!(eng.add_row(&[Var(0), Var(0)], false, &a), AddXor::Trivial);
         // x1 = 1 reduces to a unit
         assert_eq!(
             eng.add_row(&[Var(1)], true, &a),
@@ -262,7 +285,10 @@ mod tests {
     fn propagates_last_unassigned_variable() {
         let mut eng = XorEngine::new();
         let mut a = assigns(3);
-        assert_eq!(eng.add_row(&[Var(0), Var(1), Var(2)], true, &a), AddXor::Ok);
+        assert_eq!(
+            eng.add_row(&[Var(0), Var(1), Var(2)], true, &a),
+            AddXor::Stored(0)
+        );
         a[0] = LBool::True;
         assert!(eng.on_assign(Var(0), &a).is_empty());
         a[1] = LBool::True;
@@ -283,7 +309,7 @@ mod tests {
     fn detects_conflicts() {
         let mut eng = XorEngine::new();
         let mut a = assigns(2);
-        assert_eq!(eng.add_row(&[Var(0), Var(1)], true, &a), AddXor::Ok);
+        assert_eq!(eng.add_row(&[Var(0), Var(1)], true, &a), AddXor::Stored(0));
         a[0] = LBool::True;
         // Assign the second watch directly to the conflicting value.
         a[1] = LBool::True;
@@ -300,12 +326,33 @@ mod tests {
     }
 
     #[test]
+    fn deactivated_rows_neither_propagate_nor_conflict() {
+        let mut eng = XorEngine::new();
+        let mut a = assigns(3);
+        let row = match eng.add_row(&[Var(0), Var(1), Var(2)], true, &a) {
+            AddXor::Stored(id) => id,
+            other => panic!("expected a stored row, got {other:?}"),
+        };
+        eng.deactivate(row);
+        // A sequence that would imply (then falsify) the row is ignored.
+        a[0] = LBool::True;
+        assert!(eng.on_assign(Var(0), &a).is_empty());
+        a[1] = LBool::True;
+        assert!(eng.on_assign(Var(1), &a).is_empty());
+        a[2] = LBool::False; // 1 ^ 1 ^ 0 = 0 ≠ 1 would be a conflict
+        assert!(eng.on_assign(Var(2), &a).is_empty());
+        // Deactivation is idempotent and tolerates unknown ids.
+        eng.deactivate(row);
+        eng.deactivate(99);
+    }
+
+    #[test]
     fn watch_moves_to_unassigned_variable() {
         let mut eng = XorEngine::new();
         let mut a = assigns(4);
         assert_eq!(
             eng.add_row(&[Var(0), Var(1), Var(2), Var(3)], false, &a),
-            AddXor::Ok
+            AddXor::Stored(0)
         );
         a[0] = LBool::True;
         assert!(eng.on_assign(Var(0), &a).is_empty());

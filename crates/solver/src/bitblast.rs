@@ -56,6 +56,12 @@ impl Encoder {
         &mut self.sat
     }
 
+    /// Search statistics of the underlying SAT solver, without requiring a
+    /// mutable borrow (used by the oracles' cumulative conflict accounting).
+    pub fn sat_stats(&self) -> pact_sat::SatStats {
+        self.sat.stats()
+    }
+
     /// The registered theory atoms.
     pub fn atoms(&self) -> &[TheoryAtom] {
         &self.atoms
@@ -363,6 +369,75 @@ impl Encoder {
         Ok(())
     }
 
+    /// Recognises the saturating counter's model-blocking pattern
+    /// `¬(v₁ = c₁ ∧ … ∧ vₙ = cₙ)` — discrete variables against constants —
+    /// and asserts it as a *single clause* over the variables' existing bit
+    /// literals instead of Tseitin-encoding the term (which would allocate
+    /// ~4 gate clauses and a fresh variable per bit, every time a model is
+    /// blocked).  `guard` is prepended to the clause when given (the
+    /// incremental backend's activation literal).
+    ///
+    /// Returns `false` without touching the solver when the term does not
+    /// match the pattern; the caller falls back to the general encoder.
+    /// The fast path matters twice over: enumeration-heavy cells block
+    /// hundreds of models, and (for the incremental backend) a retired
+    /// frame leaves one satisfied clause behind instead of a thicket of
+    /// live gate clauses that propagation keeps visiting.
+    pub fn try_assert_blocking(
+        &mut self,
+        tm: &TermManager,
+        t: TermId,
+        guard: Option<Lit>,
+    ) -> Result<bool> {
+        if !matches!(tm.op(t), Op::Not) {
+            return Ok(false);
+        }
+        let inner = tm.children(t)[0];
+        let eqs: Vec<TermId> = match tm.op(inner) {
+            Op::And => tm.children(inner).to_vec(),
+            Op::Eq => vec![inner],
+            _ => return Ok(false),
+        };
+        // Validate the whole pattern before mutating any encoder state.
+        let mut pairs: Vec<(TermId, BvValue)> = Vec::with_capacity(eqs.len());
+        for eq in eqs {
+            if !matches!(tm.op(eq), Op::Eq) || tm.children(eq).len() != 2 {
+                return Ok(false);
+            }
+            let (a, b) = (tm.children(eq)[0], tm.children(eq)[1]);
+            let (var, constant) = match (tm.op(a), tm.op(b)) {
+                (Op::Var(_), Op::BvConst(_) | Op::BoolConst(_)) => (a, b),
+                (Op::BvConst(_) | Op::BoolConst(_), Op::Var(_)) => (b, a),
+                _ => return Ok(false),
+            };
+            let value = match tm.op(constant) {
+                Op::BvConst(v) => *v,
+                Op::BoolConst(b) => BvValue::new(u128::from(*b), 1),
+                _ => return Ok(false),
+            };
+            match tm.sort(var) {
+                Sort::Bool if value.width() == 1 => {}
+                Sort::BitVec(w) if w == value.width() => {}
+                _ => return Ok(false),
+            }
+            pairs.push((var, value));
+        }
+        let mut clause: Vec<Lit> = Vec::new();
+        if let Some(g) = guard {
+            clause.push(!g);
+        }
+        for (var, value) in pairs {
+            self.ensure_var_bits(tm, var)?;
+            let bits = self.var_bits(tm, var).expect("bits just ensured");
+            for (i, &lit) in bits.iter().enumerate() {
+                // The clause demands at least one bit differ from the model.
+                clause.push(if value.bit(i as u32) { !lit } else { lit });
+            }
+        }
+        self.sat.add_clause(&clause);
+        Ok(true)
+    }
+
     /// Ensures the bits of a discrete variable exist in the SAT solver, so
     /// that models and hash constraints range over it even when it does not
     /// occur in any assertion.
@@ -399,7 +474,11 @@ impl Encoder {
     }
 
     /// Adds a native XOR constraint over the given literals.
-    pub fn add_xor_over_lits(&mut self, lits: &[Lit], rhs: bool) -> bool {
+    ///
+    /// Returns the engine id of the stored row (`None` when the row
+    /// simplified away at level zero), so frame-scoped callers can retire
+    /// it later through [`Solver::deactivate_xor`].
+    pub fn add_xor_over_lits(&mut self, lits: &[Lit], rhs: bool) -> Option<usize> {
         let mut parity = rhs;
         let mut vars: Vec<Var> = Vec::with_capacity(lits.len());
         for &l in lits {
@@ -408,7 +487,7 @@ impl Encoder {
             }
             vars.push(l.var());
         }
-        self.sat.add_xor(&vars, parity)
+        self.sat.add_xor_tracked(&vars, parity).1
     }
 
     /// Encodes a boolean-sorted term to a literal.

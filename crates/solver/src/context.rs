@@ -1,11 +1,11 @@
 //! The incremental SMT oracle used by the counting algorithms.
 
-use pact_ir::{BvValue, Rational, Sort, TermId, TermManager, Value};
-use pact_lra::{LraResult, Simplex};
-use pact_sat::{Lit, SatResult};
+use pact_ir::{BvValue, Rational, TermId, TermManager, Value};
 
-use crate::bitblast::{atom_value_in_model, Encoder};
+use crate::bitblast::Encoder;
+use crate::dpllt::solve_with_theory;
 use crate::error::{Result, SolverError};
+use crate::model;
 use crate::preprocess::preprocess;
 
 /// Verdict of a [`Context::check`] call.
@@ -23,6 +23,10 @@ pub enum SolverResult {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverConfig {
     /// Maximum CDCL conflicts per `check` call (`None` = unlimited).
+    ///
+    /// The budget is cumulative across the lazy theory-refinement
+    /// iterations of one `check`: however many SAT calls the refinement loop
+    /// needs, they share this many conflicts in total.
     pub max_conflicts: Option<u64>,
     /// Maximum lazy theory-refinement iterations per `check` call.
     pub max_theory_iterations: usize,
@@ -49,8 +53,14 @@ pub struct OracleStats {
     pub theory_checks: u64,
     /// Number of theory-refinement lemmas learnt.
     pub theory_lemmas: u64,
-    /// Number of encoder rebuilds caused by `pop`.
+    /// Number of encoder rebuilds — from `pop` discarding encoded frames or
+    /// from `track_var` after a first encode.  A rebuild throws away the
+    /// learnt clauses and branching activities of the previous encoder, so
+    /// this is the headline cost the incremental backend eliminates.
     pub rebuilds: u64,
+    /// Number of CDCL conflicts spent across the oracle's lifetime
+    /// (including solvers discarded by rebuilds).
+    pub conflicts: u64,
 }
 
 /// One assertion on the stack: either a term or a native XOR constraint over
@@ -99,6 +109,9 @@ pub struct Context {
     encoded_up_to: usize,
     /// Simplex witness (indexed by LRA variable) from the last SAT check.
     real_model_values: Vec<Rational>,
+    /// Conflicts spent by encoders that were discarded in rebuilds (added to
+    /// the live solver's count when reporting [`OracleStats::conflicts`]).
+    retired_conflicts: u64,
 }
 
 impl Context {
@@ -117,7 +130,24 @@ impl Context {
 
     /// Cumulative statistics.
     pub fn stats(&self) -> OracleStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.conflicts = self.retired_conflicts
+            + self
+                .encoder
+                .as_ref()
+                .map(|e| e.sat_stats().conflicts)
+                .unwrap_or(0);
+        stats
+    }
+
+    /// Discards the current encoder (counting the rebuild and banking its
+    /// conflict count) so the next `check` re-encodes from scratch.
+    fn discard_encoder(&mut self) {
+        if let Some(encoder) = self.encoder.take() {
+            self.retired_conflicts += encoder.sat_stats().conflicts;
+            self.stats.rebuilds += 1;
+            self.encoded_up_to = 0;
+        }
     }
 
     /// Changes the resource limits for subsequent checks.
@@ -139,9 +169,7 @@ impl Context {
         let mark = self.frames.pop().expect("pop without matching push");
         if mark < self.encoded_up_to {
             // Anything already encoded beyond the mark forces a rebuild.
-            self.encoder = None;
-            self.encoded_up_to = 0;
-            self.stats.rebuilds += 1;
+            self.discard_encoder();
         }
         self.assertions.truncate(mark);
     }
@@ -165,11 +193,9 @@ impl Context {
     pub fn track_var(&mut self, var: TermId) {
         if !self.tracked_vars.contains(&var) {
             self.tracked_vars.push(var);
-            // Force re-encoding so the tracked variable's bits exist.
-            if self.encoder.is_some() {
-                self.encoder = None;
-                self.encoded_up_to = 0;
-            }
+            // Force re-encoding so the tracked variable's bits exist.  This
+            // is a full rebuild like `pop`'s and is accounted identically.
+            self.discard_encoder();
         }
     }
 
@@ -183,77 +209,15 @@ impl Context {
     pub fn check(&mut self, tm: &mut TermManager) -> Result<SolverResult> {
         self.stats.checks += 1;
         self.ensure_encoded(tm)?;
-        let max_conflicts = self.config.max_conflicts;
-        let max_iters = self.config.max_theory_iterations;
-        self.encoder
-            .as_mut()
-            .expect("encoder exists")
-            .sat()
-            .set_conflict_budget(max_conflicts);
-
-        for _ in 0..max_iters {
-            self.stats.sat_calls += 1;
-            let verdict = self
-                .encoder
-                .as_mut()
-                .expect("encoder exists")
-                .sat()
-                .solve(&[]);
-            match verdict {
-                SatResult::Unsat => return Ok(SolverResult::Unsat),
-                SatResult::Unknown => return Ok(SolverResult::Unknown),
-                SatResult::Sat => {}
-            }
-            // Collect the theory constraints implied by the boolean model.
-            let (mut simplex, participating) = {
-                let encoder = self.encoder.as_mut().expect("encoder exists");
-                let model: Vec<bool> = encoder.sat().model().to_vec();
-                let mut simplex = Simplex::new(encoder.num_lra_vars());
-                let mut participating: Vec<Lit> = Vec::new();
-                for atom in encoder.atoms() {
-                    match atom_value_in_model(&model, atom.lit) {
-                        Some(true) => {
-                            simplex.add_constraint(atom.when_true.clone());
-                            participating.push(atom.lit);
-                        }
-                        Some(false) => {
-                            if let Some(neg) = &atom.when_false {
-                                simplex.add_constraint(neg.clone());
-                                participating.push(!atom.lit);
-                            }
-                        }
-                        None => {}
-                    }
-                }
-                (simplex, participating)
-            };
-            if participating.is_empty() {
-                self.real_model_values.clear();
-                return Ok(SolverResult::Sat);
-            }
-            self.stats.theory_checks += 1;
-            match simplex.check() {
-                LraResult::Sat => {
-                    self.real_model_values = simplex.model();
-                    return Ok(SolverResult::Sat);
-                }
-                LraResult::Unsat => {
-                    // Refinement lemma: at least one participating atom flips.
-                    self.stats.theory_lemmas += 1;
-                    let lemma: Vec<Lit> = participating.iter().map(|&l| !l).collect();
-                    let consistent = self
-                        .encoder
-                        .as_mut()
-                        .expect("encoder exists")
-                        .sat()
-                        .add_clause(&lemma);
-                    if !consistent {
-                        return Ok(SolverResult::Unsat);
-                    }
-                }
-            }
-        }
-        Ok(SolverResult::Unknown)
+        let encoder = self.encoder.as_mut().expect("encoder exists");
+        Ok(solve_with_theory(
+            encoder,
+            &[],
+            self.config.max_conflicts,
+            self.config.max_theory_iterations,
+            &mut self.stats,
+            &mut self.real_model_values,
+        ))
     }
 
     fn ensure_encoded(&mut self, tm: &mut TermManager) -> Result<()> {
@@ -278,6 +242,9 @@ impl Context {
                     let pre = preprocess(tm, &[t])?;
                     let encoder = self.encoder.as_mut().expect("encoder exists");
                     for a in pre.assertions.iter().chain(pre.axioms.iter()) {
+                        if encoder.try_assert_blocking(tm, *a, None)? {
+                            continue;
+                        }
                         encoder.assert_term(tm, *a)?;
                     }
                 }
@@ -312,35 +279,14 @@ impl Context {
     /// never encoded, or if the last check was not satisfiable.
     pub fn model_value(&self, tm: &TermManager, var: TermId) -> Option<Value> {
         let encoder = self.encoder.as_ref()?;
-        match tm.sort(var) {
-            Sort::Bool => encoder
-                .model_bits(tm, var)
-                .map(|v| Value::Bool(v.as_u128() == 1)),
-            Sort::BitVec(_) => encoder.model_bits(tm, var).map(Value::Bv),
-            Sort::BoundedInt { .. } => encoder
-                .model_bits(tm, var)
-                .map(|v| Value::Int(v.as_u128() as i64)),
-            Sort::Real | Sort::Float { .. } => {
-                let lra = encoder.lra_var(var)?;
-                let value = self
-                    .real_model_values
-                    .get(lra.index())
-                    .copied()
-                    .unwrap_or(Rational::ZERO);
-                Some(Value::Real(value))
-            }
-            Sort::Array { .. } => None,
-        }
+        model::model_value(encoder, &self.real_model_values, tm, var)
     }
 
     /// The projected model: the value of each projection variable in the
     /// most recent satisfying assignment, in the order given.
     pub fn projected_model(&self, tm: &TermManager, projection: &[TermId]) -> Option<Vec<BvValue>> {
         let encoder = self.encoder.as_ref()?;
-        projection
-            .iter()
-            .map(|&v| encoder.model_bits(tm, v))
-            .collect()
+        model::projected_model(encoder, tm, projection)
     }
 }
 
@@ -562,6 +508,114 @@ mod tests {
         ctx.assert_term(g2);
         let verdict = ctx.check(&mut tm).unwrap();
         assert!(matches!(verdict, SolverResult::Unknown | SolverResult::Sat));
+    }
+
+    #[test]
+    fn track_var_after_encoding_counts_as_a_rebuild() {
+        // Regression: `track_var` on an already-encoded context forces a
+        // full re-encode exactly like `pop` does, and must show up in
+        // `OracleStats::rebuilds` so before/after measurements can be
+        // trusted.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let three = tm.mk_bv_const(3, 4);
+        let f = tm.mk_bv_ult(x, three).unwrap();
+        let mut ctx = Context::new();
+        ctx.track_var(x); // before any encoding: no rebuild
+        ctx.assert_term(f);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert_eq!(ctx.stats().rebuilds, 0);
+
+        let y = tm.mk_var("y", Sort::BitVec(4));
+        ctx.track_var(y); // silent re-encode: must be counted
+        assert_eq!(ctx.stats().rebuilds, 1);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert!(ctx.projected_model(&tm, &[x, y]).is_some());
+
+        ctx.track_var(y); // already tracked: no-op, no rebuild
+        assert_eq!(ctx.stats().rebuilds, 1);
+    }
+
+    #[test]
+    fn rebuilds_preserve_the_cumulative_conflict_count() {
+        // Conflicts spent by an encoder that a rebuild throws away must stay
+        // in the stats, otherwise rebuild-heavy runs under-report work.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(10));
+        let y = tm.mk_var("y", Sort::BitVec(10));
+        let prod = tm.mk_bv_mul(x, y).unwrap();
+        let c = tm.mk_bv_const(851, 10);
+        let f = tm.mk_eq(prod, c);
+        let mut ctx = Context::new();
+        ctx.assert_term(f);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        let before = ctx.stats().conflicts;
+        ctx.push();
+        let zero = tm.mk_bv_const(0, 10);
+        let g = tm.mk_bv_ult(x, zero).unwrap(); // impossible
+        ctx.assert_term(g);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unsat);
+        let mid = ctx.stats().conflicts;
+        assert!(mid >= before);
+        ctx.pop(); // rebuild: the discarded solver's conflicts are banked
+        assert!(ctx.stats().rebuilds >= 1);
+        assert!(ctx.stats().conflicts >= mid);
+    }
+
+    #[test]
+    fn conflict_budget_is_cumulative_across_theory_iterations() {
+        // Regression: the budget used to be re-armed for every SAT call of
+        // the lazy theory loop, so one `check` could spend
+        // `max_conflicts × max_theory_iterations` conflicts.  Five
+        // independent real disjunctions, each contradicted by an equality,
+        // give 2^5 boolean atom combinations that simplex refutes one lemma
+        // at a time; as the lemmas pile up the SAT calls start conflicting
+        // (64 conflicts over ~100 calls unbudgeted).  The whole `check` must
+        // stay within the budget — the old per-call re-arming blew through
+        // it more than tenfold on this formula.
+        let mut tm = TermManager::new();
+        let zero = tm.mk_real_const(Rational::ZERO);
+        let one = tm.mk_real_const(Rational::ONE);
+        let half = tm.mk_real_const(Rational::new(1, 2));
+        let budget = 5;
+        let mut ctx = Context::with_config(SolverConfig {
+            max_conflicts: Some(budget),
+            max_theory_iterations: 100,
+        });
+        for i in 0..5 {
+            let r = tm.mk_var(&format!("r{i}"), Sort::Real);
+            let lt0 = tm.mk_real_lt(r, zero).unwrap();
+            let gt1 = tm.mk_real_lt(one, r).unwrap();
+            let disj = tm.mk_or([lt0, gt1]);
+            let eq_half = tm.mk_eq(r, half);
+            ctx.assert_term(disj);
+            ctx.assert_term(eq_half);
+        }
+        let verdict = ctx.check(&mut tm).unwrap();
+        assert_eq!(verdict, SolverResult::Unknown);
+        assert!(
+            ctx.stats().conflicts <= budget,
+            "one check spent {} conflicts against a budget of {budget}",
+            ctx.stats().conflicts
+        );
+        // The same check without a conflict budget spends far more than
+        // `budget` conflicts over the same iteration allowance — the
+        // difference the old per-call re-arming silently re-introduced.
+        let mut free = Context::with_config(SolverConfig {
+            max_conflicts: None,
+            max_theory_iterations: 100,
+        });
+        for i in 0..5 {
+            let r = tm.mk_var(&format!("r{i}"), Sort::Real);
+            let lt0 = tm.mk_real_lt(r, zero).unwrap();
+            let gt1 = tm.mk_real_lt(one, r).unwrap();
+            let disj = tm.mk_or([lt0, gt1]);
+            let eq_half = tm.mk_eq(r, half);
+            free.assert_term(disj);
+            free.assert_term(eq_half);
+        }
+        free.check(&mut tm).unwrap();
+        assert!(free.stats().conflicts > budget);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! The lazy DPLL(T) loop shared by the oracle backends.
+//!
+//! Both [`Context`](crate::Context) and
+//! [`IncrementalContext`](crate::IncrementalContext) decide satisfiability
+//! the same way: solve the bit-blasted boolean abstraction, extract the
+//! theory atoms the model commits to, check their conjunction against the
+//! simplex core, and refine with a lemma until the verdicts agree.  The only
+//! backend-specific input is the assumption set (empty for the rebuilding
+//! context, the live activation literals for the incremental one).
+
+use pact_ir::Rational;
+use pact_lra::{LraResult, Simplex};
+use pact_sat::{Lit, SatResult};
+
+use crate::bitblast::{atom_value_in_model, Encoder};
+use crate::context::{OracleStats, SolverResult};
+
+/// Runs the DPLL(T) loop over an already-encoded formula.
+///
+/// The conflict budget is *cumulative across theory iterations*: one call
+/// spends at most `max_conflicts` conflicts in total, however many SAT calls
+/// the refinement loop needs.  (A budget of zero permits propagation-only
+/// solving but no search.)  On a satisfiable verdict the simplex witness is
+/// left in `real_model_values`.
+pub(crate) fn solve_with_theory(
+    encoder: &mut Encoder,
+    assumptions: &[Lit],
+    max_conflicts: Option<u64>,
+    max_theory_iterations: usize,
+    stats: &mut OracleStats,
+    real_model_values: &mut Vec<Rational>,
+) -> SolverResult {
+    let start_conflicts = encoder.sat_stats().conflicts;
+    if max_conflicts.is_none() {
+        // Clear any budget a previous configuration left behind.
+        encoder.sat().set_conflict_budget(None);
+    }
+    for iteration in 0..max_theory_iterations {
+        if let Some(limit) = max_conflicts {
+            let spent = encoder.sat_stats().conflicts - start_conflicts;
+            let remaining = limit.saturating_sub(spent);
+            if iteration > 0 && remaining == 0 {
+                // The budget was consumed by earlier refinement iterations;
+                // re-arming it per SAT call would multiply the limit by the
+                // iteration count.
+                return SolverResult::Unknown;
+            }
+            encoder.sat().set_conflict_budget(Some(remaining));
+        }
+        stats.sat_calls += 1;
+        match encoder.sat().solve(assumptions) {
+            SatResult::Unsat => return SolverResult::Unsat,
+            SatResult::Unknown => return SolverResult::Unknown,
+            SatResult::Sat => {}
+        }
+        // Collect the theory constraints implied by the boolean model.
+        let model: Vec<bool> = encoder.sat().model().to_vec();
+        let mut simplex = Simplex::new(encoder.num_lra_vars());
+        let mut participating: Vec<Lit> = Vec::new();
+        for atom in encoder.atoms() {
+            match atom_value_in_model(&model, atom.lit) {
+                Some(true) => {
+                    simplex.add_constraint(atom.when_true.clone());
+                    participating.push(atom.lit);
+                }
+                Some(false) => {
+                    if let Some(neg) = &atom.when_false {
+                        simplex.add_constraint(neg.clone());
+                        participating.push(!atom.lit);
+                    }
+                }
+                None => {}
+            }
+        }
+        if participating.is_empty() {
+            real_model_values.clear();
+            return SolverResult::Sat;
+        }
+        stats.theory_checks += 1;
+        match simplex.check() {
+            LraResult::Sat => {
+                *real_model_values = simplex.model();
+                return SolverResult::Sat;
+            }
+            LraResult::Unsat => {
+                // Refinement lemma: at least one participating atom flips.
+                // The lemma is theory-valid, so it is added permanently even
+                // under assumptions.
+                stats.theory_lemmas += 1;
+                let lemma: Vec<Lit> = participating.iter().map(|&l| !l).collect();
+                if !encoder.sat().add_clause(&lemma) {
+                    return SolverResult::Unsat;
+                }
+            }
+        }
+    }
+    SolverResult::Unknown
+}

@@ -1,0 +1,513 @@
+//! `IncrementalContext`: an activation-literal oracle whose encoder survives
+//! `pop`.
+//!
+//! The counting loop is thousands of tiny `push` / assert-hash / `check` /
+//! `pop` cycles, and the reference [`Context`](crate::Context) pays for each
+//! one by discarding its whole encoder (learnt clauses, branching
+//! activities, everything) the moment a `pop` crosses encoded assertions —
+//! that is what [`OracleStats::rebuilds`] counts.  This backend never
+//! rebuilds.  Every `push` allocates a fresh *activation literal* `a`; frame
+//! assertions are encoded guarded (`¬a ∨ clause`), `check` solves under the
+//! assumptions of all live activation literals, and `pop` retires a frame by
+//! asserting the unit `¬a`.  Retired clauses are permanently satisfied,
+//! while the encoder — and everything the CDCL solver learnt — stays.
+//!
+//! Native XOR rows (the `H_xor` fast path) cannot be guarded clause-wise, so
+//! the guard is folded in on the CNF side: each guarded row gets a fresh
+//! *slack* bit appended (`⊕ bits ⊕ s = rhs`) together with the clause
+//! `¬a ∨ ¬s`.  While the frame is live, `a` forces `s = 0` and the row is
+//! exactly the hash constraint; after `pop`, the free slack absorbs any
+//! parity and the row is inert.
+//!
+//! ```
+//! use pact_ir::{TermManager, Sort};
+//! use pact_solver::{IncrementalContext, SolverResult};
+//!
+//! let mut tm = TermManager::new();
+//! let x = tm.mk_var("x", Sort::BitVec(4));
+//! let three = tm.mk_bv_const(3, 4);
+//! let f = tm.mk_bv_ult(x, three).unwrap();
+//! let mut ctx = IncrementalContext::new();
+//! ctx.assert_term(f);
+//! assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+//! ctx.push();
+//! let zero = tm.mk_bv_const(0, 4);
+//! let g = tm.mk_bv_ult(x, zero).unwrap();
+//! ctx.assert_term(g);
+//! assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unsat);
+//! ctx.pop();
+//! assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+//! assert_eq!(ctx.stats().rebuilds, 0); // the encoder survived
+//! ```
+
+use pact_ir::{BvValue, Rational, TermId, TermManager, Value};
+use pact_sat::Lit;
+
+use crate::bitblast::Encoder;
+use crate::context::{OracleStats, SolverConfig, SolverResult};
+use crate::dpllt::solve_with_theory;
+use crate::error::{Result, SolverError};
+use crate::model;
+use crate::preprocess::preprocess;
+
+/// One not-yet-encoded assertion, tagged with the activation literal of the
+/// frame it belongs to (`None` for the permanent base level).
+#[derive(Debug, Clone)]
+enum Pending {
+    Term(TermId),
+    /// XOR of the chosen bits (`(variable, bit index)`) equals `rhs`.
+    XorBits(Vec<(TermId, u32)>, bool),
+}
+
+/// One live assertion-stack frame.
+#[derive(Debug)]
+struct Frame {
+    /// The frame's activation literal (assumed by `check`, retired by `pop`).
+    activation: Lit,
+    /// Engine ids of the XOR rows this frame asserted, retired with it.
+    xor_rows: Vec<usize>,
+}
+
+/// The activation-literal SMT oracle: same assertion-stack interface as
+/// [`Context`](crate::Context), but `pop` retires frames instead of
+/// rebuilding, so [`OracleStats::rebuilds`] stays 0 for its whole lifetime.
+///
+/// Assertions made outside any frame are permanent and encoded unguarded.
+/// Assertions inside a frame are guarded by the frame's activation literal;
+/// `check` assumes every live activation literal.  The trade-off against the
+/// rebuilding backend: retired frames leave their (permanently satisfied)
+/// clauses and neutralised XOR rows in the solver, so very long-lived
+/// contexts grow monotonically — the counting engine builds one oracle per
+/// round, which bounds that growth naturally.
+#[derive(Debug, Default)]
+pub struct IncrementalContext {
+    config: SolverConfig,
+    stats: OracleStats,
+    /// Variables whose bits must always exist (projection variables).
+    tracked_vars: Vec<TermId>,
+    encoder: Encoder,
+    /// Live frames, outermost first.
+    frames: Vec<Frame>,
+    /// Assertions awaiting encoding at the next `check`.
+    pending: Vec<(Option<Lit>, Pending)>,
+    /// Simplex witness (indexed by LRA variable) from the last SAT check.
+    real_model_values: Vec<Rational>,
+}
+
+impl IncrementalContext {
+    /// Creates an oracle with default limits.
+    pub fn new() -> Self {
+        IncrementalContext::default()
+    }
+
+    /// Creates an oracle with the given resource limits.
+    pub fn with_config(config: SolverConfig) -> Self {
+        IncrementalContext {
+            config,
+            ..IncrementalContext::default()
+        }
+    }
+
+    /// Cumulative statistics.  `rebuilds` is 0 by construction.
+    pub fn stats(&self) -> OracleStats {
+        let mut stats = self.stats;
+        stats.conflicts = self.encoder.sat_stats().conflicts;
+        stats
+    }
+
+    /// Changes the resource limits for subsequent checks.
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.config = config;
+    }
+
+    /// Pushes a new assertion-stack frame by allocating its activation
+    /// literal.
+    pub fn push(&mut self) {
+        let activation = self.encoder.sat().new_var().positive();
+        self.frames.push(Frame {
+            activation,
+            xor_rows: Vec::new(),
+        });
+    }
+
+    /// Pops the most recent frame by retiring its activation literal: the
+    /// unit `¬a` permanently satisfies every clause the frame guarded and
+    /// frees the slack bit of every guarded XOR row.  The encoder — and all
+    /// learnt clauses — survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no frame to pop (see the [`Oracle`](crate::Oracle)
+    /// contract).
+    pub fn pop(&mut self) {
+        let frame = self.frames.pop().expect("pop without matching push");
+        // Un-encoded assertions of the dying frame will never be needed.
+        self.pending
+            .retain(|(guard, _)| *guard != Some(frame.activation));
+        // `a` only ever occurs negatively in guard clauses, so the unit can
+        // never conflict; `add_clause` returning `false` would mean the
+        // formula was already unsat at level zero.
+        self.encoder.sat().add_clause(&[!frame.activation]);
+        // Retire the frame's XOR rows outright: their slack bits already
+        // neutralise them logically, but deactivation also stops the engine
+        // spending propagation work on them in every later solve.
+        for row in frame.xor_rows {
+            self.encoder.sat().deactivate_xor(row);
+        }
+    }
+
+    /// The innermost live frame's activation literal, if any.
+    fn current_guard(&self) -> Option<Lit> {
+        self.frames.last().map(|f| f.activation)
+    }
+
+    /// Asserts a boolean term in the current frame.
+    pub fn assert_term(&mut self, t: TermId) {
+        self.pending.push((self.current_guard(), Pending::Term(t)));
+    }
+
+    /// Asserts a native XOR constraint over individual bits of discrete
+    /// variables: `⊕ bit ⊕ ... = rhs` (the `H_xor` fast path).
+    pub fn assert_xor_bits(&mut self, bits: Vec<(TermId, u32)>, rhs: bool) {
+        self.pending
+            .push((self.current_guard(), Pending::XorBits(bits, rhs)));
+    }
+
+    /// Declares a variable whose bits must exist in every encoding, even if
+    /// it never occurs in an assertion.  Unlike the rebuilding backend this
+    /// never discards the encoder: the bits are simply appended at the next
+    /// `check`.
+    pub fn track_var(&mut self, var: TermId) {
+        if !self.tracked_vars.contains(&var) {
+            self.tracked_vars.push(var);
+        }
+    }
+
+    /// Checks satisfiability of the current assertion stack by solving under
+    /// the assumptions of all live activation literals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Unsupported`] when the formula falls outside
+    /// the supported fragment.
+    pub fn check(&mut self, tm: &mut TermManager) -> Result<SolverResult> {
+        self.stats.checks += 1;
+        for i in 0..self.tracked_vars.len() {
+            self.encoder.ensure_var_bits(tm, self.tracked_vars[i])?;
+        }
+        // Encode front-to-back, removing entries only once they are in the
+        // solver: an encoding error leaves the failing assertion (and the
+        // rest) pending, so a retried `check` reports the same error instead
+        // of silently answering for a weakened formula.
+        let mut encoded = 0;
+        let result = loop {
+            let Some((guard, assertion)) = self.pending.get(encoded).cloned() else {
+                break Ok(());
+            };
+            match self.encode_one(tm, guard, assertion) {
+                Ok(()) => encoded += 1,
+                Err(error) => break Err(error),
+            }
+        };
+        self.pending.drain(..encoded);
+        result?;
+        let assumptions: Vec<Lit> = self.frames.iter().map(|f| f.activation).collect();
+        Ok(solve_with_theory(
+            &mut self.encoder,
+            &assumptions,
+            self.config.max_conflicts,
+            self.config.max_theory_iterations,
+            &mut self.stats,
+            &mut self.real_model_values,
+        ))
+    }
+
+    fn encode_one(
+        &mut self,
+        tm: &mut TermManager,
+        guard: Option<Lit>,
+        assertion: Pending,
+    ) -> Result<()> {
+        match assertion {
+            Pending::Term(t) => {
+                let pre = preprocess(tm, &[t])?;
+                for &a in pre.assertions.iter().chain(pre.axioms.iter()) {
+                    if self.encoder.try_assert_blocking(tm, a, guard)? {
+                        continue;
+                    }
+                    match guard {
+                        None => self.encoder.assert_term(tm, a)?,
+                        Some(g) => {
+                            let lit = self.encoder.encode_bool(tm, a)?;
+                            self.encoder.sat().add_clause(&[!g, lit]);
+                        }
+                    }
+                }
+            }
+            Pending::XorBits(bits, rhs) => {
+                let mut lits = Vec::with_capacity(bits.len() + 1);
+                for (var, bit) in bits {
+                    self.encoder.ensure_var_bits(tm, var)?;
+                    let var_bits = self.encoder.var_bits(tm, var).ok_or_else(|| {
+                        SolverError::Internal("tracked variable has no bits".to_string())
+                    })?;
+                    let lit = *var_bits.get(bit as usize).ok_or_else(|| {
+                        SolverError::Internal(format!(
+                            "bit index {bit} out of range for hash constraint"
+                        ))
+                    })?;
+                    lits.push(lit);
+                }
+                if let Some(g) = guard {
+                    // CNF-side selector: while the frame is live, `g` forces
+                    // the slack off and the row is exactly the constraint;
+                    // after `pop` asserts `¬g` the free slack absorbs any
+                    // parity, neutralising the row.
+                    let slack = self.encoder.sat().new_var().positive();
+                    self.encoder.sat().add_clause(&[!g, !slack]);
+                    lits.push(slack);
+                }
+                let row = self.encoder.add_xor_over_lits(&lits, rhs);
+                if let (Some(row), Some(g)) = (row, guard) {
+                    if let Some(frame) = self.frames.iter_mut().find(|f| f.activation == g) {
+                        frame.xor_rows.push(row);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Value of a variable in the most recent satisfying assignment (see
+    /// [`Context::model_value`](crate::Context::model_value) for the
+    /// per-sort semantics).
+    pub fn model_value(&self, tm: &TermManager, var: TermId) -> Option<Value> {
+        model::model_value(&self.encoder, &self.real_model_values, tm, var)
+    }
+
+    /// The projected model: the value of each projection variable in the
+    /// most recent satisfying assignment, in the order given.
+    pub fn projected_model(&self, tm: &TermManager, projection: &[TermId]) -> Option<Vec<BvValue>> {
+        model::projected_model(&self.encoder, tm, projection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_ir::Sort;
+
+    fn assert_bv_lt(tm: &mut TermManager, x: TermId, bound: u128, width: u32) -> TermId {
+        let c = tm.mk_bv_const(bound, width);
+        tm.mk_bv_ult(x, c).unwrap()
+    }
+
+    #[test]
+    fn push_pop_cycles_never_rebuild() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(6));
+        let f = assert_bv_lt(&mut tm, x, 40, 6);
+        let mut ctx = IncrementalContext::new();
+        ctx.track_var(x);
+        ctx.assert_term(f);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        // Many frames, each pinning x into a smaller range, popped again.
+        for bound in [30u128, 20, 10, 1] {
+            ctx.push();
+            let g = assert_bv_lt(&mut tm, x, bound, 6);
+            ctx.assert_term(g);
+            assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+            let v = ctx.model_value(&tm, x).unwrap().as_bv().unwrap();
+            assert!(v.as_u128() < bound);
+            ctx.pop();
+        }
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert_eq!(ctx.stats().rebuilds, 0);
+        assert!(ctx.stats().checks >= 6);
+    }
+
+    #[test]
+    fn popped_frames_restore_satisfiability() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let f = assert_bv_lt(&mut tm, x, 3, 4);
+        let mut ctx = IncrementalContext::new();
+        ctx.assert_term(f);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        ctx.push();
+        let g = assert_bv_lt(&mut tm, x, 0, 4); // impossible
+        ctx.assert_term(g);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unsat);
+        ctx.pop();
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert_eq!(ctx.stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn guarded_xor_rows_are_neutralised_by_pop() {
+        // Odd parity over 3 bits inside a frame: 4 of 8 values.  After the
+        // pop, all 8 values must be reachable again.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(3));
+        let mut ctx = IncrementalContext::new();
+        ctx.track_var(x);
+        ctx.push();
+        ctx.assert_xor_bits(vec![(x, 0), (x, 1), (x, 2)], true);
+        let mut inside = Vec::new();
+        loop {
+            match ctx.check(&mut tm).unwrap() {
+                SolverResult::Sat => {
+                    let v = ctx.model_value(&tm, x).unwrap().as_bv().unwrap();
+                    assert_eq!(v.as_u128().count_ones() % 2, 1);
+                    assert!(!inside.contains(&v.as_u128()));
+                    inside.push(v.as_u128());
+                    let c = tm.mk_bv_value(v);
+                    let eq = tm.mk_eq(x, c);
+                    let block = tm.mk_not(eq);
+                    ctx.assert_term(block);
+                }
+                SolverResult::Unsat => break,
+                SolverResult::Unknown => panic!("unexpected unknown"),
+            }
+        }
+        assert_eq!(inside.len(), 4);
+        ctx.pop();
+        // The frame's XOR row and blocking clauses are retired with it.
+        let mut outside = Vec::new();
+        loop {
+            match ctx.check(&mut tm).unwrap() {
+                SolverResult::Sat => {
+                    let v = ctx.model_value(&tm, x).unwrap().as_bv().unwrap();
+                    assert!(!outside.contains(&v.as_u128()));
+                    outside.push(v.as_u128());
+                    let c = tm.mk_bv_value(v);
+                    let eq = tm.mk_eq(x, c);
+                    let block = tm.mk_not(eq);
+                    ctx.assert_term(block);
+                }
+                SolverResult::Unsat => break,
+                SolverResult::Unknown => panic!("unexpected unknown"),
+            }
+        }
+        assert_eq!(outside.len(), 8);
+        assert_eq!(ctx.stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn nested_frames_retire_independently() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(5));
+        let mut ctx = IncrementalContext::new();
+        ctx.track_var(x);
+        let f = assert_bv_lt(&mut tm, x, 20, 5);
+        ctx.assert_term(f);
+        ctx.push();
+        let g = assert_bv_lt(&mut tm, x, 10, 5);
+        ctx.assert_term(g);
+        ctx.push();
+        let h = assert_bv_lt(&mut tm, x, 2, 5);
+        ctx.assert_term(h);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        let v = ctx.model_value(&tm, x).unwrap().as_bv().unwrap();
+        assert!(v.as_u128() < 2);
+        ctx.pop(); // drop x < 2, keep x < 10
+                   // Force a value in [2, 10) to prove only the inner frame died.
+        ctx.push();
+        let two = tm.mk_bv_const(2, 5);
+        let ge2 = tm.mk_bv_ule(two, x).unwrap();
+        ctx.assert_term(ge2);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        let v = ctx.model_value(&tm, x).unwrap().as_bv().unwrap();
+        assert!((2..10).contains(&v.as_u128()));
+        ctx.pop();
+        ctx.pop();
+        assert_eq!(ctx.stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn hybrid_frames_work_under_assumptions() {
+        // Base: b < 4 and 0 < r.  Frame: r < 1 and a contradictory r > 2.
+        let mut tm = TermManager::new();
+        let b = tm.mk_var("b", Sort::BitVec(4));
+        let r = tm.mk_var("r", Sort::Real);
+        let four = tm.mk_bv_const(4, 4);
+        let f1 = tm.mk_bv_ult(b, four).unwrap();
+        let zero = tm.mk_real_const(Rational::ZERO);
+        let f2 = tm.mk_real_lt(zero, r).unwrap();
+        let mut ctx = IncrementalContext::new();
+        ctx.track_var(b);
+        ctx.assert_term(f1);
+        ctx.assert_term(f2);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        ctx.push();
+        let one = tm.mk_real_const(Rational::ONE);
+        let two = tm.mk_real_const(Rational::from_int(2));
+        let lt1 = tm.mk_real_lt(r, one).unwrap();
+        let gt2 = tm.mk_real_lt(two, r).unwrap();
+        ctx.assert_term(lt1);
+        ctx.assert_term(gt2);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unsat);
+        ctx.pop();
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        let rv = match ctx.model_value(&tm, r).unwrap() {
+            Value::Real(v) => v,
+            other => panic!("expected real value, got {other:?}"),
+        };
+        assert!(rv > Rational::ZERO);
+        assert_eq!(ctx.stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn tracking_new_vars_never_rebuilds() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let f = assert_bv_lt(&mut tm, x, 5, 4);
+        let mut ctx = IncrementalContext::new();
+        ctx.track_var(x);
+        ctx.assert_term(f);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        let y = tm.mk_var("y", Sort::BitVec(4));
+        ctx.track_var(y); // appended at the next check, no rebuild
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert!(ctx.projected_model(&tm, &[x, y]).is_some());
+        assert_eq!(ctx.stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn popping_an_unchecked_frame_discards_its_pending_assertions() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let mut ctx = IncrementalContext::new();
+        ctx.track_var(x);
+        ctx.push();
+        let g = assert_bv_lt(&mut tm, x, 0, 4); // impossible, never checked
+        ctx.assert_term(g);
+        ctx.pop();
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+    }
+
+    #[test]
+    fn encoding_errors_keep_the_failing_assertion_pending() {
+        // A retried `check` must report the same error, not silently answer
+        // for the formula minus the assertion that failed to encode.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let f = assert_bv_lt(&mut tm, x, 5, 4);
+        let r = tm.mk_var("r", Sort::Real);
+        let rr = tm.mk_real_mul(r, r).unwrap(); // non-linear: unsupported
+        let one = tm.mk_real_const(Rational::ONE);
+        let bad = tm.mk_real_lt(rr, one).unwrap();
+        let mut ctx = IncrementalContext::new();
+        ctx.assert_term(f);
+        ctx.assert_term(bad);
+        assert!(ctx.check(&mut tm).is_err());
+        assert!(ctx.check(&mut tm).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "pop without matching push")]
+    fn unbalanced_pop_panics() {
+        let mut ctx = IncrementalContext::new();
+        ctx.pop();
+    }
+}

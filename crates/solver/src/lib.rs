@@ -16,6 +16,10 @@
 //! * [`Context`] runs the lazy DPLL(T) loop against the `pact-lra` simplex
 //!   core and exposes an SMT-LIB-style assert / push / pop / check / model
 //!   interface.
+//! * [`IncrementalContext`] is the activation-literal backend: the same
+//!   interface, but `pop` retires frames under assumption literals instead
+//!   of rebuilding the encoder, so learnt clauses and branching activities
+//!   survive the counting loop's push/pop cycles (`rebuilds` stays 0).
 //! * [`Oracle`] abstracts that interface into a trait, so the counting
 //!   engine (and its tests) can swap in alternative or instrumented
 //!   backends; `Context` is the reference implementation.
@@ -49,12 +53,16 @@
 
 pub mod bitblast;
 mod context;
+mod dpllt;
 mod error;
+mod incremental;
+mod model;
 mod oracle;
 pub mod preprocess;
 
 pub use context::{Context, OracleStats, SolverConfig, SolverResult};
 pub use error::{Result, SolverError};
+pub use incremental::IncrementalContext;
 pub use oracle::Oracle;
 
 // Send audit: the counting engine builds one `Context` per scheduled round
@@ -65,6 +73,7 @@ pub use oracle::Oracle;
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<Context>();
+    assert_send::<IncrementalContext>();
     assert_send::<bitblast::Encoder>();
     assert_send::<SolverError>();
     // `Oracle: Send` is a supertrait bound, so boxed trait objects cross the

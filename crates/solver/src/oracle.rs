@@ -18,6 +18,7 @@ use pact_ir::{BvValue, TermId, TermManager, Value};
 
 use crate::context::{Context, OracleStats, SolverResult};
 use crate::error::Result;
+use crate::incremental::IncrementalContext;
 
 /// An incremental SMT oracle, as the counting algorithms see it.
 ///
@@ -43,7 +44,13 @@ pub trait Oracle: Send {
     ///
     /// # Panics
     ///
-    /// May panic if there is no frame to pop (a caller bug).
+    /// An unbalanced `pop` — one without a matching `push` — is a caller
+    /// bug, and the contract is that implementations **panic** on it rather
+    /// than silently ignoring the call or corrupting their stack.  The
+    /// panic message should mention the missing `push`.  This behaviour is
+    /// uniform across backends ([`Context`], [`IncrementalContext`], and
+    /// any wrapper that delegates to them) and is pinned by the parity test
+    /// in `tests/session.rs`.
     fn pop(&mut self);
 
     /// Asserts a boolean term in the current frame.
@@ -119,6 +126,44 @@ impl Oracle for Context {
     }
 }
 
+impl Oracle for IncrementalContext {
+    fn push(&mut self) {
+        IncrementalContext::push(self);
+    }
+
+    fn pop(&mut self) {
+        IncrementalContext::pop(self);
+    }
+
+    fn assert_term(&mut self, t: TermId) {
+        IncrementalContext::assert_term(self, t);
+    }
+
+    fn assert_xor_bits(&mut self, bits: Vec<(TermId, u32)>, rhs: bool) {
+        IncrementalContext::assert_xor_bits(self, bits, rhs);
+    }
+
+    fn track_var(&mut self, var: TermId) {
+        IncrementalContext::track_var(self, var);
+    }
+
+    fn check(&mut self, tm: &mut TermManager) -> Result<SolverResult> {
+        IncrementalContext::check(self, tm)
+    }
+
+    fn model_value(&self, tm: &TermManager, var: TermId) -> Option<Value> {
+        IncrementalContext::model_value(self, tm, var)
+    }
+
+    fn projected_model(&self, tm: &TermManager, projection: &[TermId]) -> Option<Vec<BvValue>> {
+        IncrementalContext::projected_model(self, tm, projection)
+    }
+
+    fn stats(&self) -> OracleStats {
+        IncrementalContext::stats(self)
+    }
+}
+
 impl<O: Oracle + ?Sized> Oracle for Box<O> {
     fn push(&mut self) {
         (**self).push();
@@ -189,23 +234,49 @@ mod tests {
 
     #[test]
     fn xor_assertions_work_through_the_trait() {
-        let mut tm = TermManager::new();
-        let x = tm.mk_var("x", Sort::BitVec(2));
-        let mut oracle: Box<dyn Oracle> = Box::new(Context::new());
-        oracle.track_var(x);
-        oracle.assert_xor_bits(vec![(x, 0), (x, 1)], true);
-        // Odd parity over 2 bits: {01, 10}.
-        let mut found = 0;
-        while oracle.check(&mut tm).unwrap() == SolverResult::Sat {
-            let v = oracle.model_value(&tm, x).unwrap().as_bv().unwrap();
-            assert_eq!(v.as_u128().count_ones(), 1);
-            found += 1;
-            assert!(found <= 2);
-            let c = tm.mk_bv_value(v);
-            let eq = tm.mk_eq(x, c);
-            let block = tm.mk_not(eq);
-            oracle.assert_term(block);
+        // Both backends must behave identically through the trait surface.
+        let backends: Vec<Box<dyn Oracle>> = vec![
+            Box::new(Context::new()),
+            Box::new(IncrementalContext::new()),
+        ];
+        for mut oracle in backends {
+            let mut tm = TermManager::new();
+            let x = tm.mk_var("x", Sort::BitVec(2));
+            oracle.track_var(x);
+            oracle.assert_xor_bits(vec![(x, 0), (x, 1)], true);
+            // Odd parity over 2 bits: {01, 10}.
+            let mut found = 0;
+            while oracle.check(&mut tm).unwrap() == SolverResult::Sat {
+                let v = oracle.model_value(&tm, x).unwrap().as_bv().unwrap();
+                assert_eq!(v.as_u128().count_ones(), 1);
+                found += 1;
+                assert!(found <= 2);
+                let c = tm.mk_bv_value(v);
+                let eq = tm.mk_eq(x, c);
+                let block = tm.mk_not(eq);
+                oracle.assert_term(block);
+            }
+            assert_eq!(found, 2);
         }
-        assert_eq!(found, 2);
+    }
+
+    #[test]
+    fn incremental_context_works_behind_a_trait_object() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let three = tm.mk_bv_const(3, 4);
+        let f = tm.mk_bv_ult(x, three).unwrap();
+        let mut oracle: Box<dyn Oracle> = Box::new(IncrementalContext::new());
+        oracle.track_var(x);
+        oracle.assert_term(f);
+        assert_eq!(oracle.check(&mut tm).unwrap(), SolverResult::Sat);
+        oracle.push();
+        let zero = tm.mk_bv_const(0, 4);
+        let g = tm.mk_bv_ult(x, zero).unwrap();
+        oracle.assert_term(g);
+        assert_eq!(oracle.check(&mut tm).unwrap(), SolverResult::Unsat);
+        oracle.pop();
+        assert_eq!(oracle.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert_eq!(oracle.stats().rebuilds, 0);
     }
 }

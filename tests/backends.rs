@@ -1,0 +1,200 @@
+//! Backend equivalence: the activation-literal incremental oracle must be
+//! observationally identical to the rebuilding reference oracle.
+//!
+//! The two backends answer every `check` with the same verdict (both are
+//! complete over the supported fragment), so the counting engine issues the
+//! same query sequence against either — the `CountReport` must be
+//! bit-identical in every deterministic field across seeds, hash families
+//! and thread counts.  The only sanctioned difference is the work profile:
+//! the incremental backend reports `rebuilds == 0` where the reference
+//! backend pays one rebuild per `pop` that crosses encoded assertions.
+
+use pact::{CountOutcome, CountReport, CounterConfig, HashFamily, Session};
+use pact_ir::{Rational, Sort, TermId, TermManager};
+
+/// The deterministic slice of a report: everything except wall-clock times
+/// and the backend-specific rebuild count.
+fn deterministic_parts(report: &CountReport) -> (CountOutcome, u64, u64, u32, u32) {
+    (
+        report.outcome.clone(),
+        report.stats.oracle_calls,
+        report.stats.cells_explored,
+        report.stats.iterations,
+        report.stats.final_hash_count,
+    )
+}
+
+/// x ≥ 16 over `width` bits: saturates the threshold so the galloping
+/// hashing rounds (and their push/pop cycles) run.
+fn saturating_instance(width: u32) -> (TermManager, TermId, TermId) {
+    let mut tm = TermManager::new();
+    let x = tm.mk_var("x", Sort::BitVec(width));
+    let c = tm.mk_bv_const(16, width);
+    let f = tm.mk_bv_ule(c, x).unwrap();
+    (tm, x, f)
+}
+
+fn count_with(width: u32, config: CounterConfig, incremental: bool) -> CountReport {
+    let (tm, x, f) = saturating_instance(width);
+    let mut session = Session::builder(tm)
+        .assert(f)
+        .project(x)
+        .config(config)
+        .incremental(incremental)
+        .build()
+        .unwrap();
+    session.count().unwrap()
+}
+
+#[test]
+fn backends_are_bit_identical_across_seeds_and_families() {
+    for family in [HashFamily::Xor, HashFamily::Prime, HashFamily::Shift] {
+        for seed in [1u64, 7, 42] {
+            let config = CounterConfig {
+                iterations_override: Some(3),
+                seed,
+                family,
+                ..CounterConfig::default()
+            };
+            let rebuild = count_with(8, config.clone(), false);
+            let incremental = count_with(8, config, true);
+            assert_eq!(
+                deterministic_parts(&incremental),
+                deterministic_parts(&rebuild),
+                "family {family}, seed {seed}"
+            );
+            assert_eq!(
+                incremental.stats.rebuilds, 0,
+                "family {family}, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn backends_are_bit_identical_with_two_threads() {
+    let config = CounterConfig {
+        iterations_override: Some(5),
+        seed: 42,
+        ..CounterConfig::default()
+    };
+    let serial = count_with(8, config.clone(), false);
+    for incremental in [false, true] {
+        let parallel = count_with(
+            8,
+            CounterConfig {
+                parallel: pact::ParallelConfig { threads: 2 },
+                ..config.clone()
+            },
+            incremental,
+        );
+        assert_eq!(
+            deterministic_parts(&parallel),
+            deterministic_parts(&serial),
+            "incremental = {incremental}"
+        );
+        if incremental {
+            assert_eq!(parallel.stats.rebuilds, 0);
+        }
+    }
+}
+
+#[test]
+fn incremental_backend_survives_a_quickstart_scale_count_without_rebuilds() {
+    // The quickstart's hybrid instance (8-bit b ≥ 32 with a live real
+    // constraint): the incremental backend must carry a full multi-round
+    // count with zero rebuilds while reproducing the reference report
+    // bit-for-bit — the acceptance criterion of the incremental-encoder
+    // milestone.
+    let build = |incremental: bool| {
+        let mut tm = TermManager::new();
+        let b = tm.mk_var("b", Sort::BitVec(8));
+        let r = tm.mk_var("r", Sort::Real);
+        let c = tm.mk_bv_const(32, 8);
+        let f1 = tm.mk_bv_ule(c, b).unwrap();
+        let zero = tm.mk_real_const(Rational::ZERO);
+        let one = tm.mk_real_const(Rational::ONE);
+        let f2 = tm.mk_real_lt(zero, r).unwrap();
+        let f3 = tm.mk_real_lt(r, one).unwrap();
+        let mut session = Session::builder(tm)
+            .assert_all(&[f1, f2, f3])
+            .project(b)
+            .seed(1)
+            .iterations(5)
+            .incremental(incremental)
+            .build()
+            .unwrap();
+        session.count().unwrap()
+    };
+    let rebuild = build(false);
+    let incremental = build(true);
+    assert!(matches!(
+        incremental.outcome,
+        CountOutcome::Approximate { .. }
+    ));
+    assert_eq!(
+        deterministic_parts(&incremental),
+        deterministic_parts(&rebuild)
+    );
+    assert_eq!(incremental.stats.rebuilds, 0);
+    // The galloping search really did pop frames: the reference backend paid
+    // a rebuild for each of them.
+    assert!(rebuild.stats.rebuilds > 0);
+    assert!(incremental.stats.oracle_seconds >= 0.0);
+}
+
+#[test]
+fn cdm_and_enumeration_agree_across_backends() {
+    let run = |incremental: bool| {
+        let (tm, x, f) = saturating_instance(8);
+        let mut session = Session::builder(tm)
+            .assert(f)
+            .project(x)
+            .seed(2)
+            .iterations(3)
+            .incremental(incremental)
+            .build()
+            .unwrap();
+        let exact = session.enumerate(10_000).unwrap();
+        let cdm = session.count_cdm().unwrap();
+        (exact, cdm)
+    };
+    let (exact_r, cdm_r) = run(false);
+    let (exact_i, cdm_i) = run(true);
+    assert_eq!(exact_i.outcome, CountOutcome::Exact(240));
+    assert_eq!(deterministic_parts(&exact_i), deterministic_parts(&exact_r));
+    assert_eq!(deterministic_parts(&cdm_i), deterministic_parts(&cdm_r));
+    assert_eq!(exact_i.stats.rebuilds, 0);
+    assert_eq!(cdm_i.stats.rebuilds, 0);
+}
+
+#[test]
+fn unsatisfiable_and_exact_paths_agree_across_backends() {
+    for (bound, expected) in [
+        (0u128, CountOutcome::Unsatisfiable),
+        (12, CountOutcome::Exact(12)),
+    ] {
+        let run = |incremental: bool| {
+            let mut tm = TermManager::new();
+            let x = tm.mk_var("x", Sort::BitVec(6));
+            let c = tm.mk_bv_const(bound, 6);
+            let f = tm.mk_bv_ult(x, c).unwrap();
+            let mut session = Session::builder(tm)
+                .assert(f)
+                .project(x)
+                .seed(3)
+                .iterations(3)
+                .incremental(incremental)
+                .build()
+                .unwrap();
+            session.count().unwrap()
+        };
+        let rebuild = run(false);
+        let incremental = run(true);
+        assert_eq!(incremental.outcome, expected);
+        assert_eq!(
+            deterministic_parts(&incremental),
+            deterministic_parts(&rebuild)
+        );
+    }
+}

@@ -136,6 +136,57 @@ fn deterministic_parts(report: &CountReport) -> (CountOutcome, u64, u64, u32, u3
 }
 
 #[test]
+fn unbalanced_pop_panics_identically_across_backends() {
+    // The `Oracle` contract: `pop` without a matching `push` is a caller
+    // bug and panics — identically for the reference backend, the
+    // incremental backend, and wrappers that delegate (this file's mock).
+    // Without the documented contract the behaviour silently diverged
+    // between implementations.
+    let (mock_factory, _ops) = instrumented_factory();
+    let factories: Vec<(&str, OracleFactory)> = vec![
+        ("context", OracleFactory::default()),
+        ("incremental", OracleFactory::incremental()),
+        ("mock", mock_factory),
+    ];
+    for (name, factory) in factories {
+        // Bare pop on a fresh oracle panics.
+        let f = factory.clone();
+        let bare = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut oracle = f.build(SolverConfig::default());
+            oracle.pop();
+        }));
+        assert!(bare.is_err(), "{name}: bare pop must panic");
+
+        // A balanced push/pop is fine; the *second* pop panics.
+        let f = factory.clone();
+        let unbalanced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut oracle = f.build(SolverConfig::default());
+            oracle.push();
+            oracle.pop();
+            oracle.pop();
+        }));
+        assert!(unbalanced.is_err(), "{name}: unbalanced pop must panic");
+
+        // And the panic message names the missing push, per the contract.
+        let f = factory;
+        let message = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut oracle = f.build(SolverConfig::default());
+            oracle.pop();
+        }))
+        .unwrap_err();
+        let text = message
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| message.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            text.contains("pop without matching push"),
+            "{name}: panic message {text:?} must name the missing push"
+        );
+    }
+}
+
+#[test]
 fn custom_oracle_backend_carries_the_whole_count() {
     let (factory, ops) = instrumented_factory();
     let mut session = saturating_session(base_config().with_oracle_factory(factory));
