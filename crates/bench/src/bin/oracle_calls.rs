@@ -1,8 +1,9 @@
 //! Regenerates the **Theorem 1** measurement: the number of SMT oracle calls
 //! grows logarithmically with the number of projection bits `|S|` — and
-//! compares the two oracle backends on the same sweep, reporting per-backend
+//! compares every oracle backend on the same sweep, reporting per-backend
 //! encoder rebuilds and oracle wall time (the incremental backend's
-//! `rebuilds` column is 0 by construction).
+//! `rebuilds` column is 0 by construction; the portfolio's sums its
+//! rebuild-style workers).
 //!
 //! Usage: `cargo run -p pact-bench --bin oracle_calls --release [max_width]`
 
@@ -33,7 +34,7 @@ fn main() {
                 .family(HashFamily::Xor)
                 .iterations(3)
                 .seed(9)
-                .incremental(backend == Backend::Incremental)
+                .oracle_factory(backend.oracle_factory())
                 .build();
             match session.and_then(|mut s| s.count()) {
                 Ok(report) => {

@@ -16,8 +16,11 @@
 //! * `--mini` switches to the ~10-instance smoke suite with narrow widths
 //!   and a short default timeout, sized for a CI job.
 //! * `--backend` selects the oracle backend; `both` runs the whole suite
-//!   once per backend so the artifact carries per-backend `rebuilds` and
-//!   oracle wall time (how the incremental speedup is tracked across PRs).
+//!   once per single-engine backend so the artifact carries per-backend
+//!   `rebuilds` and oracle wall time (how the incremental speedup is
+//!   tracked across PRs), `portfolio` races diversified workers inside
+//!   every oracle call (the artifact gains per-worker win counts), and
+//!   `all` runs all three.
 
 use std::time::Duration;
 
@@ -25,7 +28,7 @@ use pact_bench::cli::ArgError;
 use pact_bench::{records_to_json, run_suite_parallel, table_one, Backend, HarnessConfig};
 use pact_benchgen::{paper_suite, SuiteParams};
 
-const USAGE: &str = "usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini] [--backend rebuild|incremental|both]";
+const USAGE: &str = "usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini] [--backend rebuild|incremental|portfolio|both|all]";
 
 #[derive(Debug, PartialEq)]
 struct Args {
@@ -73,7 +76,9 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> 
                 args.backends = match value.as_str() {
                     "rebuild" => vec![Backend::Rebuild],
                     "incremental" => vec![Backend::Incremental],
-                    "both" => Backend::ALL.to_vec(),
+                    "portfolio" => vec![Backend::Portfolio],
+                    "both" => Backend::SINGLE_ENGINE.to_vec(),
+                    "all" => Backend::ALL.to_vec(),
                     _ => {
                         return Err(ArgError::InvalidValue {
                             slot: "--backend",
@@ -221,6 +226,16 @@ mod tests {
                 .unwrap()
                 .backends,
             vec![Backend::Incremental]
+        );
+        assert_eq!(
+            parse_args(argv(&["--backend", "portfolio"]))
+                .unwrap()
+                .backends,
+            vec![Backend::Portfolio]
+        );
+        assert_eq!(
+            parse_args(argv(&["--backend", "all"])).unwrap().backends,
+            vec![Backend::Rebuild, Backend::Incremental, Backend::Portfolio]
         );
         assert_eq!(
             parse_args(argv(&["--backend", "sideways"])),

@@ -54,9 +54,15 @@ impl Configuration {
     }
 }
 
+/// Number of diversified workers the harness's portfolio backend races per
+/// oracle `check` — four covers both backend styles plus a polarity flip
+/// and a sprint restart schedule while staying sane on small CI runners.
+pub const PORTFOLIO_WORKERS: usize = 4;
+
 /// Which built-in oracle backend a run used (the `OracleFactory` choice):
-/// the reference rebuild-on-`pop` encoder or the activation-literal
-/// incremental encoder that survives `pop`.
+/// the reference rebuild-on-`pop` encoder, the activation-literal
+/// incremental encoder that survives `pop`, or the racing portfolio that
+/// fans every `check` out to diversified workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
     /// The default rebuilding `Context` backend.
@@ -64,17 +70,35 @@ pub enum Backend {
     Rebuild,
     /// The activation-literal `IncrementalContext` backend (zero rebuilds).
     Incremental,
+    /// The racing `PortfolioContext` backend ([`PORTFOLIO_WORKERS`] workers).
+    Portfolio,
 }
 
 impl Backend {
-    /// Both backends, in artifact emission order.
-    pub const ALL: [Backend; 2] = [Backend::Rebuild, Backend::Incremental];
+    /// Every backend, in artifact emission order.
+    pub const ALL: [Backend; 3] = [Backend::Rebuild, Backend::Incremental, Backend::Portfolio];
+
+    /// The two single-engine backends (the pre-portfolio `--backend both`).
+    pub const SINGLE_ENGINE: [Backend; 2] = [Backend::Rebuild, Backend::Incremental];
 
     /// Column label used in reports and the JSON artifact.
     pub fn label(&self) -> &'static str {
         match self {
             Backend::Rebuild => "rebuild",
             Backend::Incremental => "incremental",
+            Backend::Portfolio => "portfolio",
+        }
+    }
+
+    /// The `OracleFactory` this backend selects — the single place the
+    /// harness maps its backend enum onto the counting engine's factory, so
+    /// every binary sweeping [`Backend::ALL`] builds the oracle its label
+    /// claims.
+    pub fn oracle_factory(&self) -> pact::OracleFactory {
+        match self {
+            Backend::Rebuild => pact::OracleFactory::default(),
+            Backend::Incremental => pact::OracleFactory::incremental(),
+            Backend::Portfolio => pact::OracleFactory::portfolio(PORTFOLIO_WORKERS),
         }
     }
 }
@@ -143,7 +167,7 @@ impl HarnessConfig {
             iterations_override: Some(self.iterations),
             ..CounterConfig::default()
         }
-        .with_incremental(self.backend == Backend::Incremental)
+        .with_oracle_factory(self.backend.oracle_factory())
     }
 }
 
@@ -242,11 +266,18 @@ pub fn run_suite_parallel(
 /// Bump this (and the round-trip test pinning the field list) whenever a
 /// field is added, removed or re-typed, so downstream consumers of the CI
 /// artifact can dispatch on `schema_version` instead of sniffing keys.
-pub const RECORD_SCHEMA_VERSION: u32 = 2;
+pub const RECORD_SCHEMA_VERSION: u32 = 3;
 
 /// The field names of one JSON record, in emission order (the schema that
 /// [`RECORD_SCHEMA_VERSION`] versions).
-pub const RECORD_SCHEMA_FIELDS: [&str; 14] = [
+///
+/// Schema v3 added the portfolio accounting triple: `portfolio_workers`
+/// (how many workers each oracle `check` raced; 0 for single-engine
+/// backends), `worker_wins` (a JSON array of per-worker decisive-answer
+/// counts, one entry per configured worker — two-plus non-zero entries mean
+/// the diversification is live), and `cancelled_solves` (worker solves cut
+/// short after losing a race).
+pub const RECORD_SCHEMA_FIELDS: [&str; 17] = [
     "schema_version",
     "instance",
     "logic",
@@ -259,6 +290,9 @@ pub const RECORD_SCHEMA_FIELDS: [&str; 14] = [
     "cells_explored",
     "iterations",
     "rebuilds",
+    "portfolio_workers",
+    "worker_wins",
+    "cancelled_solves",
     "oracle_seconds",
     "wall_seconds",
 ];
@@ -281,6 +315,13 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
             CountOutcome::Timeout => ("timeout", -1.0, -1.0),
         };
         let stats = &record.report.stats;
+        // Compact (no inner spaces) so the flat line format stays parseable
+        // by split-on-", " consumers: one entry per configured worker.
+        let wins = stats.worker_wins[..stats.portfolio_workers as usize]
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
         out.push_str(&format!(
             concat!(
                 "  {{\"schema_version\": {}, ",
@@ -288,7 +329,8 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
                 "\"backend\": \"{}\", ",
                 "\"outcome\": \"{}\", \"estimate\": {}, \"log2_estimate\": {}, ",
                 "\"oracle_calls\": {}, \"cells_explored\": {}, \"iterations\": {}, ",
-                "\"rebuilds\": {}, \"oracle_seconds\": {:.6}, ",
+                "\"rebuilds\": {}, \"portfolio_workers\": {}, \"worker_wins\": [{}], ",
+                "\"cancelled_solves\": {}, \"oracle_seconds\": {:.6}, ",
                 "\"wall_seconds\": {:.6}}}{}\n"
             ),
             RECORD_SCHEMA_VERSION,
@@ -303,6 +345,9 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
             stats.cells_explored,
             stats.iterations,
             stats.rebuilds,
+            stats.portfolio_workers,
+            wins,
+            stats.cancelled_solves,
             stats.oracle_seconds,
             stats.wall_seconds,
             if i + 1 < records.len() { "," } else { "" },
@@ -532,6 +577,16 @@ mod tests {
                 get("rebuilds").parse::<u64>().unwrap(),
                 record.report.stats.rebuilds
             );
+            assert_eq!(
+                get("portfolio_workers").parse::<u32>().unwrap(),
+                record.report.stats.portfolio_workers
+            );
+            let wins = get("worker_wins");
+            assert!(wins.starts_with('[') && wins.ends_with(']'), "{wins}");
+            assert_eq!(
+                get("cancelled_solves").parse::<u64>().unwrap(),
+                record.report.stats.cancelled_solves
+            );
             assert!(get("oracle_seconds").parse::<f64>().unwrap() >= 0.0);
             assert_eq!(
                 get("iterations").parse::<u32>().unwrap(),
@@ -585,6 +640,64 @@ mod tests {
         assert!(json.contains("\"backend\": \"rebuild\""));
         assert!(json.contains("\"backend\": \"incremental\""));
         assert!(json.contains("\"rebuilds\": 0"));
+    }
+
+    #[test]
+    fn portfolio_backend_matches_outcomes_and_spreads_wins() {
+        // The smoke-bench acceptance probe at unit scale: the portfolio rows
+        // must agree with the reference backend's deterministic outcome
+        // slice, and the win counts must credit at least two distinct
+        // worker configurations (diversification live, not one worker
+        // always winning).
+        let suite = tiny_suite();
+        let base = HarnessConfig {
+            timeout: Duration::from_secs(10),
+            iterations: 1,
+            seed: 1,
+            ..HarnessConfig::default()
+        };
+        let configuration = Configuration::Pact(HashFamily::Xor);
+        let rebuild = run_one(
+            &suite[0],
+            configuration,
+            &HarnessConfig {
+                backend: Backend::Rebuild,
+                ..base
+            },
+        );
+        let portfolio = run_one(
+            &suite[0],
+            configuration,
+            &HarnessConfig {
+                backend: Backend::Portfolio,
+                ..base
+            },
+        );
+        assert_eq!(portfolio.backend.label(), "portfolio");
+        assert_eq!(portfolio.report.outcome, rebuild.report.outcome);
+        assert_eq!(
+            portfolio.report.stats.oracle_calls,
+            rebuild.report.stats.oracle_calls
+        );
+        assert_eq!(
+            portfolio.report.stats.portfolio_workers,
+            PORTFOLIO_WORKERS as u32
+        );
+        let winners = portfolio
+            .report
+            .stats
+            .worker_wins
+            .iter()
+            .filter(|&&w| w > 0)
+            .count();
+        assert!(
+            winners >= 2,
+            "wins = {:?}",
+            portfolio.report.stats.worker_wins
+        );
+        let json = records_to_json(&[portfolio]);
+        assert!(json.contains("\"backend\": \"portfolio\""));
+        assert!(json.contains("\"portfolio_workers\": 4"));
     }
 
     #[test]

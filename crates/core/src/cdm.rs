@@ -30,7 +30,10 @@ use crate::config::CounterConfig;
 use crate::error::{CountError, CountResult};
 use crate::parallel::{run_rounds, RoundOutput};
 use crate::progress::{ProgressEvent, RunControl};
-use crate::result::{finish_report as finish, median, CountOutcome, CountReport, CountStats};
+use crate::result::{
+    finish_report as finish, median, merge_portfolio, merge_round_stats, CountOutcome, CountReport,
+    CountStats,
+};
 use crate::session::Session;
 
 /// Number of formula copies needed so that a factor-2 estimate of the
@@ -116,6 +119,9 @@ pub(crate) fn count_cdm(
     }
 
     let mut ctx = config.oracle_factory.build(config.solver);
+    if let Some(flag) = ctrl.solver_interrupt() {
+        ctx.set_interrupt(flag);
+    }
     for &v in &copied_projections {
         ctx.track_var(v);
     }
@@ -133,17 +139,8 @@ pub(crate) fn count_cdm(
     ctx.pop();
     stats.oracle_seconds += oracle_timer.elapsed().as_secs_f64();
     match base {
-        SolverResult::Unsat => {
-            return Ok(finish(
-                CountOutcome::Unsatisfiable,
-                stats,
-                ctx.stats(),
-                start,
-            ))
-        }
-        SolverResult::Unknown => {
-            return Ok(finish(CountOutcome::Timeout, stats, ctx.stats(), start))
-        }
+        SolverResult::Unsat => return Ok(finish(CountOutcome::Unsatisfiable, stats, &*ctx, start)),
+        SolverResult::Unknown => return Ok(finish(CountOutcome::Timeout, stats, &*ctx, start)),
         SolverResult::Sat => {}
     }
 
@@ -166,6 +163,9 @@ pub(crate) fn count_cdm(
         }
         let mut round_tm = tm_snapshot.clone();
         let mut round_ctx = config.oracle_factory.build(config.solver);
+        if let Some(flag) = ctrl_ref.solver_interrupt() {
+            round_ctx.set_interrupt(flag);
+        }
         for &v in copied_projections {
             round_ctx.track_var(v);
         }
@@ -188,6 +188,7 @@ pub(crate) fn count_cdm(
                 let oracle_stats = round_ctx.stats();
                 outcome.stats.oracle_calls = oracle_stats.checks;
                 outcome.stats.rebuilds = oracle_stats.rebuilds;
+                merge_portfolio(&mut outcome.stats, round_ctx.portfolio());
                 ctrl_ref.emit(ProgressEvent::Round {
                     round,
                     estimate: outcome.estimate,
@@ -211,10 +212,7 @@ pub(crate) fn count_cdm(
     for slot in outputs {
         let Some(record) = slot else { break };
         let record = record?;
-        stats.cells_explored += record.stats.cells_explored;
-        stats.oracle_calls += record.stats.oracle_calls;
-        stats.rebuilds += record.stats.rebuilds;
-        stats.oracle_seconds += record.stats.oracle_seconds;
+        merge_round_stats(&mut stats, &record.stats);
         if let Some(estimate) = record.estimate {
             estimates.push(estimate);
             stats.iterations += 1;
@@ -234,7 +232,7 @@ pub(crate) fn count_cdm(
         }
         None => CountOutcome::Timeout,
     };
-    Ok(finish(outcome, stats, ctx.stats(), start))
+    Ok(finish(outcome, stats, &*ctx, start))
 }
 
 /// One scheduled CDM round: its estimate (if it completed), the work it did,

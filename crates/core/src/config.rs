@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pact_hash::HashFamily;
-use pact_solver::{Context, IncrementalContext, Oracle, SolverConfig};
+use pact_solver::{Context, IncrementalContext, Oracle, PortfolioContext, SolverConfig};
 
 use crate::error::ConfigError;
 
@@ -36,6 +36,8 @@ enum Backend {
     Rebuild,
     /// The activation-literal backend that survives `pop`.
     Incremental,
+    /// The racing-portfolio backend with this many diversified workers.
+    Portfolio(usize),
     /// A user-supplied constructor closure.
     Custom(Arc<BuildOracleFn>),
 }
@@ -63,11 +65,28 @@ impl OracleFactory {
         }
     }
 
+    /// The racing-portfolio backend ([`PortfolioContext`]): every `check`
+    /// fans out to `workers` diversified solver workers (rebuild- and
+    /// incremental-style engines with distinct polarity, restart and
+    /// branching-noise settings), keeps the first SAT/UNSAT answer and
+    /// cancels the losers.  `workers` is clamped to
+    /// `1..=`[`pact_solver::MAX_PORTFOLIO_WORKERS`].  The reported count is
+    /// bit-identical to the single-engine backends'; per-worker win counts
+    /// surface through [`CountStats`](crate::CountStats).
+    pub fn portfolio(workers: usize) -> Self {
+        OracleFactory {
+            backend: Backend::Portfolio(workers),
+        }
+    }
+
     /// Builds one oracle with the given resource limits.
     pub fn build(&self, config: SolverConfig) -> Box<dyn Oracle> {
         match &self.backend {
             Backend::Rebuild => Box::new(Context::with_config(config)),
             Backend::Incremental => Box::new(IncrementalContext::with_config(config)),
+            Backend::Portfolio(workers) => {
+                Box::new(PortfolioContext::with_config(*workers, config))
+            }
             Backend::Custom(build) => build(config),
         }
     }
@@ -82,11 +101,17 @@ impl OracleFactory {
         matches!(self.backend, Backend::Incremental)
     }
 
+    /// Whether this is the built-in [`PortfolioContext`] backend.
+    pub fn is_portfolio(&self) -> bool {
+        matches!(self.backend, Backend::Portfolio(_))
+    }
+
     /// Short backend name for reports and benchmark columns.
     pub fn label(&self) -> &'static str {
         match self.backend {
             Backend::Rebuild => "rebuild",
             Backend::Incremental => "incremental",
+            Backend::Portfolio(_) => "portfolio",
             Backend::Custom(_) => "custom",
         }
     }
@@ -105,6 +130,7 @@ impl PartialEq for OracleFactory {
         match (&self.backend, &other.backend) {
             (Backend::Rebuild, Backend::Rebuild) => true,
             (Backend::Incremental, Backend::Incremental) => true,
+            (Backend::Portfolio(a), Backend::Portfolio(b)) => a == b,
             (Backend::Custom(a), Backend::Custom(b)) => Arc::ptr_eq(a, b),
             _ => false,
         }
@@ -273,6 +299,15 @@ impl CounterConfig {
         self
     }
 
+    /// Returns a copy counting through the racing-portfolio backend with
+    /// `workers` diversified workers per oracle.  Shorthand for
+    /// [`CounterConfig::with_oracle_factory`] with
+    /// [`OracleFactory::portfolio`].
+    pub fn with_portfolio(mut self, workers: usize) -> Self {
+        self.oracle_factory = OracleFactory::portfolio(workers);
+        self
+    }
+
     /// Validates the parameters.
     ///
     /// # Errors
@@ -393,6 +428,30 @@ mod tests {
         oracle.push();
         oracle.pop();
         assert_eq!(oracle.stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn portfolio_selection_round_trips_through_the_config() {
+        let portfolio = CounterConfig::default().with_portfolio(3);
+        assert!(portfolio.oracle_factory.is_portfolio());
+        assert!(!portfolio.oracle_factory.is_default());
+        assert_eq!(portfolio.oracle_factory.label(), "portfolio");
+        // Portfolio factories compare by worker count.
+        assert_eq!(OracleFactory::portfolio(3), OracleFactory::portfolio(3));
+        assert_ne!(OracleFactory::portfolio(3), OracleFactory::portfolio(4));
+        assert_ne!(OracleFactory::portfolio(3), OracleFactory::incremental());
+        // The factory builds a working racing oracle that reports its
+        // winner accounting.
+        let mut oracle = OracleFactory::portfolio(2).build(SolverConfig::default());
+        oracle.push();
+        oracle.pop();
+        let stats = oracle.portfolio().expect("portfolio accounting");
+        assert_eq!(stats.workers, 2);
+        // The single-engine backends report no portfolio accounting.
+        assert!(OracleFactory::default()
+            .build(SolverConfig::default())
+            .portfolio()
+            .is_none());
     }
 
     #[test]

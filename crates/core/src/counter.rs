@@ -21,7 +21,10 @@ use crate::constants::get_constants;
 use crate::error::{CountError, CountResult};
 use crate::parallel::{run_rounds, RoundOutput};
 use crate::progress::{ProgressEvent, RunControl};
-use crate::result::{finish_report as finish, median, CountOutcome, CountReport, CountStats};
+use crate::result::{
+    finish_report as finish, median, merge_portfolio, merge_round_stats, CountOutcome, CountReport,
+    CountStats,
+};
 use crate::saturating::{saturating_count_ctl, CellCount};
 use crate::session::Session;
 
@@ -108,6 +111,9 @@ pub(crate) fn count_pact(
         .unwrap_or(constants.iterations)
         .max(1);
     let mut ctx = config.oracle_factory.build(config.solver);
+    if let Some(flag) = ctrl.solver_interrupt() {
+        ctx.set_interrupt(flag);
+    }
     for &v in projection {
         ctx.track_var(v);
     }
@@ -130,18 +136,13 @@ pub(crate) fn count_pact(
     });
     match base {
         CellCount::Exact(0) => {
-            return Ok(finish(
-                CountOutcome::Unsatisfiable,
-                stats,
-                ctx.stats(),
-                start,
-            ));
+            return Ok(finish(CountOutcome::Unsatisfiable, stats, &*ctx, start));
         }
         CellCount::Exact(n) => {
-            return Ok(finish(CountOutcome::Exact(n), stats, ctx.stats(), start));
+            return Ok(finish(CountOutcome::Exact(n), stats, &*ctx, start));
         }
         CellCount::Unknown => {
-            return Ok(finish(CountOutcome::Timeout, stats, ctx.stats(), start));
+            return Ok(finish(CountOutcome::Timeout, stats, &*ctx, start));
         }
         CellCount::Saturated => {}
     }
@@ -169,6 +170,9 @@ pub(crate) fn count_pact(
         }
         let mut round_tm = tm_snapshot.clone();
         let mut round_ctx = config.oracle_factory.build(config.solver);
+        if let Some(flag) = ctrl_ref.solver_interrupt() {
+            round_ctx.set_interrupt(flag);
+        }
         for &v in projection {
             round_ctx.track_var(v);
         }
@@ -193,6 +197,7 @@ pub(crate) fn count_pact(
         let oracle_stats = round_ctx.stats();
         round_stats.oracle_calls = oracle_stats.checks;
         round_stats.rebuilds = oracle_stats.rebuilds;
+        merge_portfolio(&mut round_stats, round_ctx.portfolio());
         match result {
             Ok(outcome) => {
                 ctrl_ref.emit(ProgressEvent::Round {
@@ -224,10 +229,7 @@ pub(crate) fn count_pact(
     for slot in outputs {
         let Some(record) = slot else { break };
         let record = record?;
-        stats.cells_explored += record.stats.cells_explored;
-        stats.oracle_calls += record.stats.oracle_calls;
-        stats.rebuilds += record.stats.rebuilds;
-        stats.oracle_seconds += record.stats.oracle_seconds;
+        merge_round_stats(&mut stats, &record.stats);
         if record.stats.final_hash_count > 0 {
             stats.final_hash_count = record.stats.final_hash_count;
         }
@@ -248,7 +250,7 @@ pub(crate) fn count_pact(
         },
         None => CountOutcome::Timeout,
     };
-    Ok(finish(outcome, stats, ctx.stats(), start))
+    Ok(finish(outcome, stats, &*ctx, start))
 }
 
 /// One scheduled round's result: what it concluded plus the work it did

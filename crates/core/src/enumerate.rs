@@ -87,6 +87,9 @@ pub(crate) fn count_enumerate(
         ..hooks.clone()
     };
     let mut ctx = config.oracle_factory.build(config.solver);
+    if let Some(flag) = ctrl.solver_interrupt() {
+        ctx.set_interrupt(flag);
+    }
     for &v in projection {
         ctx.track_var(v);
     }
@@ -101,6 +104,7 @@ pub(crate) fn count_enumerate(
     let oracle_stats = ctx.stats();
     stats.oracle_calls = oracle_stats.checks;
     stats.rebuilds = oracle_stats.rebuilds;
+    crate::result::merge_portfolio(&mut stats, ctx.portfolio());
     stats.wall_seconds = start.elapsed().as_secs_f64();
     ctrl.emit(ProgressEvent::Cell {
         round: 0,

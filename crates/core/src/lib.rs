@@ -76,6 +76,7 @@ pub use constants::{get_constants, Constants};
 pub use counter::pact_count;
 pub use enumerate::enumerate_count;
 pub use error::{ConfigError, CountError, CountResult};
+pub use pact_solver::{InterruptFlag, PortfolioStats, MAX_PORTFOLIO_WORKERS};
 pub use progress::{CancellationToken, Progress, ProgressEvent, RunControl};
 pub use result::{median, relative_error, CountOutcome, CountReport, CountStats};
 pub use session::{Session, SessionBuilder};

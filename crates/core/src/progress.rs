@@ -22,9 +22,10 @@
 //! [`ParallelConfig::threads`]: crate::ParallelConfig
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+use pact_solver::InterruptFlag;
 
 /// A cloneable flag that asks a running count to stop at the next safe
 /// point.
@@ -33,10 +34,17 @@ use std::time::Instant;
 /// [`SessionBuilder::cancellation`] can be cancelled from another thread (or
 /// from inside a [`Progress`] observer) while the count runs.
 ///
+/// The token is backed by a [`pact_solver::InterruptFlag`], and the engine
+/// installs that flag into every oracle it builds
+/// ([`Oracle::set_interrupt`](pact_solver::Oracle::set_interrupt)): besides
+/// the engine's own cell-boundary polling, cancellation reaches *inside*
+/// in-flight solver calls — the SAT search gives up at its next conflict or
+/// restart boundary, and a portfolio oracle's racing workers all stand down.
+///
 /// [`SessionBuilder::cancellation`]: crate::SessionBuilder::cancellation
 #[derive(Debug, Clone, Default)]
 pub struct CancellationToken {
-    cancelled: Arc<AtomicBool>,
+    cancelled: InterruptFlag,
 }
 
 impl CancellationToken {
@@ -54,18 +62,25 @@ impl CancellationToken {
     ///
     /// [`reset`]: CancellationToken::reset
     pub fn cancel(&self) {
-        self.cancelled.store(true, Ordering::Relaxed);
+        self.cancelled.set();
     }
 
     /// Clears a previous cancellation so the token (and any session holding
     /// it) can be used for further counts.
     pub fn reset(&self) {
-        self.cancelled.store(false, Ordering::Relaxed);
+        self.cancelled.clear();
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
-        self.cancelled.load(Ordering::Relaxed)
+        self.cancelled.is_set()
+    }
+
+    /// The solver-level interrupt flag sharing this token's atomic, which
+    /// the engine installs into every oracle so cancellation aborts
+    /// in-flight solver work (not just the next cell boundary).
+    pub fn interrupt_flag(&self) -> InterruptFlag {
+        self.cancelled.clone()
     }
 }
 
@@ -175,12 +190,19 @@ impl RunControl {
             observer.report(&event);
         }
     }
+
+    /// The cancellation token's solver-level interrupt flag, if a token is
+    /// attached — what the engine hands to every oracle it builds so
+    /// cancellation reaches in-flight solver calls.
+    pub fn solver_interrupt(&self) -> Option<InterruptFlag> {
+        self.cancel.as_ref().map(CancellationToken::interrupt_flag)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn token_clones_share_the_flag() {

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use pact_solver::{PortfolioStats, MAX_PORTFOLIO_WORKERS};
+
 /// Statistics collected while counting one instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CountStats {
@@ -24,6 +26,47 @@ pub struct CountStats {
     /// summed over all rounds — with parallel rounds this can exceed
     /// `wall_seconds`, like CPU time.
     pub oracle_seconds: f64,
+    /// Number of workers the portfolio backend raced per oracle `check`
+    /// (0 for the single-engine backends).
+    pub portfolio_workers: u32,
+    /// Decisive answers credited per portfolio worker slot, summed over
+    /// every oracle the run built; only the first `portfolio_workers`
+    /// entries are meaningful.  Two-plus non-zero slots mean the
+    /// diversification is live (no single worker dominates).
+    pub worker_wins: [u64; MAX_PORTFOLIO_WORKERS],
+    /// Portfolio worker solves cut short after losing a race.
+    pub cancelled_solves: u64,
+}
+
+/// Folds one oracle's portfolio accounting (if any) into the run's stats.
+///
+/// `workers` is clamped to [`MAX_PORTFOLIO_WORKERS`]: a custom backend can
+/// report any number, but `worker_wins` is a fixed-size array and downstream
+/// consumers slice it by this field.
+pub(crate) fn merge_portfolio(stats: &mut CountStats, portfolio: Option<PortfolioStats>) {
+    if let Some(p) = portfolio {
+        let workers = p.workers.min(MAX_PORTFOLIO_WORKERS as u32);
+        stats.portfolio_workers = stats.portfolio_workers.max(workers);
+        for (total, wins) in stats.worker_wins.iter_mut().zip(p.wins) {
+            *total += wins;
+        }
+        stats.cancelled_solves += p.cancelled;
+    }
+}
+
+/// Folds a finished round's stats into the run totals (the deterministic
+/// fields the merge loops accumulate; `final_hash_count` and outcome
+/// handling stay with the callers).
+pub(crate) fn merge_round_stats(total: &mut CountStats, round: &CountStats) {
+    total.cells_explored += round.cells_explored;
+    total.oracle_calls += round.oracle_calls;
+    total.rebuilds += round.rebuilds;
+    total.oracle_seconds += round.oracle_seconds;
+    total.portfolio_workers = total.portfolio_workers.max(round.portfolio_workers);
+    for (t, w) in total.worker_wins.iter_mut().zip(round.worker_wins) {
+        *t += w;
+    }
+    total.cancelled_solves += round.cancelled_solves;
 }
 
 /// The outcome of a counting run.
@@ -90,11 +133,13 @@ pub struct CountReport {
 pub(crate) fn finish_report(
     outcome: CountOutcome,
     mut stats: CountStats,
-    base: pact_solver::OracleStats,
+    base: &dyn pact_solver::Oracle,
     start: std::time::Instant,
 ) -> CountReport {
-    stats.oracle_calls += base.checks;
-    stats.rebuilds += base.rebuilds;
+    let oracle = base.stats();
+    stats.oracle_calls += oracle.checks;
+    stats.rebuilds += oracle.rebuilds;
+    merge_portfolio(&mut stats, base.portfolio());
     stats.wall_seconds = start.elapsed().as_secs_f64();
     CountReport { outcome, stats }
 }

@@ -335,6 +335,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Counts through the racing-portfolio backend
+    /// ([`pact_solver::PortfolioContext`]): every oracle `check` races
+    /// `workers` diversified solver workers, keeps the first SAT/UNSAT
+    /// answer and cancels the losers — the within-round complement of
+    /// [`SessionBuilder::threads`], which parallelizes *across* rounds.
+    /// The reported count is bit-identical to the single-engine backends';
+    /// [`CountStats`](crate::CountStats) records which workers won.
+    pub fn portfolio(mut self, workers: usize) -> Self {
+        self.config = self.config.with_portfolio(workers);
+        self
+    }
+
     /// Attaches a progress observer (see [`Progress`]).
     pub fn progress(mut self, observer: Arc<dyn Progress>) -> Self {
         self.progress = Some(observer);
@@ -486,6 +498,38 @@ mod tests {
             .unwrap();
         assert_eq!(rebuild.outcome, report.outcome);
         assert!(rebuild.stats.rebuilds > 0);
+    }
+
+    #[test]
+    fn portfolio_backend_counts_bit_identically_and_records_wins() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let c = tm.mk_bv_const(16, 8);
+        let f = tm.mk_bv_ule(c, x).unwrap(); // 240 models: saturates
+        let mut session = Session::builder(tm)
+            .assert(f)
+            .project(x)
+            .seed(42)
+            .iterations(3)
+            .portfolio(3)
+            .build()
+            .unwrap();
+        assert!(session.config().oracle_factory.is_portfolio());
+        let report = session.count().unwrap();
+        assert!(matches!(report.outcome, CountOutcome::Approximate { .. }));
+        // Winner accounting: every check was credited, across 3 workers.
+        assert_eq!(report.stats.portfolio_workers, 3);
+        let total_wins: u64 = report.stats.worker_wins.iter().sum();
+        assert_eq!(total_wins, report.stats.oracle_calls);
+        // The deterministic slice matches the single-engine backend's.
+        let reference = session
+            .count_with(&session.config().clone().with_incremental(false))
+            .unwrap();
+        assert_eq!(reference.outcome, report.outcome);
+        assert_eq!(reference.stats.oracle_calls, report.stats.oracle_calls);
+        assert_eq!(reference.stats.cells_explored, report.stats.cells_explored);
+        assert_eq!(reference.stats.portfolio_workers, 0);
+        assert_eq!(reference.stats.worker_wins.iter().sum::<u64>(), 0);
     }
 
     #[test]

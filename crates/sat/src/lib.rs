@@ -36,7 +36,7 @@ mod solver;
 pub mod xor;
 
 pub use lit::{LBool, Lit, Var};
-pub use solver::{SatResult, SatStats, Solver};
+pub use solver::{InterruptFlag, SatOptions, SatResult, SatStats, Solver};
 
 // Send audit: `Solver` instances live inside the per-round oracles the
 // counting engine schedules across threads.  The solver owns all its state

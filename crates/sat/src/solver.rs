@@ -1,8 +1,78 @@
 //! Conflict-driven clause learning SAT solver with native XOR reasoning.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
 use crate::xor::{AddXor, XorEngine, XorEvent};
+
+/// A cloneable flag that asks an in-flight [`Solver::solve`] call to give up
+/// at its next safe point (a conflict or a restart boundary).
+///
+/// Clones share the same atomic, so a flag handed to a solver before the
+/// solve can be raised from another thread while the search runs — this is
+/// what lets a portfolio oracle cancel losing workers, and what lets a
+/// cooperative cancellation token reach *inside* a long solver call instead
+/// of waiting for it to return.  An interrupted solve answers
+/// [`SatResult::Unknown`]; the solver stays usable (learnt clauses and
+/// activities are kept, the trail is unwound to level zero).
+#[derive(Debug, Clone, Default)]
+pub struct InterruptFlag(Arc<AtomicBool>);
+
+impl InterruptFlag {
+    /// Creates a fresh, lowered flag.
+    pub fn new() -> Self {
+        InterruptFlag::default()
+    }
+
+    /// Raises the flag; every clone observes it.
+    pub fn set(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Lowers the flag so the solver (and anything sharing the flag) can be
+    /// used again.
+    pub fn clear(&self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the flag is raised.
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Search-diversification knobs of a [`Solver`].
+///
+/// The defaults reproduce the solver's historical behaviour exactly; a
+/// portfolio oracle builds its workers with *distinct* options so they
+/// explore the search space in genuinely different orders (the DALC-style
+/// "complementary decoders" structure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatOptions {
+    /// Initial saved phase of fresh variables (the polarity a variable is
+    /// first decided with).  The default is `false`, the MiniSat convention.
+    pub default_phase: bool,
+    /// Base interval (in conflicts) of the Luby restart sequence.  Smaller
+    /// bases restart aggressively (good for scrambled instances), larger
+    /// bases commit to deep searches.
+    pub restart_base: u64,
+    /// Seed for tiny pseudo-random initial VSIDS activities on fresh
+    /// variables, which perturbs the initial branching order.  `0` disables
+    /// the noise (all activities start at exactly zero).
+    pub activity_seed: u64,
+}
+
+impl Default for SatOptions {
+    fn default() -> Self {
+        SatOptions {
+            default_phase: false,
+            restart_base: RESTART_BASE,
+            activity_seed: 0,
+        }
+    }
+}
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +153,11 @@ pub struct Solver {
     stats: SatStats,
     conflict_budget: Option<u64>,
     model: Vec<bool>,
+    opts: SatOptions,
+    /// xorshift64 state feeding the initial-activity noise (0 = disabled).
+    noise_state: u64,
+    /// Cooperative interrupts: `solve` gives up when any flag is raised.
+    interrupts: Vec<InterruptFlag>,
 }
 
 impl Default for Solver {
@@ -106,6 +181,9 @@ impl Default for Solver {
             stats: SatStats::default(),
             conflict_budget: None,
             model: Vec::new(),
+            opts: SatOptions::default(),
+            noise_state: 0,
+            interrupts: Vec::new(),
         }
     }
 }
@@ -114,6 +192,25 @@ impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
         Solver::default()
+    }
+
+    /// Creates an empty solver with the given diversification options.
+    pub fn with_options(opts: SatOptions) -> Self {
+        Solver {
+            opts,
+            noise_state: opts.activity_seed,
+            ..Solver::default()
+        }
+    }
+
+    /// Replaces the interrupt flags watched by subsequent `solve` calls
+    /// (see [`InterruptFlag`]); an empty list removes them.
+    pub fn set_interrupts(&mut self, flags: Vec<InterruptFlag>) {
+        self.interrupts = flags;
+    }
+
+    fn interrupted(&self) -> bool {
+        !self.interrupts.is_empty() && self.interrupts.iter().any(InterruptFlag::is_set)
     }
 
     /// Number of variables created so far.
@@ -142,16 +239,32 @@ impl Solver {
     /// Creates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assigns.len() as u32);
+        let noise = self.next_activity_noise();
         self.assigns.push(LBool::Undef);
         self.level.push(0);
         self.reason.push(None);
-        self.activity.push(0.0);
-        self.phase.push(false);
+        self.activity.push(noise);
+        self.phase.push(self.opts.default_phase);
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.insert(v, &self.activity);
         v
+    }
+
+    /// Tiny initial activity (well below one `bump_var` increment) from an
+    /// xorshift64 stream, so diversified solvers start branching in distinct
+    /// orders without overriding anything the search later learns.
+    fn next_activity_noise(&mut self) -> f64 {
+        if self.noise_state == 0 {
+            return 0.0;
+        }
+        let mut x = self.noise_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.noise_state = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64 * 1e-3
     }
 
     fn value(&self, lit: Lit) -> LBool {
@@ -535,6 +648,10 @@ impl Solver {
     /// Assumption literals are treated as decisions that are never undone, so
     /// the call answers "is the formula satisfiable with these literals set".
     /// Learnt clauses persist across calls, giving incremental behaviour.
+    /// Interrupt flags installed via [`Solver::set_interrupts`] are polled at
+    /// every conflict (which covers every restart boundary — restarts fire
+    /// right after conflict handling); a raised flag makes the call return
+    /// [`SatResult::Unknown`] with the solver left reusable.
     /// A clause learnt while refuting an assumption contains that
     /// assumption's negation as an ordinary literal, so it is implied by the
     /// formula alone and remains sound for later calls with different
@@ -556,6 +673,9 @@ impl Solver {
         }
         if !self.ok {
             return SatResult::Unsat;
+        }
+        if self.interrupted() {
+            return SatResult::Unknown;
         }
         self.cancel_until(0);
         if self.propagate().is_some() {
@@ -587,11 +707,11 @@ impl Solver {
                     self.enqueue(learnt[0], Some(cref));
                 }
                 self.decay_activities();
-                if self.conflict_exhausted(budget_start) {
+                if self.conflict_exhausted(budget_start) || self.interrupted() {
                     self.cancel_until(0);
                     return SatResult::Unknown;
                 }
-                if conflicts_since_restart >= RESTART_BASE * Self::luby(restart_count) {
+                if conflicts_since_restart >= self.opts.restart_base * Self::luby(restart_count) {
                     restart_count += 1;
                     self.stats.restarts += 1;
                     conflicts_since_restart = 0;
@@ -909,6 +1029,99 @@ mod tests {
         let v = s.new_var();
         s.add_clause(&[v.positive()]);
         s.solve(&[Var(99).positive()]);
+    }
+
+    #[test]
+    fn interrupt_flag_stops_a_search_and_leaves_the_solver_usable() {
+        // Pigeonhole 6-into-5: an exhaustive search a pre-raised flag must
+        // cut short, and that a later solve (flag lowered) still completes.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..6).map(|_| vars(&mut s, 5)).collect();
+        for row in &p {
+            let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&lits);
+        }
+        for i in 0..6 {
+            for k in (i + 1)..6 {
+                for (a, b) in p[i].iter().zip(&p[k]) {
+                    s.add_clause(&[a.negative(), b.negative()]);
+                }
+            }
+        }
+        let flag = InterruptFlag::new();
+        s.set_interrupts(vec![flag.clone()]);
+        flag.set();
+        assert_eq!(s.solve(&[]), SatResult::Unknown);
+        flag.clear();
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        // Any raised flag in the set interrupts; clones share the atomic.
+        let second = InterruptFlag::new();
+        s.set_interrupts(vec![InterruptFlag::new(), second.clone()]);
+        second.clone().set();
+        assert!(second.is_set());
+    }
+
+    #[test]
+    fn diversified_options_answer_identically() {
+        // Polarity, restart base and activity noise steer the search, never
+        // the verdict or the constraint semantics.
+        let build = |opts: SatOptions| {
+            let mut s = Solver::with_options(opts);
+            let v = vars(&mut s, 6);
+            s.add_xor(&v[..4], true);
+            s.add_clause(&[v[0].negative(), v[4].positive()]);
+            s.add_clause(&[v[4].negative(), v[5].positive()]);
+            s
+        };
+        let configs = [
+            SatOptions::default(),
+            SatOptions {
+                default_phase: true,
+                restart_base: 40,
+                activity_seed: 0x9e37_79b9,
+            },
+            SatOptions {
+                default_phase: false,
+                restart_base: 400,
+                activity_seed: 7,
+            },
+        ];
+        for opts in configs {
+            let mut s = build(opts);
+            assert_eq!(s.solve(&[]), SatResult::Sat, "{opts:?}");
+            // The model satisfies the parity constraint whatever the phase.
+            let parity = (0..4).filter(|&i| s.model_value(Var(i as u32))).count();
+            assert_eq!(parity % 2, 1, "{opts:?}");
+            assert_eq!(s.solve(&[Var(0).positive()]), SatResult::Sat, "{opts:?}");
+        }
+    }
+
+    #[test]
+    fn default_options_reproduce_the_historical_solver() {
+        // `Solver::new()` and `with_options(default)` must walk the same
+        // search: same decisions, conflicts and model on a nontrivial
+        // instance.
+        let build = |mut s: Solver| {
+            let p: Vec<Vec<Var>> = (0..5).map(|_| vars(&mut s, 4)).collect();
+            for row in &p {
+                let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+                s.add_clause(&lits);
+            }
+            for i in 0..5 {
+                for k in (i + 1)..5 {
+                    for (a, b) in p[i].iter().zip(&p[k]) {
+                        s.add_clause(&[a.negative(), b.negative()]);
+                    }
+                }
+            }
+            s
+        };
+        let mut a = build(Solver::new());
+        let mut b = build(Solver::with_options(SatOptions::default()));
+        assert_eq!(a.solve(&[]), b.solve(&[]));
+        assert_eq!(a.stats().decisions, b.stats().decisions);
+        assert_eq!(a.stats().conflicts, b.stats().conflicts);
+        assert_eq!(a.model(), b.model());
     }
 
     #[test]

@@ -51,6 +51,16 @@ impl Encoder {
         Encoder::default()
     }
 
+    /// Creates an empty encoder whose SAT solver uses the given
+    /// diversification options (see [`pact_sat::SatOptions`]); used by the
+    /// portfolio oracle to build workers that search differently.
+    pub fn with_options(opts: pact_sat::SatOptions) -> Self {
+        Encoder {
+            sat: Solver::with_options(opts),
+            ..Encoder::default()
+        }
+    }
+
     /// The underlying SAT solver (for solving and model extraction).
     pub fn sat(&mut self) -> &mut Solver {
         &mut self.sat

@@ -1,12 +1,54 @@
 //! The incremental SMT oracle used by the counting algorithms.
 
+use std::collections::HashMap;
+
 use pact_ir::{BvValue, Rational, TermId, TermManager, Value};
+use pact_sat::{InterruptFlag, SatOptions};
 
 use crate::bitblast::Encoder;
 use crate::dpllt::solve_with_theory;
 use crate::error::{Result, SolverError};
 use crate::model;
-use crate::preprocess::preprocess;
+use crate::preprocess::{preprocess, Preprocessed};
+
+/// Preprocessing results keyed by the raw asserted term, computed once by
+/// the portfolio front-end so its racing workers can encode against a shared
+/// `&TermManager` without mutating it.
+pub(crate) type PreprocessCache = HashMap<TermId, Preprocessed>;
+
+/// How a `check` may touch the term manager.
+///
+/// The normal path owns it exclusively: preprocessing interns rewritten
+/// terms directly.  The portfolio race path shares it read-only across
+/// worker threads and supplies every assertion's preprocessing from a cache
+/// warmed up front (interning is the *only* mutation the check pipeline
+/// performs, so everything downstream of preprocessing works on `&TermManager`).
+pub(crate) enum TmView<'a> {
+    /// Exclusive access; preprocessing happens inline.
+    Exclusive(&'a mut TermManager),
+    /// Shared read-only access with pre-computed preprocessing.
+    Shared(&'a TermManager, &'a PreprocessCache),
+}
+
+impl TmView<'_> {
+    pub(crate) fn tm(&self) -> &TermManager {
+        match self {
+            TmView::Exclusive(tm) => tm,
+            TmView::Shared(tm, _) => tm,
+        }
+    }
+
+    pub(crate) fn preprocess(&mut self, t: TermId) -> Result<Preprocessed> {
+        match self {
+            TmView::Exclusive(tm) => preprocess(tm, &[t]),
+            TmView::Shared(_, cache) => cache.get(&t).cloned().ok_or_else(|| {
+                SolverError::Internal(
+                    "assertion missing from the shared preprocess cache".to_string(),
+                )
+            }),
+        }
+    }
+}
 
 /// Verdict of a [`Context::check`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +154,10 @@ pub struct Context {
     /// Conflicts spent by encoders that were discarded in rebuilds (added to
     /// the live solver's count when reporting [`OracleStats::conflicts`]).
     retired_conflicts: u64,
+    /// SAT-level diversification options every (re)built encoder uses.
+    sat_options: SatOptions,
+    /// Interrupt flags re-installed into every (re)built encoder's solver.
+    interrupts: Vec<InterruptFlag>,
 }
 
 impl Context {
@@ -125,6 +171,25 @@ impl Context {
         Context {
             config,
             ..Context::default()
+        }
+    }
+
+    /// Creates an oracle with the given resource limits and SAT-level
+    /// diversification options (a portfolio worker's constructor).
+    pub(crate) fn with_config_and_options(config: SolverConfig, sat_options: SatOptions) -> Self {
+        Context {
+            config,
+            sat_options,
+            ..Context::default()
+        }
+    }
+
+    /// Replaces the interrupt flags watched by the underlying SAT solver
+    /// (re-installed across rebuilds); an empty list removes them.
+    pub(crate) fn set_interrupt_flags(&mut self, flags: Vec<InterruptFlag>) {
+        self.interrupts = flags;
+        if let Some(encoder) = self.encoder.as_mut() {
+            encoder.sat().set_interrupts(self.interrupts.clone());
         }
     }
 
@@ -207,8 +272,23 @@ impl Context {
     /// the supported fragment (e.g. non-linear real arithmetic or array
     /// equality).
     pub fn check(&mut self, tm: &mut TermManager) -> Result<SolverResult> {
+        self.check_view(TmView::Exclusive(tm))
+    }
+
+    /// [`Context::check`] against a shared term manager: every raw assertion
+    /// must have its preprocessing supplied through `cache` (the portfolio
+    /// warms it before dispatching its racing workers).
+    pub(crate) fn check_shared(
+        &mut self,
+        tm: &TermManager,
+        cache: &PreprocessCache,
+    ) -> Result<SolverResult> {
+        self.check_view(TmView::Shared(tm, cache))
+    }
+
+    fn check_view(&mut self, mut view: TmView<'_>) -> Result<SolverResult> {
         self.stats.checks += 1;
-        self.ensure_encoded(tm)?;
+        self.ensure_encoded(&mut view)?;
         let encoder = self.encoder.as_mut().expect("encoder exists");
         Ok(solve_with_theory(
             encoder,
@@ -220,16 +300,18 @@ impl Context {
         ))
     }
 
-    fn ensure_encoded(&mut self, tm: &mut TermManager) -> Result<()> {
+    fn ensure_encoded(&mut self, view: &mut TmView<'_>) -> Result<()> {
         if self.encoder.is_none() {
-            self.encoder = Some(Encoder::new());
+            let mut encoder = Encoder::with_options(self.sat_options);
+            encoder.sat().set_interrupts(self.interrupts.clone());
+            self.encoder = Some(encoder);
             self.encoded_up_to = 0;
         }
         // Encode tracked variables first so their bits always exist.
         {
             let encoder = self.encoder.as_mut().expect("encoder exists");
             for &v in &self.tracked_vars {
-                encoder.ensure_var_bits(tm, v)?;
+                encoder.ensure_var_bits(view.tm(), v)?;
             }
         }
         if self.encoded_up_to >= self.assertions.len() {
@@ -239,7 +321,8 @@ impl Context {
         for assertion in pending {
             match assertion {
                 Assertion::Term(t) => {
-                    let pre = preprocess(tm, &[t])?;
+                    let pre = view.preprocess(t)?;
+                    let tm = view.tm();
                     let encoder = self.encoder.as_mut().expect("encoder exists");
                     for a in pre.assertions.iter().chain(pre.axioms.iter()) {
                         if encoder.try_assert_blocking(tm, *a, None)? {
@@ -249,6 +332,7 @@ impl Context {
                     }
                 }
                 Assertion::XorBits(bits, rhs) => {
+                    let tm = view.tm();
                     let encoder = self.encoder.as_mut().expect("encoder exists");
                     let mut lits = Vec::with_capacity(bits.len());
                     for (var, bit) in bits {

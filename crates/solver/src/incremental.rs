@@ -41,14 +41,13 @@
 //! ```
 
 use pact_ir::{BvValue, Rational, TermId, TermManager, Value};
-use pact_sat::Lit;
+use pact_sat::{InterruptFlag, Lit, SatOptions};
 
 use crate::bitblast::Encoder;
-use crate::context::{OracleStats, SolverConfig, SolverResult};
+use crate::context::{OracleStats, PreprocessCache, SolverConfig, SolverResult, TmView};
 use crate::dpllt::solve_with_theory;
 use crate::error::{Result, SolverError};
 use crate::model;
-use crate::preprocess::preprocess;
 
 /// One not-yet-encoded assertion, tagged with the activation literal of the
 /// frame it belongs to (`None` for the permanent base level).
@@ -106,6 +105,22 @@ impl IncrementalContext {
             config,
             ..IncrementalContext::default()
         }
+    }
+
+    /// Creates an oracle with the given resource limits and SAT-level
+    /// diversification options (a portfolio worker's constructor).
+    pub(crate) fn with_config_and_options(config: SolverConfig, sat_options: SatOptions) -> Self {
+        IncrementalContext {
+            config,
+            encoder: Encoder::with_options(sat_options),
+            ..IncrementalContext::default()
+        }
+    }
+
+    /// Replaces the interrupt flags watched by the underlying SAT solver;
+    /// an empty list removes them.
+    pub(crate) fn set_interrupt_flags(&mut self, flags: Vec<InterruptFlag>) {
+        self.encoder.sat().set_interrupts(flags);
     }
 
     /// Cumulative statistics.  `rebuilds` is 0 by construction.
@@ -191,9 +206,25 @@ impl IncrementalContext {
     /// Returns [`SolverError::Unsupported`] when the formula falls outside
     /// the supported fragment.
     pub fn check(&mut self, tm: &mut TermManager) -> Result<SolverResult> {
+        self.check_view(TmView::Exclusive(tm))
+    }
+
+    /// [`IncrementalContext::check`] against a shared term manager: every
+    /// raw assertion must have its preprocessing supplied through `cache`
+    /// (the portfolio warms it before dispatching its racing workers).
+    pub(crate) fn check_shared(
+        &mut self,
+        tm: &TermManager,
+        cache: &PreprocessCache,
+    ) -> Result<SolverResult> {
+        self.check_view(TmView::Shared(tm, cache))
+    }
+
+    fn check_view(&mut self, mut view: TmView<'_>) -> Result<SolverResult> {
         self.stats.checks += 1;
         for i in 0..self.tracked_vars.len() {
-            self.encoder.ensure_var_bits(tm, self.tracked_vars[i])?;
+            self.encoder
+                .ensure_var_bits(view.tm(), self.tracked_vars[i])?;
         }
         // Encode front-to-back, removing entries only once they are in the
         // solver: an encoding error leaves the failing assertion (and the
@@ -204,7 +235,7 @@ impl IncrementalContext {
             let Some((guard, assertion)) = self.pending.get(encoded).cloned() else {
                 break Ok(());
             };
-            match self.encode_one(tm, guard, assertion) {
+            match self.encode_one(&mut view, guard, assertion) {
                 Ok(()) => encoded += 1,
                 Err(error) => break Err(error),
             }
@@ -224,13 +255,14 @@ impl IncrementalContext {
 
     fn encode_one(
         &mut self,
-        tm: &mut TermManager,
+        view: &mut TmView<'_>,
         guard: Option<Lit>,
         assertion: Pending,
     ) -> Result<()> {
         match assertion {
             Pending::Term(t) => {
-                let pre = preprocess(tm, &[t])?;
+                let pre = view.preprocess(t)?;
+                let tm = view.tm();
                 for &a in pre.assertions.iter().chain(pre.axioms.iter()) {
                     if self.encoder.try_assert_blocking(tm, a, guard)? {
                         continue;
@@ -245,6 +277,7 @@ impl IncrementalContext {
                 }
             }
             Pending::XorBits(bits, rhs) => {
+                let tm = view.tm();
                 let mut lits = Vec::with_capacity(bits.len() + 1);
                 for (var, bit) in bits {
                     self.encoder.ensure_var_bits(tm, var)?;

@@ -20,6 +20,10 @@
 //!   interface, but `pop` retires frames under assumption literals instead
 //!   of rebuilding the encoder, so learnt clauses and branching activities
 //!   survive the counting loop's push/pop cycles (`rebuilds` stays 0).
+//! * [`PortfolioContext`] races N diversified workers (rebuild- and
+//!   incremental-style engines with distinct polarity, restart and
+//!   branching-noise settings) inside every `check`, keeps the first
+//!   SAT/UNSAT answer and cancels the losers via [`InterruptFlag`].
 //! * [`Oracle`] abstracts that interface into a trait, so the counting
 //!   engine (and its tests) can swap in alternative or instrumented
 //!   backends; `Context` is the reference implementation.
@@ -58,12 +62,18 @@ mod error;
 mod incremental;
 mod model;
 mod oracle;
+mod portfolio;
 pub mod preprocess;
 
 pub use context::{Context, OracleStats, SolverConfig, SolverResult};
 pub use error::{Result, SolverError};
 pub use incremental::IncrementalContext;
 pub use oracle::Oracle;
+pub use pact_sat::{InterruptFlag, SatOptions};
+pub use portfolio::{
+    PortfolioContext, PortfolioStats, WorkerProfile, WorkerReport, MAX_PORTFOLIO_WORKERS,
+    WORKER_PROFILES,
+};
 
 // Send audit: the counting engine builds one `Context` per scheduled round
 // and moves it into a worker thread.  The context owns its assertion stack,
@@ -74,6 +84,7 @@ const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<Context>();
     assert_send::<IncrementalContext>();
+    assert_send::<PortfolioContext>();
     assert_send::<bitblast::Encoder>();
     assert_send::<SolverError>();
     // `Oracle: Send` is a supertrait bound, so boxed trait objects cross the

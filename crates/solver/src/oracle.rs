@@ -15,10 +15,12 @@
 //! one oracle per round and moves it into a worker thread.
 
 use pact_ir::{BvValue, TermId, TermManager, Value};
+use pact_sat::InterruptFlag;
 
 use crate::context::{Context, OracleStats, SolverResult};
 use crate::error::Result;
 use crate::incremental::IncrementalContext;
+use crate::portfolio::PortfolioStats;
 
 /// An incremental SMT oracle, as the counting algorithms see it.
 ///
@@ -86,6 +88,26 @@ pub trait Oracle: Send {
 
     /// Cumulative statistics over the oracle's lifetime.
     fn stats(&self) -> OracleStats;
+
+    /// Installs a cooperative interrupt: raising the flag asks any in-flight
+    /// (and every future) `check` to give up and answer
+    /// [`SolverResult::Unknown`] at the next safe point.  This is how a
+    /// cancellation token reaches *inside* a long solver call — including
+    /// the racing workers of a portfolio oracle — instead of waiting at the
+    /// next cell boundary.
+    ///
+    /// The default implementation ignores the flag (a conforming backend may
+    /// be uninterruptible; cancellation then falls back to the engine's
+    /// check-boundary polling).
+    fn set_interrupt(&mut self, flag: InterruptFlag) {
+        let _ = flag;
+    }
+
+    /// Winner/cancelled accounting, for backends that race several workers
+    /// per `check`.  `None` (the default) for single-engine backends.
+    fn portfolio(&self) -> Option<PortfolioStats> {
+        None
+    }
 }
 
 impl Oracle for Context {
@@ -123,6 +145,10 @@ impl Oracle for Context {
 
     fn stats(&self) -> OracleStats {
         Context::stats(self)
+    }
+
+    fn set_interrupt(&mut self, flag: InterruptFlag) {
+        Context::set_interrupt_flags(self, vec![flag]);
     }
 }
 
@@ -162,6 +188,10 @@ impl Oracle for IncrementalContext {
     fn stats(&self) -> OracleStats {
         IncrementalContext::stats(self)
     }
+
+    fn set_interrupt(&mut self, flag: InterruptFlag) {
+        IncrementalContext::set_interrupt_flags(self, vec![flag]);
+    }
 }
 
 impl<O: Oracle + ?Sized> Oracle for Box<O> {
@@ -199,6 +229,14 @@ impl<O: Oracle + ?Sized> Oracle for Box<O> {
 
     fn stats(&self) -> OracleStats {
         (**self).stats()
+    }
+
+    fn set_interrupt(&mut self, flag: InterruptFlag) {
+        (**self).set_interrupt(flag);
+    }
+
+    fn portfolio(&self) -> Option<PortfolioStats> {
+        (**self).portfolio()
     }
 }
 

@@ -146,6 +146,7 @@ fn unbalanced_pop_panics_identically_across_backends() {
     let factories: Vec<(&str, OracleFactory)> = vec![
         ("context", OracleFactory::default()),
         ("incremental", OracleFactory::incremental()),
+        ("portfolio", OracleFactory::portfolio(2)),
         ("mock", mock_factory),
     ];
     for (name, factory) in factories {
@@ -183,6 +184,68 @@ fn unbalanced_pop_panics_identically_across_backends() {
             text.contains("pop without matching push"),
             "{name}: panic message {text:?} must name the missing push"
         );
+    }
+}
+
+#[test]
+fn oracle_accounting_contract_is_uniform_across_backends() {
+    // The PR 3 accounting contract, parity-tested across all four oracle
+    // impls (reference, incremental, portfolio, delegating mock): `checks`
+    // counts queries 1:1, `conflicts` is a lifetime total that survives
+    // `pop` — including work spent by solvers a rebuild discarded or a
+    // portfolio race cancelled — and never decreases.
+    let (mock_factory, _ops) = instrumented_factory();
+    let factories: Vec<(&str, OracleFactory)> = vec![
+        ("context", OracleFactory::default()),
+        ("incremental", OracleFactory::incremental()),
+        ("portfolio", OracleFactory::portfolio(3)),
+        ("mock", mock_factory),
+    ];
+    for (name, factory) in factories {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(10));
+        let y = tm.mk_var("y", Sort::BitVec(10));
+        let prod = tm.mk_bv_mul(x, y).unwrap();
+        let c = tm.mk_bv_const(851, 10);
+        let f = tm.mk_eq(prod, c); // conflict-heavy but satisfiable
+        let mut oracle = factory.build(SolverConfig::default());
+        oracle.assert_term(f);
+        assert_eq!(oracle.check(&mut tm).unwrap(), SolverResult::Sat, "{name}");
+        let after_first = oracle.stats();
+        assert_eq!(after_first.checks, 1, "{name}");
+
+        oracle.push();
+        let zero = tm.mk_bv_const(0, 10);
+        let g = tm.mk_bv_ult(x, zero).unwrap(); // impossible
+        oracle.assert_term(g);
+        assert_eq!(
+            oracle.check(&mut tm).unwrap(),
+            SolverResult::Unsat,
+            "{name}"
+        );
+        let mid = oracle.stats();
+        assert_eq!(mid.checks, 2, "{name}");
+        assert!(mid.conflicts >= after_first.conflicts, "{name}");
+
+        oracle.pop(); // rebuild backends discard a solver here
+        assert_eq!(oracle.check(&mut tm).unwrap(), SolverResult::Sat, "{name}");
+        let last = oracle.stats();
+        assert_eq!(last.checks, 3, "{name}");
+        assert!(
+            last.conflicts >= mid.conflicts,
+            "{name}: pop lost banked conflicts ({} -> {})",
+            mid.conflicts,
+            last.conflicts
+        );
+        // Portfolio accounting: every check credited to exactly one worker,
+        // and the single-engine backends report no portfolio block at all.
+        match oracle.portfolio() {
+            Some(p) => {
+                assert_eq!(p.wins.iter().sum::<u64>(), last.checks, "{name}");
+                assert!(p.workers >= 2, "{name}");
+            }
+            None => assert_ne!(name, "portfolio"),
+        }
     }
 }
 
