@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run -p pact-bench --bin table1 --release -- \
 //!     [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini] \
-//!     [--backend rebuild|incremental|both]
+//!     [--backend rebuild|incremental|portfolio|cube|both|all]
 //! ```
 //!
 //! * `--threads N` fans the suite's runs across `N` workers (`0` = all
@@ -19,8 +19,10 @@
 //!   once per single-engine backend so the artifact carries per-backend
 //!   `rebuilds` and oracle wall time (how the incremental speedup is
 //!   tracked across PRs), `portfolio` races diversified workers inside
-//!   every oracle call (the artifact gains per-worker win counts), and
-//!   `all` runs all three.
+//!   every oracle call (the artifact gains per-worker win counts), `cube`
+//!   splits every hard oracle call into parallel sub-solves (the artifact
+//!   gains `cubes_split` / `cubes_solved` / `cube_refuted_by_lookahead`),
+//!   and `all` runs all four.
 
 use std::time::Duration;
 
@@ -28,7 +30,7 @@ use pact_bench::cli::ArgError;
 use pact_bench::{records_to_json, run_suite_parallel, table_one, Backend, HarnessConfig};
 use pact_benchgen::{paper_suite, SuiteParams};
 
-const USAGE: &str = "usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini] [--backend rebuild|incremental|portfolio|both|all]";
+const USAGE: &str = "usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini] [--backend rebuild|incremental|portfolio|cube|both|all]";
 
 #[derive(Debug, PartialEq)]
 struct Args {
@@ -77,6 +79,7 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> 
                     "rebuild" => vec![Backend::Rebuild],
                     "incremental" => vec![Backend::Incremental],
                     "portfolio" => vec![Backend::Portfolio],
+                    "cube" => vec![Backend::Cube],
                     "both" => Backend::SINGLE_ENGINE.to_vec(),
                     "all" => Backend::ALL.to_vec(),
                     _ => {
@@ -234,8 +237,17 @@ mod tests {
             vec![Backend::Portfolio]
         );
         assert_eq!(
+            parse_args(argv(&["--backend", "cube"])).unwrap().backends,
+            vec![Backend::Cube]
+        );
+        assert_eq!(
             parse_args(argv(&["--backend", "all"])).unwrap().backends,
-            vec![Backend::Rebuild, Backend::Incremental, Backend::Portfolio]
+            vec![
+                Backend::Rebuild,
+                Backend::Incremental,
+                Backend::Portfolio,
+                Backend::Cube
+            ]
         );
         assert_eq!(
             parse_args(argv(&["--backend", "sideways"])),

@@ -54,15 +54,41 @@ impl Configuration {
     }
 }
 
-/// Number of diversified workers the harness's portfolio backend races per
-/// oracle `check` — four covers both backend styles plus a polarity flip
-/// and a sprint restart schedule while staying sane on small CI runners.
-pub const PORTFOLIO_WORKERS: usize = 4;
+/// Upper bound on the diversified workers the harness's portfolio backend
+/// races per oracle `check` — four covers both backend styles plus a
+/// polarity flip and a sprint restart schedule.
+pub const MAX_HARNESS_WORKERS: usize = 4;
+
+/// Clamps a detected core count into the harness's worker range:
+/// `min(cores, 4)` with a floor of one.  Split out of
+/// [`portfolio_workers`] so the clamp itself is unit-testable without
+/// depending on the machine the tests run on.
+pub fn clamp_harness_workers(cores: usize) -> usize {
+    cores.clamp(1, MAX_HARNESS_WORKERS)
+}
+
+/// Number of workers the harness's parallel backends (portfolio racers,
+/// cube conquerors) use per oracle `check`: `min(available cores, 4)`.
+/// The count is adaptive because on single-core CI runners a fixed 4-way
+/// race serializes and can lose per-instance deadlines the single engines
+/// beat.
+pub fn portfolio_workers() -> usize {
+    clamp_harness_workers(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+}
+
+/// Split depth of the harness's cube backend (up to `2^3 = 8` cubes per
+/// hard oracle check, the `CubeContext` default).
+pub const CUBE_DEPTH: usize = 3;
 
 /// Which built-in oracle backend a run used (the `OracleFactory` choice):
 /// the reference rebuild-on-`pop` encoder, the activation-literal
-/// incremental encoder that survives `pop`, or the racing portfolio that
-/// fans every `check` out to diversified workers.
+/// incremental encoder that survives `pop`, the racing portfolio that fans
+/// every `check` out to diversified workers, or the cube-and-conquer
+/// backend that partitions every hard `check` into sub-solves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
     /// The default rebuilding `Context` backend.
@@ -70,13 +96,22 @@ pub enum Backend {
     Rebuild,
     /// The activation-literal `IncrementalContext` backend (zero rebuilds).
     Incremental,
-    /// The racing `PortfolioContext` backend ([`PORTFOLIO_WORKERS`] workers).
+    /// The racing `PortfolioContext` backend ([`portfolio_workers`]
+    /// workers).
     Portfolio,
+    /// The cube-and-conquer `CubeContext` backend ([`CUBE_DEPTH`] split
+    /// depth, [`portfolio_workers`] conquering workers).
+    Cube,
 }
 
 impl Backend {
     /// Every backend, in artifact emission order.
-    pub const ALL: [Backend; 3] = [Backend::Rebuild, Backend::Incremental, Backend::Portfolio];
+    pub const ALL: [Backend; 4] = [
+        Backend::Rebuild,
+        Backend::Incremental,
+        Backend::Portfolio,
+        Backend::Cube,
+    ];
 
     /// The two single-engine backends (the pre-portfolio `--backend both`).
     pub const SINGLE_ENGINE: [Backend; 2] = [Backend::Rebuild, Backend::Incremental];
@@ -87,6 +122,7 @@ impl Backend {
             Backend::Rebuild => "rebuild",
             Backend::Incremental => "incremental",
             Backend::Portfolio => "portfolio",
+            Backend::Cube => "cube",
         }
     }
 
@@ -98,7 +134,8 @@ impl Backend {
         match self {
             Backend::Rebuild => pact::OracleFactory::default(),
             Backend::Incremental => pact::OracleFactory::incremental(),
-            Backend::Portfolio => pact::OracleFactory::portfolio(PORTFOLIO_WORKERS),
+            Backend::Portfolio => pact::OracleFactory::portfolio(portfolio_workers()),
+            Backend::Cube => pact::OracleFactory::cube(CUBE_DEPTH, portfolio_workers()),
         }
     }
 }
@@ -266,7 +303,7 @@ pub fn run_suite_parallel(
 /// Bump this (and the round-trip test pinning the field list) whenever a
 /// field is added, removed or re-typed, so downstream consumers of the CI
 /// artifact can dispatch on `schema_version` instead of sniffing keys.
-pub const RECORD_SCHEMA_VERSION: u32 = 3;
+pub const RECORD_SCHEMA_VERSION: u32 = 4;
 
 /// The field names of one JSON record, in emission order (the schema that
 /// [`RECORD_SCHEMA_VERSION`] versions).
@@ -277,7 +314,13 @@ pub const RECORD_SCHEMA_VERSION: u32 = 3;
 /// counts, one entry per configured worker — two-plus non-zero entries mean
 /// the diversification is live), and `cancelled_solves` (worker solves cut
 /// short after losing a race).
-pub const RECORD_SCHEMA_FIELDS: [&str; 17] = [
+///
+/// Schema v4 adds the cube accounting triple: `cubes_split` (oracle checks
+/// the cube backend divided into cubes; 0 for every other backend),
+/// `cubes_solved` (cubes decisively answered — by lookahead probe or
+/// conquest), and `cube_refuted_by_lookahead` (cubes the probe killed
+/// before any conquest work was spent).
+pub const RECORD_SCHEMA_FIELDS: [&str; 20] = [
     "schema_version",
     "instance",
     "logic",
@@ -293,6 +336,9 @@ pub const RECORD_SCHEMA_FIELDS: [&str; 17] = [
     "portfolio_workers",
     "worker_wins",
     "cancelled_solves",
+    "cubes_split",
+    "cubes_solved",
+    "cube_refuted_by_lookahead",
     "oracle_seconds",
     "wall_seconds",
 ];
@@ -330,7 +376,8 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
                 "\"outcome\": \"{}\", \"estimate\": {}, \"log2_estimate\": {}, ",
                 "\"oracle_calls\": {}, \"cells_explored\": {}, \"iterations\": {}, ",
                 "\"rebuilds\": {}, \"portfolio_workers\": {}, \"worker_wins\": [{}], ",
-                "\"cancelled_solves\": {}, \"oracle_seconds\": {:.6}, ",
+                "\"cancelled_solves\": {}, \"cubes_split\": {}, \"cubes_solved\": {}, ",
+                "\"cube_refuted_by_lookahead\": {}, \"oracle_seconds\": {:.6}, ",
                 "\"wall_seconds\": {:.6}}}{}\n"
             ),
             RECORD_SCHEMA_VERSION,
@@ -348,6 +395,9 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
             stats.portfolio_workers,
             wins,
             stats.cancelled_solves,
+            stats.cubes_split,
+            stats.cubes_solved,
+            stats.cube_refuted_by_lookahead,
             stats.oracle_seconds,
             stats.wall_seconds,
             if i + 1 < records.len() { "," } else { "" },
@@ -587,6 +637,18 @@ mod tests {
                 get("cancelled_solves").parse::<u64>().unwrap(),
                 record.report.stats.cancelled_solves
             );
+            assert_eq!(
+                get("cubes_split").parse::<u64>().unwrap(),
+                record.report.stats.cubes_split
+            );
+            assert_eq!(
+                get("cubes_solved").parse::<u64>().unwrap(),
+                record.report.stats.cubes_solved
+            );
+            assert_eq!(
+                get("cube_refuted_by_lookahead").parse::<u64>().unwrap(),
+                record.report.stats.cube_refuted_by_lookahead
+            );
             assert!(get("oracle_seconds").parse::<f64>().unwrap() >= 0.0);
             assert_eq!(
                 get("iterations").parse::<u32>().unwrap(),
@@ -646,9 +708,10 @@ mod tests {
     fn portfolio_backend_matches_outcomes_and_spreads_wins() {
         // The smoke-bench acceptance probe at unit scale: the portfolio rows
         // must agree with the reference backend's deterministic outcome
-        // slice, and the win counts must credit at least two distinct
-        // worker configurations (diversification live, not one worker
-        // always winning).
+        // slice, and — when the adaptive sizing races at least two workers —
+        // the win counts must credit at least two distinct worker
+        // configurations (diversification live, not one worker always
+        // winning).
         let suite = tiny_suite();
         let base = HarnessConfig {
             timeout: Duration::from_secs(10),
@@ -681,7 +744,7 @@ mod tests {
         );
         assert_eq!(
             portfolio.report.stats.portfolio_workers,
-            PORTFOLIO_WORKERS as u32
+            portfolio_workers() as u32
         );
         let winners = portfolio
             .report
@@ -690,14 +753,80 @@ mod tests {
             .iter()
             .filter(|&&w| w > 0)
             .count();
+        // On a single-core runner the adaptive clamp races one worker (the
+        // ROADMAP deadline fix) and every win lands in slot 0; with two or
+        // more the rotation must spread them.
+        let expected_spread = portfolio_workers().min(2);
         assert!(
-            winners >= 2,
+            winners >= expected_spread,
             "wins = {:?}",
             portfolio.report.stats.worker_wins
         );
         let json = records_to_json(&[portfolio]);
         assert!(json.contains("\"backend\": \"portfolio\""));
-        assert!(json.contains("\"portfolio_workers\": 4"));
+        assert!(json.contains(&format!("\"portfolio_workers\": {}", portfolio_workers())));
+    }
+
+    #[test]
+    fn adaptive_worker_clamp_tracks_min_cores_four() {
+        // The ROADMAP open item: min(available cores, 4), floored at one so
+        // a failed core probe still builds a working backend.
+        assert_eq!(clamp_harness_workers(0), 1);
+        assert_eq!(clamp_harness_workers(1), 1);
+        assert_eq!(clamp_harness_workers(2), 2);
+        assert_eq!(clamp_harness_workers(4), 4);
+        assert_eq!(clamp_harness_workers(16), 4);
+        assert_eq!(clamp_harness_workers(usize::MAX), MAX_HARNESS_WORKERS);
+        // The live probe obeys the clamp whatever machine the tests run on.
+        let live = portfolio_workers();
+        assert!((1..=MAX_HARNESS_WORKERS).contains(&live));
+    }
+
+    #[test]
+    fn cube_backend_matches_outcomes_and_splits_cubes() {
+        // The cube rows must agree with the reference backend's
+        // deterministic outcome slice, and the accounting must show the
+        // backend actually split checks into cubes (the CI smoke probe at
+        // unit scale).
+        let suite = tiny_suite();
+        let base = HarnessConfig {
+            timeout: Duration::from_secs(10),
+            iterations: 1,
+            seed: 1,
+            ..HarnessConfig::default()
+        };
+        let configuration = Configuration::Pact(HashFamily::Xor);
+        let rebuild = run_one(
+            &suite[0],
+            configuration,
+            &HarnessConfig {
+                backend: Backend::Rebuild,
+                ..base
+            },
+        );
+        let cube = run_one(
+            &suite[0],
+            configuration,
+            &HarnessConfig {
+                backend: Backend::Cube,
+                ..base
+            },
+        );
+        assert_eq!(cube.backend.label(), "cube");
+        assert_eq!(cube.report.outcome, rebuild.report.outcome);
+        assert_eq!(
+            cube.report.stats.oracle_calls,
+            rebuild.report.stats.oracle_calls
+        );
+        assert!(
+            cube.report.stats.cubes_split > 0,
+            "the cube backend never split a check"
+        );
+        assert!(cube.report.stats.cubes_solved >= cube.report.stats.cube_refuted_by_lookahead);
+        assert_eq!(rebuild.report.stats.cubes_split, 0);
+        let json = records_to_json(&[cube]);
+        assert!(json.contains("\"backend\": \"cube\""));
+        assert!(json.contains("\"cubes_split\""));
     }
 
     #[test]

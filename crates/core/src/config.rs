@@ -5,7 +5,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pact_hash::HashFamily;
-use pact_solver::{Context, IncrementalContext, Oracle, PortfolioContext, SolverConfig};
+use pact_solver::{
+    Context, CubeContext, IncrementalContext, Oracle, PortfolioContext, SolverConfig,
+};
 
 use crate::error::ConfigError;
 
@@ -38,6 +40,9 @@ enum Backend {
     Incremental,
     /// The racing-portfolio backend with this many diversified workers.
     Portfolio(usize),
+    /// The cube-and-conquer backend with this split depth and this many
+    /// conquering workers.
+    Cube(usize, usize),
     /// A user-supplied constructor closure.
     Custom(Arc<BuildOracleFn>),
 }
@@ -79,6 +84,22 @@ impl OracleFactory {
         }
     }
 
+    /// The cube-and-conquer backend ([`CubeContext`]): a lookahead pass
+    /// scores split bits over the projection variables, every hard `check`
+    /// is divided into up to `2^depth` cubes (probe-refuted cubes never
+    /// reach a worker), and the survivors are conquered on `workers`
+    /// scoped-thread oracles — a SAT cube short-circuits and cancels its
+    /// siblings; all-UNSAT over the validated partition means UNSAT.
+    /// `depth` is clamped to `1..=`[`pact_solver::MAX_CUBE_DEPTH`] and
+    /// `workers` to `1..=`[`pact_solver::MAX_CUBE_WORKERS`].  The reported
+    /// count is bit-identical to the other backends'; cube accounting
+    /// surfaces through [`CountStats`](crate::CountStats).
+    pub fn cube(depth: usize, workers: usize) -> Self {
+        OracleFactory {
+            backend: Backend::Cube(depth, workers),
+        }
+    }
+
     /// Builds one oracle with the given resource limits.
     pub fn build(&self, config: SolverConfig) -> Box<dyn Oracle> {
         match &self.backend {
@@ -86,6 +107,9 @@ impl OracleFactory {
             Backend::Incremental => Box::new(IncrementalContext::with_config(config)),
             Backend::Portfolio(workers) => {
                 Box::new(PortfolioContext::with_config(*workers, config))
+            }
+            Backend::Cube(depth, workers) => {
+                Box::new(CubeContext::with_config(*depth, *workers, config))
             }
             Backend::Custom(build) => build(config),
         }
@@ -106,12 +130,18 @@ impl OracleFactory {
         matches!(self.backend, Backend::Portfolio(_))
     }
 
+    /// Whether this is the built-in [`CubeContext`] backend.
+    pub fn is_cube(&self) -> bool {
+        matches!(self.backend, Backend::Cube(_, _))
+    }
+
     /// Short backend name for reports and benchmark columns.
     pub fn label(&self) -> &'static str {
         match self.backend {
             Backend::Rebuild => "rebuild",
             Backend::Incremental => "incremental",
             Backend::Portfolio(_) => "portfolio",
+            Backend::Cube(_, _) => "cube",
             Backend::Custom(_) => "custom",
         }
     }
@@ -131,6 +161,7 @@ impl PartialEq for OracleFactory {
             (Backend::Rebuild, Backend::Rebuild) => true,
             (Backend::Incremental, Backend::Incremental) => true,
             (Backend::Portfolio(a), Backend::Portfolio(b)) => a == b,
+            (Backend::Cube(d1, w1), Backend::Cube(d2, w2)) => d1 == d2 && w1 == w2,
             (Backend::Custom(a), Backend::Custom(b)) => Arc::ptr_eq(a, b),
             _ => false,
         }
@@ -308,6 +339,16 @@ impl CounterConfig {
         self
     }
 
+    /// Returns a copy counting through the cube-and-conquer backend:
+    /// every hard oracle `check` is split into up to `2^depth` cubes over
+    /// projection bits and conquered by `workers` parallel sub-solves.
+    /// Shorthand for [`CounterConfig::with_oracle_factory`] with
+    /// [`OracleFactory::cube`].
+    pub fn with_cube(mut self, depth: usize, workers: usize) -> Self {
+        self.oracle_factory = OracleFactory::cube(depth, workers);
+        self
+    }
+
     /// Validates the parameters.
     ///
     /// # Errors
@@ -451,6 +492,35 @@ mod tests {
         assert!(OracleFactory::default()
             .build(SolverConfig::default())
             .portfolio()
+            .is_none());
+    }
+
+    #[test]
+    fn cube_selection_round_trips_through_the_config() {
+        let cube = CounterConfig::default().with_cube(3, 2);
+        assert!(cube.oracle_factory.is_cube());
+        assert!(!cube.oracle_factory.is_default());
+        assert_eq!(cube.oracle_factory.label(), "cube");
+        // Cube factories compare by (depth, workers).
+        assert_eq!(OracleFactory::cube(3, 2), OracleFactory::cube(3, 2));
+        assert_ne!(OracleFactory::cube(3, 2), OracleFactory::cube(2, 2));
+        assert_ne!(OracleFactory::cube(3, 2), OracleFactory::cube(3, 4));
+        assert_ne!(OracleFactory::cube(3, 2), OracleFactory::portfolio(2));
+        // The factory builds a working oracle that reports cube accounting
+        // (and no portfolio accounting).
+        let mut oracle = OracleFactory::cube(2, 2).build(SolverConfig::default());
+        oracle.push();
+        oracle.pop();
+        assert_eq!(oracle.cube().expect("cube accounting").splits, 0);
+        assert!(oracle.portfolio().is_none());
+        // The other backends report no cube accounting.
+        assert!(OracleFactory::default()
+            .build(SolverConfig::default())
+            .cube()
+            .is_none());
+        assert!(OracleFactory::portfolio(2)
+            .build(SolverConfig::default())
+            .cube()
             .is_none());
     }
 

@@ -105,6 +105,7 @@ pub(crate) fn count_enumerate(
     stats.oracle_calls = oracle_stats.checks;
     stats.rebuilds = oracle_stats.rebuilds;
     crate::result::merge_portfolio(&mut stats, ctx.portfolio());
+    crate::result::merge_cube(&mut stats, ctx.cube());
     stats.wall_seconds = start.elapsed().as_secs_f64();
     ctrl.emit(ProgressEvent::Cell {
         round: 0,

@@ -76,7 +76,10 @@ pub use constants::{get_constants, Constants};
 pub use counter::pact_count;
 pub use enumerate::enumerate_count;
 pub use error::{ConfigError, CountError, CountResult};
-pub use pact_solver::{InterruptFlag, PortfolioStats, MAX_PORTFOLIO_WORKERS};
+pub use pact_solver::{
+    cubes_partition, CubeStats, InterruptFlag, PortfolioStats, MAX_CUBE_DEPTH, MAX_CUBE_WORKERS,
+    MAX_PORTFOLIO_WORKERS,
+};
 pub use progress::{CancellationToken, Progress, ProgressEvent, RunControl};
 pub use result::{median, relative_error, CountOutcome, CountReport, CountStats};
 pub use session::{Session, SessionBuilder};
@@ -85,5 +88,6 @@ pub use session::{Session, SessionBuilder};
 // custom oracle backends).
 pub use pact_hash::HashFamily;
 pub use pact_solver::{
-    Context, IncrementalContext, Oracle, OracleStats, SolverConfig, SolverError, SolverResult,
+    Context, CubeContext, IncrementalContext, Oracle, OracleStats, SolverConfig, SolverError,
+    SolverResult,
 };

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use pact_solver::{PortfolioStats, MAX_PORTFOLIO_WORKERS};
+use pact_solver::{CubeStats, PortfolioStats, MAX_PORTFOLIO_WORKERS};
 
 /// Statistics collected while counting one instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -36,6 +36,17 @@ pub struct CountStats {
     pub worker_wins: [u64; MAX_PORTFOLIO_WORKERS],
     /// Portfolio worker solves cut short after losing a race.
     pub cancelled_solves: u64,
+    /// Oracle checks the cube backend split into cubes (0 for every other
+    /// backend).  Deterministic for a fixed seed, like `oracle_calls`.
+    pub cubes_split: u64,
+    /// Cubes decisively answered — probe-refuted, probe-satisfied, or
+    /// conquered to SAT/UNSAT.  The conquest share is timing-dependent
+    /// (siblings cancelled after a SAT short-circuit are not "solved"), so
+    /// this varies run to run like `worker_wins`.
+    pub cubes_solved: u64,
+    /// Cubes the lookahead probe refuted before any conquest work was
+    /// spent (a subset of `cubes_solved`; scout-side, deterministic).
+    pub cube_refuted_by_lookahead: u64,
 }
 
 /// Folds one oracle's portfolio accounting (if any) into the run's stats.
@@ -54,6 +65,15 @@ pub(crate) fn merge_portfolio(stats: &mut CountStats, portfolio: Option<Portfoli
     }
 }
 
+/// Folds one oracle's cube accounting (if any) into the run's stats.
+pub(crate) fn merge_cube(stats: &mut CountStats, cube: Option<CubeStats>) {
+    if let Some(c) = cube {
+        stats.cubes_split += c.splits;
+        stats.cubes_solved += c.cubes_solved;
+        stats.cube_refuted_by_lookahead += c.refuted_by_lookahead;
+    }
+}
+
 /// Folds a finished round's stats into the run totals (the deterministic
 /// fields the merge loops accumulate; `final_hash_count` and outcome
 /// handling stay with the callers).
@@ -67,6 +87,9 @@ pub(crate) fn merge_round_stats(total: &mut CountStats, round: &CountStats) {
         *t += w;
     }
     total.cancelled_solves += round.cancelled_solves;
+    total.cubes_split += round.cubes_split;
+    total.cubes_solved += round.cubes_solved;
+    total.cube_refuted_by_lookahead += round.cube_refuted_by_lookahead;
 }
 
 /// The outcome of a counting run.
@@ -140,6 +163,7 @@ pub(crate) fn finish_report(
     stats.oracle_calls += oracle.checks;
     stats.rebuilds += oracle.rebuilds;
     merge_portfolio(&mut stats, base.portfolio());
+    merge_cube(&mut stats, base.cube());
     stats.wall_seconds = start.elapsed().as_secs_f64();
     CountReport { outcome, stats }
 }

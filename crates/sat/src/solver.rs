@@ -158,6 +158,10 @@ pub struct Solver {
     noise_state: u64,
     /// Cooperative interrupts: `solve` gives up when any flag is raised.
     interrupts: Vec<InterruptFlag>,
+    /// Per-variable attached-clause occurrence counts (problem and learnt
+    /// clauses; transient XOR reason clauses are excluded), maintained
+    /// incrementally so the lookahead never re-scans the clause store.
+    occurrences: Vec<u64>,
 }
 
 impl Default for Solver {
@@ -184,6 +188,7 @@ impl Default for Solver {
             opts: SatOptions::default(),
             noise_state: 0,
             interrupts: Vec::new(),
+            occurrences: Vec::new(),
         }
     }
 }
@@ -248,6 +253,7 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.occurrences.push(0);
         self.order.insert(v, &self.activity);
         v
     }
@@ -367,6 +373,9 @@ impl Solver {
 
     fn attach_clause(&mut self, lits: Vec<Lit>) -> ClauseRef {
         debug_assert!(lits.len() >= 2);
+        for &l in &lits {
+            self.occurrences[l.var().index()] += 1;
+        }
         let cref = self.clauses.len();
         self.watches[(!lits[0]).code()].push(Watcher {
             clause: cref,
@@ -625,6 +634,46 @@ impl Solver {
             }
         }
         None
+    }
+
+    /// Ranks the variables a cube-and-conquer front-end should split on:
+    /// every variable not fixed at decision level zero, ordered by VSIDS
+    /// activity (what the search has been fighting over), then by clause
+    /// occurrence count (structural weight for variables the search has not
+    /// touched yet — a free projection bit occurs in no clause but is still
+    /// a perfectly balanced split), then by index for determinism.  Returns
+    /// at most `limit` variables.
+    ///
+    /// This is a read-only lookahead: it never assigns, propagates or
+    /// otherwise perturbs the solver, so interleaving it with `solve` calls
+    /// cannot change any verdict.
+    pub fn lookahead_candidates(&self, limit: usize) -> Vec<Var> {
+        let all: Vec<Var> = (0..self.num_vars()).map(|i| Var(i as u32)).collect();
+        self.lookahead_candidates_among(&all, limit)
+    }
+
+    /// As [`Solver::lookahead_candidates`], ranking only the given
+    /// candidate set.  A cube front-end that can only split on projection
+    /// bits passes exactly those variables.  Occurrence counts are
+    /// maintained incrementally as clauses are attached, so a call costs a
+    /// sort of the candidate set — nothing proportional to the clause
+    /// store, which grows with every learnt clause over a counting run.
+    pub fn lookahead_candidates_among(&self, vars: &[Var], limit: usize) -> Vec<Var> {
+        let mut candidates: Vec<Var> = vars
+            .iter()
+            .copied()
+            .filter(|v| v.index() < self.num_vars() && !self.assigns[v.index()].is_assigned())
+            .collect();
+        candidates.sort_by(|a, b| {
+            self.activity[b.index()]
+                .partial_cmp(&self.activity[a.index()])
+                .expect("activities are finite")
+                .then(self.occurrences[b.index()].cmp(&self.occurrences[a.index()]))
+                .then(a.index().cmp(&b.index()))
+        });
+        candidates.dedup();
+        candidates.truncate(limit);
+        candidates
     }
 
     /// The Luby restart sequence 1, 1, 2, 1, 1, 2, 4, ... (0-indexed).
@@ -1122,6 +1171,56 @@ mod tests {
         assert_eq!(a.stats().decisions, b.stats().decisions);
         assert_eq!(a.stats().conflicts, b.stats().conflicts);
         assert_eq!(a.model(), b.model());
+    }
+
+    #[test]
+    fn lookahead_candidates_rank_by_activity_then_occurrence() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        // v1 occurs in two clauses, v2 in one, v0 is fixed at level zero and
+        // v3 is completely free.
+        s.add_clause(&[v[0].positive()]);
+        s.add_clause(&[v[1].positive(), v[2].positive()]);
+        s.add_clause(&[v[1].negative(), v[2].positive(), v[3].positive()]);
+        let ranked = s.lookahead_candidates(8);
+        // The fixed variable is excluded; with zero activity everywhere the
+        // occurrence counts decide, and the free variable ranks last.
+        assert!(!ranked.contains(&v[0]));
+        assert_eq!(ranked, vec![v[1], v[2], v[3]]);
+        // The limit truncates without reordering.
+        assert_eq!(s.lookahead_candidates(1), vec![v[1]]);
+        // After a conflict-heavy solve, bumped activities dominate; the
+        // call itself must not perturb the search state (same verdict,
+        // same model, before and after).
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        let model_before: Vec<bool> = s.model().to_vec();
+        let _ = s.lookahead_candidates(8);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.model(), &model_before[..]);
+    }
+
+    #[test]
+    fn lookahead_candidates_are_deterministic() {
+        let build = || {
+            let mut s = Solver::new();
+            let p: Vec<Vec<Var>> = (0..4).map(|_| vars(&mut s, 3)).collect();
+            for row in &p {
+                let lits: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+                s.add_clause(&lits);
+            }
+            for i in 0..4 {
+                for k in (i + 1)..4 {
+                    for (a, b) in p[i].iter().zip(&p[k]) {
+                        s.add_clause(&[a.negative(), b.negative()]);
+                    }
+                }
+            }
+            s.solve(&[]);
+            s
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.lookahead_candidates(6), b.lookahead_candidates(6));
     }
 
     #[test]

@@ -12,9 +12,59 @@ use crate::model;
 use crate::preprocess::{preprocess, Preprocessed};
 
 /// Preprocessing results keyed by the raw asserted term, computed once by
-/// the portfolio front-end so its racing workers can encode against a shared
-/// `&TermManager` without mutating it.
+/// the portfolio and cube front-ends so their workers can encode against a
+/// shared `&TermManager` without mutating it.
 pub(crate) type PreprocessCache = HashMap<TermId, Preprocessed>;
+
+/// Warms `cache` for every pending raw assertion in `to_warm` (entries are
+/// `(frame depth, term)`; the depth tag is the caller's, used to retire
+/// entries on `pop`).  This is the only `&mut TermManager` work of a
+/// parallel backend's check.  On failure the offending entry (and
+/// everything after it) stays pending, so a retried check reports the same
+/// error, while popping the frame that asserted it retires the entry.
+pub(crate) fn warm_preprocess_cache(
+    to_warm: &mut Vec<(usize, TermId)>,
+    cache: &mut PreprocessCache,
+    tm: &mut TermManager,
+) -> Result<()> {
+    let mut warmed = 0;
+    let result = loop {
+        let Some(&(_, t)) = to_warm.get(warmed) else {
+            break Ok(());
+        };
+        if cache.contains_key(&t) {
+            warmed += 1;
+            continue;
+        }
+        match preprocess(tm, &[t]) {
+            Ok(pre) => {
+                cache.insert(t, pre);
+                warmed += 1;
+            }
+            Err(error) => break Err(error),
+        }
+    };
+    to_warm.drain(..warmed);
+    result
+}
+
+/// Decrements a live-worker probe even if the worker panics; the parallel
+/// backends' scoped threads enter one so leak tests (and service metrics)
+/// can observe that no worker outlives its `check`.
+pub(crate) struct LiveGuard(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+
+impl LiveGuard {
+    pub(crate) fn enter(probe: std::sync::Arc<std::sync::atomic::AtomicUsize>) -> Self {
+        probe.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        LiveGuard(probe)
+    }
+}
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
 
 /// How a `check` may touch the term manager.
 ///

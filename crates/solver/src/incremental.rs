@@ -222,6 +222,22 @@ impl IncrementalContext {
 
     fn check_view(&mut self, mut view: TmView<'_>) -> Result<SolverResult> {
         self.stats.checks += 1;
+        self.encode_view(&mut view)?;
+        let assumptions: Vec<Lit> = self.frames.iter().map(|f| f.activation).collect();
+        Ok(solve_with_theory(
+            &mut self.encoder,
+            &assumptions,
+            self.config.max_conflicts,
+            self.config.max_theory_iterations,
+            &mut self.stats,
+            &mut self.real_model_values,
+        ))
+    }
+
+    /// Encodes tracked variables and pending assertions into the solver
+    /// without solving.  Shared by `check_view` and the cube front-end's
+    /// [`IncrementalContext::prepare`].
+    fn encode_view(&mut self, view: &mut TmView<'_>) -> Result<()> {
         for i in 0..self.tracked_vars.len() {
             self.encoder
                 .ensure_var_bits(view.tm(), self.tracked_vars[i])?;
@@ -235,22 +251,39 @@ impl IncrementalContext {
             let Some((guard, assertion)) = self.pending.get(encoded).cloned() else {
                 break Ok(());
             };
-            match self.encode_one(&mut view, guard, assertion) {
+            match self.encode_one(view, guard, assertion) {
                 Ok(()) => encoded += 1,
                 Err(error) => break Err(error),
             }
         };
         self.pending.drain(..encoded);
-        result?;
-        let assumptions: Vec<Lit> = self.frames.iter().map(|f| f.activation).collect();
-        Ok(solve_with_theory(
-            &mut self.encoder,
-            &assumptions,
-            self.config.max_conflicts,
-            self.config.max_theory_iterations,
-            &mut self.stats,
-            &mut self.real_model_values,
-        ))
+        result
+    }
+
+    /// Brings the encoder up to date (tracked-variable bits, pending
+    /// assertions) without running a solve, reading preprocessing from an
+    /// already-warmed cache.  The cube-and-conquer front-end calls this
+    /// before its lookahead pass — it has just warmed the cache for its
+    /// conquest workers, so re-preprocessing here would double the work of
+    /// the hottest path.
+    pub(crate) fn prepare_shared(
+        &mut self,
+        tm: &TermManager,
+        cache: &PreprocessCache,
+    ) -> Result<()> {
+        self.encode_view(&mut TmView::Shared(tm, cache))
+    }
+
+    /// Read-only access to the encoder (the cube front-end maps projection
+    /// bits onto SAT variables through it).
+    pub(crate) fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Mutable access to the encoder's SAT solver (the cube front-end runs
+    /// its read-only lookahead through it).
+    pub(crate) fn encoder_mut(&mut self) -> &mut Encoder {
+        &mut self.encoder
     }
 
     fn encode_one(

@@ -24,6 +24,11 @@
 //!   incremental-style engines with distinct polarity, restart and
 //!   branching-noise settings) inside every `check`, keeps the first
 //!   SAT/UNSAT answer and cancels the losers via [`InterruptFlag`].
+//! * [`CubeContext`] is the cube-and-conquer backend: instead of racing
+//!   whole solves it *partitions* one hard `check` — a lookahead pass picks
+//!   split bits, up to `2^d` cubes are generated (with probe-based
+//!   pruning), and the survivors are conquered in parallel; a SAT cube
+//!   short-circuits, all-UNSAT over the validated partition means UNSAT.
 //! * [`Oracle`] abstracts that interface into a trait, so the counting
 //!   engine (and its tests) can swap in alternative or instrumented
 //!   backends; `Context` is the reference implementation.
@@ -57,6 +62,7 @@
 
 pub mod bitblast;
 mod context;
+mod cube;
 mod dpllt;
 mod error;
 mod incremental;
@@ -66,6 +72,10 @@ mod portfolio;
 pub mod preprocess;
 
 pub use context::{Context, OracleStats, SolverConfig, SolverResult};
+pub use cube::{
+    cubes_partition, resolve_cube_verdicts, CubeBit, CubeContext, CubeStats, MAX_CUBE_DEPTH,
+    MAX_CUBE_WORKERS, PROBE_CONFLICTS,
+};
 pub use error::{Result, SolverError};
 pub use incremental::IncrementalContext;
 pub use oracle::Oracle;
@@ -85,6 +95,7 @@ const _: () = {
     assert_send::<Context>();
     assert_send::<IncrementalContext>();
     assert_send::<PortfolioContext>();
+    assert_send::<CubeContext>();
     assert_send::<bitblast::Encoder>();
     assert_send::<SolverError>();
     // `Oracle: Send` is a supertrait bound, so boxed trait objects cross the

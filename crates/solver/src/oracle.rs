@@ -18,6 +18,7 @@ use pact_ir::{BvValue, TermId, TermManager, Value};
 use pact_sat::InterruptFlag;
 
 use crate::context::{Context, OracleStats, SolverResult};
+use crate::cube::CubeStats;
 use crate::error::Result;
 use crate::incremental::IncrementalContext;
 use crate::portfolio::PortfolioStats;
@@ -106,6 +107,12 @@ pub trait Oracle: Send {
     /// Winner/cancelled accounting, for backends that race several workers
     /// per `check`.  `None` (the default) for single-engine backends.
     fn portfolio(&self) -> Option<PortfolioStats> {
+        None
+    }
+
+    /// Split/solved/refuted accounting, for backends that decompose a
+    /// `check` into cubes.  `None` (the default) for every other backend.
+    fn cube(&self) -> Option<CubeStats> {
         None
     }
 }
@@ -237,6 +244,10 @@ impl<O: Oracle + ?Sized> Oracle for Box<O> {
 
     fn portfolio(&self) -> Option<PortfolioStats> {
         (**self).portfolio()
+    }
+
+    fn cube(&self) -> Option<CubeStats> {
+        (**self).cube()
     }
 }
 

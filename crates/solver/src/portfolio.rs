@@ -44,18 +44,20 @@
 //! model-order-independent — `tests/differential.rs` pins it across
 //! backends, seeds and thread counts.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 use std::thread;
 
 use pact_ir::{BvValue, TermId, TermManager, Value};
 use pact_sat::{InterruptFlag, SatOptions};
 
-use crate::context::{Context, OracleStats, PreprocessCache, SolverConfig, SolverResult};
+use crate::context::{
+    warm_preprocess_cache, Context, LiveGuard, OracleStats, PreprocessCache, SolverConfig,
+    SolverResult,
+};
 use crate::error::Result;
 use crate::incremental::IncrementalContext;
 use crate::oracle::Oracle;
-use crate::preprocess::preprocess;
 
 /// Hard cap on the number of racing workers (and the length of the
 /// fixed-size win-count arrays carried through `CountStats`).
@@ -179,22 +181,6 @@ pub struct WorkerReport {
     /// The worker oracle's own cumulative statistics — counted in the
     /// portfolio's totals even for races the worker lost.
     pub stats: OracleStats,
-}
-
-/// Decrements the live-worker probe even if the worker panics.
-struct LiveGuard(Arc<AtomicUsize>);
-
-impl LiveGuard {
-    fn enter(probe: Arc<AtomicUsize>) -> Self {
-        probe.fetch_add(1, Ordering::SeqCst);
-        LiveGuard(probe)
-    }
-}
-
-impl Drop for LiveGuard {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
-    }
 }
 
 /// One racing worker: either backend style behind a common dispatch.
@@ -402,33 +388,6 @@ impl PortfolioContext {
         }
     }
 
-    /// Warms the preprocess cache for every pending raw assertion — the only
-    /// `&mut TermManager` work of a check.  On failure the offending entry
-    /// (and everything after it) stays pending, so a retried check reports
-    /// the same error, while popping the frame that asserted it retires the
-    /// entry.
-    fn warm_cache(&mut self, tm: &mut TermManager) -> Result<()> {
-        let mut warmed = 0;
-        let result = loop {
-            let Some(&(_, t)) = self.to_warm.get(warmed) else {
-                break Ok(());
-            };
-            if self.cache.contains_key(&t) {
-                warmed += 1;
-                continue;
-            }
-            match preprocess(tm, &[t]) {
-                Ok(pre) => {
-                    self.cache.insert(t, pre);
-                    warmed += 1;
-                }
-                Err(error) => break Err(error),
-            }
-        };
-        self.to_warm.drain(..warmed);
-        result
-    }
-
     /// Races every worker over the current assertion stack and returns the
     /// canonical decisive answer (see the module docs).
     fn race_check(&mut self, tm: &TermManager) -> Result<SolverResult> {
@@ -553,7 +512,7 @@ impl Oracle for PortfolioContext {
         // A failed or indecisive check must not leave the previous check's
         // model claimable (the single-engine backends never do).
         self.last_winner = None;
-        self.warm_cache(tm)?;
+        warm_preprocess_cache(&mut self.to_warm, &mut self.cache, tm)?;
         self.race_check(tm)
     }
 
@@ -612,6 +571,7 @@ const _: () = {
 mod tests {
     use super::*;
     use pact_ir::Sort;
+    use std::sync::atomic::Ordering;
 
     fn lt(tm: &mut TermManager, x: TermId, bound: u128, width: u32) -> TermId {
         let c = tm.mk_bv_const(bound, width);

@@ -4,20 +4,21 @@
 //! Three layers, from cheapest to strongest:
 //!
 //! 1. **Differential** — proptest-generated instances per Table I logic
-//!    (via `benchgen`) counted under the rebuild, incremental and portfolio
-//!    backends × seeds × `ParallelConfig { threads: 1, 2 }`, asserting the
-//!    deterministic report slice is bit-identical everywhere.  The slice is
-//!    the established parity contract of `tests/backends.rs`: outcome
-//!    (including the floating-point estimate), `oracle_calls`,
-//!    `cells_explored`, `iterations` and `final_hash_count`; wall-clock
-//!    fields and the sanctioned per-backend work profile (`rebuilds`,
-//!    portfolio win counts) are excluded.
+//!    (via `benchgen`) counted under the rebuild, incremental, portfolio
+//!    and cube backends × seeds × `ParallelConfig { threads: 1, 2 }`,
+//!    asserting the deterministic report slice is bit-identical
+//!    everywhere.  The slice is the established parity contract of
+//!    `tests/backends.rs`: outcome (including the floating-point
+//!    estimate), `oracle_calls`, `cells_explored`, `iterations` and
+//!    `final_hash_count`; wall-clock fields and the sanctioned per-backend
+//!    work profile (`rebuilds`, portfolio win counts, conquered-cube
+//!    tallies) are excluded.
 //! 2. **Ground truth** — brute-force model enumeration over tiny projected
 //!    domains (≤ 6 bits, plus one 7-bit saturating instance), asserting
 //!    every backend's exact count *equals* the brute-forced count, every
 //!    backend's approximate estimate lies inside the `(ε, δ)` bounds, and
 //!    enumeration returns *exactly* the brute-forced model set.
-//! 3. Both layers ride the same three-backend sweep, so adding a fourth
+//! 3. Both layers ride the same four-backend sweep, so adding a fifth
 //!    backend to [`factories`] extends the whole harness for free.
 
 use pact::{CountOutcome, CountReport, Oracle, OracleFactory, Session};
@@ -33,6 +34,7 @@ fn factories() -> Vec<(&'static str, OracleFactory)> {
         ("rebuild", OracleFactory::default()),
         ("incremental", OracleFactory::incremental()),
         ("portfolio", OracleFactory::portfolio(3)),
+        ("cube", OracleFactory::cube(3, 2)),
     ]
 }
 

@@ -139,14 +139,15 @@ fn deterministic_parts(report: &CountReport) -> (CountOutcome, u64, u64, u32, u3
 fn unbalanced_pop_panics_identically_across_backends() {
     // The `Oracle` contract: `pop` without a matching `push` is a caller
     // bug and panics — identically for the reference backend, the
-    // incremental backend, and wrappers that delegate (this file's mock).
-    // Without the documented contract the behaviour silently diverged
-    // between implementations.
+    // incremental backend, the two parallel backends, and wrappers that
+    // delegate (this file's mock).  Without the documented contract the
+    // behaviour silently diverged between implementations.
     let (mock_factory, _ops) = instrumented_factory();
     let factories: Vec<(&str, OracleFactory)> = vec![
         ("context", OracleFactory::default()),
         ("incremental", OracleFactory::incremental()),
         ("portfolio", OracleFactory::portfolio(2)),
+        ("cube", OracleFactory::cube(2, 2)),
         ("mock", mock_factory),
     ];
     for (name, factory) in factories {
@@ -189,16 +190,18 @@ fn unbalanced_pop_panics_identically_across_backends() {
 
 #[test]
 fn oracle_accounting_contract_is_uniform_across_backends() {
-    // The PR 3 accounting contract, parity-tested across all four oracle
-    // impls (reference, incremental, portfolio, delegating mock): `checks`
-    // counts queries 1:1, `conflicts` is a lifetime total that survives
-    // `pop` — including work spent by solvers a rebuild discarded or a
-    // portfolio race cancelled — and never decreases.
+    // The PR 3 accounting contract, parity-tested across all five oracle
+    // impls (reference, incremental, portfolio, cube, delegating mock):
+    // `checks` counts queries 1:1, `conflicts` is a lifetime total that
+    // survives `pop` — including work spent by solvers a rebuild
+    // discarded, a portfolio race cancelled, or a cube conquest abandoned
+    // — and never decreases.
     let (mock_factory, _ops) = instrumented_factory();
     let factories: Vec<(&str, OracleFactory)> = vec![
         ("context", OracleFactory::default()),
         ("incremental", OracleFactory::incremental()),
         ("portfolio", OracleFactory::portfolio(3)),
+        ("cube", OracleFactory::cube(2, 2)),
         ("mock", mock_factory),
     ];
     for (name, factory) in factories {
@@ -238,13 +241,24 @@ fn oracle_accounting_contract_is_uniform_across_backends() {
             last.conflicts
         );
         // Portfolio accounting: every check credited to exactly one worker,
-        // and the single-engine backends report no portfolio block at all.
+        // and every other backend reports no portfolio block at all.
         match oracle.portfolio() {
             Some(p) => {
                 assert_eq!(p.wins.iter().sum::<u64>(), last.checks, "{name}");
                 assert!(p.workers >= 2, "{name}");
             }
             None => assert_ne!(name, "portfolio"),
+        }
+        // Cube accounting: splits never exceed checks, lookahead
+        // refutations are a subset of solved cubes, and every other
+        // backend reports no cube block at all.
+        match oracle.cube() {
+            Some(c) => {
+                assert_eq!(name, "cube");
+                assert!(c.splits <= last.checks, "{name}");
+                assert!(c.cubes_solved >= c.refuted_by_lookahead, "{name}");
+            }
+            None => assert_ne!(name, "cube"),
         }
     }
 }
