@@ -76,17 +76,28 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> 
                     .next()
                     .ok_or(ArgError::MissingValue { flag: "--backend" })?;
                 args.backends = match value.as_str() {
-                    "rebuild" => vec![Backend::Rebuild],
-                    "incremental" => vec![Backend::Incremental],
-                    "portfolio" => vec![Backend::Portfolio],
-                    "cube" => vec![Backend::Cube],
                     "both" => Backend::SINGLE_ENGINE.to_vec(),
                     "all" => Backend::ALL.to_vec(),
-                    _ => {
-                        return Err(ArgError::InvalidValue {
-                            slot: "--backend",
-                            got: value,
-                        })
+                    // Single backends resolve through the engine's spec
+                    // grammar so the CLI names can never drift from
+                    // `BackendSpec`.  The harness pins its own parallel
+                    // parameters (adaptive worker counts), so explicit
+                    // `portfolio:4`-style parameters are rejected rather
+                    // than silently overridden.
+                    other => {
+                        let spec = other.parse::<pact::BackendSpec>().map_err(|_| {
+                            ArgError::InvalidValue {
+                                slot: "--backend",
+                                got: value.clone(),
+                            }
+                        })?;
+                        if other.contains(':') {
+                            return Err(ArgError::InvalidValue {
+                                slot: "--backend",
+                                got: value,
+                            });
+                        }
+                        vec![Backend::from_spec(spec)]
                     }
                 };
             }
@@ -254,6 +265,15 @@ mod tests {
             Err(ArgError::InvalidValue {
                 slot: "--backend",
                 got: "sideways".to_string()
+            })
+        );
+        // The harness pins its own worker counts, so explicit spec
+        // parameters are rejected instead of silently overridden.
+        assert_eq!(
+            parse_args(argv(&["--backend", "portfolio:4"])),
+            Err(ArgError::InvalidValue {
+                slot: "--backend",
+                got: "portfolio:4".to_string()
             })
         );
         assert_eq!(

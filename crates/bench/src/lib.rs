@@ -126,16 +126,41 @@ impl Backend {
         }
     }
 
-    /// The `OracleFactory` this backend selects — the single place the
-    /// harness maps its backend enum onto the counting engine's factory, so
-    /// every binary sweeping [`Backend::ALL`] builds the oracle its label
+    /// The declarative [`pact::BackendSpec`] this harness backend maps onto
+    /// — the single place the enum meets the counting engine's backend API,
+    /// so every binary sweeping [`Backend::ALL`] builds the oracle its label
     /// claims.
-    pub fn oracle_factory(&self) -> pact::OracleFactory {
+    pub fn spec(&self) -> pact::BackendSpec {
         match self {
-            Backend::Rebuild => pact::OracleFactory::default(),
-            Backend::Incremental => pact::OracleFactory::incremental(),
-            Backend::Portfolio => pact::OracleFactory::portfolio(portfolio_workers()),
-            Backend::Cube => pact::OracleFactory::cube(CUBE_DEPTH, portfolio_workers()),
+            Backend::Rebuild => pact::BackendSpec::Rebuild,
+            Backend::Incremental => pact::BackendSpec::Incremental,
+            Backend::Portfolio => pact::BackendSpec::Portfolio {
+                workers: portfolio_workers(),
+            },
+            Backend::Cube => pact::BackendSpec::Cube {
+                depth: CUBE_DEPTH,
+                workers: portfolio_workers(),
+            },
+        }
+    }
+
+    /// The `OracleFactory` this backend selects (its [`Backend::spec`]
+    /// resolved through the engine's one spec-to-factory mapping).
+    pub fn oracle_factory(&self) -> pact::OracleFactory {
+        pact::OracleFactory::from_spec(self.spec())
+    }
+
+    /// The harness backend sweeping a given engine spec's family.  The
+    /// harness pins its own parallel parameters ([`portfolio_workers`],
+    /// [`CUBE_DEPTH`]), so an explicit `workers`/`depth` carried by the
+    /// spec is not representable here — callers that must honor it should
+    /// reject parameterized specs instead of mapping them.
+    pub fn from_spec(spec: pact::BackendSpec) -> Backend {
+        match spec {
+            pact::BackendSpec::Rebuild => Backend::Rebuild,
+            pact::BackendSpec::Incremental => Backend::Incremental,
+            pact::BackendSpec::Portfolio { .. } => Backend::Portfolio,
+            pact::BackendSpec::Cube { .. } => Backend::Cube,
         }
     }
 }
@@ -303,7 +328,7 @@ pub fn run_suite_parallel(
 /// Bump this (and the round-trip test pinning the field list) whenever a
 /// field is added, removed or re-typed, so downstream consumers of the CI
 /// artifact can dispatch on `schema_version` instead of sniffing keys.
-pub const RECORD_SCHEMA_VERSION: u32 = 4;
+pub const RECORD_SCHEMA_VERSION: u32 = 5;
 
 /// The field names of one JSON record, in emission order (the schema that
 /// [`RECORD_SCHEMA_VERSION`] versions).
@@ -320,7 +345,13 @@ pub const RECORD_SCHEMA_VERSION: u32 = 4;
 /// `cubes_solved` (cubes decisively answered — by lookahead probe or
 /// conquest), and `cube_refuted_by_lookahead` (cubes the probe killed
 /// before any conquest work was spent).
-pub const RECORD_SCHEMA_FIELDS: [&str; 20] = [
+///
+/// Schema v5 adds the persistent-runtime pair: `pool_reuses` (batches the
+/// parallel backends' long-lived worker pools served instead of spawning
+/// fresh threads; 0 for single-engine backends) and `compactions`
+/// (frame-garbage re-encodes the activation-literal oracles performed —
+/// their `rebuilds` stays 0).
+pub const RECORD_SCHEMA_FIELDS: [&str; 22] = [
     "schema_version",
     "instance",
     "logic",
@@ -339,6 +370,8 @@ pub const RECORD_SCHEMA_FIELDS: [&str; 20] = [
     "cubes_split",
     "cubes_solved",
     "cube_refuted_by_lookahead",
+    "pool_reuses",
+    "compactions",
     "oracle_seconds",
     "wall_seconds",
 ];
@@ -377,7 +410,8 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
                 "\"oracle_calls\": {}, \"cells_explored\": {}, \"iterations\": {}, ",
                 "\"rebuilds\": {}, \"portfolio_workers\": {}, \"worker_wins\": [{}], ",
                 "\"cancelled_solves\": {}, \"cubes_split\": {}, \"cubes_solved\": {}, ",
-                "\"cube_refuted_by_lookahead\": {}, \"oracle_seconds\": {:.6}, ",
+                "\"cube_refuted_by_lookahead\": {}, \"pool_reuses\": {}, ",
+                "\"compactions\": {}, \"oracle_seconds\": {:.6}, ",
                 "\"wall_seconds\": {:.6}}}{}\n"
             ),
             RECORD_SCHEMA_VERSION,
@@ -398,6 +432,8 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
             stats.cubes_split,
             stats.cubes_solved,
             stats.cube_refuted_by_lookahead,
+            stats.pool_reuses,
+            stats.compactions,
             stats.oracle_seconds,
             stats.wall_seconds,
             if i + 1 < records.len() { "," } else { "" },
@@ -648,6 +684,14 @@ mod tests {
             assert_eq!(
                 get("cube_refuted_by_lookahead").parse::<u64>().unwrap(),
                 record.report.stats.cube_refuted_by_lookahead
+            );
+            assert_eq!(
+                get("pool_reuses").parse::<u64>().unwrap(),
+                record.report.stats.pool_reuses
+            );
+            assert_eq!(
+                get("compactions").parse::<u64>().unwrap(),
+                record.report.stats.compactions
             );
             assert!(get("oracle_seconds").parse::<f64>().unwrap() >= 0.0);
             assert_eq!(

@@ -188,6 +188,8 @@ pub(crate) fn count_cdm(
                 let oracle_stats = round_ctx.stats();
                 outcome.stats.oracle_calls = oracle_stats.checks;
                 outcome.stats.rebuilds = oracle_stats.rebuilds;
+                outcome.stats.pool_reuses = oracle_stats.pool_reuses;
+                outcome.stats.compactions = oracle_stats.compactions;
                 merge_portfolio(&mut outcome.stats, round_ctx.portfolio());
                 merge_cube(&mut outcome.stats, round_ctx.cube());
                 ctrl_ref.emit(ProgressEvent::Round {

@@ -11,6 +11,90 @@ use pact_solver::{
 
 use crate::error::ConfigError;
 
+/// Declarative selection of a built-in oracle backend — the single value
+/// that travels from CLI flags ([`std::str::FromStr`]) through
+/// [`CounterConfig::with_backend`] / `SessionBuilder::backend` down to
+/// [`OracleFactory::from_spec`].
+///
+/// Before this type, each backend had its own selector method and the last
+/// call silently won; a spec makes the choice a first-class value that can
+/// be parsed, compared, stored and — when two different ones are requested
+/// for the same run — rejected as [`ConfigError::ConflictingBackends`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendSpec {
+    /// The reference rebuild-on-`pop` backend (`Context`).
+    #[default]
+    Rebuild,
+    /// The activation-literal backend whose encoder survives `pop`
+    /// (`IncrementalContext`; zero rebuilds).
+    Incremental,
+    /// The racing-portfolio backend (`PortfolioContext`).
+    Portfolio {
+        /// Diversified workers racing each `check`.
+        workers: usize,
+    },
+    /// The cube-and-conquer backend (`CubeContext`).
+    Cube {
+        /// Split depth: up to `2^depth` cubes per hard `check`.
+        depth: usize,
+        /// Conquering workers.
+        workers: usize,
+    },
+}
+
+impl fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendSpec::Rebuild => f.write_str("rebuild"),
+            BackendSpec::Incremental => f.write_str("incremental"),
+            BackendSpec::Portfolio { workers } => write!(f, "portfolio:{workers}"),
+            BackendSpec::Cube { depth, workers } => write!(f, "cube:{depth}:{workers}"),
+        }
+    }
+}
+
+impl std::str::FromStr for BackendSpec {
+    type Err = String;
+
+    /// Parses `rebuild`, `incremental`, `portfolio[:workers]` and
+    /// `cube[:depth[:workers]]` (the [`fmt::Display`] format, with the
+    /// numeric suffixes optional).  Omitted worker counts default to 2 and
+    /// an omitted cube depth to 3, mirroring the benchmark harness.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or_default();
+        let mut number = |default: usize| -> Result<usize, String> {
+            match parts.next() {
+                None => Ok(default),
+                Some(n) => n
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid backend parameter {n:?} in {s:?}")),
+            }
+        };
+        let spec = match head {
+            "rebuild" => BackendSpec::Rebuild,
+            "incremental" => BackendSpec::Incremental,
+            "portfolio" => BackendSpec::Portfolio {
+                workers: number(2)?,
+            },
+            "cube" => BackendSpec::Cube {
+                depth: number(3)?,
+                workers: number(2)?,
+            },
+            other => {
+                return Err(format!(
+                    "unknown backend {other:?} (expected rebuild, incremental, \
+                     portfolio[:workers] or cube[:depth[:workers]])"
+                ))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing backend parameters in {s:?}"));
+        }
+        Ok(spec)
+    }
+}
+
 /// Builds the SMT oracle a counting run talks to.
 ///
 /// The counting core is generic over the [`Oracle`] trait; this factory is
@@ -97,6 +181,29 @@ impl OracleFactory {
     pub fn cube(depth: usize, workers: usize) -> Self {
         OracleFactory {
             backend: Backend::Cube(depth, workers),
+        }
+    }
+
+    /// The factory a [`BackendSpec`] describes — the one mapping from the
+    /// declarative spec onto a constructor.
+    pub fn from_spec(spec: BackendSpec) -> Self {
+        match spec {
+            BackendSpec::Rebuild => OracleFactory::default(),
+            BackendSpec::Incremental => OracleFactory::incremental(),
+            BackendSpec::Portfolio { workers } => OracleFactory::portfolio(workers),
+            BackendSpec::Cube { depth, workers } => OracleFactory::cube(depth, workers),
+        }
+    }
+
+    /// The spec this factory was built from, or `None` for a custom
+    /// constructor closure (which no spec can describe).
+    pub fn spec(&self) -> Option<BackendSpec> {
+        match self.backend {
+            Backend::Rebuild => Some(BackendSpec::Rebuild),
+            Backend::Incremental => Some(BackendSpec::Incremental),
+            Backend::Portfolio(workers) => Some(BackendSpec::Portfolio { workers }),
+            Backend::Cube(depth, workers) => Some(BackendSpec::Cube { depth, workers }),
+            Backend::Custom(_) => None,
         }
     }
 
@@ -316,37 +423,49 @@ impl CounterConfig {
         self
     }
 
-    /// Returns a copy selecting between the two built-in oracle backends:
-    /// `true` picks the activation-literal [`IncrementalContext`] (encoder
-    /// survives `pop`; zero rebuilds), `false` the default rebuilding
-    /// [`Context`].  Shorthand for [`CounterConfig::with_oracle_factory`]
-    /// with [`OracleFactory::incremental`].
-    pub fn with_incremental(mut self, incremental: bool) -> Self {
-        self.oracle_factory = if incremental {
-            OracleFactory::incremental()
-        } else {
-            OracleFactory::default()
-        };
+    /// Returns a copy counting through the built-in backend the spec
+    /// describes (see [`BackendSpec`]).  Shorthand for
+    /// [`CounterConfig::with_oracle_factory`] with
+    /// [`OracleFactory::from_spec`].
+    pub fn with_backend(mut self, spec: BackendSpec) -> Self {
+        self.oracle_factory = OracleFactory::from_spec(spec);
         self
     }
 
+    /// Returns a copy selecting between the two built-in oracle backends:
+    /// `true` picks the activation-literal [`IncrementalContext`], `false`
+    /// the default rebuilding [`Context`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `with_backend(BackendSpec::Incremental)` / `with_backend(BackendSpec::Rebuild)`"
+    )]
+    pub fn with_incremental(self, incremental: bool) -> Self {
+        self.with_backend(if incremental {
+            BackendSpec::Incremental
+        } else {
+            BackendSpec::Rebuild
+        })
+    }
+
     /// Returns a copy counting through the racing-portfolio backend with
-    /// `workers` diversified workers per oracle.  Shorthand for
-    /// [`CounterConfig::with_oracle_factory`] with
-    /// [`OracleFactory::portfolio`].
-    pub fn with_portfolio(mut self, workers: usize) -> Self {
-        self.oracle_factory = OracleFactory::portfolio(workers);
-        self
+    /// `workers` diversified workers per oracle.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `with_backend(BackendSpec::Portfolio { workers })`"
+    )]
+    pub fn with_portfolio(self, workers: usize) -> Self {
+        self.with_backend(BackendSpec::Portfolio { workers })
     }
 
     /// Returns a copy counting through the cube-and-conquer backend:
     /// every hard oracle `check` is split into up to `2^depth` cubes over
     /// projection bits and conquered by `workers` parallel sub-solves.
-    /// Shorthand for [`CounterConfig::with_oracle_factory`] with
-    /// [`OracleFactory::cube`].
-    pub fn with_cube(mut self, depth: usize, workers: usize) -> Self {
-        self.oracle_factory = OracleFactory::cube(depth, workers);
-        self
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `with_backend(BackendSpec::Cube { depth, workers })`"
+    )]
+    pub fn with_cube(self, depth: usize, workers: usize) -> Self {
+        self.with_backend(BackendSpec::Cube { depth, workers })
     }
 
     /// Validates the parameters.
@@ -455,12 +574,112 @@ mod tests {
     }
 
     #[test]
+    fn backend_specs_parse_display_and_reject_garbage() {
+        for (text, spec) in [
+            ("rebuild", BackendSpec::Rebuild),
+            ("incremental", BackendSpec::Incremental),
+            ("portfolio", BackendSpec::Portfolio { workers: 2 }),
+            ("portfolio:5", BackendSpec::Portfolio { workers: 5 }),
+            (
+                "cube",
+                BackendSpec::Cube {
+                    depth: 3,
+                    workers: 2,
+                },
+            ),
+            (
+                "cube:4",
+                BackendSpec::Cube {
+                    depth: 4,
+                    workers: 2,
+                },
+            ),
+            (
+                "cube:4:6",
+                BackendSpec::Cube {
+                    depth: 4,
+                    workers: 6,
+                },
+            ),
+        ] {
+            assert_eq!(text.parse::<BackendSpec>().unwrap(), spec, "{text}");
+        }
+        // Display round-trips through FromStr.
+        for spec in [
+            BackendSpec::Rebuild,
+            BackendSpec::Incremental,
+            BackendSpec::Portfolio { workers: 3 },
+            BackendSpec::Cube {
+                depth: 2,
+                workers: 4,
+            },
+        ] {
+            assert_eq!(spec.to_string().parse::<BackendSpec>().unwrap(), spec);
+        }
+        assert!("sideways".parse::<BackendSpec>().is_err());
+        assert!("portfolio:banana".parse::<BackendSpec>().is_err());
+        assert!("cube:1:2:3".parse::<BackendSpec>().is_err());
+        assert!("incremental:1".parse::<BackendSpec>().is_err());
+    }
+
+    #[test]
+    fn factories_round_trip_through_specs() {
+        for spec in [
+            BackendSpec::Rebuild,
+            BackendSpec::Incremental,
+            BackendSpec::Portfolio { workers: 3 },
+            BackendSpec::Cube {
+                depth: 3,
+                workers: 2,
+            },
+        ] {
+            assert_eq!(OracleFactory::from_spec(spec).spec(), Some(spec));
+        }
+        // A custom closure has no spec.
+        let custom = OracleFactory::new(|cfg| Box::new(Context::with_config(cfg)));
+        assert_eq!(custom.spec(), None);
+        // Spec-built factories equal their directly-constructed twins.
+        assert_eq!(
+            OracleFactory::from_spec(BackendSpec::Portfolio { workers: 3 }),
+            OracleFactory::portfolio(3)
+        );
+        assert_eq!(
+            OracleFactory::from_spec(BackendSpec::default()),
+            OracleFactory::default()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_backend_shorthands_still_delegate() {
+        assert_eq!(
+            CounterConfig::default().with_incremental(true),
+            CounterConfig::default().with_backend(BackendSpec::Incremental)
+        );
+        assert_eq!(
+            CounterConfig::default().with_incremental(false),
+            CounterConfig::default()
+        );
+        assert_eq!(
+            CounterConfig::default().with_portfolio(4),
+            CounterConfig::default().with_backend(BackendSpec::Portfolio { workers: 4 })
+        );
+        assert_eq!(
+            CounterConfig::default().with_cube(3, 2),
+            CounterConfig::default().with_backend(BackendSpec::Cube {
+                depth: 3,
+                workers: 2
+            })
+        );
+    }
+
+    #[test]
     fn backend_selection_round_trips_through_the_config() {
-        let incremental = CounterConfig::default().with_incremental(true);
+        let incremental = CounterConfig::default().with_backend(BackendSpec::Incremental);
         assert!(incremental.oracle_factory.is_incremental());
         assert!(!incremental.oracle_factory.is_default());
         assert_eq!(incremental.oracle_factory.label(), "incremental");
-        let back = incremental.with_incremental(false);
+        let back = incremental.with_backend(BackendSpec::Rebuild);
         assert!(back.oracle_factory.is_default());
         assert_eq!(back.oracle_factory.label(), "rebuild");
         assert_eq!(back, CounterConfig::default());
@@ -473,7 +692,8 @@ mod tests {
 
     #[test]
     fn portfolio_selection_round_trips_through_the_config() {
-        let portfolio = CounterConfig::default().with_portfolio(3);
+        let portfolio =
+            CounterConfig::default().with_backend(BackendSpec::Portfolio { workers: 3 });
         assert!(portfolio.oracle_factory.is_portfolio());
         assert!(!portfolio.oracle_factory.is_default());
         assert_eq!(portfolio.oracle_factory.label(), "portfolio");
@@ -497,7 +717,10 @@ mod tests {
 
     #[test]
     fn cube_selection_round_trips_through_the_config() {
-        let cube = CounterConfig::default().with_cube(3, 2);
+        let cube = CounterConfig::default().with_backend(BackendSpec::Cube {
+            depth: 3,
+            workers: 2,
+        });
         assert!(cube.oracle_factory.is_cube());
         assert!(!cube.oracle_factory.is_default());
         assert_eq!(cube.oracle_factory.label(), "cube");

@@ -197,6 +197,8 @@ pub(crate) fn count_pact(
         let oracle_stats = round_ctx.stats();
         round_stats.oracle_calls = oracle_stats.checks;
         round_stats.rebuilds = oracle_stats.rebuilds;
+        round_stats.pool_reuses = oracle_stats.pool_reuses;
+        round_stats.compactions = oracle_stats.compactions;
         merge_portfolio(&mut round_stats, round_ctx.portfolio());
         merge_cube(&mut round_stats, round_ctx.cube());
         match result {

@@ -104,6 +104,8 @@ pub(crate) fn count_enumerate(
     let oracle_stats = ctx.stats();
     stats.oracle_calls = oracle_stats.checks;
     stats.rebuilds = oracle_stats.rebuilds;
+    stats.pool_reuses = oracle_stats.pool_reuses;
+    stats.compactions = oracle_stats.compactions;
     crate::result::merge_portfolio(&mut stats, ctx.portfolio());
     crate::result::merge_cube(&mut stats, ctx.cube());
     stats.wall_seconds = start.elapsed().as_secs_f64();

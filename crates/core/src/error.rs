@@ -11,6 +11,8 @@ use std::fmt;
 
 use pact_solver::SolverError;
 
+use crate::config::BackendSpec;
+
 /// A parameter of [`crate::CounterConfig`] is outside its valid range.
 ///
 /// Every variant carries the offending value so callers (CLIs, services) can
@@ -27,6 +29,16 @@ pub enum ConfigError {
         /// The rejected value.
         delta: f64,
     },
+    /// Two different built-in backends were selected for the same run (e.g.
+    /// `.portfolio(2)` followed by `.incremental(true)`).  Earlier versions
+    /// silently let the last call win; the conflict is now surfaced with
+    /// both requests so the caller can drop the unintended one.
+    ConflictingBackends {
+        /// The backend selected first.
+        first: BackendSpec,
+        /// The conflicting later selection.
+        second: BackendSpec,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -37,6 +49,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::DeltaOutOfRange { delta } => {
                 write!(f, "delta must be in (0, 1), got {delta}")
+            }
+            ConfigError::ConflictingBackends { first, second } => {
+                write!(
+                    f,
+                    "conflicting backend selections: {first} was requested, then {second}"
+                )
             }
         }
     }

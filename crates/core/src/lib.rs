@@ -71,7 +71,7 @@ pub mod saturating;
 mod session;
 
 pub use cdm::{cdm_count, copies_for_epsilon};
-pub use config::{CounterConfig, OracleFactory, ParallelConfig};
+pub use config::{BackendSpec, CounterConfig, OracleFactory, ParallelConfig};
 pub use constants::{get_constants, Constants};
 pub use counter::pact_count;
 pub use enumerate::enumerate_count;

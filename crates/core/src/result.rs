@@ -47,6 +47,16 @@ pub struct CountStats {
     /// Cubes the lookahead probe refuted before any conquest work was
     /// spent (a subset of `cubes_solved`; scout-side, deterministic).
     pub cube_refuted_by_lookahead: u64,
+    /// Batches the parallel backends' persistent worker pools served — one
+    /// per racing/conquering `check` — instead of spawning fresh threads
+    /// (0 for the single-engine backends).  Deterministic for a fixed seed,
+    /// like `oracle_calls`.
+    pub pool_reuses: u64,
+    /// Frame-garbage compactions the activation-literal oracles performed:
+    /// re-encodes of the live frames into a fresh solver once retired-frame
+    /// clauses dominated.  Not a rebuild — `rebuilds` stays 0 for those
+    /// backends.
+    pub compactions: u64,
 }
 
 /// Folds one oracle's portfolio accounting (if any) into the run's stats.
@@ -90,6 +100,8 @@ pub(crate) fn merge_round_stats(total: &mut CountStats, round: &CountStats) {
     total.cubes_split += round.cubes_split;
     total.cubes_solved += round.cubes_solved;
     total.cube_refuted_by_lookahead += round.cube_refuted_by_lookahead;
+    total.pool_reuses += round.pool_reuses;
+    total.compactions += round.compactions;
 }
 
 /// The outcome of a counting run.
@@ -162,6 +174,8 @@ pub(crate) fn finish_report(
     let oracle = base.stats();
     stats.oracle_calls += oracle.checks;
     stats.rebuilds += oracle.rebuilds;
+    stats.pool_reuses += oracle.pool_reuses;
+    stats.compactions += oracle.compactions;
     merge_portfolio(&mut stats, base.portfolio());
     merge_cube(&mut stats, base.cube());
     stats.wall_seconds = start.elapsed().as_secs_f64();

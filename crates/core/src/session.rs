@@ -50,8 +50,8 @@ use pact_hash::HashFamily;
 use pact_ir::{TermId, TermManager};
 use pact_solver::SolverConfig;
 
-use crate::config::{CounterConfig, OracleFactory, ParallelConfig};
-use crate::error::{CountError, CountResult};
+use crate::config::{BackendSpec, CounterConfig, OracleFactory, ParallelConfig};
+use crate::error::{ConfigError, CountError, CountResult};
 use crate::progress::{CancellationToken, Progress, ProgressEvent, RunControl};
 use crate::result::CountReport;
 use crate::{cdm, counter, enumerate};
@@ -78,6 +78,8 @@ impl Session {
             formula: Vec::new(),
             projection: Vec::new(),
             config: CounterConfig::default(),
+            backend_first: None,
+            backend_conflict: None,
             cancel: None,
             progress: None,
         }
@@ -233,6 +235,12 @@ pub struct SessionBuilder {
     formula: Vec<TermId>,
     projection: Vec<TermId>,
     config: CounterConfig,
+    /// First backend selected via [`SessionBuilder::backend`] (or a
+    /// deprecated shorthand); later *different* selections are a conflict.
+    backend_first: Option<BackendSpec>,
+    /// The first conflicting pair of backend selections, surfaced as
+    /// [`ConfigError::ConflictingBackends`] at [`SessionBuilder::build`].
+    backend_conflict: Option<(BackendSpec, BackendSpec)>,
     cancel: Option<CancellationToken>,
     progress: Option<Arc<dyn Progress>>,
 }
@@ -263,9 +271,13 @@ impl SessionBuilder {
     }
 
     /// Replaces the whole configuration (the other strategy methods tweak
-    /// individual fields of it).
+    /// individual fields of it).  Deliberately replacing the configuration
+    /// also resets any backend selections made so far — the new config's
+    /// factory is the fresh starting point.
     pub fn config(mut self, config: CounterConfig) -> Self {
         self.config = config;
+        self.backend_first = None;
+        self.backend_conflict = None;
         self
     }
 
@@ -323,43 +335,66 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the built-in oracle backend the counts build (see
+    /// [`BackendSpec`] for the choices).  The reported count is bit-identical
+    /// for every backend; only the work profile changes —
+    /// [`BackendSpec::Incremental`] survives `push`/`pop` without rebuilds,
+    /// [`BackendSpec::Portfolio`] races diversified workers inside each
+    /// `check` (the within-round complement of [`SessionBuilder::threads`]),
+    /// and [`BackendSpec::Cube`] partitions hard checks into sub-solves.
+    ///
+    /// Selecting two *different* backends on the same builder is reported as
+    /// [`ConfigError::ConflictingBackends`] by [`SessionBuilder::build`]
+    /// (earlier versions silently let the last call win).  Re-selecting the
+    /// same spec is fine.
+    pub fn backend(mut self, spec: BackendSpec) -> Self {
+        match self.backend_first {
+            None => self.backend_first = Some(spec),
+            Some(first) if first != spec && self.backend_conflict.is_none() => {
+                self.backend_conflict = Some((first, spec));
+            }
+            Some(_) => {}
+        }
+        self.config = self.config.with_backend(spec);
+        self
+    }
+
     /// Selects between the two built-in oracle backends: `true` picks the
     /// activation-literal incremental backend
-    /// ([`pact_solver::IncrementalContext`]), whose encoder — learnt
-    /// clauses, branching activities — survives every `push`/`pop` cycle of
-    /// the counting loop (`CountStats::rebuilds` stays 0), `false` the
-    /// default rebuilding [`pact_solver::Context`].  The reported count is
-    /// bit-identical either way; only the work profile changes.
-    pub fn incremental(mut self, incremental: bool) -> Self {
-        self.config = self.config.with_incremental(incremental);
-        self
+    /// ([`pact_solver::IncrementalContext`]), `false` the default
+    /// rebuilding [`pact_solver::Context`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `backend(BackendSpec::Incremental)` / `backend(BackendSpec::Rebuild)`"
+    )]
+    pub fn incremental(self, incremental: bool) -> Self {
+        self.backend(if incremental {
+            BackendSpec::Incremental
+        } else {
+            BackendSpec::Rebuild
+        })
     }
 
     /// Counts through the racing-portfolio backend
-    /// ([`pact_solver::PortfolioContext`]): every oracle `check` races
-    /// `workers` diversified solver workers, keeps the first SAT/UNSAT
-    /// answer and cancels the losers — the within-round complement of
-    /// [`SessionBuilder::threads`], which parallelizes *across* rounds.
-    /// The reported count is bit-identical to the single-engine backends';
-    /// [`CountStats`](crate::CountStats) records which workers won.
-    pub fn portfolio(mut self, workers: usize) -> Self {
-        self.config = self.config.with_portfolio(workers);
-        self
+    /// ([`pact_solver::PortfolioContext`]) with `workers` diversified
+    /// workers per oracle.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `backend(BackendSpec::Portfolio { workers })`"
+    )]
+    pub fn portfolio(self, workers: usize) -> Self {
+        self.backend(BackendSpec::Portfolio { workers })
     }
 
     /// Counts through the cube-and-conquer backend
-    /// ([`pact_solver::CubeContext`]): a lookahead pass picks up to `depth`
-    /// split bits over the projection variables, every hard oracle `check`
-    /// is divided into up to `2^depth` cubes (probe-refuted cubes never
-    /// spawn a solve), and the survivors are conquered by `workers`
-    /// parallel sub-solves — the work-partitioning complement of
-    /// [`SessionBuilder::portfolio`], which duplicates whole solves.  The
-    /// reported count is bit-identical to the other backends';
-    /// [`CountStats`](crate::CountStats) records splits, solved cubes and
-    /// lookahead refutations.
-    pub fn cube(mut self, depth: usize, workers: usize) -> Self {
-        self.config = self.config.with_cube(depth, workers);
-        self
+    /// ([`pact_solver::CubeContext`]): up to `2^depth` cubes per hard
+    /// `check`, conquered by `workers` parallel sub-solves.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `backend(BackendSpec::Cube { depth, workers })`"
+    )]
+    pub fn cube(self, depth: usize, workers: usize) -> Self {
+        self.backend(BackendSpec::Cube { depth, workers })
     }
 
     /// Attaches a progress observer (see [`Progress`]).
@@ -385,10 +420,17 @@ impl SessionBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`CountError::Config`] when the configuration is invalid and
-    /// [`CountError::EmptyProjection`] when no projection variable was
-    /// declared.
+    /// Returns [`CountError::Config`] when the configuration is invalid —
+    /// including [`ConfigError::ConflictingBackends`] when two different
+    /// backends were selected — and [`CountError::EmptyProjection`] when no
+    /// projection variable was declared.
     pub fn build(self) -> CountResult<Session> {
+        if let Some((first, second)) = self.backend_conflict {
+            return Err(CountError::Config(ConfigError::ConflictingBackends {
+                first,
+                second,
+            }));
+        }
         self.config.validate()?;
         if self.projection.is_empty() {
             return Err(CountError::EmptyProjection);
@@ -471,6 +513,84 @@ mod tests {
     }
 
     #[test]
+    fn conflicting_backend_selections_are_a_config_error() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let err = Session::builder(tm)
+            .project(x)
+            .backend(BackendSpec::Portfolio { workers: 2 })
+            .backend(BackendSpec::Incremental)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CountError::Config(ConfigError::ConflictingBackends {
+                first: BackendSpec::Portfolio { workers: 2 },
+                second: BackendSpec::Incremental,
+            })
+        );
+        // The rendered diagnostic names both requests.
+        let text = err.to_string();
+        assert!(text.contains("portfolio:2"), "{text}");
+        assert!(text.contains("incremental"), "{text}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shorthands_participate_in_conflict_detection() {
+        // The exact bug class the error was added for: `.portfolio(2)`
+        // followed by `.incremental(true)` used to silently count with the
+        // incremental backend.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let err = Session::builder(tm)
+            .project(x)
+            .portfolio(2)
+            .incremental(true)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CountError::Config(ConfigError::ConflictingBackends { .. })
+        ));
+    }
+
+    #[test]
+    fn reselecting_the_same_backend_is_not_a_conflict() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let session = Session::builder(tm)
+            .project(x)
+            .backend(BackendSpec::Cube {
+                depth: 3,
+                workers: 2,
+            })
+            .backend(BackendSpec::Cube {
+                depth: 3,
+                workers: 2,
+            })
+            .build()
+            .unwrap();
+        assert!(session.config().oracle_factory.is_cube());
+    }
+
+    #[test]
+    fn replacing_the_whole_config_resets_backend_tracking() {
+        // `.config(...)` is a deliberate wholesale replacement, not a
+        // second selection: a backend chosen afterwards wins cleanly.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let session = Session::builder(tm)
+            .project(x)
+            .backend(BackendSpec::Portfolio { workers: 2 })
+            .config(CounterConfig::default())
+            .backend(BackendSpec::Incremental)
+            .build()
+            .unwrap();
+        assert!(session.config().oracle_factory.is_incremental());
+    }
+
+    #[test]
     fn one_problem_counts_under_many_configs() {
         let mut session = saturating_session(8, 3);
         let xor = session.count().unwrap();
@@ -499,7 +619,7 @@ mod tests {
             .project(x)
             .seed(42)
             .iterations(3)
-            .incremental(true)
+            .backend(BackendSpec::Incremental)
             .build()
             .unwrap();
         assert!(session.config().oracle_factory.is_incremental());
@@ -509,7 +629,7 @@ mod tests {
         assert_eq!(report.stats.rebuilds, 0);
         // Toggling back restores the default backend (which does rebuild).
         let rebuild = session
-            .count_with(&session.config().clone().with_incremental(false))
+            .count_with(&session.config().clone().with_backend(BackendSpec::Rebuild))
             .unwrap();
         assert_eq!(rebuild.outcome, report.outcome);
         assert!(rebuild.stats.rebuilds > 0);
@@ -526,7 +646,7 @@ mod tests {
             .project(x)
             .seed(42)
             .iterations(3)
-            .portfolio(3)
+            .backend(BackendSpec::Portfolio { workers: 3 })
             .build()
             .unwrap();
         assert!(session.config().oracle_factory.is_portfolio());
@@ -538,7 +658,7 @@ mod tests {
         assert_eq!(total_wins, report.stats.oracle_calls);
         // The deterministic slice matches the single-engine backend's.
         let reference = session
-            .count_with(&session.config().clone().with_incremental(false))
+            .count_with(&session.config().clone().with_backend(BackendSpec::Rebuild))
             .unwrap();
         assert_eq!(reference.outcome, report.outcome);
         assert_eq!(reference.stats.oracle_calls, report.stats.oracle_calls);
@@ -558,7 +678,10 @@ mod tests {
             .project(x)
             .seed(42)
             .iterations(3)
-            .cube(3, 2)
+            .backend(BackendSpec::Cube {
+                depth: 3,
+                workers: 2,
+            })
             .build()
             .unwrap();
         assert!(session.config().oracle_factory.is_cube());
@@ -573,7 +696,7 @@ mod tests {
         assert_eq!(report.stats.rebuilds, 0);
         // The deterministic slice matches the single-engine backend's.
         let reference = session
-            .count_with(&session.config().clone().with_incremental(false))
+            .count_with(&session.config().clone().with_backend(BackendSpec::Rebuild))
             .unwrap();
         assert_eq!(reference.outcome, report.outcome);
         assert_eq!(reference.stats.oracle_calls, report.stats.oracle_calls);

@@ -58,6 +58,10 @@ pub struct XorEngine {
     rows: Vec<XorRow>,
     /// For each variable index, the rows currently watching it.
     occurs: Vec<Vec<usize>>,
+    /// Slots of deactivated rows, reused by the next [`XorEngine::add_row`]
+    /// so long-lived solvers that churn hash frames don't grow `rows`
+    /// without bound.
+    free: Vec<usize>,
 }
 
 impl XorEngine {
@@ -66,14 +70,15 @@ impl XorEngine {
         XorEngine::default()
     }
 
-    /// Number of stored (non-trivial) rows.
+    /// Number of stored active rows (retired slots awaiting reuse are not
+    /// counted).
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.rows.len() - self.free.len()
     }
 
-    /// Returns `true` when no rows are stored.
+    /// Returns `true` when no active rows are stored.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
     fn grow_to(&mut self, n: usize) {
@@ -119,29 +124,57 @@ impl XorEngine {
             _ => {
                 let max_var = reduced.iter().map(|v| v.index()).max().unwrap_or(0);
                 self.grow_to(max_var + 1);
-                let row_idx = self.rows.len();
-                self.occurs[reduced[0].index()].push(row_idx);
-                self.occurs[reduced[1].index()].push(row_idx);
-                self.rows.push(XorRow {
+                let (w0, w1) = (reduced[0], reduced[1]);
+                let row = XorRow {
                     vars: reduced,
                     rhs,
                     watch: [0, 1],
                     active: true,
-                });
+                };
+                // Reuse a retired slot when one is free so hash-frame churn
+                // doesn't grow the row table without bound.
+                let row_idx = match self.free.pop() {
+                    Some(slot) => {
+                        self.rows[slot] = row;
+                        slot
+                    }
+                    None => {
+                        self.rows.push(row);
+                        self.rows.len() - 1
+                    }
+                };
+                self.occurs[w0.index()].push(row_idx);
+                self.occurs[w1.index()].push(row_idx);
                 AddXor::Stored(row_idx)
             }
         }
     }
 
-    /// Retires a stored row: it no longer propagates or conflicts, and its
-    /// occurrence-list entries are dropped lazily as their variables are
-    /// assigned.  Must be called at decision level zero (between solves) —
-    /// assignments already on the trail are unaffected.  Deactivating an
-    /// already-inactive row is a no-op.
+    /// Retires a stored row: it no longer propagates or conflicts, its
+    /// occurrence-list entries are purged eagerly, and its slot is queued
+    /// for reuse by the next [`XorEngine::add_row`].  Must be called at
+    /// decision level zero (between solves) — assignments already on the
+    /// trail are unaffected.  Deactivating an already-inactive row or an
+    /// unknown id is a no-op.
     pub fn deactivate(&mut self, row: usize) {
-        if let Some(r) = self.rows.get_mut(row) {
-            r.active = false;
+        let Some(r) = self.rows.get_mut(row) else {
+            return;
+        };
+        if !r.active {
+            return;
         }
+        r.active = false;
+        // Each row holds exactly two occurrence registrations — one per
+        // watched variable — so purging those makes the slot safe to reuse.
+        // The `!active` check in `on_assign` stays as defense in depth.
+        let watched = [r.vars[r.watch[0]], r.vars[r.watch[1]]];
+        r.vars = Vec::new();
+        for v in watched {
+            if let Some(list) = self.occurs.get_mut(v.index()) {
+                list.retain(|&x| x != row);
+            }
+        }
+        self.free.push(row);
     }
 
     /// Notifies the engine that `var` has just been assigned.
@@ -344,6 +377,46 @@ mod tests {
         // Deactivation is idempotent and tolerates unknown ids.
         eng.deactivate(row);
         eng.deactivate(99);
+    }
+
+    #[test]
+    fn retired_slots_are_recycled_without_ghost_propagation() {
+        let mut eng = XorEngine::new();
+        let mut a = assigns(6);
+        let row = match eng.add_row(&[Var(0), Var(1), Var(2)], true, &a) {
+            AddXor::Stored(id) => id,
+            other => panic!("expected a stored row, got {other:?}"),
+        };
+        assert_eq!(eng.len(), 1);
+        eng.deactivate(row);
+        assert_eq!(eng.len(), 0);
+        assert!(eng.is_empty());
+        // The next row takes over the retired slot...
+        let reused = match eng.add_row(&[Var(3), Var(4), Var(5)], false, &a) {
+            AddXor::Stored(id) => id,
+            other => panic!("expected a stored row, got {other:?}"),
+        };
+        assert_eq!(reused, row);
+        assert_eq!(eng.len(), 1);
+        // ...and the old row's variables no longer reach it: assigning all
+        // of x0..x2 to what would have falsified the retired row is silent.
+        a[0] = LBool::True;
+        assert!(eng.on_assign(Var(0), &a).is_empty());
+        a[1] = LBool::True;
+        assert!(eng.on_assign(Var(1), &a).is_empty());
+        a[2] = LBool::False;
+        assert!(eng.on_assign(Var(2), &a).is_empty());
+        // The recycled slot still propagates for its new variables.
+        a[3] = LBool::True;
+        assert!(eng.on_assign(Var(3), &a).is_empty());
+        a[4] = LBool::False;
+        let events = eng.on_assign(Var(4), &a);
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            // x3 ^ x4 ^ x5 = 0 with x3 = 1, x4 = 0  =>  x5 = 1
+            XorEvent::Implied { lit, .. } => assert_eq!(*lit, Var(5).positive()),
+            other => panic!("expected implication, got {other:?}"),
+        }
     }
 
     #[test]

@@ -153,6 +153,19 @@ pub struct OracleStats {
     /// Number of CDCL conflicts spent across the oracle's lifetime
     /// (including solvers discarded by rebuilds).
     pub conflicts: u64,
+    /// Number of work batches served by a persistent worker pool (portfolio
+    /// races and cube conquests answered by long-lived threads instead of a
+    /// fresh spawn/join cycle).  0 for the single-engine backends.
+    pub pool_reuses: u64,
+    /// Number of frame-garbage compactions: an incremental engine re-encoded
+    /// its live frames into a fresh solver because retired activation-literal
+    /// frames had accumulated past the dead-fraction threshold.  Unlike
+    /// `rebuilds` this is *elective* maintenance — the engine still never
+    /// rebuilds on `pop`.
+    pub compactions: u64,
+    /// Guarded assertions (clauses and XOR rows) of retired frames reclaimed
+    /// by compactions.
+    pub dead_clauses_reclaimed: u64,
 }
 
 /// One assertion on the stack: either a term or a native XOR constraint over

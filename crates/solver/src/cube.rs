@@ -30,19 +30,21 @@
 //!
 //! # Conquest over a shared term manager
 //!
-//! Surviving cubes are conquered by long-lived incremental workers on
-//! scoped threads, exactly the sharing discipline the portfolio introduced:
-//! preprocessing is warmed up front on the caller's `&mut TermManager`
-//! (the only mutation of a check) and the workers then run
-//! [`check_shared`](crate::IncrementalContext) against a plain
+//! Surviving cubes are conquered by long-lived incremental workers on a
+//! persistent worker pool, exactly the sharing discipline the portfolio
+//! introduced: preprocessing is warmed up front on the caller's
+//! `&mut TermManager` (the only mutation of a check), the manager then
+//! moves behind an `Arc` for the duration of one dispatch, and the workers
+//! run [`check_shared`](crate::IncrementalContext) against a plain
 //! `&TermManager` plus the shared [`PreprocessCache`].  Workers pull cubes
 //! from a shared queue; each conquest is `push` / assert cube bits /
 //! `check` / `pop` on an activation-literal backend, so learnt clauses
 //! survive across cubes and checks.  The first SAT finisher raises the
 //! check's interrupt flag; the session's [`CancellationToken`] flag (wired
 //! through [`Oracle::set_interrupt`]) is watched by the scout and by every
-//! worker, so cancellation aborts in-flight cube solves, and the scoped
-//! join guarantees no worker thread ever outlives its `check`.
+//! worker, so cancellation aborts in-flight cube solves, and the dispatch
+//! rendezvous (every job reports back before `check` returns) guarantees no
+//! worker holds check-scoped state past its `check`.
 //!
 //! # Determinism
 //!
@@ -62,8 +64,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread;
+use std::sync::Arc;
 
 use pact_ir::{BvValue, TermId, TermManager, Value};
 use pact_sat::InterruptFlag;
@@ -74,6 +75,12 @@ use crate::context::{
 use crate::error::Result;
 use crate::incremental::IncrementalContext;
 use crate::oracle::Oracle;
+use crate::pool::{Job, PoolHandle, WorkerPool};
+
+/// What one conquest job returns through the pool: the worker's slot, the
+/// worker context itself (ownership round-trips through the pool thread) and
+/// the outcomes of every cube it pulled from the shared queue.
+type ConquerReturn = (usize, IncrementalContext, Vec<CubeOutcome>);
 
 /// Hard cap on the split depth (`2^6 = 64` cubes per check).
 pub const MAX_CUBE_DEPTH: usize = 6;
@@ -198,6 +205,7 @@ enum Winner {
 }
 
 /// What one conquest recorded for one cube.
+#[derive(Debug)]
 struct CubeOutcome {
     cube: usize,
     worker: usize,
@@ -208,8 +216,9 @@ struct CubeOutcome {
 ///
 /// All assertion-stack operations fan out to the scout and every worker;
 /// `check` runs the lookahead on the scout, probes candidate cubes, and
-/// conquers the survivors on scoped threads (joined before `check` returns,
-/// so cancellation can cut a conquest short but never leak a thread).
+/// conquers the survivors on the persistent pool (the dispatch rendezvous
+/// completes before `check` returns, so cancellation can cut a conquest
+/// short but never leak check-scoped state).
 #[derive(Debug)]
 pub struct CubeContext {
     /// Split depth: up to `2^depth` cubes per check.
@@ -221,6 +230,8 @@ pub struct CubeContext {
     scout: IncrementalContext,
     /// The conquering oracles, each mirroring the assertion stack.
     workers: Vec<IncrementalContext>,
+    /// The persistent conquest threads, created once per oracle.
+    pool: WorkerPool<ConquerReturn>,
     /// Cube-level `check` count (one per trait-level query).
     checks: u64,
     /// Live frames (the assertion-stack depth).
@@ -230,7 +241,9 @@ pub struct CubeContext {
     /// Raw assertions awaiting preprocessing for the workers' shared cache,
     /// tagged with the frame depth they were asserted at.
     to_warm: Vec<(usize, TermId)>,
-    cache: PreprocessCache,
+    /// Shared with in-flight jobs during a dispatch; uniquely held (and
+    /// therefore warmable) between checks thanks to the quiesce rendezvous.
+    cache: Arc<PreprocessCache>,
     /// Raised by the first SAT conquest of a check; lowered per check.
     race: InterruptFlag,
     /// External cancellation (the session's token), watched by the scout
@@ -266,11 +279,12 @@ impl CubeContext {
             workers: (0..workers)
                 .map(|_| IncrementalContext::with_config(config))
                 .collect(),
+            pool: WorkerPool::new(workers, "pact-cube"),
             checks: 0,
             stack_depth: 0,
             tracked: Vec::new(),
             to_warm: Vec::new(),
-            cache: PreprocessCache::new(),
+            cache: Arc::new(PreprocessCache::new()),
             race: InterruptFlag::new(),
             external: None,
             stats: CubeStats::default(),
@@ -300,14 +314,23 @@ impl CubeContext {
         self.stats
     }
 
-    /// Installs a shared counter tracking how many conquest threads are
-    /// alive at any instant (incremented on entry, decremented on exit —
-    /// panic included).  Every conquest joins its scoped threads before
-    /// `check` returns, so the probe reads 0 whenever no check is in
+    /// Installs a shared counter tracking how many conquest *jobs* are in
+    /// flight at any instant (incremented on entry, decremented on exit —
+    /// panic included).  Every conquest's dispatch rendezvous completes
+    /// before `check` returns, so the probe reads 0 whenever no check is in
     /// flight; the cancellation leak test in `tests/cube.rs` pins exactly
-    /// that.
+    /// that.  The pool's OS threads persist between checks — their
+    /// lifecycle is observable through [`CubeContext::pool_handle`].
     pub fn set_worker_probe(&mut self, probe: Arc<AtomicUsize>) {
         self.probe = Some(probe);
+    }
+
+    /// Lifecycle counters of the persistent worker pool: total OS threads
+    /// ever spawned (constant after construction — the zero-per-check-spawn
+    /// contract) and threads currently live (0 after the oracle is
+    /// dropped).
+    pub fn pool_handle(&self) -> PoolHandle {
+        self.pool.handle()
     }
 
     /// Pops any cube frame a SAT finisher left pushed (the model's keeper)
@@ -423,67 +446,84 @@ impl CubeContext {
         Ok(Generated::Frontier(frontier))
     }
 
-    /// Conquers the surviving cubes on scoped worker threads and resolves
-    /// the check's verdict (and winner).
-    fn conquer(&mut self, tm: &TermManager, frontier: Vec<Vec<CubeBit>>) -> Result<SolverResult> {
+    /// Conquers the surviving cubes on the persistent worker pool and
+    /// resolves the check's verdict (and winner).
+    fn conquer(
+        &mut self,
+        tm: &mut TermManager,
+        frontier: Vec<Vec<CubeBit>>,
+    ) -> Result<SolverResult> {
         let threads = self.workers.len().min(frontier.len());
-        let outcomes: Vec<CubeOutcome> = {
-            let next = AtomicUsize::new(0);
-            let collected: Mutex<Vec<CubeOutcome>> = Mutex::new(Vec::new());
-            let cubes = &frontier;
-            let cache = &self.cache;
-            let race = &self.race;
-            let probe = &self.probe;
-            let slots: Vec<(usize, &mut IncrementalContext)> =
-                self.workers.iter_mut().take(threads).enumerate().collect();
-            thread::scope(|scope| {
-                let handles: Vec<_> = slots
-                    .into_iter()
-                    .map(|(slot, worker)| {
-                        let next = &next;
-                        let collected = &collected;
-                        let probe = probe.clone();
-                        scope.spawn(move || {
-                            let _guard = probe.map(LiveGuard::enter);
-                            loop {
-                                let i = next.fetch_add(1, Ordering::SeqCst);
-                                if i >= cubes.len() || race.is_set() {
-                                    break;
-                                }
-                                worker.push();
-                                for &(var, bit, value) in &cubes[i] {
-                                    worker.assert_xor_bits(vec![(var, bit)], value);
-                                }
-                                let result = worker.check_shared(tm, cache);
-                                let sat = matches!(result, Ok(SolverResult::Sat));
-                                if sat {
-                                    // Keep the frame pushed: the model must
-                                    // survive until the next mutating call.
-                                    race.set();
-                                } else {
-                                    worker.pop();
-                                }
-                                collected.lock().expect("outcome lock never poisoned").push(
-                                    CubeOutcome {
-                                        cube: i,
-                                        worker: slot,
-                                        result,
-                                    },
-                                );
-                                if sat {
-                                    break;
-                                }
-                            }
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    if let Err(panic) = handle.join() {
-                        std::panic::resume_unwind(panic);
+        let total = frontier.len();
+        // Ownership transfer into the pool: the term manager and the cube
+        // queue move behind `Arc`s for the duration of the dispatch, and
+        // the first `threads` workers ride into the jobs and back out
+        // through the results.
+        let shared_tm = Arc::new(std::mem::replace(tm, TermManager::new()));
+        let cubes = Arc::new(frontier);
+        let next = Arc::new(AtomicUsize::new(0));
+        let tail = self.workers.split_off(threads);
+        let moved = std::mem::take(&mut self.workers);
+        let jobs: Vec<Job<ConquerReturn>> = moved
+            .into_iter()
+            .enumerate()
+            .map(|(slot, mut worker)| {
+                let tm = Arc::clone(&shared_tm);
+                let cache = Arc::clone(&self.cache);
+                let cubes = Arc::clone(&cubes);
+                let next = Arc::clone(&next);
+                let race = self.race.clone();
+                let probe = self.probe.clone();
+                Box::new(move || {
+                    let _guard = probe.map(LiveGuard::enter);
+                    let mut outcomes = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= cubes.len() || race.is_set() {
+                            break;
+                        }
+                        worker.push();
+                        for &(var, bit, value) in &cubes[i] {
+                            worker.assert_xor_bits(vec![(var, bit)], value);
+                        }
+                        let result = worker.check_shared(&tm, &cache);
+                        let sat = matches!(result, Ok(SolverResult::Sat));
+                        if sat {
+                            // Keep the frame pushed: the model must
+                            // survive until the next mutating call.
+                            race.set();
+                        } else {
+                            worker.pop();
+                        }
+                        outcomes.push(CubeOutcome {
+                            cube: i,
+                            worker: slot,
+                            result,
+                        });
+                        if sat {
+                            break;
+                        }
                     }
-                }
-            });
-            collected.into_inner().expect("conquest threads joined")
+                    (slot, worker, outcomes)
+                }) as Job<ConquerReturn>
+            })
+            .collect();
+        let conquered = self.pool.dispatch(jobs);
+        let mut returned: Vec<Option<IncrementalContext>> = (0..threads).map(|_| None).collect();
+        let mut outcomes: Vec<CubeOutcome> = Vec::new();
+        for (slot, worker, mut collected) in conquered {
+            returned[slot] = Some(worker);
+            outcomes.append(&mut collected);
+        }
+        self.workers = returned
+            .into_iter()
+            .map(|w| w.expect("every dispatched worker returns through the rendezvous"))
+            .collect();
+        self.workers.extend(tail);
+        // The rendezvous guarantees every job's `Arc` clone is dead.
+        *tm = match Arc::try_unwrap(shared_tm) {
+            Ok(owned) => owned,
+            Err(_) => unreachable!("pool quiesced before check returns"),
         };
 
         // Every SAT finisher still holds its cube frame; the lowest cube
@@ -523,7 +563,7 @@ impl CubeContext {
             .iter()
             .filter(|&&v| v == SolverResult::Unsat)
             .count() as u64;
-        Ok(resolve_cube_verdicts(&verdicts, frontier.len()))
+        Ok(resolve_cube_verdicts(&verdicts, total))
     }
 }
 
@@ -593,7 +633,9 @@ impl Oracle for CubeContext {
             // Cancelled before any work: answer like an interrupted solve.
             return Ok(SolverResult::Unknown);
         }
-        warm_preprocess_cache(&mut self.to_warm, &mut self.cache, tm)?;
+        let cache = Arc::get_mut(&mut self.cache)
+            .expect("cache uniquely held between checks (pool quiesced)");
+        warm_preprocess_cache(&mut self.to_warm, cache, tm)?;
         let bits = self.split_bits(tm)?;
         if bits.is_empty() {
             // Nothing to split on (no free projection bit): plain solve.
@@ -650,7 +692,10 @@ impl Oracle for CubeContext {
             stats.theory_lemmas += ws.theory_lemmas;
             stats.rebuilds += ws.rebuilds;
             stats.conflicts += ws.conflicts;
+            stats.compactions += ws.compactions;
+            stats.dead_clauses_reclaimed += ws.dead_clauses_reclaimed;
         }
+        stats.pool_reuses = self.pool.batches();
         stats
     }
 
@@ -819,6 +864,76 @@ mod tests {
         ctx.assert_term(f);
         assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
         assert_eq!(probe.load(Ordering::SeqCst), 0, "worker thread leaked");
+    }
+
+    #[test]
+    fn pool_threads_are_constant_across_checks_and_drain_on_drop() {
+        // The persistent-runtime contract for the conquest pool: threads
+        // are created once at construction, conquests are batches served by
+        // the same pool, and dropping the oracle joins them.  A conflict
+        // budget of 1 makes every lookahead probe exhaust its budget
+        // (Unknown), so every check deterministically reaches the conquest
+        // dispatch instead of depending on how hard the instance happens to
+        // be for the probes.  Pigeonhole (6 values in [0, 5), pairwise
+        // distinct) is UNSAT but needs real search to refute, so with budget
+        // 1 neither a probe nor a conquest sub-solve can reach a verdict.
+        let mut tm = TermManager::new();
+        let holes: Vec<TermId> = (0..6)
+            .map(|i| tm.mk_var(&format!("p{i}"), Sort::BitVec(3)))
+            .collect();
+        let five = tm.mk_bv_const(5, 3);
+        let config = SolverConfig {
+            max_conflicts: Some(1),
+            ..SolverConfig::default()
+        };
+        let mut ctx = CubeContext::with_config(2, 2, config);
+        for (i, &p) in holes.iter().enumerate() {
+            let bound = tm.mk_bv_ult(p, five).unwrap();
+            ctx.assert_term(bound);
+            for &q in &holes[i + 1..] {
+                let eq = tm.mk_eq(p, q);
+                let distinct = tm.mk_not(eq);
+                ctx.assert_term(distinct);
+            }
+        }
+        ctx.track_var(holes[0]);
+        let handle = ctx.pool_handle();
+        assert_eq!(handle.threads_spawned(), 2);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unknown);
+        let first = ctx.stats().pool_reuses;
+        assert!(first >= 1, "conquest bypassed the pool");
+        for _ in 0..10 {
+            ctx.push();
+            assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unknown);
+            ctx.pop();
+        }
+        assert!(
+            ctx.stats().pool_reuses > first,
+            "later conquests bypassed the pool"
+        );
+        assert_eq!(handle.threads_spawned(), 2, "a check spawned a thread");
+        assert_eq!(handle.live_threads(), 2);
+        drop(ctx);
+        assert_eq!(handle.live_threads(), 0, "pool thread outlived its oracle");
+    }
+
+    #[test]
+    fn cancellation_mid_check_leaves_the_pool_reusable() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(6));
+        let f = lt(&mut tm, x, 40, 6);
+        let mut ctx = CubeContext::new(2, 2);
+        ctx.track_var(x);
+        ctx.assert_term(f);
+        let handle = ctx.pool_handle();
+        let flag = InterruptFlag::new();
+        Oracle::set_interrupt(&mut ctx, flag.clone());
+        flag.set();
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unknown);
+        flag.clear();
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert_eq!(handle.threads_spawned(), 2);
+        assert_eq!(handle.live_threads(), 2);
     }
 
     #[test]

@@ -19,6 +19,16 @@
 //! exactly the hash constraint; after `pop`, the free slack absorbs any
 //! parity and the row is inert.
 //!
+//! Retired frames leave permanently satisfied clauses behind, so a very
+//! long-lived context grows monotonically.  The backend bounds that growth
+//! with *frame-garbage compaction*: every encoded guarded assertion is
+//! journalled by its frame's stable id, `pop` counts the journal entries it
+//! retires, and once the retired count crosses a threshold (and outweighs
+//! the live journal) the next `check` re-encodes only the live frames into a
+//! fresh solver.  A compaction is *not* a rebuild — it is deliberate garbage
+//! collection, counted by [`OracleStats::compactions`] /
+//! [`OracleStats::dead_clauses_reclaimed`] while `rebuilds` stays 0.
+//!
 //! ```
 //! use pact_ir::{TermManager, Sort};
 //! use pact_solver::{IncrementalContext, SolverResult};
@@ -61,11 +71,19 @@ enum Pending {
 /// One live assertion-stack frame.
 #[derive(Debug)]
 struct Frame {
+    /// Stable identity of the frame (pending and journal entries are keyed
+    /// by it, so a compaction can re-allocate activation literals without
+    /// retagging them).
+    id: u64,
     /// The frame's activation literal (assumed by `check`, retired by `pop`).
     activation: Lit,
     /// Engine ids of the XOR rows this frame asserted, retired with it.
     xor_rows: Vec<usize>,
 }
+
+/// Default minimum number of retired guarded assertions before a compaction
+/// is considered (see [`IncrementalContext::set_compaction_threshold`]).
+const DEFAULT_COMPACTION_MIN_DEAD: u64 = 64;
 
 /// The activation-literal SMT oracle: same assertion-stack interface as
 /// [`Context`](crate::Context), but `pop` retires frames instead of
@@ -76,21 +94,61 @@ struct Frame {
 /// `check` assumes every live activation literal.  The trade-off against the
 /// rebuilding backend: retired frames leave their (permanently satisfied)
 /// clauses and neutralised XOR rows in the solver, so very long-lived
-/// contexts grow monotonically — the counting engine builds one oracle per
-/// round, which bounds that growth naturally.
-#[derive(Debug, Default)]
+/// contexts grow monotonically — frame-garbage compaction re-encodes the
+/// live frames into a fresh solver once enough retired clauses accumulate
+/// (see [`IncrementalContext::set_compaction_threshold`]).
+#[derive(Debug)]
 pub struct IncrementalContext {
     config: SolverConfig,
     stats: OracleStats,
     /// Variables whose bits must always exist (projection variables).
     tracked_vars: Vec<TermId>,
     encoder: Encoder,
+    /// SAT-level diversification the encoder was built with; a compaction's
+    /// replacement encoder must search identically, so the options are kept.
+    sat_options: SatOptions,
+    /// Interrupt flags watched by the solver; re-installed on the fresh
+    /// encoder after a compaction so cancellation survives it.
+    interrupts: Vec<InterruptFlag>,
     /// Live frames, outermost first.
     frames: Vec<Frame>,
-    /// Assertions awaiting encoding at the next `check`.
-    pending: Vec<(Option<Lit>, Pending)>,
+    /// Next value of [`Frame::id`]; never reused.
+    next_frame_id: u64,
+    /// Assertions awaiting encoding at the next `check`, keyed by frame id.
+    pending: Vec<(Option<u64>, Pending)>,
+    /// Journal of every assertion already in the solver, keyed by frame id:
+    /// the replay source for compaction.  `pop` drops a dying frame's
+    /// entries and adds them to `dead_entries`.
+    encoded: Vec<(Option<u64>, Pending)>,
+    /// Journal entries retired by `pop` since the last compaction.
+    dead_entries: u64,
+    /// Minimum `dead_entries` before a compaction is considered.
+    compaction_min_dead: u64,
+    /// Conflicts accumulated by encoders that compaction discarded.
+    retired_conflicts: u64,
     /// Simplex witness (indexed by LRA variable) from the last SAT check.
     real_model_values: Vec<Rational>,
+}
+
+impl Default for IncrementalContext {
+    fn default() -> Self {
+        IncrementalContext {
+            config: SolverConfig::default(),
+            stats: OracleStats::default(),
+            tracked_vars: Vec::new(),
+            encoder: Encoder::default(),
+            sat_options: SatOptions::default(),
+            interrupts: Vec::new(),
+            frames: Vec::new(),
+            next_frame_id: 0,
+            pending: Vec::new(),
+            encoded: Vec::new(),
+            dead_entries: 0,
+            compaction_min_dead: DEFAULT_COMPACTION_MIN_DEAD,
+            retired_conflicts: 0,
+            real_model_values: Vec::new(),
+        }
+    }
 }
 
 impl IncrementalContext {
@@ -113,21 +171,34 @@ impl IncrementalContext {
         IncrementalContext {
             config,
             encoder: Encoder::with_options(sat_options),
+            sat_options,
             ..IncrementalContext::default()
         }
     }
 
     /// Replaces the interrupt flags watched by the underlying SAT solver;
-    /// an empty list removes them.
+    /// an empty list removes them.  The flags are retained so a compaction
+    /// can re-install them on its fresh encoder.
     pub(crate) fn set_interrupt_flags(&mut self, flags: Vec<InterruptFlag>) {
+        self.interrupts = flags.clone();
         self.encoder.sat().set_interrupts(flags);
     }
 
-    /// Cumulative statistics.  `rebuilds` is 0 by construction.
+    /// Cumulative statistics.  `rebuilds` is 0 by construction; compactions
+    /// are counted separately (they are garbage collection, not rebuilds).
     pub fn stats(&self) -> OracleStats {
         let mut stats = self.stats;
-        stats.conflicts = self.encoder.sat_stats().conflicts;
+        stats.conflicts = self.retired_conflicts + self.encoder.sat_stats().conflicts;
         stats
+    }
+
+    /// Sets the minimum number of retired guarded assertions that arms
+    /// frame-garbage compaction (default 64).  Compaction triggers at the
+    /// start of a `check` once at least `min_dead` journal entries have been
+    /// retired by `pop` *and* the dead entries outnumber the live journal —
+    /// the re-encode then provably at least halves the clause database.
+    pub fn set_compaction_threshold(&mut self, min_dead: usize) {
+        self.compaction_min_dead = min_dead as u64;
     }
 
     /// Changes the resource limits for subsequent checks.
@@ -139,7 +210,10 @@ impl IncrementalContext {
     /// literal.
     pub fn push(&mut self) {
         let activation = self.encoder.sat().new_var().positive();
+        let id = self.next_frame_id;
+        self.next_frame_id += 1;
         self.frames.push(Frame {
+            id,
             activation,
             xor_rows: Vec::new(),
         });
@@ -157,8 +231,13 @@ impl IncrementalContext {
     pub fn pop(&mut self) {
         let frame = self.frames.pop().expect("pop without matching push");
         // Un-encoded assertions of the dying frame will never be needed.
-        self.pending
-            .retain(|(guard, _)| *guard != Some(frame.activation));
+        self.pending.retain(|(guard, _)| *guard != Some(frame.id));
+        // Already-encoded assertions leave permanently satisfied garbage in
+        // the solver: drop them from the replay journal and count them, so
+        // compaction knows how much a re-encode would reclaim.
+        let before = self.encoded.len();
+        self.encoded.retain(|(guard, _)| *guard != Some(frame.id));
+        self.dead_entries += (before - self.encoded.len()) as u64;
         // `a` only ever occurs negatively in guard clauses, so the unit can
         // never conflict; `add_clause` returning `false` would mean the
         // formula was already unsat at level zero.
@@ -171,9 +250,45 @@ impl IncrementalContext {
         }
     }
 
-    /// The innermost live frame's activation literal, if any.
-    fn current_guard(&self) -> Option<Lit> {
-        self.frames.last().map(|f| f.activation)
+    /// The innermost live frame's id, if any.
+    fn current_guard(&self) -> Option<u64> {
+        self.frames.last().map(|f| f.id)
+    }
+
+    /// Compacts when enough frame garbage has accumulated: at least the
+    /// configured minimum, and more dead journal entries than live ones.
+    fn maybe_compact(&mut self) {
+        if self.dead_entries >= self.compaction_min_dead
+            && self.dead_entries >= self.encoded.len() as u64
+        {
+            self.compact();
+        }
+    }
+
+    /// Replaces the encoder with a fresh one and queues every live journal
+    /// entry for re-encoding, shedding all clauses owned by retired frames.
+    /// Learnt clauses are lost too — that is the price of the reclaim, which
+    /// is why compaction only fires when garbage dominates.
+    fn compact(&mut self) {
+        // Bank the dying encoder's conflict count so `stats()` stays
+        // cumulative across the swap.
+        self.retired_conflicts += self.encoder.sat_stats().conflicts;
+        self.encoder = Encoder::with_options(self.sat_options);
+        self.encoder.sat().set_interrupts(self.interrupts.clone());
+        // Live frames get fresh activation literals in the new solver; their
+        // XOR rows died with the old engine and will be re-added by replay.
+        for frame in &mut self.frames {
+            frame.activation = self.encoder.sat().new_var().positive();
+            frame.xor_rows.clear();
+        }
+        // Replay journal first, then whatever was already pending, so the
+        // encode order (and thus the encoding) matches assertion order.
+        let mut requeued = std::mem::take(&mut self.encoded);
+        requeued.append(&mut self.pending);
+        self.pending = requeued;
+        self.stats.compactions += 1;
+        self.stats.dead_clauses_reclaimed += self.dead_entries;
+        self.dead_entries = 0;
     }
 
     /// Asserts a boolean term in the current frame.
@@ -222,6 +337,7 @@ impl IncrementalContext {
 
     fn check_view(&mut self, mut view: TmView<'_>) -> Result<SolverResult> {
         self.stats.checks += 1;
+        self.maybe_compact();
         self.encode_view(&mut view)?;
         let assumptions: Vec<Lit> = self.frames.iter().map(|f| f.activation).collect();
         Ok(solve_with_theory(
@@ -256,7 +372,10 @@ impl IncrementalContext {
                 Err(error) => break Err(error),
             }
         };
-        self.pending.drain(..encoded);
+        // Everything that made it into the solver moves to the replay
+        // journal, where it stays until its frame is popped (or forever, for
+        // base-level assertions).
+        self.encoded.extend(self.pending.drain(..encoded));
         result
     }
 
@@ -289,9 +408,20 @@ impl IncrementalContext {
     fn encode_one(
         &mut self,
         view: &mut TmView<'_>,
-        guard: Option<Lit>,
+        guard_id: Option<u64>,
         assertion: Pending,
     ) -> Result<()> {
+        // Resolve the frame id to its *current* activation literal only now:
+        // a compaction between queueing and encoding re-allocates activation
+        // literals, and the id indirection is what keeps journal entries
+        // valid across that.
+        let guard = guard_id.map(|id| {
+            self.frames
+                .iter()
+                .find(|f| f.id == id)
+                .expect("pending entry belongs to a live frame")
+                .activation
+        });
         match assertion {
             Pending::Term(t) => {
                 let pre = view.preprocess(t)?;
@@ -334,8 +464,8 @@ impl IncrementalContext {
                     lits.push(slack);
                 }
                 let row = self.encoder.add_xor_over_lits(&lits, rhs);
-                if let (Some(row), Some(g)) = (row, guard) {
-                    if let Some(frame) = self.frames.iter_mut().find(|f| f.activation == g) {
+                if let (Some(row), Some(id)) = (row, guard_id) {
+                    if let Some(frame) = self.frames.iter_mut().find(|f| f.id == id) {
                         frame.xor_rows.push(row);
                     }
                 }
@@ -537,6 +667,79 @@ mod tests {
         assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
         assert!(ctx.projected_model(&tm, &[x, y]).is_some());
         assert_eq!(ctx.stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_frames_and_preserves_live_ones() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(5));
+        let mut ctx = IncrementalContext::new();
+        ctx.set_compaction_threshold(1);
+        ctx.track_var(x);
+        let f = assert_bv_lt(&mut tm, x, 20, 5);
+        ctx.assert_term(f);
+        // A long-lived guarded frame with both clause- and XOR-garbage
+        // neighbours: x < 10 plus odd parity over the low three bits.
+        ctx.push();
+        let g = assert_bv_lt(&mut tm, x, 10, 5);
+        ctx.assert_term(g);
+        ctx.assert_xor_bits(vec![(x, 0), (x, 1), (x, 2)], true);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        // Churn short-lived inner frames; each pop retires journal entries
+        // and the threshold of 1 arms a compaction for the next check.
+        for bound in [9u128, 8, 7, 6, 5] {
+            ctx.push();
+            let h = assert_bv_lt(&mut tm, x, bound, 5);
+            ctx.assert_term(h);
+            assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+            ctx.pop();
+        }
+        let stats = ctx.stats();
+        assert!(stats.compactions > 0, "threshold 1 must trigger compaction");
+        assert!(stats.dead_clauses_reclaimed > 0);
+        assert_eq!(stats.rebuilds, 0, "compaction is not a rebuild");
+        // The live frame survived every re-encode: enumerating must yield
+        // exactly the odd-parity values below 10, i.e. {1, 2, 4, 7, 9}.
+        let mut found = Vec::new();
+        loop {
+            match ctx.check(&mut tm).unwrap() {
+                SolverResult::Sat => {
+                    let v = ctx.model_value(&tm, x).unwrap().as_bv().unwrap();
+                    assert!(!found.contains(&v.as_u128()));
+                    found.push(v.as_u128());
+                    let c = tm.mk_bv_value(v);
+                    let eq = tm.mk_eq(x, c);
+                    let block = tm.mk_not(eq);
+                    ctx.assert_term(block);
+                }
+                SolverResult::Unsat => break,
+                SolverResult::Unknown => panic!("unexpected unknown"),
+            }
+        }
+        found.sort_unstable();
+        assert_eq!(found, vec![1, 2, 4, 7, 9]);
+        // Popping the live frame still restores the base formula.
+        ctx.pop();
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert_eq!(ctx.stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn default_threshold_never_compacts_small_workloads() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let mut ctx = IncrementalContext::new();
+        ctx.track_var(x);
+        for bound in [5u128, 4, 3] {
+            ctx.push();
+            let g = assert_bv_lt(&mut tm, x, bound, 4);
+            ctx.assert_term(g);
+            assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+            ctx.pop();
+        }
+        let stats = ctx.stats();
+        assert_eq!(stats.compactions, 0);
+        assert_eq!(stats.dead_clauses_reclaimed, 0);
     }
 
     #[test]

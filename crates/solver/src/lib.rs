@@ -68,6 +68,7 @@ mod error;
 mod incremental;
 mod model;
 mod oracle;
+mod pool;
 mod portfolio;
 pub mod preprocess;
 
@@ -80,6 +81,7 @@ pub use error::{Result, SolverError};
 pub use incremental::IncrementalContext;
 pub use oracle::Oracle;
 pub use pact_sat::{InterruptFlag, SatOptions};
+pub use pool::PoolHandle;
 pub use portfolio::{
     PortfolioContext, PortfolioStats, WorkerProfile, WorkerReport, MAX_PORTFOLIO_WORKERS,
     WORKER_PROFILES,

@@ -1,0 +1,285 @@
+//! A persistent, channel-fed worker-thread pool for the parallel oracles.
+//!
+//! The portfolio and cube backends used to spawn fresh scoped threads inside
+//! *every* `Oracle::check`; on the microsecond-scale checks that dominate
+//! the counting loop the spawn/join overhead can exceed the solve itself.
+//! This module replaces that with a pool of OS threads created **once** at
+//! oracle construction and fed `check`-scoped work items over channels.
+//!
+//! # The quiesce-before-return invariant
+//!
+//! `Oracle::check` hands the backend `&mut TermManager`, but the pool
+//! threads are `'static` and cannot borrow it (the crate forbids `unsafe`).
+//! The backends therefore *transfer ownership* for the duration of one
+//! dispatch: the term manager (and the shared preprocess cache) is moved
+//! into an [`Arc`], clones ride into the jobs, and
+//! [`WorkerPool::dispatch`] blocks until **every** job of the batch has
+//! reported back — at which point all clones are dead, `Arc::try_unwrap`
+//! returns the manager to the caller, and no pool thread holds any
+//! check-scoped state.  That rendezvous is the *logical quiesce*: the OS
+//! threads stay parked on their channels between checks, but they own
+//! nothing and touch nothing, which is why the pre-existing zero-leak
+//! contracts (a [`LiveGuard`](crate::context::LiveGuard) probe reading 0
+//! between checks) continue to hold verbatim.
+//!
+//! A panicking job never wedges the rendezvous: panics are caught on the
+//! pool thread, counted as that job's report, and re-raised on the caller's
+//! thread only after the whole batch has quiesced.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One unit of `check`-scoped work: owns everything it touches (worker
+/// context, `Arc`ed term manager and cache, interrupt flags) and returns it
+/// through the result.
+pub(crate) type Job<R> = Box<dyn FnOnce() -> R + Send + 'static>;
+
+/// What a pool thread reports back for one job.
+enum JobReport<R> {
+    Done(R),
+    Panicked(Box<dyn std::any::Any + Send + 'static>),
+}
+
+/// Observable lifecycle counters of a `WorkerPool` (a crate-private type),
+/// cheaply cloneable and valid after the pool (and its owning oracle) is
+/// dropped.
+///
+/// This is the portable "zero per-check thread spawns" probe: the spawn
+/// count must stay constant across any number of checks, and the live count
+/// must drop to 0 once the owning oracle is dropped (the pool joins its
+/// threads on drop).
+#[derive(Debug, Clone, Default)]
+pub struct PoolHandle {
+    spawned: Arc<AtomicUsize>,
+    live: Arc<AtomicUsize>,
+}
+
+impl PoolHandle {
+    /// Total OS threads the pool has ever created.  Constant after
+    /// construction: the pool never replaces or adds threads.
+    pub fn threads_spawned(&self) -> usize {
+        self.spawned.load(Ordering::SeqCst)
+    }
+
+    /// Pool threads currently running (parked on their channel or working a
+    /// job).  Equals [`PoolHandle::threads_spawned`] while the pool is
+    /// alive and 0 after it is dropped.
+    pub fn live_threads(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+}
+
+/// Decrements the live-thread counter when a pool thread exits, however it
+/// exits.
+struct ThreadGuard(Arc<AtomicUsize>);
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A fixed-size pool of long-lived worker threads.
+///
+/// Created once per parallel oracle; each thread owns the receiving end of
+/// its private job channel (std's mpsc has no multi-consumer receiver, so
+/// work is addressed per thread — the backends do their own balancing, the
+/// portfolio by one job per worker and the cube conquest by an atomic cube
+/// queue inside the jobs).  Dropping the pool closes every job channel and
+/// joins every thread, so no pool thread outlives its oracle.
+pub(crate) struct WorkerPool<R: Send + 'static> {
+    senders: Vec<Sender<Job<R>>>,
+    report_rx: Receiver<JobReport<R>>,
+    threads: Vec<JoinHandle<()>>,
+    handle: PoolHandle,
+    /// Batches served since construction (the `pool_reuses` feed): every
+    /// call to [`WorkerPool::dispatch`] is one batch answered by the
+    /// long-lived threads instead of a fresh spawn/join cycle.
+    batches: u64,
+}
+
+impl<R: Send + 'static> WorkerPool<R> {
+    /// Spawns `size` worker threads (named `{name}-{i}`) that park on their
+    /// job channels until [`WorkerPool::dispatch`] feeds them.
+    pub(crate) fn new(size: usize, name: &str) -> Self {
+        let (report_tx, report_rx) = channel::<JobReport<R>>();
+        let handle = PoolHandle::default();
+        let mut senders = Vec::with_capacity(size);
+        let mut threads = Vec::with_capacity(size);
+        for i in 0..size {
+            let (job_tx, job_rx) = channel::<Job<R>>();
+            let report_tx = report_tx.clone();
+            let live = Arc::clone(&handle.live);
+            handle.spawned.fetch_add(1, Ordering::SeqCst);
+            live.fetch_add(1, Ordering::SeqCst);
+            let thread = std::thread::Builder::new()
+                .name(format!("{name}-{i}"))
+                .spawn(move || {
+                    let _guard = ThreadGuard(live);
+                    while let Ok(job) = job_rx.recv() {
+                        let report = match catch_unwind(AssertUnwindSafe(job)) {
+                            Ok(result) => JobReport::Done(result),
+                            Err(panic) => JobReport::Panicked(panic),
+                        };
+                        if report_tx.send(report).is_err() {
+                            // The pool is mid-drop; nobody is listening.
+                            break;
+                        }
+                    }
+                })
+                .expect("spawning a pool worker thread");
+            senders.push(job_tx);
+            threads.push(thread);
+        }
+        // The senders cloned into the threads keep the report channel open
+        // for the pool's whole lifetime; the construction-time original is
+        // dropped here.
+        drop(report_tx);
+        WorkerPool {
+            senders,
+            report_rx,
+            threads,
+            handle,
+            batches: 0,
+        }
+    }
+
+    /// Lifecycle counters (see [`PoolHandle`]).
+    pub(crate) fn handle(&self) -> PoolHandle {
+        self.handle.clone()
+    }
+
+    /// Batches served by the pool since construction.
+    pub(crate) fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Runs one batch: job `i` goes to pool thread `i`, and the call blocks
+    /// until **all** jobs have reported (the quiesce rendezvous — see the
+    /// module docs).  If any job panicked, the first panic is re-raised
+    /// here, after the whole batch has quiesced.  Results are returned in
+    /// arrival order; jobs carry their own identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs.len()` exceeds the pool size, and re-raises job
+    /// panics as described.
+    pub(crate) fn dispatch(&mut self, jobs: Vec<Job<R>>) -> Vec<R> {
+        assert!(
+            jobs.len() <= self.senders.len(),
+            "batch of {} jobs exceeds pool size {}",
+            jobs.len(),
+            self.senders.len()
+        );
+        self.batches += 1;
+        let expected = jobs.len();
+        for (sender, job) in self.senders.iter().zip(jobs) {
+            sender
+                .send(job)
+                .expect("pool thread alive while pool exists");
+        }
+        let mut results = Vec::with_capacity(expected);
+        let mut panic: Option<Box<dyn std::any::Any + Send + 'static>> = None;
+        for _ in 0..expected {
+            match self.report_rx.recv().expect("pool threads hold a sender") {
+                JobReport::Done(result) => results.push(result),
+                JobReport::Panicked(p) => {
+                    if panic.is_none() {
+                        panic = Some(p);
+                    }
+                }
+            }
+        }
+        // The batch has fully quiesced: every job's captures (term-manager
+        // and cache clones) are dropped.  Only now is re-raising safe.
+        if let Some(panic) = panic {
+            resume_unwind(panic);
+        }
+        results
+    }
+}
+
+impl<R: Send + 'static> std::fmt::Debug for WorkerPool<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.senders.len())
+            .field("batches", &self.batches)
+            .finish()
+    }
+}
+
+impl<R: Send + 'static> Drop for WorkerPool<R> {
+    fn drop(&mut self) {
+        // Closing the job channels makes every thread's `recv` fail, ending
+        // its loop; joining guarantees no pool thread outlives the oracle.
+        self.senders.clear();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_returns_every_result_and_counts_batches() {
+        let mut pool: WorkerPool<usize> = WorkerPool::new(3, "test-pool");
+        assert_eq!(pool.handle().threads_spawned(), 3);
+        for round in 0..5u64 {
+            let jobs: Vec<Job<usize>> = (0..3usize)
+                .map(|i| Box::new(move || i * 10) as Job<usize>)
+                .collect();
+            let mut results = pool.dispatch(jobs);
+            results.sort_unstable();
+            assert_eq!(results, vec![0, 10, 20]);
+            assert_eq!(pool.batches(), round + 1);
+        }
+        assert_eq!(pool.handle().threads_spawned(), 3);
+    }
+
+    #[test]
+    fn thread_count_is_constant_and_drains_on_drop() {
+        let pool: WorkerPool<()> = WorkerPool::new(2, "test-pool");
+        let handle = pool.handle();
+        assert_eq!(handle.threads_spawned(), 2);
+        assert_eq!(handle.live_threads(), 2);
+        drop(pool);
+        assert_eq!(handle.threads_spawned(), 2);
+        assert_eq!(handle.live_threads(), 0, "pool thread leaked past drop");
+    }
+
+    #[test]
+    fn partial_batches_leave_idle_threads_parked() {
+        let mut pool: WorkerPool<u32> = WorkerPool::new(4, "test-pool");
+        let jobs: Vec<Job<u32>> = vec![Box::new(|| 7)];
+        assert_eq!(pool.dispatch(jobs), vec![7]);
+        assert_eq!(pool.handle().live_threads(), 4);
+    }
+
+    #[test]
+    fn a_panicking_job_quiesces_the_batch_before_reraising() {
+        let mut pool: WorkerPool<u32> = WorkerPool::new(2, "test-pool");
+        let jobs: Vec<Job<u32>> = vec![Box::new(|| panic!("job panic")), Box::new(|| 1)];
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.dispatch(jobs)));
+        assert!(caught.is_err());
+        // The pool survived the panic and stays usable.
+        let jobs: Vec<Job<u32>> = vec![Box::new(|| 2), Box::new(|| 3)];
+        let mut results = pool.dispatch(jobs);
+        results.sort_unstable();
+        assert_eq!(results, vec![2, 3]);
+        assert_eq!(pool.handle().threads_spawned(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds pool size")]
+    fn oversized_batches_are_rejected() {
+        let mut pool: WorkerPool<()> = WorkerPool::new(1, "test-pool");
+        let jobs: Vec<Job<()>> = vec![Box::new(|| ()), Box::new(|| ())];
+        pool.dispatch(jobs);
+    }
+}

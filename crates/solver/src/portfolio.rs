@@ -18,9 +18,13 @@
 //! concurrently.  The only mutation the check pipeline performs on the term
 //! manager is *preprocessing* (array reduction and Ackermannization intern
 //! rewritten terms), so the portfolio warms a [`PreprocessCache`] up front —
-//! once per raw assertion, on the caller's manager — and the workers then
-//! run [`check_shared`](Context::check_shared) against a plain
-//! `&TermManager` from scoped threads.  Worker encoders cache literals by
+//! once per raw assertion, on the caller's manager.  The race itself runs on
+//! a persistent worker pool: its threads are `'static` and cannot borrow the
+//! caller's manager, so each check *transfers ownership* — the manager moves
+//! into an `Arc`, clones ride into the jobs together with the worker
+//! contexts, and the dispatch rendezvous (every job reports back before
+//! `check` returns) guarantees all clones are dead so `Arc::try_unwrap`
+//! restores the manager to the caller.  Worker encoders cache literals by
 //! `TermId`, which stays sound across checks precisely because every term
 //! they ever see lives in the caller's manager.
 //!
@@ -29,10 +33,11 @@
 //! All workers are complete over the supported fragment, so every decisive
 //! answer agrees; racing only changes *which model* witnesses a SAT verdict.
 //! The race stops at the first decisive finisher (it raises the shared
-//! interrupt flag), the scope joins every worker — losers abort at their
-//! next conflict, but any worker already past its last flag poll still
-//! returns decisively; that join latency is the race's de-facto grace
-//! window — and the lowest-*ranked* decisive finisher supplies the model
+//! interrupt flag), the dispatch rendezvous collects every worker — losers
+//! abort at their next conflict, but any worker already past its last flag
+//! poll still returns decisively; that rendezvous latency is the race's
+//! de-facto grace window — and the lowest-*ranked* decisive finisher
+//! supplies the model
 //! and is credited the win.  Ranks (and the dispatch head start) rotate as
 //! a pure function of the check index, so easy checks — effectively ties —
 //! spread their wins across the portfolio instead of crediting whichever
@@ -46,7 +51,6 @@
 
 use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
-use std::thread;
 
 use pact_ir::{BvValue, TermId, TermManager, Value};
 use pact_sat::{InterruptFlag, SatOptions};
@@ -58,6 +62,12 @@ use crate::context::{
 use crate::error::Result;
 use crate::incremental::IncrementalContext;
 use crate::oracle::Oracle;
+use crate::pool::{Job, PoolHandle, WorkerPool};
+
+/// What one racing job returns through the pool: the worker's slot, the
+/// worker context itself (ownership round-trips through the pool thread) and
+/// its verdict.
+type RaceReturn = (usize, WorkerCtx, Result<SolverResult>);
 
 /// Hard cap on the number of racing workers (and the length of the
 /// fixed-size win-count arrays carried through `CountStats`).
@@ -277,13 +287,15 @@ impl WorkerCtx {
 ///
 /// All assertion-stack operations fan out to every worker immediately;
 /// `check` warms the preprocess cache against the caller's term manager and
-/// then races the workers on scoped threads (joined before `check` returns,
-/// so no worker thread ever outlives its call — cancellation can cut a race
-/// short, never leak it).
+/// then races the workers on the persistent pool (the dispatch rendezvous
+/// completes before `check` returns, so no worker ever holds check-scoped
+/// state past its call — cancellation can cut a race short, never leak it).
 #[derive(Debug)]
 pub struct PortfolioContext {
     profiles: Vec<WorkerProfile>,
     workers: Vec<WorkerCtx>,
+    /// The persistent racing threads, created once per oracle.
+    pool: WorkerPool<RaceReturn>,
     /// Portfolio-level `check` count (each check is N worker solves).
     checks: u64,
     /// Live frames (the assertion-stack depth).
@@ -291,7 +303,9 @@ pub struct PortfolioContext {
     /// Raw assertions awaiting preprocessing, tagged with the depth they
     /// were asserted at so popped frames retire their pending entries.
     to_warm: Vec<(usize, TermId)>,
-    cache: PreprocessCache,
+    /// Shared with in-flight jobs during a dispatch; uniquely held (and
+    /// therefore warmable) between checks thanks to the quiesce rendezvous.
+    cache: Arc<PreprocessCache>,
     /// Raised by the first decisive finisher of a race; lowered per check.
     race: InterruptFlag,
     /// External cancellation (the session's token), also watched by every
@@ -327,10 +341,11 @@ impl PortfolioContext {
         PortfolioContext {
             profiles,
             workers: ctxs,
+            pool: WorkerPool::new(n, "pact-portfolio"),
             checks: 0,
             depth: 0,
             to_warm: Vec::new(),
-            cache: PreprocessCache::new(),
+            cache: Arc::new(PreprocessCache::new()),
             race,
             external: None,
             wins: [0; MAX_PORTFOLIO_WORKERS],
@@ -345,13 +360,23 @@ impl PortfolioContext {
         self.workers.len()
     }
 
-    /// Installs a shared counter that tracks how many worker threads are
-    /// alive at any instant (incremented on worker entry, decremented on
-    /// exit — panic included).  Because every race joins its scoped threads
-    /// before `check` returns, the probe reads 0 whenever no check is in
-    /// flight; the cancellation leak test pins exactly that.
+    /// Installs a shared counter that tracks how many worker *jobs* are in
+    /// flight at any instant (incremented on job entry, decremented on exit
+    /// — panic included).  Because every race's dispatch rendezvous
+    /// completes before `check` returns, the probe reads 0 whenever no
+    /// check is in flight; the cancellation leak test pins exactly that.
+    /// The pool's OS threads persist between checks — their lifecycle is
+    /// observable through [`PortfolioContext::pool_handle`].
     pub fn set_worker_probe(&mut self, probe: Arc<AtomicUsize>) {
         self.probe = Some(probe);
+    }
+
+    /// Lifecycle counters of the persistent worker pool: total OS threads
+    /// ever spawned (constant after construction — the zero-per-check-spawn
+    /// contract) and threads currently live (0 after the oracle is
+    /// dropped).
+    pub fn pool_handle(&self) -> PoolHandle {
+        self.pool.handle()
     }
 
     /// Per-worker lifetime summaries: profile label, win count, and the
@@ -390,7 +415,7 @@ impl PortfolioContext {
 
     /// Races every worker over the current assertion stack and returns the
     /// canonical decisive answer (see the module docs).
-    fn race_check(&mut self, tm: &TermManager) -> Result<SolverResult> {
+    fn race_check(&mut self, tm: &mut TermManager) -> Result<SolverResult> {
         let n = self.workers.len();
         self.race.clear();
         // Both the dispatch order and the ranking rotate with the check
@@ -402,42 +427,44 @@ impl PortfolioContext {
         // the verdict — not the win tally — is reproducible.
         let rotation = ((self.checks - 1) % n as u64) as usize;
         let mut results: Vec<Option<Result<SolverResult>>> = (0..n).map(|_| None).collect();
-        if n == 1 {
-            results[0] = Some(self.workers[0].check_shared(tm, &self.cache));
-        } else {
-            let cache = &self.cache;
-            let race = &self.race;
-            let probe = &self.probe;
-            let mut slots: Vec<(usize, &mut WorkerCtx)> =
-                self.workers.iter_mut().enumerate().collect();
-            slots.rotate_left(rotation);
-            let raced: Vec<(usize, Result<SolverResult>)> = thread::scope(|scope| {
-                let handles: Vec<_> = slots
-                    .into_iter()
-                    .map(|(slot, worker)| {
-                        let probe = probe.clone();
-                        scope.spawn(move || {
-                            let _guard = probe.map(LiveGuard::enter);
-                            let result = worker.check_shared(tm, cache);
-                            if matches!(result, Ok(SolverResult::Sat | SolverResult::Unsat)) {
-                                race.set();
-                            }
-                            (slot, result)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|handle| match handle.join() {
-                        Ok(pair) => pair,
-                        Err(panic) => std::panic::resume_unwind(panic),
-                    })
-                    .collect()
-            });
-            for (slot, result) in raced {
-                results[slot] = Some(result);
-            }
+        // Ownership transfer into the pool: the term manager moves behind an
+        // `Arc` for the duration of the dispatch, and the workers themselves
+        // ride into the jobs and back out through the results.
+        let shared_tm = Arc::new(std::mem::replace(tm, TermManager::new()));
+        let mut slots: Vec<(usize, WorkerCtx)> = self.workers.drain(..).enumerate().collect();
+        slots.rotate_left(rotation);
+        let jobs: Vec<Job<RaceReturn>> = slots
+            .into_iter()
+            .map(|(slot, mut worker)| {
+                let tm = Arc::clone(&shared_tm);
+                let cache = Arc::clone(&self.cache);
+                let race = self.race.clone();
+                let probe = self.probe.clone();
+                Box::new(move || {
+                    let _guard = probe.map(LiveGuard::enter);
+                    let result = worker.check_shared(&tm, &cache);
+                    if matches!(result, Ok(SolverResult::Sat | SolverResult::Unsat)) {
+                        race.set();
+                    }
+                    (slot, worker, result)
+                }) as Job<RaceReturn>
+            })
+            .collect();
+        let raced = self.pool.dispatch(jobs);
+        let mut returned: Vec<Option<WorkerCtx>> = (0..n).map(|_| None).collect();
+        for (slot, worker, result) in raced {
+            returned[slot] = Some(worker);
+            results[slot] = Some(result);
         }
+        self.workers = returned
+            .into_iter()
+            .map(|w| w.expect("every dispatched worker returns through the rendezvous"))
+            .collect();
+        // The rendezvous guarantees every job's `Arc` clone is dead.
+        *tm = match Arc::try_unwrap(shared_tm) {
+            Ok(owned) => owned,
+            Err(_) => unreachable!("pool quiesced before check returns"),
+        };
         // Canonical winner: the lowest-ranked decisive finisher.
         for offset in 0..n {
             let i = (rotation + offset) % n;
@@ -512,7 +539,9 @@ impl Oracle for PortfolioContext {
         // A failed or indecisive check must not leave the previous check's
         // model claimable (the single-engine backends never do).
         self.last_winner = None;
-        warm_preprocess_cache(&mut self.to_warm, &mut self.cache, tm)?;
+        let cache = Arc::get_mut(&mut self.cache)
+            .expect("cache uniquely held between checks (pool quiesced)");
+        warm_preprocess_cache(&mut self.to_warm, cache, tm)?;
         self.race_check(tm)
     }
 
@@ -541,7 +570,10 @@ impl Oracle for PortfolioContext {
             stats.theory_lemmas += ws.theory_lemmas;
             stats.rebuilds += ws.rebuilds;
             stats.conflicts += ws.conflicts;
+            stats.compactions += ws.compactions;
+            stats.dead_clauses_reclaimed += ws.dead_clauses_reclaimed;
         }
+        stats.pool_reuses = self.pool.batches();
         stats
     }
 
@@ -773,6 +805,50 @@ mod tests {
         ctx.assert_term(f);
         assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
         assert_eq!(probe.load(Ordering::SeqCst), 0, "worker thread leaked");
+    }
+
+    #[test]
+    fn pool_threads_are_constant_across_checks_and_drain_on_drop() {
+        // The persistent-runtime contract: the OS threads are created once
+        // at construction, every check is a batch served by the same pool
+        // (pool_reuses counts them), and dropping the oracle joins them.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(5));
+        let f = lt(&mut tm, x, 20, 5);
+        let mut ctx = PortfolioContext::new(3);
+        ctx.track_var(x);
+        ctx.assert_term(f);
+        let handle = ctx.pool_handle();
+        assert_eq!(handle.threads_spawned(), 3);
+        for _ in 0..100 {
+            ctx.push();
+            assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+            ctx.pop();
+        }
+        assert_eq!(handle.threads_spawned(), 3, "a check spawned a thread");
+        assert_eq!(handle.live_threads(), 3);
+        assert_eq!(ctx.stats().pool_reuses, 100);
+        drop(ctx);
+        assert_eq!(handle.live_threads(), 0, "pool thread outlived its oracle");
+    }
+
+    #[test]
+    fn cancellation_mid_check_leaves_the_pool_reusable() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(6));
+        let f = lt(&mut tm, x, 40, 6);
+        let mut ctx = PortfolioContext::new(2);
+        ctx.assert_term(f);
+        let handle = ctx.pool_handle();
+        let flag = InterruptFlag::new();
+        Oracle::set_interrupt(&mut ctx, flag.clone());
+        flag.set();
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unknown);
+        // The cancelled batch quiesced; the same threads answer the retry.
+        flag.clear();
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert_eq!(handle.threads_spawned(), 2);
+        assert_eq!(ctx.stats().pool_reuses, 2);
     }
 
     #[test]

@@ -9,8 +9,17 @@
 //! the incremental backend reports `rebuilds == 0` where the reference
 //! backend pays one rebuild per `pop` that crosses encoded assertions.
 
-use pact::{CountOutcome, CountReport, CounterConfig, HashFamily, Session};
+use pact::{BackendSpec, CountOutcome, CountReport, CounterConfig, HashFamily, Session};
 use pact_ir::{Rational, Sort, TermId, TermManager};
+
+/// The backend spec the old `incremental(bool)` toggle selected.
+fn spec(incremental: bool) -> BackendSpec {
+    if incremental {
+        BackendSpec::Incremental
+    } else {
+        BackendSpec::Rebuild
+    }
+}
 
 /// The deterministic slice of a report: everything except wall-clock times
 /// and the backend-specific rebuild count.
@@ -40,7 +49,7 @@ fn count_with(width: u32, config: CounterConfig, incremental: bool) -> CountRepo
         .assert(f)
         .project(x)
         .config(config)
-        .incremental(incremental)
+        .backend(spec(incremental))
         .build()
         .unwrap();
     session.count().unwrap()
@@ -121,7 +130,7 @@ fn incremental_backend_survives_a_quickstart_scale_count_without_rebuilds() {
             .project(b)
             .seed(1)
             .iterations(5)
-            .incremental(incremental)
+            .backend(spec(incremental))
             .build()
             .unwrap();
         session.count().unwrap()
@@ -152,7 +161,7 @@ fn cdm_and_enumeration_agree_across_backends() {
             .project(x)
             .seed(2)
             .iterations(3)
-            .incremental(incremental)
+            .backend(spec(incremental))
             .build()
             .unwrap();
         let exact = session.enumerate(10_000).unwrap();
@@ -184,7 +193,7 @@ fn unsatisfiable_and_exact_paths_agree_across_backends() {
                 .project(x)
                 .seed(3)
                 .iterations(3)
-                .incremental(incremental)
+                .backend(spec(incremental))
                 .build()
                 .unwrap();
             session.count().unwrap()

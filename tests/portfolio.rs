@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use pact::{CancellationToken, CountOutcome, OracleFactory, ProgressEvent, Session};
+use pact::{BackendSpec, CancellationToken, CountOutcome, OracleFactory, ProgressEvent, Session};
 use pact_ir::{Sort, TermManager};
 use pact_solver::{PortfolioContext, SolverConfig};
 
@@ -103,7 +103,7 @@ fn loser_conflicts_and_rebuilds_reach_the_count_stats() {
     // the accounting contract that keeps before/after measurements honest.
     let mut session = saturating_session_builder(8)
         .iterations(3)
-        .portfolio(4)
+        .backend(BackendSpec::Portfolio { workers: 4 })
         .build()
         .unwrap();
     let report = session.count().unwrap();
