@@ -1,0 +1,203 @@
+//! Measures `pact-service` throughput on a mixed benchgen workload:
+//! requests/s and p50/p99 end-to-end latency (queue wait + count).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p pact-bench --bin service_throughput --release -- \
+//!     [--mini] [--shards N] [--requests N] [--queue N] [--seed N] \
+//!     [--json PATH]
+//! ```
+//!
+//! * `--mini` uses the ~10-instance smoke suite (the CI job's workload).
+//! * `--shards N` sets the service shard count (default 2 — the smoke
+//!   acceptance shape; the bench asserts nothing, the CI step does).
+//! * `--requests N` sets the workload size (default 32).
+//! * `--queue N` sets the admission-queue capacity (default 64; a value
+//!   below `--requests` measures throughput under backpressure).
+//! * `--json PATH` writes the schema-v6 summary artifact.
+
+use pact_bench::cli::ArgError;
+use pact_bench::throughput::{run_service_workload, summary_to_json, ThroughputParams};
+use pact_benchgen::{paper_suite, SuiteParams};
+
+const USAGE: &str =
+    "usage: service_throughput [--mini] [--shards N] [--requests N] [--queue N] [--seed N] [--json PATH]";
+
+#[derive(Debug, PartialEq)]
+struct Args {
+    mini: bool,
+    shards: usize,
+    requests: usize,
+    queue: usize,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
+    let defaults = ThroughputParams::default();
+    let mut args = Args {
+        mini: false,
+        shards: defaults.shards,
+        requests: defaults.requests,
+        queue: defaults.queue_capacity,
+        seed: defaults.seed,
+        json: None,
+    };
+    let mut iter = argv.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut numeric = |flag: &'static str| -> Result<usize, ArgError> {
+            let value = iter.next().ok_or(ArgError::MissingValue { flag })?;
+            value.parse().map_err(|_| ArgError::InvalidValue {
+                slot: flag,
+                got: value,
+            })
+        };
+        match arg.as_str() {
+            "--mini" => args.mini = true,
+            "--shards" => args.shards = numeric("--shards")?,
+            "--requests" => args.requests = numeric("--requests")?,
+            "--queue" => args.queue = numeric("--queue")?,
+            "--seed" => args.seed = numeric("--seed")? as u64,
+            "--json" => {
+                args.json = Some(
+                    iter.next()
+                        .ok_or(ArgError::MissingValue { flag: "--json" })?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(ArgError::UnknownFlag {
+                    flag: other.to_string(),
+                });
+            }
+            other => {
+                return Err(ArgError::UnexpectedPositional {
+                    got: other.to_string(),
+                });
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1)).unwrap_or_else(|error| {
+        eprintln!("{error}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    });
+
+    let suite_params = if args.mini {
+        // The table1 --mini smoke suite: every Table I logic at CI scale.
+        SuiteParams {
+            per_logic: 2,
+            min_width: 6,
+            max_width: 7,
+            max_per_cluster: 1,
+            seed: 7,
+        }
+    } else {
+        SuiteParams {
+            per_logic: 4,
+            min_width: 9,
+            max_width: 13,
+            ..SuiteParams::default()
+        }
+    };
+    let suite = paper_suite(&suite_params);
+    let params = ThroughputParams {
+        shards: args.shards,
+        requests: args.requests,
+        queue_capacity: args.queue,
+        seed: args.seed,
+        ..ThroughputParams::default()
+    };
+    eprintln!(
+        "pushing {} requests over {} instances through {} shards (queue {})...",
+        params.requests,
+        suite.len(),
+        params.shards,
+        params.queue_capacity
+    );
+
+    let (summary, records) = run_service_workload(&suite, &params);
+
+    println!("service throughput — mixed workload");
+    println!("  requests          {:>10}", summary.requests);
+    println!(
+        "  shards            {:>10}   (used: {}, served per shard: {:?})",
+        summary.shards,
+        summary.shards_used(),
+        summary.served_per_shard
+    );
+    println!("  rejected (retried) {:>9}", summary.rejected);
+    println!("  elapsed            {:>12.3} s", summary.elapsed_seconds);
+    println!("  requests/s         {:>12.2}", summary.requests_per_sec);
+    println!("  p50 latency        {:>12.6} s", summary.p50_seconds);
+    println!("  p99 latency        {:>12.6} s", summary.p99_seconds);
+
+    if let Some(path) = args.json {
+        std::fs::write(&path, summary_to_json(&summary, &records)).expect("write JSON report");
+        eprintln!("wrote summary + {} records to {path}", records.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_match_the_acceptance_shape() {
+        let args = parse_args(argv(&[])).unwrap();
+        assert!(!args.mini);
+        assert_eq!(args.shards, 2);
+        assert_eq!(args.requests, 32);
+        assert_eq!(args.queue, 64);
+        assert_eq!(args.json, None);
+    }
+
+    #[test]
+    fn flags_parse_and_reject_garbage() {
+        let args = parse_args(argv(&[
+            "--mini",
+            "--shards",
+            "3",
+            "--requests",
+            "48",
+            "--queue",
+            "8",
+            "--seed",
+            "9",
+            "--json",
+            "out.json",
+        ]))
+        .unwrap();
+        assert!(args.mini);
+        assert_eq!(args.shards, 3);
+        assert_eq!(args.requests, 48);
+        assert_eq!(args.queue, 8);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.json.as_deref(), Some("out.json"));
+
+        assert!(matches!(
+            parse_args(argv(&["--shards"])),
+            Err(ArgError::MissingValue { flag: "--shards" })
+        ));
+        assert!(matches!(
+            parse_args(argv(&["--shards", "two"])),
+            Err(ArgError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            parse_args(argv(&["--turbo"])),
+            Err(ArgError::UnknownFlag { .. })
+        ));
+        assert!(matches!(
+            parse_args(argv(&["32"])),
+            Err(ArgError::UnexpectedPositional { .. })
+        ));
+    }
+}

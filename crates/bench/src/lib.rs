@@ -23,6 +23,7 @@ use pact_benchgen::Instance;
 use pact_ir::logic::Logic;
 
 pub mod cli;
+pub mod throughput;
 
 /// One counting configuration of the evaluation: the CDM baseline or `pact`
 /// with one of the three hash families.
@@ -176,6 +177,12 @@ pub struct RunRecord {
     pub configuration: Configuration,
     /// Which oracle backend ran it.
     pub backend: Backend,
+    /// The service shard that served the run, for records produced through
+    /// `pact-service` (the throughput bench); `None` for direct runs.
+    pub shard: Option<usize>,
+    /// Wall-clock seconds the request waited in the service admission queue
+    /// before a shard picked it up; `0.0` for direct runs.
+    pub queue_seconds: f64,
     /// The counting report (outcome + stats).
     pub report: CountReport,
 }
@@ -270,6 +277,8 @@ pub fn run_one(
         logic: instance.logic,
         configuration,
         backend: harness.backend,
+        shard: None,
+        queue_seconds: 0.0,
         report,
     }
 }
@@ -328,7 +337,7 @@ pub fn run_suite_parallel(
 /// Bump this (and the round-trip test pinning the field list) whenever a
 /// field is added, removed or re-typed, so downstream consumers of the CI
 /// artifact can dispatch on `schema_version` instead of sniffing keys.
-pub const RECORD_SCHEMA_VERSION: u32 = 5;
+pub const RECORD_SCHEMA_VERSION: u32 = 6;
 
 /// The field names of one JSON record, in emission order (the schema that
 /// [`RECORD_SCHEMA_VERSION`] versions).
@@ -351,12 +360,19 @@ pub const RECORD_SCHEMA_VERSION: u32 = 5;
 /// fresh threads; 0 for single-engine backends) and `compactions`
 /// (frame-garbage re-encodes the activation-literal oracles performed —
 /// their `rebuilds` stays 0).
-pub const RECORD_SCHEMA_FIELDS: [&str; 22] = [
+///
+/// Schema v6 adds the service pair: `shard` (which `pact-service` shard
+/// served the run; `-1` for direct, non-service runs) and `queue_seconds`
+/// (wall-clock time the request waited in the service admission queue;
+/// `0.0` for direct runs).  Both come from the `service_throughput` bench.
+pub const RECORD_SCHEMA_FIELDS: [&str; 24] = [
     "schema_version",
     "instance",
     "logic",
     "configuration",
     "backend",
+    "shard",
+    "queue_seconds",
     "outcome",
     "estimate",
     "log2_estimate",
@@ -401,11 +417,14 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
             .map(u64::to_string)
             .collect::<Vec<_>>()
             .join(",");
+        // `shard` is -1 for direct (non-service) runs, so the column stays
+        // numeric and split-on-", " parseable.
+        let shard = record.shard.map(|s| s as i64).unwrap_or(-1);
         out.push_str(&format!(
             concat!(
                 "  {{\"schema_version\": {}, ",
                 "\"instance\": \"{}\", \"logic\": \"{}\", \"configuration\": \"{}\", ",
-                "\"backend\": \"{}\", ",
+                "\"backend\": \"{}\", \"shard\": {}, \"queue_seconds\": {:.6}, ",
                 "\"outcome\": \"{}\", \"estimate\": {}, \"log2_estimate\": {}, ",
                 "\"oracle_calls\": {}, \"cells_explored\": {}, \"iterations\": {}, ",
                 "\"rebuilds\": {}, \"portfolio_workers\": {}, \"worker_wins\": [{}], ",
@@ -419,6 +438,8 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
             record.logic.name(),
             record.configuration.label(),
             record.backend.label(),
+            shard,
+            record.queue_seconds,
             kind,
             value,
             log2,
@@ -624,10 +645,14 @@ mod tests {
             seed: 1,
             ..HarnessConfig::default()
         };
-        let records = vec![
+        let mut records = vec![
             run_one(&suite[0], Configuration::Pact(HashFamily::Xor), &harness),
             run_one(&suite[0], Configuration::Cdm, &harness),
         ];
+        // Cover both shapes of the v6 service pair: a direct run (shard -1,
+        // zero queue wait) and a service-served run.
+        records[1].shard = Some(1);
+        records[1].queue_seconds = 0.25;
         let json = records_to_json(&records);
         let parsed: Vec<Vec<(String, String)>> = json
             .lines()
@@ -655,6 +680,15 @@ mod tests {
             assert_eq!(get("logic"), record.logic.name());
             assert_eq!(get("configuration"), record.configuration.label());
             assert_eq!(get("backend"), record.backend.label());
+            // The v6 service pair: -1 / the shard index, and a non-negative
+            // queue wait.
+            assert_eq!(
+                get("shard").parse::<i64>().unwrap(),
+                record.shard.map(|s| s as i64).unwrap_or(-1)
+            );
+            let queued = get("queue_seconds").parse::<f64>().unwrap();
+            assert!((queued - record.queue_seconds).abs() < 1e-5);
+            assert!(queued >= 0.0);
             assert_eq!(
                 get("oracle_calls").parse::<u64>().unwrap(),
                 record.report.stats.oracle_calls

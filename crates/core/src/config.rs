@@ -98,10 +98,19 @@ impl std::str::FromStr for BackendSpec {
 /// Builds the SMT oracle a counting run talks to.
 ///
 /// The counting core is generic over the [`Oracle`] trait; this factory is
-/// the hook that decides *which* implementation gets built.  It is invoked
-/// once for the base context and once per scheduled round — with a parallel
-/// [`ParallelConfig`] that means once per worker-claimed round, on the
-/// worker's own thread, so implementations must be `Send + Sync`.
+/// the hook that decides *which* implementation gets built.
+///
+/// # Thread-safety bounds
+///
+/// The factory is `Send + Sync`, and custom constructors must be too
+/// ([`OracleFactory::new`] requires `Fn(SolverConfig) -> Box<dyn Oracle> +
+/// Send + Sync + 'static`).  It is invoked once for the base context and
+/// once per scheduled round — with a parallel [`ParallelConfig`] that means
+/// once per worker-claimed round, on the worker's own thread (`Sync`), and
+/// service front-ends (`pact-service`) additionally move whole
+/// configurations onto shard threads (`Send`).  The bound is pinned by a
+/// compile-time assertion next to this type, so a non-thread-safe variant
+/// cannot be added by accident.
 ///
 /// The default factory builds the workspace's own rebuilding [`Context`];
 /// [`OracleFactory::incremental`] selects the activation-literal
@@ -274,6 +283,19 @@ impl PartialEq for OracleFactory {
         }
     }
 }
+
+// Factories (and the configs carrying them) cross thread boundaries twice
+// over: the round scheduler builds one oracle per worker-claimed round, and
+// service shards receive whole `CounterConfig`s from submitter threads.
+// Every variant of `Backend` — including `Custom`, whose closure type is
+// explicitly `+ Send + Sync` — must preserve that; these assertions turn a
+// regression into a compile error at the definition site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BackendSpec>();
+    assert_send_sync::<OracleFactory>();
+    assert_send_sync::<CounterConfig>();
+};
 
 /// Thread scheduling of the independent outer rounds of the counting
 /// algorithms.

@@ -118,10 +118,23 @@ pub enum ProgressEvent {
 
 /// An observer of [`ProgressEvent`]s.
 ///
-/// Implementations must be `Send + Sync`: with a parallel
-/// [`ParallelConfig`](crate::ParallelConfig) the engine calls `report` from
-/// several worker threads concurrently.  Any `Fn(&ProgressEvent) + Send +
-/// Sync` closure implements the trait.
+/// # Thread-safety bounds
+///
+/// Implementations must be `Send + Sync` — the bound is on the trait, not
+/// on call sites, so it is checked where the observer is *written* rather
+/// than deep inside the engine.  Two consumers rely on it:
+///
+/// * with a parallel [`ParallelConfig`](crate::ParallelConfig) the engine
+///   calls [`Progress::report`] from several round-worker threads
+///   concurrently (`Sync`), and
+/// * service front-ends (`pact-service`) move the observer onto a shard
+///   thread and forward events over channels to a handle owned by another
+///   thread (`Send`).
+///
+/// Any `Fn(&ProgressEvent) + Send + Sync` closure implements the trait; a
+/// non-`Sync` sink (e.g. an `mpsc::Sender` on older toolchains) can be
+/// wrapped in a `Mutex` inside the closure.  Events are `Clone + Send`, so
+/// forwarding them across threads needs no wrapper at all.
 pub trait Progress: Send + Sync {
     /// Called once per event, from the thread doing the work.
     fn report(&self, event: &ProgressEvent);
@@ -198,6 +211,19 @@ impl RunControl {
         self.cancel.as_ref().map(CancellationToken::interrupt_flag)
     }
 }
+
+// Cross-thread delivery is the whole point of these types: tokens are
+// cancelled from supervisor threads, events cross shard/handle boundaries,
+// and `RunControl` (carrying an `Arc<dyn Progress>`) is shared by round
+// workers.  Pin the auto-traits at compile time so a field change cannot
+// silently break them.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CancellationToken>();
+    assert_send_sync::<ProgressEvent>();
+    assert_send_sync::<RunControl>();
+    assert_send_sync::<Arc<dyn Progress>>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,77 @@
+//! The per-request event feed: the observable lifecycle of a submitted
+//! count.
+//!
+//! Every accepted request gets its own event stream, consumed through
+//! [`RequestHandle`](crate::RequestHandle).  The stream is strictly ordered
+//! for one request — `Queued`, then `Admitted`, then any number of
+//! `Progress` events, then exactly one terminal event — but streams of
+//! *different* requests interleave arbitrarily, as they run on different
+//! shard threads.
+//!
+//! Events are delivered over an unbounded channel owned by the handle:
+//! a slow (or absent) consumer never blocks a shard, and dropping the
+//! handle silently discards further events without disturbing the run.
+
+use pact::ProgressEvent;
+
+/// One step in the service-side lifecycle of a counting request.
+///
+/// The enum is `#[non_exhaustive]`: future service features (re-queueing,
+/// result caching) will add event kinds, and consumers must ignore unknown
+/// ones.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RequestEvent {
+    /// The request passed admission control and is waiting for a shard.
+    Queued,
+    /// A shard thread picked the request up and is counting it.
+    Admitted {
+        /// The serving shard's index (`0..shards`).
+        shard: usize,
+    },
+    /// A counting-engine progress event (models, cells, rounds), forwarded
+    /// verbatim from the shard's [`pact::Progress`] observer.
+    Progress(ProgressEvent),
+    /// Terminal: the count finished within its budget (exact, approximate
+    /// or unsat — see the report retrieved through the handle).
+    Finished,
+    /// Terminal: the per-request deadline expired; the report carries
+    /// [`pact::CountOutcome::Timeout`] with partial statistics.
+    TimedOut,
+    /// Terminal: the request was cancelled — through
+    /// [`RequestHandle::cancel`](crate::RequestHandle::cancel) or an
+    /// aborting shutdown — before (or while) it ran.
+    Cancelled,
+    /// Terminal: the counting engine rejected the run (unsupported
+    /// fragment, invalid configuration); the handle yields the typed error.
+    Failed,
+}
+
+impl RequestEvent {
+    /// Whether this event ends the stream (no further events follow it).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            RequestEvent::Finished
+                | RequestEvent::TimedOut
+                | RequestEvent::Cancelled
+                | RequestEvent::Failed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_classification() {
+        assert!(!RequestEvent::Queued.is_terminal());
+        assert!(!RequestEvent::Admitted { shard: 0 }.is_terminal());
+        assert!(!RequestEvent::Progress(ProgressEvent::Model { found: 1 }).is_terminal());
+        assert!(RequestEvent::Finished.is_terminal());
+        assert!(RequestEvent::TimedOut.is_terminal());
+        assert!(RequestEvent::Cancelled.is_terminal());
+        assert!(RequestEvent::Failed.is_terminal());
+    }
+}

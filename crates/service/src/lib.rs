@@ -1,0 +1,75 @@
+//! Counting as a service: a long-lived batch server over `pact` sessions.
+//!
+//! The ROADMAP's north star is a system serving heavy concurrent counting
+//! traffic, and `pact`'s `Session` + `Progress` + `CancellationToken` is
+//! the natural seam to front with a service.  This crate provides that
+//! front-end as a library: a [`CountingService`] owning a set of persistent
+//! *shard* threads (one single-threaded `Session` pipeline each), a bounded
+//! priority-laned admission queue, and per-request handles with streamed
+//! lifecycle events.
+//!
+//! The design follows the factory/shared-context split: the service is the
+//! immutable compiled artifact (threads, queue, configuration), and each
+//! [`CountRequest`] is a self-contained problem that flows through it.
+//! Key contracts, all pinned by tests:
+//!
+//! - **Admission control**: the queue is bounded; a full queue rejects
+//!   immediately with [`ServiceError::QueueFull`] instead of blocking or
+//!   buffering unboundedly.
+//! - **Deadlines**: a per-request deadline is end-to-end from submission
+//!   (queue wait counts); expiry maps onto the engine's own
+//!   `Timeout`-with-partial-statistics semantics.
+//! - **Cancellation**: every request carries its own
+//!   [`pact::CancellationToken`]; cancelling resolves the request as a
+//!   `Timeout`-style partial report, never an error.
+//! - **Determinism**: a service answer is bit-identical to a direct
+//!   [`pact::Session`] run under [`CountRequest::counter_config`] — the
+//!   service adds scheduling, not noise.
+//! - **Shutdown**: [`CountingService::shutdown`] drains,
+//!   [`CountingService::abort`] cancels; both join every shard thread, and
+//!   dropping the service behaves like `abort`.
+//!
+//! ```
+//! use pact_ir::{TermManager, Sort};
+//! use pact_service::{CountRequest, CountingService, ServiceConfig};
+//!
+//! let service = CountingService::new(ServiceConfig::default());
+//! let mut tm = TermManager::new();
+//! let x = tm.mk_var("x", Sort::BitVec(8));
+//! let c = tm.mk_bv_const(200, 8);
+//! let f = tm.mk_bv_ult(x, c).unwrap();
+//! let mut handle = service
+//!     .submit(CountRequest::new(tm).assert(f).project(x).epsilon(0.8))
+//!     .unwrap();
+//! let outcome = handle.wait().unwrap().report.outcome;
+//! assert!(outcome.value().is_some());
+//! service.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod queue;
+mod request;
+mod service;
+mod shard;
+
+pub use event::RequestEvent;
+pub use request::{
+    CountRequest, Priority, RequestHandle, ServiceError, ServiceReport, ServiceResult,
+};
+pub use service::{CountingService, ServiceConfig, ServiceMetrics};
+
+// The whole point of the service is crossing thread boundaries; pin the
+// auto-traits at compile time so a field change cannot silently break them.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<CountRequest>();
+    assert_send::<RequestHandle>();
+    assert_send::<RequestEvent>();
+    assert_send::<ServiceReport>();
+    assert_send_sync::<CountingService>();
+    assert_send_sync::<ServiceError>();
+};

@@ -1,0 +1,243 @@
+//! Bounded, priority-laned admission queue shared by the shard threads.
+//!
+//! `std::sync::mpsc` has no multi-consumer receiver, so the queue is a
+//! `Mutex` around three FIFO lanes (one per [`Priority`]) plus a `Condvar`
+//! shards park on.  Admission control lives entirely in [`AdmissionQueue::
+//! push`]: when the combined depth hits capacity the ticket is handed back
+//! to the caller with a typed rejection, so the service can surface
+//! [`ServiceError::QueueFull`](crate::ServiceError::QueueFull) without ever
+//! blocking the submitter.
+//!
+//! Shutdown comes in two flavours the service maps onto queue operations:
+//! *drain* ([`AdmissionQueue::close`]: no new tickets, shards finish what is
+//! queued, `pop` returns `None` once empty) and *abort*
+//! ([`AdmissionQueue::clear`]: close, hand every pending ticket back for
+//! cancellation, and raise a flag shards check before serving anything they
+//! already popped).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use pact::CancellationToken;
+
+use crate::request::{CountRequest, Priority, ServiceResult};
+use crate::RequestEvent;
+
+/// An admitted request in flight through the service: the request itself
+/// plus the channels and token that tie it back to its [`RequestHandle`]
+/// (crate::RequestHandle).
+#[derive(Debug)]
+pub(crate) struct Ticket {
+    /// Mirrors the handle's id; read by the queue-ordering tests (the
+    /// shards identify requests by their channels, not by id).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) id: u64,
+    pub(crate) request: CountRequest,
+    pub(crate) token: CancellationToken,
+    pub(crate) events: Sender<RequestEvent>,
+    pub(crate) result: Sender<ServiceResult>,
+    pub(crate) submitted: Instant,
+}
+
+/// Why a ticket was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue was closed by shutdown.
+    Closed,
+}
+
+#[derive(Debug)]
+struct LaneState {
+    lanes: [VecDeque<Ticket>; 3],
+    open: bool,
+}
+
+impl LaneState {
+    fn depth(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    fn pop_highest(&mut self) -> Option<Ticket> {
+        self.lanes.iter_mut().find_map(VecDeque::pop_front)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct AdmissionQueue {
+    state: Mutex<LaneState>,
+    ready: Condvar,
+    capacity: usize,
+    abort: AtomicBool,
+}
+
+impl AdmissionQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(LaneState {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                open: true,
+            }),
+            ready: Condvar::new(),
+            capacity,
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current combined depth across all lanes.
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").depth()
+    }
+
+    /// Whether an aborting shutdown is in progress; shards check this
+    /// between popping a ticket and serving it, closing the race where a
+    /// ticket leaves the queue just as `clear` runs.
+    pub(crate) fn aborting(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    /// Admits a ticket into its priority lane, or hands it back with the
+    /// reason it was refused.  Never blocks.
+    // The Err variant deliberately returns the whole ticket so a rejected
+    // submission loses nothing; the move is one-time, on a cold path.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn push(
+        &self,
+        ticket: Ticket,
+        priority: Priority,
+    ) -> Result<usize, (AdmitError, Ticket)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if !state.open {
+            return Err((AdmitError::Closed, ticket));
+        }
+        if state.depth() >= self.capacity {
+            return Err((AdmitError::Full, ticket));
+        }
+        state.lanes[priority.lane()].push_back(ticket);
+        let depth = state.depth();
+        drop(state);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a ticket is available (highest lane first, FIFO within
+    /// a lane) or the queue is closed and drained — `None` tells the shard
+    /// to exit its loop.
+    pub(crate) fn pop(&self) -> Option<Ticket> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(ticket) = state.pop_highest() {
+                return Some(ticket);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue for new admissions; already-queued tickets are
+    /// still served (draining shutdown).
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.open = false;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Aborting shutdown: closes the queue, raises the abort flag, and
+    /// hands back every pending ticket so the service can resolve each as
+    /// cancelled.
+    pub(crate) fn clear(&self) -> Vec<Ticket> {
+        self.abort.store(true, Ordering::Release);
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.open = false;
+        let pending = state
+            .lanes
+            .iter_mut()
+            .flat_map(std::mem::take)
+            .collect::<Vec<_>>();
+        drop(state);
+        self.ready.notify_all();
+        pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pact_ir::{Sort, TermManager};
+    use std::sync::mpsc::channel;
+
+    fn ticket(id: u64) -> Ticket {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(3));
+        let request = CountRequest::new(tm).project(x);
+        // The queue tests never send on these channels, so the receivers
+        // can be dropped immediately.
+        let (events, _) = channel();
+        let (result, _) = channel();
+        Ticket {
+            id,
+            request,
+            token: CancellationToken::new(),
+            events,
+            result,
+            submitted: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn rejects_when_full_and_hands_ticket_back() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.push(ticket(1), Priority::Normal).is_ok());
+        assert!(q.push(ticket(2), Priority::Normal).is_ok());
+        let (err, rejected) = q.push(ticket(3), Priority::Normal).unwrap_err();
+        assert_eq!(err, AdmitError::Full);
+        assert_eq!(rejected.id, 3);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn pops_fifo_within_priority_highest_lane_first() {
+        let q = AdmissionQueue::new(8);
+        q.push(ticket(1), Priority::Batch).unwrap();
+        q.push(ticket(2), Priority::Normal).unwrap();
+        q.push(ticket(3), Priority::Normal).unwrap();
+        q.push(ticket(4), Priority::Urgent).unwrap();
+        let order: Vec<u64> = (0..4).map(|_| q.pop().unwrap().id).collect();
+        assert_eq!(order, vec![4, 2, 3, 1]);
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = AdmissionQueue::new(8);
+        q.push(ticket(1), Priority::Normal).unwrap();
+        q.close();
+        let (err, _) = q.push(ticket(2), Priority::Normal).unwrap_err();
+        assert_eq!(err, AdmitError::Closed);
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn clear_returns_pending_and_flags_abort() {
+        let q = AdmissionQueue::new(8);
+        q.push(ticket(1), Priority::Normal).unwrap();
+        q.push(ticket(2), Priority::Urgent).unwrap();
+        assert!(!q.aborting());
+        let pending = q.clear();
+        assert!(q.aborting());
+        let ids: Vec<u64> = pending.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![2, 1]);
+        assert!(q.pop().is_none());
+    }
+}

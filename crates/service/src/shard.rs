@@ -1,0 +1,155 @@
+//! Shard worker threads: one persistent `Session` pipeline per shard.
+//!
+//! Each shard is a std thread parked on the shared [`AdmissionQueue`],
+//! serving one ticket at a time: build a single-threaded [`pact::Session`]
+//! from the request, count it with the request's cancellation token and a
+//! progress forwarder attached, and resolve the ticket's handle with a
+//! typed disposition.  Parallelism comes from running several shards, not
+//! from within a request — the per-request configuration pins
+//! `parallel.threads = 1` (see
+//! [`CountRequest::counter_config`](crate::CountRequest::counter_config)).
+//!
+//! Lifecycle accounting follows the `WorkerPool` discipline from
+//! `pact_solver`: the service increments a shared live-thread counter
+//! before spawning each shard, and a drop guard decrements it on *any* exit
+//! path, so tests can assert zero leaked threads after shutdown.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pact::{CountOutcome, CountReport, CountStats, Session};
+
+use crate::queue::{AdmissionQueue, Ticket};
+use crate::request::{ServiceError, ServiceReport};
+use crate::RequestEvent;
+
+/// Per-shard state the service keeps for observability and abort: the token
+/// of the request currently being served (cancelled wholesale by an
+/// aborting shutdown) and a served-request counter (reported through
+/// [`ServiceMetrics`](crate::ServiceMetrics) and asserted by the throughput
+/// smoke run).
+#[derive(Debug, Default)]
+pub(crate) struct ShardState {
+    pub(crate) current: Mutex<Option<pact::CancellationToken>>,
+    pub(crate) served: AtomicU64,
+}
+
+/// Decrements the live-thread counter on any exit path (normal drain,
+/// abort, or panic unwinding through the shard loop).
+struct LiveGuard(Arc<AtomicUsize>);
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The shard thread body: pop, publish the current token, serve, repeat —
+/// until the queue closes and drains.
+pub(crate) fn run(
+    index: usize,
+    queue: Arc<AdmissionQueue>,
+    state: Arc<ShardState>,
+    live: Arc<AtomicUsize>,
+) {
+    let _guard = LiveGuard(live);
+    while let Some(ticket) = queue.pop() {
+        *state.current.lock().expect("shard state poisoned") = Some(ticket.token.clone());
+        serve(index, &queue, ticket, &state.served);
+        *state.current.lock().expect("shard state poisoned") = None;
+    }
+}
+
+/// The report a request resolves to when it never (fully) ran: the
+/// engine's `Timeout` outcome with empty statistics.
+pub(crate) fn cancelled_report() -> CountReport {
+    CountReport {
+        outcome: CountOutcome::Timeout,
+        stats: CountStats::default(),
+    }
+}
+
+/// Serves one ticket end to end: admission event, session build, count,
+/// terminal event + result.  Send failures are ignored throughout — a
+/// dropped [`RequestHandle`](crate::RequestHandle) must never disturb the
+/// shard.
+fn serve(shard: usize, queue: &AdmissionQueue, ticket: Ticket, served: &AtomicU64) {
+    let Ticket {
+        id: _,
+        request,
+        token,
+        events,
+        result,
+        submitted,
+    } = ticket;
+    let queue_seconds = submitted.elapsed().as_secs_f64();
+    let _ = events.send(RequestEvent::Admitted { shard });
+    // Counted at admission (not completion) so the increment happens-before
+    // the result delivery a waiter unblocks on: once `wait` returns, the
+    // metrics already account for this request.
+    served.fetch_add(1, Ordering::Relaxed);
+
+    // A ticket can leave the queue just as an aborting shutdown clears it,
+    // or its handle may have cancelled while it queued; either way, stand
+    // down without building a session.
+    if queue.aborting() || token.is_cancelled() {
+        let _ = events.send(RequestEvent::Cancelled);
+        let _ = result.send(Ok(ServiceReport {
+            report: cancelled_report(),
+            shard: Some(shard),
+            queue_seconds,
+        }));
+        return;
+    }
+
+    // The deadline is end-to-end from submission: time already spent in the
+    // queue is charged against it.  A fully consumed budget becomes
+    // `Some(Duration::ZERO)`, which the engine maps to an immediate
+    // `Timeout` with partial statistics.
+    let mut config = request.counter_config();
+    if let Some(total) = request.deadline {
+        config.deadline = Some(total.saturating_sub(submitted.elapsed()));
+    }
+
+    // `Sender` is wrapped in a `Mutex` because the `Progress` observer must
+    // be `Sync`; contention is nil (the session is single-threaded).
+    let forward = Mutex::new(events.clone());
+    let built = Session::builder(request.tm)
+        .assert_all(&request.formula)
+        .project_all(&request.projection)
+        .config(config)
+        .cancellation(token.clone())
+        .on_progress(move |event| {
+            let _ = forward
+                .lock()
+                .expect("event forwarder poisoned")
+                .send(RequestEvent::Progress(event.clone()));
+        })
+        .build();
+
+    let outcome = match built {
+        Ok(mut session) => session.count(),
+        Err(e) => Err(e),
+    };
+    match outcome {
+        Err(e) => {
+            let _ = events.send(RequestEvent::Failed);
+            let _ = result.send(Err(ServiceError::Count(e)));
+        }
+        Ok(report) => {
+            let terminal = if token.is_cancelled() {
+                RequestEvent::Cancelled
+            } else if report.outcome == CountOutcome::Timeout {
+                RequestEvent::TimedOut
+            } else {
+                RequestEvent::Finished
+            };
+            let _ = events.send(terminal);
+            let _ = result.send(Ok(ServiceReport {
+                report,
+                shard: Some(shard),
+                queue_seconds,
+            }));
+        }
+    }
+}

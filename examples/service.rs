@@ -1,0 +1,127 @@
+//! Counting as a service: push a small mixed workload through a
+//! [`CountingService`] and watch it stream back.
+//!
+//! The service front-end is the batch-server shape of the session API:
+//! declare a [`CountRequest`] per problem (formula, projection, backend,
+//! `(ε, δ)`, optional deadline and priority), submit it to a long-lived
+//! service running one counting pipeline per shard thread, and collect the
+//! answer through the returned [`RequestHandle`] — blocking (`wait`),
+//! polling (`try_result`), or event-by-event (`next_event`).  Admission is
+//! bounded: a saturated queue rejects with a typed error instead of
+//! buffering without limit.
+//!
+//! Run with: `cargo run --example service --release`
+
+use std::time::Duration;
+
+use pact::BackendSpec;
+use pact_ir::{Sort, TermId, TermManager};
+use pact_service::{CountRequest, CountingService, Priority, RequestEvent, ServiceConfig};
+
+/// Declares `x >= bound` over a `width`-bit variable: a small saturating
+/// counting problem whose difficulty scales with `width`.
+fn problem(width: u32, bound: u128) -> (TermManager, TermId, TermId) {
+    let mut tm = TermManager::new();
+    let x = tm.mk_var("x", Sort::BitVec(width));
+    let c = tm.mk_bv_const(bound, width);
+    let f = tm.mk_bv_ule(c, x).expect("same-width comparison");
+    (tm, f, x)
+}
+
+fn request(width: u32, bound: u128) -> CountRequest {
+    let (tm, f, x) = problem(width, bound);
+    CountRequest::new(tm)
+        .assert(f)
+        .project(x)
+        .seed(42)
+        .iterations(3)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two shard threads, each running its own session pipeline; the
+    // admission queue holds at most 16 requests beyond the ones in flight.
+    let service = CountingService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 16,
+    });
+
+    // ---- A mixed batch: different backends, priorities and deadlines ----
+    let mut batch = vec![
+        ("incremental", service.submit(request(8, 16))?),
+        (
+            "cube (batch lane)",
+            service.submit(
+                request(9, 32)
+                    .backend(BackendSpec::Cube {
+                        depth: 2,
+                        workers: 2,
+                    })
+                    .priority(Priority::Batch),
+            )?,
+        ),
+        (
+            "urgent",
+            service.submit(request(8, 64).priority(Priority::Urgent))?,
+        ),
+        (
+            "zero deadline",
+            // A deadline of zero is consumed before the shard even starts:
+            // the request comes back as a Timeout outcome, not an error.
+            service.submit(request(8, 16).deadline(Duration::ZERO))?,
+        ),
+    ];
+
+    // ---- Stream one request's event feed while the batch runs ----------
+    // Every handle carries its own feed: Queued, Admitted { shard },
+    // engine Progress events, then exactly one terminal event.
+    let (label, handle) = &mut batch[0];
+    println!("events for the {label} request:");
+    loop {
+        let event = handle.next_event().expect("feed ends with a terminal");
+        match &event {
+            RequestEvent::Progress(_) => {} // per-model/cell/round firehose
+            other => println!("  {other:?}"),
+        }
+        if event.is_terminal() {
+            break;
+        }
+    }
+
+    // ---- Collect every answer -------------------------------------------
+    println!("\nresults:");
+    for (label, handle) in &mut batch {
+        let report = handle.wait()?;
+        println!(
+            "  {label:<18} -> {} (shard {:?}, {:.4}s queued, {} oracle calls)",
+            report.report.outcome,
+            report.shard,
+            report.queue_seconds,
+            report.report.stats.oracle_calls,
+        );
+    }
+
+    // ---- Mid-flight cancellation ----------------------------------------
+    // A long count (2000 requested rounds) cancelled as soon as it makes
+    // progress: the partial statistics come back like a deadline expiry.
+    let mut long = service.submit(request(12, 2048).iterations(2000))?;
+    long.wait_for_event(|e| matches!(e, RequestEvent::Progress(_)));
+    long.cancel();
+    let partial = long.wait()?;
+    println!(
+        "\ncancelled long count: {} after {} cells ({} oracle calls kept)",
+        partial.report.outcome,
+        partial.report.stats.cells_explored,
+        partial.report.stats.oracle_calls
+    );
+
+    let metrics = service.metrics();
+    println!(
+        "\nservice metrics: {} submitted, {} rejected, served per shard {:?}",
+        metrics.submitted, metrics.rejected, metrics.served_per_shard
+    );
+
+    // Graceful shutdown: drains nothing here (all requests resolved), joins
+    // every shard thread, and leaves zero live threads behind.
+    service.shutdown();
+    Ok(())
+}

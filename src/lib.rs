@@ -12,6 +12,8 @@
 //! * [`pact_solver`] — the SMT oracle ([`Oracle`] trait + `Context`
 //!   reference implementation);
 //! * [`pact_hash`] — the hash families;
+//! * [`pact_service`] — the counting-as-a-service batch server
+//!   ([`CountingService`]);
 //! * [`pact_benchgen`] — the workload generators.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the paper-to-code map, and
@@ -24,6 +26,7 @@ pub use pact;
 pub use pact_benchgen;
 pub use pact_hash;
 pub use pact_ir;
+pub use pact_service;
 pub use pact_solver;
 
 // The session surface, re-exported flat for downstream convenience: most
@@ -32,3 +35,4 @@ pub use pact::{
     CancellationToken, ConfigError, CountError, CountOutcome, CountReport, CountResult,
     CounterConfig, Oracle, OracleFactory, Progress, ProgressEvent, Session, SessionBuilder,
 };
+pub use pact_service::{CountRequest, CountingService, RequestHandle, ServiceConfig};

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
-use pact::{median, pact_count, relative_error, CountOutcome, CounterConfig};
+use pact::{median, pact_count, relative_error, BackendSpec, CountOutcome, CounterConfig};
 use pact_hash::{generate, HashFamily};
 use pact_ir::{BvValue, Rational, Sort, TermId, TermManager, Value};
 use pact_solver::{Context, SolverResult};
@@ -236,6 +236,100 @@ proptest! {
         prop_assert!(2 * le >= values.len());
         prop_assert!(2 * ge >= values.len());
     }
+}
+
+// ---------------------------------------------------------------------------
+// BackendSpec Display/FromStr round-trip
+// ---------------------------------------------------------------------------
+//
+// The service front-end parses backend specs out of untrusted request
+// payloads, so the spec grammar is load-bearing: every spec must survive a
+// Display → FromStr round-trip bit-identically, and malformed inputs must
+// fail with a readable diagnostic rather than a silent default.
+
+/// Decodes an arbitrary `(kind, depth, workers)` triple into a spec,
+/// covering every variant including the parameterised forms.
+fn backend_spec_from(kind: usize, depth: usize, workers: usize) -> BackendSpec {
+    match kind % 4 {
+        0 => BackendSpec::Rebuild,
+        1 => BackendSpec::Incremental,
+        2 => BackendSpec::Portfolio { workers },
+        _ => BackendSpec::Cube { depth, workers },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn backend_spec_display_fromstr_roundtrip(
+        kind in 0usize..4, depth in 1usize..=12, workers in 1usize..=12,
+    ) {
+        let spec = backend_spec_from(kind, depth, workers);
+        let rendered = spec.to_string();
+        prop_assert_eq!(rendered.parse::<BackendSpec>(), Ok(spec));
+        // Rendering is stable: round-tripping the parse renders identically.
+        let reparsed: BackendSpec = rendered.parse().unwrap();
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    #[test]
+    fn backend_spec_rejects_malformed_parameters_readably(
+        kind in 0usize..2, n in 0u32..10_000,
+    ) {
+        // A non-numeric parameter after a valid head is always rejected,
+        // and the diagnostic names both the bad parameter and the input.
+        // (The vendored proptest shim has no string strategies, so the junk
+        // parameter is synthesised from a number; the leading letter makes
+        // it unparseable as usize.)
+        let junk = format!("w{n}");
+        let head = if kind == 0 { "portfolio" } else { "cube" };
+        let input = format!("{head}:{junk}");
+        let err = input.parse::<BackendSpec>().unwrap_err();
+        prop_assert!(err.contains(&junk), "diagnostic {} names the parameter", err);
+        prop_assert!(err.contains(&input), "diagnostic {} names the input", err);
+    }
+
+    #[test]
+    fn backend_spec_rejects_unknown_heads_with_the_menu(n in 0u32..10_000) {
+        // Never collides with a real head, whatever the number.
+        let junk = format!("warp{n}");
+        let err = junk.parse::<BackendSpec>().unwrap_err();
+        prop_assert!(err.contains(&junk), "diagnostic {} names the input", err);
+        // The error lists every accepted form, so a service client can fix
+        // the payload without reading our source.
+        for expected in ["rebuild", "incremental", "portfolio", "cube"] {
+            prop_assert!(err.contains(expected), "diagnostic {} lists {}", err, expected);
+        }
+    }
+}
+
+#[test]
+fn backend_spec_parses_shorthand_defaults_and_rejects_trailing_parts() {
+    // Omitted counts fall back to the harness defaults...
+    assert_eq!(
+        "portfolio".parse::<BackendSpec>(),
+        Ok(BackendSpec::Portfolio { workers: 2 })
+    );
+    assert_eq!(
+        "cube".parse::<BackendSpec>(),
+        Ok(BackendSpec::Cube {
+            depth: 3,
+            workers: 2
+        })
+    );
+    assert_eq!(
+        "cube:4".parse::<BackendSpec>(),
+        Ok(BackendSpec::Cube {
+            depth: 4,
+            workers: 2
+        })
+    );
+    // ...while excess parameters are an error, not silently ignored.
+    let err = "rebuild:1".parse::<BackendSpec>().unwrap_err();
+    assert!(err.contains("rebuild:1"), "{err}");
+    let err = "cube:3:2:9".parse::<BackendSpec>().unwrap_err();
+    assert!(err.contains("cube:3:2:9"), "{err}");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,322 @@
+//! Contract tests for `pact-service`: the counting-as-a-service front-end.
+//!
+//! These pin the service's load-bearing guarantees end to end, through the
+//! public API only:
+//!
+//! * admission control rejects (rather than blocks or buffers) once the
+//!   bounded queue saturates;
+//! * per-request deadlines are end-to-end from submission and map onto the
+//!   engine's `Timeout`-with-partial-statistics semantics;
+//! * cancellation — mid-round or while queued — resolves cleanly, and
+//!   shutdown of any flavour leaves zero live shard threads (the same
+//!   live-thread probe discipline as `tests/portfolio.rs`);
+//! * scheduling is FIFO within priority, with higher priorities served
+//!   first;
+//! * a service answer is bit-identical to a direct `Session::count` under
+//!   the request's own configuration — the service adds scheduling, not
+//!   noise.
+
+use std::time::Duration;
+
+use pact::{BackendSpec, CountOutcome, Session};
+use pact_ir::{Sort, TermId, TermManager};
+use pact_service::{
+    CountRequest, CountingService, Priority, RequestEvent, ServiceConfig, ServiceError,
+};
+
+/// A quick saturating instance: `x >= 16` over 8 bits (240 models).
+fn quick_problem() -> (TermManager, TermId, TermId) {
+    let mut tm = TermManager::new();
+    let x = tm.mk_var("x", Sort::BitVec(8));
+    let c = tm.mk_bv_const(16, 8);
+    let f = tm.mk_bv_ule(c, x).unwrap();
+    (tm, f, x)
+}
+
+fn quick_request() -> CountRequest {
+    let (tm, f, x) = quick_problem();
+    CountRequest::new(tm)
+        .assert(f)
+        .project(x)
+        .seed(42)
+        .iterations(3)
+}
+
+/// A request that runs long enough to be observed mid-flight: a wide
+/// saturating instance with far more rounds than any test waits for.
+fn long_request() -> CountRequest {
+    let mut tm = TermManager::new();
+    let x = tm.mk_var("x", Sort::BitVec(12));
+    let c = tm.mk_bv_const(2048, 12);
+    let f = tm.mk_bv_ule(c, x).unwrap();
+    CountRequest::new(tm)
+        .assert(f)
+        .project(x)
+        .seed(1)
+        .iterations(2000)
+}
+
+#[test]
+fn saturated_queue_rejects_with_typed_error_and_nothing_enqueued() {
+    let service = CountingService::new(ServiceConfig {
+        shards: 1,
+        queue_capacity: 2,
+    });
+    // Occupy the single shard so queued requests stay queued.
+    let mut blocker = service.submit(long_request()).unwrap();
+    blocker.wait_for_event(|e| matches!(e, RequestEvent::Admitted { .. }));
+
+    // Fill the queue to capacity, then one more: typed rejection.
+    let _queued: Vec<_> = (0..2)
+        .map(|_| service.submit(quick_request()).unwrap())
+        .collect();
+    let err = service.submit(quick_request()).unwrap_err();
+    assert_eq!(err, ServiceError::QueueFull { capacity: 2 });
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.submitted, 3);
+    assert_eq!(metrics.rejected, 1);
+    assert_eq!(metrics.queue_depth, 2);
+
+    blocker.cancel();
+    assert!(blocker.wait().is_ok());
+    service.abort();
+}
+
+#[test]
+fn deadline_maps_onto_timeout_with_partial_stats() {
+    let service = CountingService::new(ServiceConfig {
+        shards: 1,
+        queue_capacity: 8,
+    });
+    // A zero deadline is fully consumed before the shard even starts: the
+    // engine's immediate-timeout path, with partial statistics intact.
+    let mut handle = service
+        .submit(quick_request().deadline(Duration::ZERO))
+        .unwrap();
+    let report = handle.wait().unwrap();
+    assert_eq!(report.report.outcome, CountOutcome::Timeout);
+    assert!(report.report.stats.wall_seconds >= 0.0);
+    let terminal = handle.wait_for_event(RequestEvent::is_terminal).unwrap();
+    assert_eq!(terminal, RequestEvent::TimedOut);
+    service.shutdown();
+}
+
+#[test]
+fn deadline_is_end_to_end_so_queue_wait_counts_against_it() {
+    let service = CountingService::new(ServiceConfig {
+        shards: 1,
+        queue_capacity: 8,
+    });
+    let mut blocker = service.submit(long_request()).unwrap();
+    blocker.wait_for_event(|e| matches!(e, RequestEvent::Admitted { .. }));
+
+    // The deadline expires while the request waits behind the blocker.
+    let mut starved = service
+        .submit(quick_request().deadline(Duration::from_millis(5)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    blocker.cancel();
+    assert!(blocker.wait().is_ok());
+
+    let report = starved.wait().unwrap();
+    assert_eq!(report.report.outcome, CountOutcome::Timeout);
+    assert!(
+        report.queue_seconds >= 0.005,
+        "spent {}s in the queue",
+        report.queue_seconds
+    );
+    service.shutdown();
+}
+
+#[test]
+fn cancellation_mid_round_resolves_partial_and_leaves_no_threads() {
+    let service = CountingService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 8,
+    });
+    assert_eq!(service.live_shard_threads(), 2);
+
+    let mut handle = service.submit(long_request()).unwrap();
+    // Cancel only once the count is demonstrably mid-flight: a progress
+    // event means the engine is inside its rounds.
+    handle
+        .wait_for_event(|e| matches!(e, RequestEvent::Progress(_)))
+        .expect("a running count emits progress");
+    handle.cancel();
+
+    let report = handle.wait().unwrap();
+    assert_eq!(report.report.outcome, CountOutcome::Timeout);
+    // Partial statistics from the interrupted run are reported, not lost.
+    assert!(report.report.stats.cells_explored >= 1);
+    let terminal = handle.wait_for_event(RequestEvent::is_terminal).unwrap();
+    assert_eq!(terminal, RequestEvent::Cancelled);
+
+    // The zero-leaked-threads invariant, via the same live-thread probe
+    // discipline as the solver pools.
+    let probe = |s: &CountingService| s.live_shard_threads();
+    assert_eq!(probe(&service), 2);
+    service.shutdown();
+    // `shutdown` consumed the service; a fresh one proves drop-abort too.
+    let dropped = CountingService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 8,
+    });
+    assert_eq!(probe(&dropped), 2);
+    drop(dropped);
+}
+
+#[test]
+fn abort_cancels_queued_requests_without_serving_them() {
+    let service = CountingService::new(ServiceConfig {
+        shards: 1,
+        queue_capacity: 8,
+    });
+    let mut blocker = service.submit(long_request()).unwrap();
+    blocker.wait_for_event(|e| matches!(e, RequestEvent::Admitted { .. }));
+    let mut queued = service.submit(quick_request()).unwrap();
+
+    service.abort();
+
+    // The in-flight request resolved with a partial report...
+    let report = blocker.wait().unwrap();
+    assert_eq!(report.report.outcome, CountOutcome::Timeout);
+    // ...and the queued one was resolved as cancelled without a shard.
+    let report = queued.wait().unwrap();
+    assert_eq!(report.shard, None);
+    assert_eq!(report.report.outcome, CountOutcome::Timeout);
+    let terminal = queued.wait_for_event(RequestEvent::is_terminal).unwrap();
+    assert_eq!(terminal, RequestEvent::Cancelled);
+}
+
+#[test]
+fn scheduling_is_fifo_within_priority_and_urgent_first() {
+    let service = CountingService::new(ServiceConfig {
+        shards: 1,
+        queue_capacity: 8,
+    });
+    let mut blocker = service.submit(long_request()).unwrap();
+    blocker.wait_for_event(|e| matches!(e, RequestEvent::Admitted { .. }));
+
+    // Submission order deliberately inverts priority order.  Every queued
+    // request is itself long-running, so at any moment exactly one of them
+    // can have been admitted — which makes the service order directly
+    // observable: poll for the one admitted request, record it, cancel it,
+    // and repeat.
+    let mut entries = [
+        (
+            "batch",
+            service
+                .submit(long_request().priority(Priority::Batch))
+                .unwrap(),
+        ),
+        ("normal_a", service.submit(long_request()).unwrap()),
+        ("normal_b", service.submit(long_request()).unwrap()),
+        (
+            "urgent",
+            service
+                .submit(long_request().priority(Priority::Urgent))
+                .unwrap(),
+        ),
+    ];
+
+    blocker.cancel();
+    assert!(blocker.wait().is_ok());
+
+    let mut order: Vec<&str> = Vec::new();
+    while order.len() < entries.len() {
+        let admitted = 'poll: loop {
+            for (i, (name, handle)) in entries.iter_mut().enumerate() {
+                if order.contains(name) {
+                    continue;
+                }
+                while let Some(event) = handle.try_next_event() {
+                    if matches!(event, RequestEvent::Admitted { .. }) {
+                        break 'poll i;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        let (name, handle) = &mut entries[admitted];
+        order.push(name);
+        handle.cancel();
+        assert!(handle.wait().is_ok());
+    }
+    assert_eq!(order, vec!["urgent", "normal_a", "normal_b", "batch"]);
+    service.shutdown();
+}
+
+#[test]
+fn concurrent_identical_requests_are_bit_identical_to_direct_sessions() {
+    let backends = [
+        BackendSpec::Rebuild,
+        BackendSpec::Incremental,
+        BackendSpec::Cube {
+            depth: 2,
+            workers: 2,
+        },
+    ];
+    let service = CountingService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 64,
+    });
+
+    for backend in backends {
+        // The ground truth: a direct session under the request's own
+        // configuration (single-threaded rounds, same seed and backend).
+        let reference_request = quick_request().backend(backend);
+        let config = reference_request.counter_config();
+        let (tm, f, x) = quick_problem();
+        let mut session = Session::builder(tm)
+            .assert(f)
+            .project(x)
+            .config(config)
+            .build()
+            .unwrap();
+        let reference = session.count().unwrap();
+
+        // Many concurrent copies through the service, racing on 2 shards.
+        let mut handles: Vec<_> = (0..8)
+            .map(|_| service.submit(quick_request().backend(backend)).unwrap())
+            .collect();
+        for handle in &mut handles {
+            let report = handle.wait().unwrap();
+            assert_eq!(report.report.outcome, reference.outcome);
+            assert_eq!(
+                report.report.stats.oracle_calls,
+                reference.stats.oracle_calls
+            );
+            assert_eq!(
+                report.report.stats.cells_explored,
+                reference.stats.cells_explored
+            );
+        }
+    }
+    service.shutdown();
+}
+
+#[test]
+fn a_deep_backlog_is_served_by_more_than_one_shard() {
+    // 32 concurrent requests over 2 shards: the acceptance workload shape.
+    // All requests are queued up front so both parked shard threads provably
+    // pull from the backlog, even on a single hardware core.
+    let service = CountingService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 64,
+    });
+    let mut handles: Vec<_> = (0..32)
+        .map(|_| service.submit(quick_request()).unwrap())
+        .collect();
+    for handle in &mut handles {
+        assert!(handle.wait().unwrap().shard.is_some());
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.served_per_shard.iter().sum::<u64>(), 32);
+    assert!(
+        metrics.served_per_shard.iter().filter(|&&n| n > 0).count() >= 2,
+        "served per shard: {:?}",
+        metrics.served_per_shard
+    );
+    service.shutdown();
+}
