@@ -15,7 +15,7 @@
 //! * `--requests N` sets the workload size (default 32).
 //! * `--queue N` sets the admission-queue capacity (default 64; a value
 //!   below `--requests` measures throughput under backpressure).
-//! * `--json PATH` writes the schema-v6 summary artifact.
+//! * `--json PATH` writes the schema-v7 summary artifact.
 
 use pact_bench::cli::ArgError;
 use pact_bench::throughput::{run_service_workload, summary_to_json, ThroughputParams};

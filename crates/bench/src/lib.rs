@@ -337,7 +337,7 @@ pub fn run_suite_parallel(
 /// Bump this (and the round-trip test pinning the field list) whenever a
 /// field is added, removed or re-typed, so downstream consumers of the CI
 /// artifact can dispatch on `schema_version` instead of sniffing keys.
-pub const RECORD_SCHEMA_VERSION: u32 = 6;
+pub const RECORD_SCHEMA_VERSION: u32 = 7;
 
 /// The field names of one JSON record, in emission order (the schema that
 /// [`RECORD_SCHEMA_VERSION`] versions).
@@ -365,7 +365,13 @@ pub const RECORD_SCHEMA_VERSION: u32 = 6;
 /// served the run; `-1` for direct, non-service runs) and `queue_seconds`
 /// (wall-clock time the request waited in the service admission queue;
 /// `0.0` for direct runs).  Both come from the `service_throughput` bench.
-pub const RECORD_SCHEMA_FIELDS: [&str; 24] = [
+///
+/// Schema v7 adds the hash-consing triple: `terms_interned` (the final size
+/// of the interned term store — a size, not a flow), `preprocess_cache_hits`
+/// (preprocessing results served from a term-id-keyed cache instead of
+/// recomputed) and `probe_cache_hits` (cube lookahead probes answered from
+/// the probe-outcome cache; 0 for every other backend).
+pub const RECORD_SCHEMA_FIELDS: [&str; 27] = [
     "schema_version",
     "instance",
     "logic",
@@ -388,6 +394,9 @@ pub const RECORD_SCHEMA_FIELDS: [&str; 24] = [
     "cube_refuted_by_lookahead",
     "pool_reuses",
     "compactions",
+    "terms_interned",
+    "preprocess_cache_hits",
+    "probe_cache_hits",
     "oracle_seconds",
     "wall_seconds",
 ];
@@ -430,7 +439,9 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
                 "\"rebuilds\": {}, \"portfolio_workers\": {}, \"worker_wins\": [{}], ",
                 "\"cancelled_solves\": {}, \"cubes_split\": {}, \"cubes_solved\": {}, ",
                 "\"cube_refuted_by_lookahead\": {}, \"pool_reuses\": {}, ",
-                "\"compactions\": {}, \"oracle_seconds\": {:.6}, ",
+                "\"compactions\": {}, \"terms_interned\": {}, ",
+                "\"preprocess_cache_hits\": {}, \"probe_cache_hits\": {}, ",
+                "\"oracle_seconds\": {:.6}, ",
                 "\"wall_seconds\": {:.6}}}{}\n"
             ),
             RECORD_SCHEMA_VERSION,
@@ -455,6 +466,9 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
             stats.cube_refuted_by_lookahead,
             stats.pool_reuses,
             stats.compactions,
+            stats.terms_interned,
+            stats.preprocess_cache_hits,
+            stats.probe_cache_hits,
             stats.oracle_seconds,
             stats.wall_seconds,
             if i + 1 < records.len() { "," } else { "" },
@@ -726,6 +740,21 @@ mod tests {
             assert_eq!(
                 get("compactions").parse::<u64>().unwrap(),
                 record.report.stats.compactions
+            );
+            // The v7 hash-consing triple: the interned store is never empty
+            // for a run that built a formula, and the caches round-trip.
+            assert_eq!(
+                get("terms_interned").parse::<u64>().unwrap(),
+                record.report.stats.terms_interned
+            );
+            assert!(get("terms_interned").parse::<u64>().unwrap() > 0);
+            assert_eq!(
+                get("preprocess_cache_hits").parse::<u64>().unwrap(),
+                record.report.stats.preprocess_cache_hits
+            );
+            assert_eq!(
+                get("probe_cache_hits").parse::<u64>().unwrap(),
+                record.report.stats.probe_cache_hits
             );
             assert!(get("oracle_seconds").parse::<f64>().unwrap() >= 0.0);
             assert_eq!(

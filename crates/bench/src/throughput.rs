@@ -8,10 +8,17 @@
 //! summary records end-to-end latency (queue wait + count wall time) as
 //! p50/p99 alongside aggregate requests/s and per-shard service counts.
 //!
-//! Results serialize as bench JSON schema v6 (see
+//! Results serialize as bench JSON schema v7 (see
 //! [`RECORD_SCHEMA_FIELDS`](crate::RECORD_SCHEMA_FIELDS)): the summary
 //! object embeds one per-request [`RunRecord`] carrying the v6 `shard` /
-//! `queue_seconds` pair.
+//! `queue_seconds` pair and the v7 hash-consing triple.
+//!
+//! Each instance's term store is snapshotted once up front and every
+//! request over it is built with
+//! [`CountRequest::from_snapshot`](pact_service::CountRequest::from_snapshot):
+//! submission shares the interned id table across concurrent requests
+//! instead of deep-cloning the manager per request, so identical requests
+//! report identical `terms_interned` whichever shard serves them.
 
 use std::time::{Duration, Instant};
 
@@ -94,9 +101,16 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// Builds the `k`-th request of the mixed workload over `instance`.
-fn workload_request(instance: &Instance, k: usize, params: &ThroughputParams) -> CountRequest {
-    let request = CountRequest::new(instance.tm.clone())
+/// Builds the `k`-th request of the mixed workload over `instance`, whose
+/// term store is shared through `snapshot` (an `Arc` of the interned id
+/// table — the per-request manager is a share, not a deep clone).
+fn workload_request(
+    instance: &Instance,
+    snapshot: &std::sync::Arc<pact_ir::TermSnapshot>,
+    k: usize,
+    params: &ThroughputParams,
+) -> CountRequest {
+    let request = CountRequest::from_snapshot(std::sync::Arc::clone(snapshot))
         .assert_all(&instance.asserts)
         .project_all(&instance.projection)
         .family(HashFamily::Xor)
@@ -131,6 +145,12 @@ pub fn run_service_workload(
     params: &ThroughputParams,
 ) -> (ThroughputSummary, Vec<RunRecord>) {
     assert!(!instances.is_empty(), "throughput needs instances");
+    // One snapshot per instance, taken before any request exists: every
+    // request over the same instance shares the same frozen id table.
+    let snapshots: Vec<std::sync::Arc<pact_ir::TermSnapshot>> = instances
+        .iter()
+        .map(|instance| instance.tm.clone().snapshot())
+        .collect();
     let service = CountingService::new(ServiceConfig {
         shards: params.shards,
         queue_capacity: params.queue_capacity,
@@ -139,8 +159,9 @@ pub fn run_service_workload(
     let mut handles = Vec::with_capacity(params.requests);
     for k in 0..params.requests {
         let instance = &instances[k % instances.len()];
+        let snapshot = &snapshots[k % instances.len()];
         let handle = loop {
-            match service.submit(workload_request(instance, k, params)) {
+            match service.submit(workload_request(instance, snapshot, k, params)) {
                 Ok(handle) => break handle,
                 Err(pact_service::ServiceError::QueueFull { .. }) => {
                     std::thread::sleep(Duration::from_millis(1));
@@ -189,7 +210,7 @@ pub fn run_service_workload(
 }
 
 /// Renders a throughput summary (plus its per-request records) as the
-/// schema-v6 JSON artifact the CI smoke step asserts on.
+/// schema-v7 JSON artifact the CI smoke step asserts on.
 pub fn summary_to_json(summary: &ThroughputSummary, records: &[RunRecord]) -> String {
     let served = summary
         .served_per_shard
@@ -280,6 +301,17 @@ mod tests {
             .map(|(_, r)| r.report.outcome.clone())
             .collect();
         assert!(outcomes.windows(2).all(|w| w[0] == w[1]));
+        // Shared-snapshot requests observe the same interned store: every
+        // identical request stamps the same `terms_interned`, whichever
+        // shard served it.
+        let interned: Vec<_> = records
+            .iter()
+            .enumerate()
+            .filter(|(k, r)| k % HARD_EVERY != HARD_EVERY - 1 && r.instance == records[0].instance)
+            .map(|(_, r)| r.report.stats.terms_interned)
+            .collect();
+        assert!(interned[0] > 0, "requests must report the store size");
+        assert!(interned.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]
@@ -291,7 +323,7 @@ mod tests {
         };
         let (summary, records) = run_service_workload(&suite, &params);
         let json = summary_to_json(&summary, &records);
-        assert!(json.starts_with("{\"schema_version\": 6"));
+        assert!(json.starts_with("{\"schema_version\": 7"));
         assert!(json.contains("\"kind\": \"service_throughput\""));
         assert!(json.contains("\"requests_per_sec\""));
         assert!(json.contains("\"p50_seconds\""));

@@ -138,6 +138,7 @@ pub(crate) fn count_cdm(
     let base = ctx.check(tm)?;
     ctx.pop();
     stats.oracle_seconds += oracle_timer.elapsed().as_secs_f64();
+    stats.terms_interned = tm.len() as u64;
     match base {
         SolverResult::Unsat => return Ok(finish(CountOutcome::Unsatisfiable, stats, &*ctx, start)),
         SolverResult::Unknown => return Ok(finish(CountOutcome::Timeout, stats, &*ctx, start)),
@@ -147,10 +148,11 @@ pub(crate) fn count_cdm(
     // The outer rounds are independent, exactly like `pact_count`'s: each
     // draws its own prefix-closed XOR list and probes its own cells, so the
     // same scheduler fans them out with the same determinism guarantee
-    // (per-round RNG stream `seed ^ round`, per-round clones of the composed
-    // formula's term manager and a per-round oracle from the factory).
+    // (per-round RNG stream `seed ^ round`, per-round term managers opened
+    // over one shared snapshot of the composed formula's interned table, and
+    // a per-round oracle from the factory).
     let workers = config.parallel.effective_threads();
-    let tm_snapshot: &TermManager = tm;
+    let tm_snapshot = tm.snapshot();
     let copied_projections = &copied_projections;
     let copies = &copies;
     let ctrl_ref = &ctrl;
@@ -161,7 +163,7 @@ pub(crate) fn count_cdm(
                 stop: true,
             };
         }
-        let mut round_tm = tm_snapshot.clone();
+        let mut round_tm = TermManager::from_snapshot(std::sync::Arc::clone(&tm_snapshot));
         let mut round_ctx = config.oracle_factory.build(config.solver);
         if let Some(flag) = ctrl_ref.solver_interrupt() {
             round_ctx.set_interrupt(flag);
@@ -190,6 +192,7 @@ pub(crate) fn count_cdm(
                 outcome.stats.rebuilds = oracle_stats.rebuilds;
                 outcome.stats.pool_reuses = oracle_stats.pool_reuses;
                 outcome.stats.compactions = oracle_stats.compactions;
+                outcome.stats.preprocess_cache_hits = oracle_stats.preprocess_cache_hits;
                 merge_portfolio(&mut outcome.stats, round_ctx.portfolio());
                 merge_cube(&mut outcome.stats, round_ctx.cube());
                 ctrl_ref.emit(ProgressEvent::Round {
@@ -235,6 +238,7 @@ pub(crate) fn count_cdm(
         }
         None => CountOutcome::Timeout,
     };
+    stats.terms_interned = tm.len() as u64;
     Ok(finish(outcome, stats, &*ctx, start))
 }
 

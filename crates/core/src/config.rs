@@ -113,11 +113,10 @@ impl std::str::FromStr for BackendSpec {
 /// cannot be added by accident.
 ///
 /// The default factory builds the workspace's own rebuilding [`Context`];
-/// [`OracleFactory::incremental`] selects the activation-literal
-/// [`IncrementalContext`] whose encoder survives `pop` (zero rebuilds across
-/// the galloping search); tests and alternative backends swap in their own
-/// with [`OracleFactory::new`] (see `tests/session.rs` for an instrumented
-/// example).
+/// the other built-in backends are selected declaratively through
+/// [`OracleFactory::from_spec`] (see [`BackendSpec`] for the choices); tests
+/// and alternative backends swap in their own with [`OracleFactory::new`]
+/// (see `tests/session.rs` for an instrumented example).
 #[derive(Clone, Default)]
 pub struct OracleFactory {
     backend: Backend,
@@ -152,56 +151,28 @@ impl OracleFactory {
         }
     }
 
-    /// The activation-literal backend ([`IncrementalContext`]): `pop`
-    /// retires frames instead of rebuilding the encoder, so learnt clauses
-    /// and branching activities survive every push/pop cycle of the
-    /// counting loop and [`pact_solver::OracleStats::rebuilds`] stays 0.
-    /// The reported count is bit-identical to the default backend's.
-    pub fn incremental() -> Self {
-        OracleFactory {
-            backend: Backend::Incremental,
-        }
-    }
-
-    /// The racing-portfolio backend ([`PortfolioContext`]): every `check`
-    /// fans out to `workers` diversified solver workers (rebuild- and
-    /// incremental-style engines with distinct polarity, restart and
-    /// branching-noise settings), keeps the first SAT/UNSAT answer and
-    /// cancels the losers.  `workers` is clamped to
-    /// `1..=`[`pact_solver::MAX_PORTFOLIO_WORKERS`].  The reported count is
-    /// bit-identical to the single-engine backends'; per-worker win counts
-    /// surface through [`CountStats`](crate::CountStats).
-    pub fn portfolio(workers: usize) -> Self {
-        OracleFactory {
-            backend: Backend::Portfolio(workers),
-        }
-    }
-
-    /// The cube-and-conquer backend ([`CubeContext`]): a lookahead pass
-    /// scores split bits over the projection variables, every hard `check`
-    /// is divided into up to `2^depth` cubes (probe-refuted cubes never
-    /// reach a worker), and the survivors are conquered on `workers`
-    /// scoped-thread oracles — a SAT cube short-circuits and cancels its
-    /// siblings; all-UNSAT over the validated partition means UNSAT.
-    /// `depth` is clamped to `1..=`[`pact_solver::MAX_CUBE_DEPTH`] and
-    /// `workers` to `1..=`[`pact_solver::MAX_CUBE_WORKERS`].  The reported
-    /// count is bit-identical to the other backends'; cube accounting
-    /// surfaces through [`CountStats`](crate::CountStats).
-    pub fn cube(depth: usize, workers: usize) -> Self {
-        OracleFactory {
-            backend: Backend::Cube(depth, workers),
-        }
-    }
-
     /// The factory a [`BackendSpec`] describes — the one mapping from the
     /// declarative spec onto a constructor.
+    ///
+    /// [`BackendSpec::Incremental`] selects the activation-literal
+    /// [`IncrementalContext`] whose encoder survives `pop` (zero rebuilds
+    /// across the galloping search).  [`BackendSpec::Portfolio`] fans every
+    /// `check` out to diversified racing workers (clamped to
+    /// `1..=`[`pact_solver::MAX_PORTFOLIO_WORKERS`]).  [`BackendSpec::Cube`]
+    /// partitions hard checks into up to `2^depth` cubes conquered by
+    /// `workers` scoped-thread oracles (`depth` clamped to
+    /// `1..=`[`pact_solver::MAX_CUBE_DEPTH`], `workers` to
+    /// `1..=`[`pact_solver::MAX_CUBE_WORKERS`]).  The reported count is
+    /// bit-identical for every choice; only the work profile (rebuilds,
+    /// wins, splits — see [`CountStats`](crate::CountStats)) changes.
     pub fn from_spec(spec: BackendSpec) -> Self {
-        match spec {
-            BackendSpec::Rebuild => OracleFactory::default(),
-            BackendSpec::Incremental => OracleFactory::incremental(),
-            BackendSpec::Portfolio { workers } => OracleFactory::portfolio(workers),
-            BackendSpec::Cube { depth, workers } => OracleFactory::cube(depth, workers),
-        }
+        let backend = match spec {
+            BackendSpec::Rebuild => Backend::Rebuild,
+            BackendSpec::Incremental => Backend::Incremental,
+            BackendSpec::Portfolio { workers } => Backend::Portfolio(workers),
+            BackendSpec::Cube { depth, workers } => Backend::Cube(depth, workers),
+        };
+        OracleFactory { backend }
     }
 
     /// The spec this factory was built from, or `None` for a custom
@@ -454,42 +425,6 @@ impl CounterConfig {
         self
     }
 
-    /// Returns a copy selecting between the two built-in oracle backends:
-    /// `true` picks the activation-literal [`IncrementalContext`], `false`
-    /// the default rebuilding [`Context`].
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `with_backend(BackendSpec::Incremental)` / `with_backend(BackendSpec::Rebuild)`"
-    )]
-    pub fn with_incremental(self, incremental: bool) -> Self {
-        self.with_backend(if incremental {
-            BackendSpec::Incremental
-        } else {
-            BackendSpec::Rebuild
-        })
-    }
-
-    /// Returns a copy counting through the racing-portfolio backend with
-    /// `workers` diversified workers per oracle.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `with_backend(BackendSpec::Portfolio { workers })`"
-    )]
-    pub fn with_portfolio(self, workers: usize) -> Self {
-        self.with_backend(BackendSpec::Portfolio { workers })
-    }
-
-    /// Returns a copy counting through the cube-and-conquer backend:
-    /// every hard oracle `check` is split into up to `2^depth` cubes over
-    /// projection bits and conquered by `workers` parallel sub-solves.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `with_backend(BackendSpec::Cube { depth, workers })`"
-    )]
-    pub fn with_cube(self, depth: usize, workers: usize) -> Self {
-        self.with_backend(BackendSpec::Cube { depth, workers })
-    }
-
     /// Validates the parameters.
     ///
     /// # Errors
@@ -580,14 +515,15 @@ mod tests {
         assert_eq!(CounterConfig::default(), CounterConfig::default());
         assert!(CounterConfig::default().oracle_factory.is_default());
         // ...as are two incremental factories (same built-in backend)...
-        assert_eq!(OracleFactory::incremental(), OracleFactory::incremental());
-        assert_ne!(OracleFactory::incremental(), OracleFactory::default());
+        let incremental = || OracleFactory::from_spec(BackendSpec::Incremental);
+        assert_eq!(incremental(), incremental());
+        assert_ne!(incremental(), OracleFactory::default());
         // ...while a custom factory equals its clones but not an unrelated
         // one.
         let custom = OracleFactory::new(|cfg| Box::new(Context::with_config(cfg)));
         assert_eq!(custom.clone(), custom);
         assert_ne!(custom, OracleFactory::default());
-        assert_ne!(custom, OracleFactory::incremental());
+        assert_ne!(custom, incremental());
         assert!(!custom.is_default());
         let mut oracle = custom.build(SolverConfig::default());
         assert_eq!(oracle.stats().checks, 0);
@@ -660,38 +596,10 @@ mod tests {
         // A custom closure has no spec.
         let custom = OracleFactory::new(|cfg| Box::new(Context::with_config(cfg)));
         assert_eq!(custom.spec(), None);
-        // Spec-built factories equal their directly-constructed twins.
-        assert_eq!(
-            OracleFactory::from_spec(BackendSpec::Portfolio { workers: 3 }),
-            OracleFactory::portfolio(3)
-        );
+        // The default spec builds the default factory.
         assert_eq!(
             OracleFactory::from_spec(BackendSpec::default()),
             OracleFactory::default()
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_backend_shorthands_still_delegate() {
-        assert_eq!(
-            CounterConfig::default().with_incremental(true),
-            CounterConfig::default().with_backend(BackendSpec::Incremental)
-        );
-        assert_eq!(
-            CounterConfig::default().with_incremental(false),
-            CounterConfig::default()
-        );
-        assert_eq!(
-            CounterConfig::default().with_portfolio(4),
-            CounterConfig::default().with_backend(BackendSpec::Portfolio { workers: 4 })
-        );
-        assert_eq!(
-            CounterConfig::default().with_cube(3, 2),
-            CounterConfig::default().with_backend(BackendSpec::Cube {
-                depth: 3,
-                workers: 2
-            })
         );
     }
 
@@ -706,7 +614,8 @@ mod tests {
         assert_eq!(back.oracle_factory.label(), "rebuild");
         assert_eq!(back, CounterConfig::default());
         // The incremental factory builds a working oracle.
-        let mut oracle = OracleFactory::incremental().build(SolverConfig::default());
+        let mut oracle =
+            OracleFactory::from_spec(BackendSpec::Incremental).build(SolverConfig::default());
         oracle.push();
         oracle.pop();
         assert_eq!(oracle.stats().rebuilds, 0);
@@ -720,12 +629,16 @@ mod tests {
         assert!(!portfolio.oracle_factory.is_default());
         assert_eq!(portfolio.oracle_factory.label(), "portfolio");
         // Portfolio factories compare by worker count.
-        assert_eq!(OracleFactory::portfolio(3), OracleFactory::portfolio(3));
-        assert_ne!(OracleFactory::portfolio(3), OracleFactory::portfolio(4));
-        assert_ne!(OracleFactory::portfolio(3), OracleFactory::incremental());
+        let portfolio_of = |workers| OracleFactory::from_spec(BackendSpec::Portfolio { workers });
+        assert_eq!(portfolio_of(3), portfolio_of(3));
+        assert_ne!(portfolio_of(3), portfolio_of(4));
+        assert_ne!(
+            portfolio_of(3),
+            OracleFactory::from_spec(BackendSpec::Incremental)
+        );
         // The factory builds a working racing oracle that reports its
         // winner accounting.
-        let mut oracle = OracleFactory::portfolio(2).build(SolverConfig::default());
+        let mut oracle = portfolio_of(2).build(SolverConfig::default());
         oracle.push();
         oracle.pop();
         let stats = oracle.portfolio().expect("portfolio accounting");
@@ -747,13 +660,18 @@ mod tests {
         assert!(!cube.oracle_factory.is_default());
         assert_eq!(cube.oracle_factory.label(), "cube");
         // Cube factories compare by (depth, workers).
-        assert_eq!(OracleFactory::cube(3, 2), OracleFactory::cube(3, 2));
-        assert_ne!(OracleFactory::cube(3, 2), OracleFactory::cube(2, 2));
-        assert_ne!(OracleFactory::cube(3, 2), OracleFactory::cube(3, 4));
-        assert_ne!(OracleFactory::cube(3, 2), OracleFactory::portfolio(2));
+        let cube_of =
+            |depth, workers| OracleFactory::from_spec(BackendSpec::Cube { depth, workers });
+        assert_eq!(cube_of(3, 2), cube_of(3, 2));
+        assert_ne!(cube_of(3, 2), cube_of(2, 2));
+        assert_ne!(cube_of(3, 2), cube_of(3, 4));
+        assert_ne!(
+            cube_of(3, 2),
+            OracleFactory::from_spec(BackendSpec::Portfolio { workers: 2 })
+        );
         // The factory builds a working oracle that reports cube accounting
         // (and no portfolio accounting).
-        let mut oracle = OracleFactory::cube(2, 2).build(SolverConfig::default());
+        let mut oracle = cube_of(2, 2).build(SolverConfig::default());
         oracle.push();
         oracle.pop();
         assert_eq!(oracle.cube().expect("cube accounting").splits, 0);
@@ -763,10 +681,12 @@ mod tests {
             .build(SolverConfig::default())
             .cube()
             .is_none());
-        assert!(OracleFactory::portfolio(2)
-            .build(SolverConfig::default())
-            .cube()
-            .is_none());
+        assert!(
+            OracleFactory::from_spec(BackendSpec::Portfolio { workers: 2 })
+                .build(SolverConfig::default())
+                .cube()
+                .is_none()
+        );
     }
 
     #[test]

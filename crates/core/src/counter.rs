@@ -134,6 +134,10 @@ pub(crate) fn count_pact(
         round: 0,
         cells_in_round: 1,
     });
+    // A size, not a flow: stamped from the store before each report (the
+    // hashing rounds below intern their constraints into private tails, so
+    // the base store's table is the shared one every snapshot serves).
+    stats.terms_interned = tm.len() as u64;
     match base {
         CellCount::Exact(0) => {
             return Ok(finish(CountOutcome::Unsatisfiable, stats, &*ctx, start));
@@ -151,13 +155,15 @@ pub(crate) fn count_pact(
     // projected space down to (expected) single solutions.
     let total_bits = projection_bits(tm, projection).max(1);
 
-    // The outer rounds are independent: each gets its own term-manager
-    // clone, its own oracle (built through the factory, on the worker's own
-    // thread) and an RNG stream derived from `seed ^ round`, so the
-    // scheduler can fan them out across threads without changing the result
-    // (see `parallel.rs` for the determinism argument).
+    // The outer rounds are independent: each opens its own term manager over
+    // one shared snapshot of the interned id table (an `Arc` share, not a
+    // deep clone — round-local terms land in a private tail), builds its own
+    // oracle (through the factory, on the worker's own thread) and derives
+    // an RNG stream from `seed ^ round`, so the scheduler can fan them out
+    // across threads without changing the result (see `parallel.rs` for the
+    // determinism argument).
     let workers = config.parallel.effective_threads();
-    let tm_snapshot: &TermManager = tm;
+    let tm_snapshot = tm.snapshot();
     let thresh = constants.thresh;
     let ell = constants.ell;
     let ctrl_ref = &ctrl;
@@ -168,7 +174,7 @@ pub(crate) fn count_pact(
                 stop: true,
             };
         }
-        let mut round_tm = tm_snapshot.clone();
+        let mut round_tm = TermManager::from_snapshot(std::sync::Arc::clone(&tm_snapshot));
         let mut round_ctx = config.oracle_factory.build(config.solver);
         if let Some(flag) = ctrl_ref.solver_interrupt() {
             round_ctx.set_interrupt(flag);
@@ -199,6 +205,7 @@ pub(crate) fn count_pact(
         round_stats.rebuilds = oracle_stats.rebuilds;
         round_stats.pool_reuses = oracle_stats.pool_reuses;
         round_stats.compactions = oracle_stats.compactions;
+        round_stats.preprocess_cache_hits = oracle_stats.preprocess_cache_hits;
         merge_portfolio(&mut round_stats, round_ctx.portfolio());
         merge_cube(&mut round_stats, round_ctx.cube());
         match result {
@@ -253,6 +260,7 @@ pub(crate) fn count_pact(
         },
         None => CountOutcome::Timeout,
     };
+    stats.terms_interned = tm.len() as u64;
     Ok(finish(outcome, stats, &*ctx, start))
 }
 

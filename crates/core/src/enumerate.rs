@@ -106,6 +106,8 @@ pub(crate) fn count_enumerate(
     stats.rebuilds = oracle_stats.rebuilds;
     stats.pool_reuses = oracle_stats.pool_reuses;
     stats.compactions = oracle_stats.compactions;
+    stats.preprocess_cache_hits = oracle_stats.preprocess_cache_hits;
+    stats.terms_interned = tm.len() as u64;
     crate::result::merge_portfolio(&mut stats, ctx.portfolio());
     crate::result::merge_cube(&mut stats, ctx.cube());
     stats.wall_seconds = start.elapsed().as_secs_f64();

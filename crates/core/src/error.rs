@@ -30,9 +30,10 @@ pub enum ConfigError {
         delta: f64,
     },
     /// Two different built-in backends were selected for the same run (e.g.
-    /// `.portfolio(2)` followed by `.incremental(true)`).  Earlier versions
-    /// silently let the last call win; the conflict is now surfaced with
-    /// both requests so the caller can drop the unintended one.
+    /// `.backend(BackendSpec::Portfolio { workers: 2 })` followed by
+    /// `.backend(BackendSpec::Incremental)`).  Earlier versions silently let
+    /// the last call win; the conflict is now surfaced with both requests so
+    /// the caller can drop the unintended one.
     ConflictingBackends {
         /// The backend selected first.
         first: BackendSpec,

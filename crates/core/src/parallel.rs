@@ -6,24 +6,27 @@
 //! the same guarantees:
 //!
 //! * **Determinism.**  A round is a pure function of `(formula snapshot,
-//!   configuration, round index)`: every round runs against its own clone of
-//!   the term manager, a freshly built oracle, and an RNG seeded from
-//!   `seed ^ round`.  The merged result is therefore bit-identical for every
-//!   thread count — workers only change *which thread* computes a round,
-//!   never *what* it computes.
+//!   configuration, round index)`: every round opens its own term manager
+//!   over one shared [`TermSnapshot`](pact_ir::TermSnapshot) of the interned
+//!   id table, builds a fresh oracle, and seeds an RNG from `seed ^ round`.
+//!   The merged result is therefore bit-identical for every thread count —
+//!   workers only change *which thread* computes a round, never *what* it
+//!   computes.
 //! * **Sequential-equivalent early exit.**  When a round reports a stop
 //!   condition (deadline expired, solver gave up, error), rounds after it in
 //!   *round order* are discarded even if a worker computed them
 //!   speculatively, exactly matching what the single-threaded loop would
 //!   have run.
 //!
-//! Rounds run against *fresh* clones rather than per-worker reused state on
-//! purpose: reusing a worker's term manager across rounds would let one
-//! round's interned terms shift the `TermId`s the next round allocates, so
-//! results could depend on which worker ran which round.  The clone +
-//! re-encode is a small, constant slice of a round's solving time (the
-//! oracle rebuilds its encoding after every `pop` anyway) and buys exact
-//! reproducibility.
+//! Rounds run against *fresh* managers over the shared snapshot rather than
+//! per-worker reused state on purpose: reusing a worker's term manager
+//! across rounds would let one round's interned terms shift the `TermId`s
+//! the next round allocates, so results could depend on which worker ran
+//! which round.  Opening a manager over the snapshot is an `Arc` share, not
+//! a deep copy — each round's hash constraints land in a private tail whose
+//! ids start right after the frozen table, so identical construction
+//! sequences allocate identical ids on every thread — and the re-encode is a
+//! small, constant slice of a round's solving time.
 //!
 //! The determinism claim is qualified by deadlines: *which* round first
 //! observes an expired [`CounterConfig::deadline`] depends on wall-clock

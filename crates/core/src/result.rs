@@ -57,6 +57,20 @@ pub struct CountStats {
     /// clauses dominated.  Not a rebuild — `rebuilds` stays 0 for those
     /// backends.
     pub compactions: u64,
+    /// Distinct terms interned by the run's term store at finish time.
+    /// Stamped from the store (not summed per round): hash consing gives
+    /// every structurally equal term one id, so this is the size of the
+    /// shared id table the snapshots and caches key on.
+    pub terms_interned: u64,
+    /// Preprocessing results served from term-id-keyed caches instead of
+    /// being recomputed, summed over every oracle the run built (rebuild
+    /// replays, compaction journal replays, and the parallel backends'
+    /// warm-cache hits on hash-consed re-assertions).
+    pub preprocess_cache_hits: u64,
+    /// Cube-backend lookahead probes answered from the probe-outcome cache
+    /// instead of a scout solve (0 for every other backend); a subset of
+    /// `cube_refuted_by_lookahead`.
+    pub probe_cache_hits: u64,
 }
 
 /// Folds one oracle's portfolio accounting (if any) into the run's stats.
@@ -81,6 +95,7 @@ pub(crate) fn merge_cube(stats: &mut CountStats, cube: Option<CubeStats>) {
         stats.cubes_split += c.splits;
         stats.cubes_solved += c.cubes_solved;
         stats.cube_refuted_by_lookahead += c.refuted_by_lookahead;
+        stats.probe_cache_hits += c.probe_cache_hits;
     }
 }
 
@@ -102,6 +117,10 @@ pub(crate) fn merge_round_stats(total: &mut CountStats, round: &CountStats) {
     total.cube_refuted_by_lookahead += round.cube_refuted_by_lookahead;
     total.pool_reuses += round.pool_reuses;
     total.compactions += round.compactions;
+    total.preprocess_cache_hits += round.preprocess_cache_hits;
+    total.probe_cache_hits += round.probe_cache_hits;
+    // `terms_interned` is deliberately NOT summed: it is a size, not a
+    // flow, and is stamped once from the finished run's term store.
 }
 
 /// The outcome of a counting run.
@@ -176,6 +195,7 @@ pub(crate) fn finish_report(
     stats.rebuilds += oracle.rebuilds;
     stats.pool_reuses += oracle.pool_reuses;
     stats.compactions += oracle.compactions;
+    stats.preprocess_cache_hits += oracle.preprocess_cache_hits;
     merge_portfolio(&mut stats, base.portfolio());
     merge_cube(&mut stats, base.cube());
     stats.wall_seconds = start.elapsed().as_secs_f64();

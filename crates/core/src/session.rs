@@ -235,8 +235,8 @@ pub struct SessionBuilder {
     formula: Vec<TermId>,
     projection: Vec<TermId>,
     config: CounterConfig,
-    /// First backend selected via [`SessionBuilder::backend`] (or a
-    /// deprecated shorthand); later *different* selections are a conflict.
+    /// First backend selected via [`SessionBuilder::backend`]; later
+    /// *different* selections are a conflict.
     backend_first: Option<BackendSpec>,
     /// The first conflicting pair of backend selections, surfaced as
     /// [`ConfigError::ConflictingBackends`] at [`SessionBuilder::build`].
@@ -357,44 +357,6 @@ impl SessionBuilder {
         }
         self.config = self.config.with_backend(spec);
         self
-    }
-
-    /// Selects between the two built-in oracle backends: `true` picks the
-    /// activation-literal incremental backend
-    /// ([`pact_solver::IncrementalContext`]), `false` the default
-    /// rebuilding [`pact_solver::Context`].
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `backend(BackendSpec::Incremental)` / `backend(BackendSpec::Rebuild)`"
-    )]
-    pub fn incremental(self, incremental: bool) -> Self {
-        self.backend(if incremental {
-            BackendSpec::Incremental
-        } else {
-            BackendSpec::Rebuild
-        })
-    }
-
-    /// Counts through the racing-portfolio backend
-    /// ([`pact_solver::PortfolioContext`]) with `workers` diversified
-    /// workers per oracle.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `backend(BackendSpec::Portfolio { workers })`"
-    )]
-    pub fn portfolio(self, workers: usize) -> Self {
-        self.backend(BackendSpec::Portfolio { workers })
-    }
-
-    /// Counts through the cube-and-conquer backend
-    /// ([`pact_solver::CubeContext`]): up to `2^depth` cubes per hard
-    /// `check`, conquered by `workers` parallel sub-solves.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `backend(BackendSpec::Cube { depth, workers })`"
-    )]
-    pub fn cube(self, depth: usize, workers: usize) -> Self {
-        self.backend(BackendSpec::Cube { depth, workers })
     }
 
     /// Attaches a progress observer (see [`Progress`]).
@@ -533,26 +495,6 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("portfolio:2"), "{text}");
         assert!(text.contains("incremental"), "{text}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shorthands_participate_in_conflict_detection() {
-        // The exact bug class the error was added for: `.portfolio(2)`
-        // followed by `.incremental(true)` used to silently count with the
-        // incremental backend.
-        let mut tm = TermManager::new();
-        let x = tm.mk_var("x", Sort::BitVec(4));
-        let err = Session::builder(tm)
-            .project(x)
-            .portfolio(2)
-            .incremental(true)
-            .build()
-            .unwrap_err();
-        assert!(matches!(
-            err,
-            CountError::Config(ConfigError::ConflictingBackends { .. })
-        ));
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! A vendored FxHash: the non-cryptographic multiply-rotate hash rustc uses
+//! for its interning tables.
+//!
+//! The hash-consing table in [`crate::TermManager`] hashes every candidate
+//! term on every `mk_*` call, so the (DoS-resistant, but slow) SipHash
+//! default is pure overhead there: keys are program-shaped terms, not
+//! attacker-controlled network input, and no map iteration order is ever
+//! observable.  This is the workspace-local stand-in for the `fxhash` /
+//! `rustc-hash` crates, in keeping with the no-registry-deps policy.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by the Fx multiply-rotate hash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The rustc-style Fx hasher: `hash = (hash rotl 5 ^ word) * K` per word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn fx_of(value: impl Hash) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        assert_eq!(fx_of(42u64), fx_of(42u64));
+        assert_eq!(fx_of("hello"), fx_of("hello"));
+        assert_eq!(fx_of((1u32, vec![2u8, 3])), fx_of((1u32, vec![2u8, 3])));
+    }
+
+    #[test]
+    fn distinct_keys_spread() {
+        // Not a distribution test — just that the hasher is not degenerate.
+        let hashes: std::collections::HashSet<u64> = (0u64..1000).map(fx_of).collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+
+    #[test]
+    fn short_tails_with_different_lengths_differ() {
+        // The length tag in the tail word keeps b"a" and b"a\0" apart.
+        assert_ne!(fx_of([1u8]), fx_of([1u8, 0]));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut map: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..100u32 {
+            map.insert(format!("key{i}"), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(map.get(&format!("key{i}")), Some(&i));
+        }
+    }
+}

@@ -7,7 +7,9 @@
 //!   floating point (modelled, see `pact-solver`), arrays and uninterpreted
 //!   functions.
 //! * [`TermManager`] — a hash-consing term factory with light constant
-//!   folding.  Terms are referenced by the cheap copyable [`TermId`].
+//!   folding.  Terms are referenced by the cheap copyable [`TermId`]
+//!   (`NonZeroU32`-backed, so `Option<TermId>` is free) and can be frozen
+//!   into an immutable [`TermSnapshot`] shared across threads by `Arc`.
 //! * [`parser`] — an SMT-LIB 2 subset parser sufficient for the logics the
 //!   paper evaluates (QF_ABV, QF_BVFP, QF_UFBV, QF_BVFPLRA, QF_ABVFP,
 //!   QF_ABVFPLRA).
@@ -28,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fxhash;
 mod manager;
 pub mod parser;
 pub mod printer;
@@ -38,7 +41,7 @@ mod value;
 
 pub mod logic;
 
-pub use manager::{FunDecl, TermManager, Value};
+pub use manager::{FunDecl, TermManager, TermSnapshot, Value};
 pub use rational::Rational;
 pub use sort::Sort;
 pub use term::{Op, Term, TermId};
@@ -78,16 +81,17 @@ impl std::error::Error for IrError {}
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, IrError>;
 
-// Send/Sync audit: the counting engine clones `TermManager` into worker
-// threads (one clone per scheduled round), so these bounds are part of the
-// crate's contract.  All term storage is owned (`Vec`s, `String`s,
-// `HashMap`s of plain data) and `unsafe` is forbidden crate-wide, so the
-// auto traits hold structurally; these assertions make any future
-// `Rc`/`RefCell`/raw-pointer regression a compile error here rather than a
-// confusing one in `pact-core`.
+// Send/Sync audit: the counting engine ships `TermManager`s and
+// `Arc<TermSnapshot>`s into worker threads (one per scheduled round, one per
+// service request), so these bounds are part of the crate's contract.  All
+// term storage is owned (`Vec`s, `String`s, hash maps of plain data) and
+// `unsafe` is forbidden crate-wide, so the auto traits hold structurally;
+// these assertions make any future `Rc`/`RefCell`/raw-pointer regression a
+// compile error here rather than a confusing one in `pact-core`.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<TermManager>();
+    assert_send_sync::<TermSnapshot>();
     assert_send_sync::<Term>();
     assert_send_sync::<Value>();
 };

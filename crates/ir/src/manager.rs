@@ -1,7 +1,9 @@
 //! Hash-consing term manager and term constructors.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use crate::fxhash::FxHashMap;
 use crate::{BvValue, IrError, Op, Rational, Result, Sort, Term, TermId};
 
 /// A concrete value, used for model representation and term evaluation.
@@ -62,13 +64,42 @@ pub struct FunDecl {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TermManager {
+    /// The frozen, shared prefix of the store (possibly empty).
+    base: Arc<TermSnapshot>,
+    /// Everything interned since the last [`TermManager::snapshot`].  Maps
+    /// in the tail store *global* ids/indices, so flattening a tail into a
+    /// snapshot is pure concatenation and never rewrites an id.
+    tail: TermSnapshot,
+}
+
+/// An immutable snapshot of a term store, shareable across threads.
+///
+/// Produced by [`TermManager::snapshot`]; consumed by
+/// [`TermManager::from_snapshot`].  Every `TermId` minted by the manager
+/// the snapshot came from (up to the snapshot point) resolves to an
+/// identical term in every manager built from it — sharing a formula with
+/// N workers is N `Arc` clones of one id table, not N deep copies.
+#[derive(Debug, Clone, Default)]
+pub struct TermSnapshot {
     terms: Vec<Term>,
-    interned: HashMap<Term, TermId>,
+    interned: FxHashMap<Term, TermId>,
     symbols: Vec<String>,
-    vars_by_name: HashMap<String, TermId>,
+    vars_by_name: FxHashMap<String, TermId>,
     funs: Vec<FunDecl>,
-    funs_by_name: HashMap<String, u32>,
+    funs_by_name: FxHashMap<String, u32>,
     fresh_counter: u64,
+}
+
+impl TermSnapshot {
+    /// Number of distinct terms frozen in this snapshot.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` when the snapshot holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
 }
 
 impl TermManager {
@@ -77,67 +108,144 @@ impl TermManager {
         TermManager::default()
     }
 
+    /// Creates a manager that shares the interned prefix in `base`.
+    ///
+    /// All ids minted before the snapshot resolve identically in the new
+    /// manager; terms interned afterwards land in a private tail.  Managers
+    /// built from the same snapshot allocate identical ids for identical
+    /// construction sequences, which is what keeps parallel rounds
+    /// bit-identical.
+    pub fn from_snapshot(base: Arc<TermSnapshot>) -> Self {
+        let tail = TermSnapshot {
+            fresh_counter: base.fresh_counter,
+            ..TermSnapshot::default()
+        };
+        TermManager { base, tail }
+    }
+
+    /// Freezes the current store into an immutable, shareable snapshot.
+    ///
+    /// The manager keeps working afterwards (new terms go to a fresh tail
+    /// on top of the returned snapshot); if nothing was interned since the
+    /// last call this is a free `Arc` clone.
+    pub fn snapshot(&mut self) -> Arc<TermSnapshot> {
+        let tail_untouched = self.tail.terms.is_empty()
+            && self.tail.symbols.is_empty()
+            && self.tail.funs.is_empty()
+            && self.tail.fresh_counter == self.base.fresh_counter;
+        if tail_untouched {
+            return Arc::clone(&self.base);
+        }
+        let tail = std::mem::take(&mut self.tail);
+        // Flatten base + tail.  Reuse the base allocation when this manager
+        // holds the only reference; ids stay valid either way because the
+        // frozen prefix is append-only.
+        let mut snap = Arc::try_unwrap(std::mem::take(&mut self.base))
+            .unwrap_or_else(|shared| (*shared).clone());
+        snap.terms.extend(tail.terms);
+        snap.interned.extend(tail.interned);
+        snap.symbols.extend(tail.symbols);
+        snap.vars_by_name.extend(tail.vars_by_name);
+        snap.funs.extend(tail.funs);
+        snap.funs_by_name.extend(tail.funs_by_name);
+        snap.fresh_counter = tail.fresh_counter;
+        self.tail.fresh_counter = snap.fresh_counter;
+        self.base = Arc::new(snap);
+        Arc::clone(&self.base)
+    }
+
     /// Number of distinct terms created so far.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        self.base.terms.len() + self.tail.terms.len()
     }
 
     /// Returns `true` when no terms have been created.
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.len() == 0
     }
 
     fn intern(&mut self, term: Term) -> TermId {
-        if let Some(&id) = self.interned.get(&term) {
+        if let Some(&id) = self.base.interned.get(&term) {
             return id;
         }
-        let id = TermId(self.terms.len() as u32);
-        self.terms.push(term.clone());
-        self.interned.insert(term, id);
+        if let Some(&id) = self.tail.interned.get(&term) {
+            return id;
+        }
+        let id = TermId::from_index(self.len());
+        self.tail.terms.push(term.clone());
+        self.tail.interned.insert(term, id);
         id
     }
 
     /// Returns the interned term for `id`.
     pub fn term(&self, id: TermId) -> &Term {
-        &self.terms[id.index()]
+        let i = id.index();
+        let frozen = self.base.terms.len();
+        if i < frozen {
+            &self.base.terms[i]
+        } else {
+            &self.tail.terms[i - frozen]
+        }
     }
 
     /// Returns the operator of `id`.
     pub fn op(&self, id: TermId) -> &Op {
-        &self.terms[id.index()].op
+        &self.term(id).op
     }
 
     /// Returns the children of `id`.
     pub fn children(&self, id: TermId) -> &[TermId] {
-        &self.terms[id.index()].children
+        &self.term(id).children
     }
 
     /// Returns the sort of `id`.
     pub fn sort(&self, id: TermId) -> Sort {
-        self.terms[id.index()].sort.clone()
+        self.term(id).sort.clone()
     }
 
     /// Returns the variable's name if `id` is a variable.
     pub fn var_name(&self, id: TermId) -> Option<&str> {
         match self.op(id) {
-            Op::Var(sym) => Some(&self.symbols[*sym as usize]),
+            Op::Var(sym) => {
+                let s = *sym as usize;
+                let frozen = self.base.symbols.len();
+                Some(if s < frozen {
+                    &self.base.symbols[s]
+                } else {
+                    &self.tail.symbols[s - frozen]
+                })
+            }
             _ => None,
         }
     }
 
     /// Looks up a previously declared variable by name.
     pub fn find_var(&self, name: &str) -> Option<TermId> {
-        self.vars_by_name.get(name).copied()
+        self.base
+            .vars_by_name
+            .get(name)
+            .or_else(|| self.tail.vars_by_name.get(name))
+            .copied()
     }
 
     /// Returns the declaration of uninterpreted function `fun`.
     pub fn fun_decl(&self, fun: u32) -> &FunDecl {
-        &self.funs[fun as usize]
+        let f = fun as usize;
+        let frozen = self.base.funs.len();
+        if f < frozen {
+            &self.base.funs[f]
+        } else {
+            &self.tail.funs[f - frozen]
+        }
     }
 
     /// Looks up an uninterpreted function by name.
     pub fn find_fun(&self, name: &str) -> Option<u32> {
-        self.funs_by_name.get(name).copied()
+        self.base
+            .funs_by_name
+            .get(name)
+            .or_else(|| self.tail.funs_by_name.get(name))
+            .copied()
     }
 
     // ------------------------------------------------------------------
@@ -149,7 +257,7 @@ impl TermManager {
     /// Declaring the same name twice with the same sort returns the original
     /// variable; redeclaring with a different sort panics (use unique names).
     pub fn mk_var(&mut self, name: &str, sort: Sort) -> TermId {
-        if let Some(&id) = self.vars_by_name.get(name) {
+        if let Some(id) = self.find_var(name) {
             assert_eq!(
                 self.sort(id),
                 sort,
@@ -157,23 +265,23 @@ impl TermManager {
             );
             return id;
         }
-        let sym = self.symbols.len() as u32;
-        self.symbols.push(name.to_string());
+        let sym = (self.base.symbols.len() + self.tail.symbols.len()) as u32;
+        self.tail.symbols.push(name.to_string());
         let id = self.intern(Term {
             op: Op::Var(sym),
             children: vec![],
             sort,
         });
-        self.vars_by_name.insert(name.to_string(), id);
+        self.tail.vars_by_name.insert(name.to_string(), id);
         id
     }
 
     /// Creates a fresh variable whose name starts with `prefix`.
     pub fn mk_fresh_var(&mut self, prefix: &str, sort: Sort) -> TermId {
         loop {
-            let name = format!("{prefix}!{}", self.fresh_counter);
-            self.fresh_counter += 1;
-            if !self.vars_by_name.contains_key(&name) {
+            let name = format!("{prefix}!{}", self.tail.fresh_counter);
+            self.tail.fresh_counter += 1;
+            if self.find_var(&name).is_none() {
                 return self.mk_var(&name, sort);
             }
         }
@@ -181,16 +289,16 @@ impl TermManager {
 
     /// Declares an uninterpreted function and returns its index.
     pub fn declare_fun(&mut self, name: &str, args: Vec<Sort>, ret: Sort) -> u32 {
-        if let Some(&f) = self.funs_by_name.get(name) {
+        if let Some(f) = self.find_fun(name) {
             return f;
         }
-        let f = self.funs.len() as u32;
-        self.funs.push(FunDecl {
+        let f = (self.base.funs.len() + self.tail.funs.len()) as u32;
+        self.tail.funs.push(FunDecl {
             name: name.to_string(),
             args,
             ret,
         });
-        self.funs_by_name.insert(name.to_string(), f);
+        self.tail.funs_by_name.insert(name.to_string(), f);
         f
     }
 
@@ -987,7 +1095,7 @@ impl TermManager {
 
     /// Application of a previously declared uninterpreted function.
     pub fn mk_apply(&mut self, fun: u32, args: Vec<TermId>) -> Result<TermId> {
-        let decl = self.funs[fun as usize].clone();
+        let decl = self.fun_decl(fun).clone();
         if decl.args.len() != args.len() {
             return Err(IrError::SortMismatch {
                 context: format!(
@@ -1024,7 +1132,7 @@ impl TermManager {
     /// Collects all distinct variables reachable from `roots`, in a
     /// deterministic (id) order.
     pub fn vars_of(&self, roots: &[TermId]) -> Vec<TermId> {
-        let mut seen = vec![false; self.terms.len()];
+        let mut seen = vec![false; self.len()];
         let mut stack: Vec<TermId> = roots.to_vec();
         let mut vars = Vec::new();
         while let Some(t) = stack.pop() {
@@ -1505,5 +1613,94 @@ mod tests {
         let r = tm.mk_var("r", Sort::Real);
         assert!(tm.mk_apply(f, vec![r]).is_err());
         assert!(tm.mk_apply(f, vec![x, x]).is_err());
+    }
+
+    #[test]
+    fn snapshot_preserves_ids_and_interning() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let c = tm.mk_bv_const(3, 8);
+        let sum = tm.mk_bv_add(x, c).unwrap();
+        let before = tm.len();
+
+        let snap = tm.snapshot();
+        assert_eq!(snap.len(), before);
+
+        // The originating manager keeps resolving and deduping ids.
+        assert_eq!(tm.len(), before);
+        assert_eq!(tm.mk_bv_add(x, c).unwrap(), sum);
+        assert_eq!(tm.op(sum), &Op::BvAdd);
+        assert_eq!(tm.var_name(x), Some("x"));
+
+        // A manager built from the snapshot sees the identical store.
+        let shared = TermManager::from_snapshot(snap);
+        assert_eq!(shared.len(), before);
+        assert_eq!(shared.find_var("x"), Some(x));
+        assert_eq!(shared.term(sum), tm.term(sum));
+        assert_eq!(shared.sort(sum), Sort::BitVec(8));
+    }
+
+    #[test]
+    fn snapshot_of_unchanged_store_is_shared() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::Bool);
+        let first = tm.snapshot();
+        let second = tm.snapshot();
+        assert!(Arc::ptr_eq(&first, &second));
+
+        // Interning something new forces a fresh snapshot that still
+        // contains the whole frozen prefix.
+        let y = tm.mk_var("y", Sort::Bool);
+        let third = tm.snapshot();
+        assert!(!Arc::ptr_eq(&second, &third));
+        assert_eq!(third.len(), 2); // x and y
+        let shared = TermManager::from_snapshot(third);
+        assert_eq!(shared.find_var("x"), Some(x));
+        assert_eq!(shared.find_var("y"), Some(y));
+    }
+
+    #[test]
+    fn managers_from_one_snapshot_allocate_identical_tails() {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let snap = tm.snapshot();
+
+        let build = |mut m: TermManager| {
+            let c = m.mk_bv_const(5, 4);
+            let eq = m.mk_eq(x, c);
+            let not = m.mk_not(eq);
+            (c, eq, not, m.len())
+        };
+        let a = build(TermManager::from_snapshot(Arc::clone(&snap)));
+        let b = build(TermManager::from_snapshot(snap));
+        assert_eq!(a, b, "identical construction yields identical ids");
+    }
+
+    #[test]
+    fn fresh_vars_stay_fresh_across_snapshots() {
+        let mut tm = TermManager::new();
+        let f0 = tm.mk_fresh_var("tmp", Sort::Bool);
+        let snap = tm.snapshot();
+        let f1 = tm.mk_fresh_var("tmp", Sort::Bool);
+        assert_ne!(tm.var_name(f0), tm.var_name(f1));
+
+        // A sharing manager continues the same fresh-name sequence and so
+        // cannot collide with names minted before the snapshot.
+        let mut shared = TermManager::from_snapshot(snap);
+        let g = shared.mk_fresh_var("tmp", Sort::Bool);
+        assert_ne!(shared.var_name(g), shared.var_name(f0));
+    }
+
+    #[test]
+    fn snapshot_keeps_function_declarations() {
+        let mut tm = TermManager::new();
+        let f = tm.declare_fun("f", vec![Sort::BitVec(4)], Sort::Bool);
+        let snap = tm.snapshot();
+        let mut shared = TermManager::from_snapshot(snap);
+        assert_eq!(shared.find_fun("f"), Some(f));
+        assert_eq!(shared.fun_decl(f).name, "f");
+        let g = shared.declare_fun("g", vec![], Sort::Bool);
+        assert_ne!(f, g);
+        assert_eq!(shared.fun_decl(g).name, "g");
     }
 }

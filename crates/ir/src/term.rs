@@ -1,18 +1,32 @@
 //! Term operators and the interned term representation.
 
+use std::num::NonZeroU32;
+
 use crate::{BvValue, Rational, Sort};
 
 /// A handle to an interned term inside a [`crate::TermManager`].
 ///
 /// `TermId`s are cheap to copy and compare; two ids are equal exactly when
-/// the corresponding terms are structurally identical (hash consing).
+/// the corresponding terms are structurally identical (hash consing).  The
+/// payload is a `NonZeroU32` (id = dense index + 1), so `Option<TermId>`
+/// is free — the same niche trick llguidance's `HashCons` ids use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct TermId(pub(crate) u32);
+pub struct TermId(pub(crate) NonZeroU32);
 
 impl TermId {
     /// Raw index of the term inside its manager, useful as a dense map key.
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0.get() - 1) as usize
+    }
+
+    /// The id for the term at dense index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index + 1` overflows `u32` (more than ~4 billion terms).
+    pub(crate) fn from_index(index: usize) -> TermId {
+        let raw = u32::try_from(index + 1).expect("term table exceeds u32 capacity");
+        TermId(NonZeroU32::new(raw).expect("index + 1 is nonzero"))
     }
 }
 

@@ -113,6 +113,35 @@ impl CountRequest {
         }
     }
 
+    /// Starts a request over a shared snapshot of an interned term store.
+    ///
+    /// The request's manager opens over the frozen id table as an `Arc`
+    /// share, not a deep clone: a submitter fanning one formula out to many
+    /// concurrent requests snapshots its manager once and builds each
+    /// request with `from_snapshot(Arc::clone(&snap))`.  Every serving
+    /// shard then observes the identical interned terms — same ids, same
+    /// rendering — while each request's own additions land in a private
+    /// tail invisible to its siblings.
+    ///
+    /// ```
+    /// use pact_ir::{TermManager, Sort};
+    /// use pact_service::CountRequest;
+    ///
+    /// let mut tm = TermManager::new();
+    /// let x = tm.mk_var("x", Sort::BitVec(8));
+    /// let c = tm.mk_bv_const(16, 8);
+    /// let f = tm.mk_bv_ule(c, x).unwrap();
+    /// let snap = tm.snapshot();
+    /// let a = CountRequest::from_snapshot(std::sync::Arc::clone(&snap))
+    ///     .assert(f)
+    ///     .project(x);
+    /// let b = CountRequest::from_snapshot(snap).assert(f).project(x);
+    /// assert!(a.validate().is_ok() && b.validate().is_ok());
+    /// ```
+    pub fn from_snapshot(snapshot: std::sync::Arc<pact_ir::TermSnapshot>) -> Self {
+        CountRequest::new(TermManager::from_snapshot(snapshot))
+    }
+
     /// Asserts one boolean term.
     pub fn assert(mut self, t: TermId) -> Self {
         self.formula.push(t);

@@ -325,6 +325,48 @@ mod tests {
     }
 
     #[test]
+    fn shards_serve_concurrent_requests_over_one_shared_snapshot() {
+        // One interned store, snapshotted once; every request opens its own
+        // manager over the shared id table (an `Arc` share, not a deep
+        // clone).  All shards must observe the identical frozen terms:
+        // bit-identical reports for identical requests, and the same
+        // `terms_interned` store size everywhere.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(6));
+        let c = tm.mk_bv_const(12, 6);
+        let f = tm.mk_bv_ult(x, c).unwrap();
+        let snapshot = tm.snapshot();
+
+        let service = CountingService::new(ServiceConfig {
+            shards: 3,
+            queue_capacity: 16,
+        });
+        let mut handles: Vec<_> = (0..6)
+            .map(|_| {
+                let request = CountRequest::from_snapshot(std::sync::Arc::clone(&snapshot))
+                    .assert(f)
+                    .project(x)
+                    .seed(11);
+                service.submit(request).unwrap()
+            })
+            .collect();
+        let reports: Vec<_> = handles.iter_mut().map(|h| h.wait().unwrap()).collect();
+        let shards: std::collections::HashSet<_> =
+            reports.iter().map(|r| r.shard.unwrap()).collect();
+        assert!(!shards.is_empty());
+        let first = &reports[0].report;
+        assert_eq!(first.outcome, CountOutcome::Exact(12));
+        for r in &reports[1..] {
+            assert_eq!(r.report.outcome, first.outcome);
+            assert_eq!(
+                r.report.stats.terms_interned, first.stats.terms_interned,
+                "shared-snapshot requests must report the same store size on every shard"
+            );
+        }
+        service.shutdown();
+    }
+
+    #[test]
     fn invalid_requests_are_rejected_before_admission() {
         let service = CountingService::new(ServiceConfig {
             shards: 1,

@@ -22,10 +22,16 @@ pub(crate) type PreprocessCache = HashMap<TermId, Preprocessed>;
 /// parallel backend's check.  On failure the offending entry (and
 /// everything after it) stays pending, so a retried check reports the same
 /// error, while popping the frame that asserted it retires the entry.
+///
+/// With hash-consed terms, a structurally identical assertion re-asserted
+/// after a `pop` (the galloping search re-blocks the same models across
+/// overlapping cells) resolves to the same `TermId` and is served straight
+/// from the cache — counted in `hits`.
 pub(crate) fn warm_preprocess_cache(
     to_warm: &mut Vec<(usize, TermId)>,
     cache: &mut PreprocessCache,
     tm: &mut TermManager,
+    hits: &mut u64,
 ) -> Result<()> {
     let mut warmed = 0;
     let result = loop {
@@ -33,6 +39,7 @@ pub(crate) fn warm_preprocess_cache(
             break Ok(());
         };
         if cache.contains_key(&t) {
+            *hits += 1;
             warmed += 1;
             continue;
         }
@@ -88,15 +95,31 @@ impl TmView<'_> {
         }
     }
 
-    pub(crate) fn preprocess(&mut self, t: TermId) -> Result<Preprocessed> {
-        match self {
-            TmView::Exclusive(tm) => preprocess(tm, &[t]),
+    /// Preprocessing of `t`, served from the caller's term-id-keyed `local`
+    /// cache when the identical term was preprocessed before (hash consing
+    /// makes structural identity id identity).  Cache hits are counted in
+    /// `hits`; misses are computed (Exclusive) or fetched from the shared
+    /// warm cache (Shared) and memoized.
+    pub(crate) fn preprocess(
+        &mut self,
+        t: TermId,
+        local: &mut PreprocessCache,
+        hits: &mut u64,
+    ) -> Result<Preprocessed> {
+        if let Some(pre) = local.get(&t) {
+            *hits += 1;
+            return Ok(pre.clone());
+        }
+        let pre = match self {
+            TmView::Exclusive(tm) => preprocess(tm, &[t])?,
             TmView::Shared(_, cache) => cache.get(&t).cloned().ok_or_else(|| {
                 SolverError::Internal(
                     "assertion missing from the shared preprocess cache".to_string(),
                 )
-            }),
-        }
+            })?,
+        };
+        local.insert(t, pre.clone());
+        Ok(pre)
     }
 }
 
@@ -166,6 +189,12 @@ pub struct OracleStats {
     /// Guarded assertions (clauses and XOR rows) of retired frames reclaimed
     /// by compactions.
     pub dead_clauses_reclaimed: u64,
+    /// Preprocessing results served from a term-id-keyed cache instead of
+    /// being recomputed: per-context memoization on re-encodes (rebuild
+    /// replays, compaction journal replays) plus, for the parallel
+    /// backends, warm-cache hits when a hash-consed assertion recurs across
+    /// checks.
+    pub preprocess_cache_hits: u64,
 }
 
 /// One assertion on the stack: either a term or a native XOR constraint over
@@ -221,6 +250,10 @@ pub struct Context {
     sat_options: SatOptions,
     /// Interrupt flags re-installed into every (re)built encoder's solver.
     interrupts: Vec<InterruptFlag>,
+    /// Term-id-keyed preprocessing memo.  Never invalidated: a term id is
+    /// immutable for the life of its manager lineage, so a rebuild replay
+    /// re-encodes from this cache instead of re-running preprocessing.
+    preprocess_cache: PreprocessCache,
 }
 
 impl Context {
@@ -384,7 +417,11 @@ impl Context {
         for assertion in pending {
             match assertion {
                 Assertion::Term(t) => {
-                    let pre = view.preprocess(t)?;
+                    let pre = view.preprocess(
+                        t,
+                        &mut self.preprocess_cache,
+                        &mut self.stats.preprocess_cache_hits,
+                    )?;
                     let tm = view.tm();
                     let encoder = self.encoder.as_mut().expect("encoder exists");
                     for a in pre.assertions.iter().chain(pre.axioms.iter()) {
@@ -707,6 +744,32 @@ mod tests {
         ctx.pop(); // rebuild: the discarded solver's conflicts are banked
         assert!(ctx.stats().rebuilds >= 1);
         assert!(ctx.stats().conflicts >= mid);
+    }
+
+    #[test]
+    fn rebuild_replay_serves_preprocessing_from_the_cache() {
+        // The first encode of each assertion preprocesses it and memoizes
+        // the result under its term id; a pop-forced rebuild replays the
+        // surviving assertions from that cache instead of re-running
+        // preprocessing — visible in `preprocess_cache_hits`, with the
+        // verdict unchanged.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(8));
+        let c = tm.mk_bv_const(200, 8);
+        let f = tm.mk_bv_ult(c, x).unwrap();
+        let mut ctx = Context::new();
+        ctx.assert_term(f);
+        ctx.push();
+        let d = tm.mk_bv_const(240, 8);
+        let g = tm.mk_bv_ult(x, d).unwrap();
+        ctx.assert_term(g);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert_eq!(ctx.stats().preprocess_cache_hits, 0);
+        ctx.pop(); // discards the encoder; the next check re-encodes `f`
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        let stats = ctx.stats();
+        assert!(stats.rebuilds >= 1);
+        assert!(stats.preprocess_cache_hits >= 1);
     }
 
     #[test]

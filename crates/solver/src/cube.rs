@@ -62,7 +62,7 @@
 //!
 //! [`CancellationToken`]: crate::InterruptFlag
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -115,6 +115,15 @@ pub struct CubeStats {
     /// conflicts, sparing the conquest phase entirely.  Scout-side and
     /// single-threaded, hence deterministic for a fixed seed.
     pub refuted_by_lookahead: u64,
+    /// Probes answered from the probe-outcome cache instead of re-running
+    /// the scout solve: within a frame the galloping search's repeated
+    /// checks (enumerate, block, re-check) regenerate previously refuted
+    /// cubes, and UNSAT is monotone under the added blocking assertions, so
+    /// the cached refutation stands.  The cache is dropped wholesale on
+    /// `pop` (retracting assertions can revive a cube).  Scout-side and
+    /// deterministic; cached refutations still count toward
+    /// [`CubeStats::refuted_by_lookahead`], so verdicts are unchanged.
+    pub probe_cache_hits: u64,
 }
 
 /// Validates that a cube set partitions the assignment space over its split
@@ -244,6 +253,14 @@ pub struct CubeContext {
     /// Shared with in-flight jobs during a dispatch; uniquely held (and
     /// therefore warmable) between checks thanks to the quiesce rendezvous.
     cache: Arc<PreprocessCache>,
+    /// Warm-cache hits observed while preprocessing `to_warm` (hash-consed
+    /// re-assertions resolve to already-cached term ids); surfaced through
+    /// [`OracleStats::preprocess_cache_hits`].
+    warm_hits: u64,
+    /// Cubes refuted by a probe since the last `pop`: the probe-outcome
+    /// cache.  Only UNSAT outcomes are cached (sound because assertions
+    /// within a frame only accumulate); cleared wholesale on `pop`.
+    probe_unsat: HashSet<Vec<CubeBit>>,
     /// Raised by the first SAT conquest of a check; lowered per check.
     race: InterruptFlag,
     /// External cancellation (the session's token), watched by the scout
@@ -285,6 +302,8 @@ impl CubeContext {
             tracked: Vec::new(),
             to_warm: Vec::new(),
             cache: Arc::new(PreprocessCache::new()),
+            warm_hits: 0,
+            probe_unsat: HashSet::new(),
             race: InterruptFlag::new(),
             external: None,
             stats: CubeStats::default(),
@@ -379,7 +398,17 @@ impl CubeContext {
     }
 
     /// Probes one cube on the scout under a small conflict budget.
+    ///
+    /// Refutations are memoised in the probe-outcome cache: the galloping
+    /// search re-derives the same cube prefixes on every repeated check
+    /// within a frame, and a cube refuted under the current assertion set
+    /// stays refuted once more assertions pile on, so the cached UNSAT can
+    /// be replayed without touching the scout.
     fn probe_cube(&mut self, tm: &mut TermManager, cube: &[CubeBit]) -> Result<SolverResult> {
+        if self.probe_unsat.contains(cube) {
+            self.stats.probe_cache_hits += 1;
+            return Ok(SolverResult::Unsat);
+        }
         let budget = self
             .config
             .max_conflicts
@@ -395,6 +424,9 @@ impl CubeContext {
         let result = self.scout.check(tm);
         self.scout.pop();
         self.scout.set_config(self.config);
+        if matches!(result, Ok(SolverResult::Unsat)) {
+            self.probe_unsat.insert(cube.to_vec());
+        }
         result
     }
 
@@ -590,6 +622,10 @@ impl Oracle for CubeContext {
         assert!(self.stack_depth > 0, "pop without matching push");
         self.settle();
         self.to_warm.retain(|&(depth, _)| depth < self.stack_depth);
+        // Retracting assertions can revive a refuted cube, so the
+        // probe-outcome cache (sound only while assertions accumulate)
+        // is dropped wholesale.
+        self.probe_unsat.clear();
         self.stack_depth -= 1;
         self.scout.pop();
         for worker in &mut self.workers {
@@ -635,7 +671,7 @@ impl Oracle for CubeContext {
         }
         let cache = Arc::get_mut(&mut self.cache)
             .expect("cache uniquely held between checks (pool quiesced)");
-        warm_preprocess_cache(&mut self.to_warm, cache, tm)?;
+        warm_preprocess_cache(&mut self.to_warm, cache, tm, &mut self.warm_hits)?;
         let bits = self.split_bits(tm)?;
         if bits.is_empty() {
             // Nothing to split on (no free projection bit): plain solve.
@@ -694,8 +730,10 @@ impl Oracle for CubeContext {
             stats.conflicts += ws.conflicts;
             stats.compactions += ws.compactions;
             stats.dead_clauses_reclaimed += ws.dead_clauses_reclaimed;
+            stats.preprocess_cache_hits += ws.preprocess_cache_hits;
         }
         stats.pool_reuses = self.pool.batches();
+        stats.preprocess_cache_hits += self.warm_hits;
         stats
     }
 
@@ -828,6 +866,57 @@ mod tests {
         let stats = ctx.cube_stats();
         assert!(stats.splits >= 1);
         assert!(stats.cubes_solved >= stats.refuted_by_lookahead);
+    }
+
+    #[test]
+    fn probe_outcome_cache_replays_refutations_on_repeated_checks() {
+        // x < 4 and x > 10 is unsatisfiable, so every probed cube is
+        // refuted.  Re-checking the unchanged frame regenerates the same
+        // cubes; within a handful of checks the galloping search must start
+        // answering probes from the cache — with every verdict still Unsat.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(6));
+        let lo = lt(&mut tm, x, 4, 6);
+        let c = tm.mk_bv_const(10, 6);
+        let hi = tm.mk_bv_ult(c, x).unwrap();
+        let mut ctx = CubeContext::new(3, 2);
+        ctx.track_var(x);
+        ctx.assert_term(lo);
+        ctx.assert_term(hi);
+        for _ in 0..8 {
+            assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unsat);
+            if ctx.cube_stats().probe_cache_hits > 0 {
+                break;
+            }
+        }
+        let stats = ctx.cube_stats();
+        assert!(
+            stats.probe_cache_hits > 0,
+            "repeated checks never hit the probe cache"
+        );
+        // Cached refutations still count toward the lookahead totals, so
+        // downstream accounting is unchanged.
+        assert!(stats.refuted_by_lookahead >= stats.probe_cache_hits);
+    }
+
+    #[test]
+    fn pop_clears_the_probe_cache_so_cubes_can_revive() {
+        // Cubes refuted inside a frame may become satisfiable once the
+        // frame's assertions are retracted; a stale cache entry would turn
+        // the post-pop check falsely Unsat.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(6));
+        let lo = lt(&mut tm, x, 4, 6);
+        let mut ctx = CubeContext::new(3, 2);
+        ctx.track_var(x);
+        ctx.assert_term(lo);
+        ctx.push();
+        let c = tm.mk_bv_const(10, 6);
+        let hi = tm.mk_bv_ult(c, x).unwrap();
+        ctx.assert_term(hi);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Unsat);
+        ctx.pop();
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
     }
 
     #[test]

@@ -128,6 +128,10 @@ pub struct IncrementalContext {
     retired_conflicts: u64,
     /// Simplex witness (indexed by LRA variable) from the last SAT check.
     real_model_values: Vec<Rational>,
+    /// Term-id-keyed preprocessing memo; never invalidated (term ids are
+    /// immutable for the manager lineage), so compaction journal replays
+    /// re-encode from it instead of re-running preprocessing.
+    preprocess_cache: PreprocessCache,
 }
 
 impl Default for IncrementalContext {
@@ -147,6 +151,7 @@ impl Default for IncrementalContext {
             compaction_min_dead: DEFAULT_COMPACTION_MIN_DEAD,
             retired_conflicts: 0,
             real_model_values: Vec::new(),
+            preprocess_cache: PreprocessCache::default(),
         }
     }
 }
@@ -424,7 +429,11 @@ impl IncrementalContext {
         });
         match assertion {
             Pending::Term(t) => {
-                let pre = view.preprocess(t)?;
+                let pre = view.preprocess(
+                    t,
+                    &mut self.preprocess_cache,
+                    &mut self.stats.preprocess_cache_hits,
+                )?;
                 let tm = view.tm();
                 for &a in pre.assertions.iter().chain(pre.axioms.iter()) {
                     if self.encoder.try_assert_blocking(tm, a, guard)? {
@@ -722,6 +731,34 @@ mod tests {
         ctx.pop();
         assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
         assert_eq!(ctx.stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn compaction_replay_serves_preprocessing_from_the_cache() {
+        // A compaction re-encodes the live journal into a fresh solver; the
+        // replay must be served from the term-id-keyed preprocessing memo
+        // rather than re-running preprocessing, and must not change the
+        // verdict.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(5));
+        let mut ctx = IncrementalContext::new();
+        ctx.set_compaction_threshold(1);
+        ctx.track_var(x);
+        let f = assert_bv_lt(&mut tm, x, 20, 5);
+        ctx.assert_term(f);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        assert_eq!(ctx.stats().preprocess_cache_hits, 0);
+        ctx.push();
+        let g = assert_bv_lt(&mut tm, x, 10, 5);
+        ctx.assert_term(g);
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        ctx.pop(); // retires `g`; threshold 1 arms a compaction
+        assert_eq!(ctx.check(&mut tm).unwrap(), SolverResult::Sat);
+        let stats = ctx.stats();
+        assert!(stats.compactions > 0, "threshold 1 must trigger compaction");
+        // The journal replay re-encoded `f` from the cache.
+        assert!(stats.preprocess_cache_hits >= 1);
+        assert_eq!(stats.rebuilds, 0);
     }
 
     #[test]

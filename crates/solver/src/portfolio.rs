@@ -306,6 +306,10 @@ pub struct PortfolioContext {
     /// Shared with in-flight jobs during a dispatch; uniquely held (and
     /// therefore warmable) between checks thanks to the quiesce rendezvous.
     cache: Arc<PreprocessCache>,
+    /// Warm-cache hits observed while preprocessing `to_warm` (hash-consed
+    /// re-assertions resolve to already-cached term ids); surfaced through
+    /// [`OracleStats::preprocess_cache_hits`].
+    warm_hits: u64,
     /// Raised by the first decisive finisher of a race; lowered per check.
     race: InterruptFlag,
     /// External cancellation (the session's token), also watched by every
@@ -346,6 +350,7 @@ impl PortfolioContext {
             depth: 0,
             to_warm: Vec::new(),
             cache: Arc::new(PreprocessCache::new()),
+            warm_hits: 0,
             race,
             external: None,
             wins: [0; MAX_PORTFOLIO_WORKERS],
@@ -541,7 +546,7 @@ impl Oracle for PortfolioContext {
         self.last_winner = None;
         let cache = Arc::get_mut(&mut self.cache)
             .expect("cache uniquely held between checks (pool quiesced)");
-        warm_preprocess_cache(&mut self.to_warm, cache, tm)?;
+        warm_preprocess_cache(&mut self.to_warm, cache, tm, &mut self.warm_hits)?;
         self.race_check(tm)
     }
 
@@ -572,8 +577,10 @@ impl Oracle for PortfolioContext {
             stats.conflicts += ws.conflicts;
             stats.compactions += ws.compactions;
             stats.dead_clauses_reclaimed += ws.dead_clauses_reclaimed;
+            stats.preprocess_cache_hits += ws.preprocess_cache_hits;
         }
         stats.pool_reuses = self.pool.batches();
+        stats.preprocess_cache_hits += self.warm_hits;
         stats
     }
 

@@ -21,7 +21,7 @@
 //! 3. Both layers ride the same four-backend sweep, so adding a fifth
 //!    backend to [`factories`] extends the whole harness for free.
 
-use pact::{CountOutcome, CountReport, Oracle, OracleFactory, Session};
+use pact::{BackendSpec, CountOutcome, CountReport, Oracle, OracleFactory, Session};
 use pact_benchgen::{generate_for_logic, GenParams, Instance};
 use pact_ir::logic::Logic;
 use pact_ir::{Sort, TermId, TermManager};
@@ -32,9 +32,21 @@ use proptest::prelude::*;
 fn factories() -> Vec<(&'static str, OracleFactory)> {
     vec![
         ("rebuild", OracleFactory::default()),
-        ("incremental", OracleFactory::incremental()),
-        ("portfolio", OracleFactory::portfolio(3)),
-        ("cube", OracleFactory::cube(3, 2)),
+        (
+            "incremental",
+            OracleFactory::from_spec(BackendSpec::Incremental),
+        ),
+        (
+            "portfolio",
+            OracleFactory::from_spec(BackendSpec::Portfolio { workers: 3 }),
+        ),
+        (
+            "cube",
+            OracleFactory::from_spec(BackendSpec::Cube {
+                depth: 3,
+                workers: 2,
+            }),
+        ),
     ]
 }
 
@@ -321,7 +333,7 @@ fn aggressive_compaction_preserves_bit_identical_reports() {
                 .unwrap();
             session.count().unwrap()
         };
-        let reference = run(OracleFactory::incremental());
+        let reference = run(OracleFactory::from_spec(BackendSpec::Incremental));
         let compacted = run(compacting);
         assert_eq!(
             deterministic_parts(&compacted),
@@ -342,6 +354,79 @@ fn aggressive_compaction_preserves_bit_identical_reports() {
         total_compactions > 0,
         "no instance ever triggered a compaction"
     );
+}
+
+#[test]
+fn interning_stress_is_bit_identical_and_serves_preprocessing_from_cache() {
+    // Satellite of the hash-consing refactor: an instance whose asserts
+    // share a deep sub-DAG (a folded spine re-referenced by every layer).
+    // Interning must collapse the rebuild of the spine to zero fresh
+    // allocations, every backend must produce the bit-identical
+    // deterministic report slice, and every backend must serve at least one
+    // preprocessing result from its term-id-keyed cache: the galloping
+    // search re-asserts structurally identical terms across checks, which
+    // hash consing resolves to previously-seen ids.
+    let build_spine = |tm: &mut TermManager, x: TermId, y: TermId| -> Vec<TermId> {
+        let mut spine = tm.mk_bv_xor(x, y).unwrap();
+        for i in 0..8u128 {
+            let c = tm.mk_bv_const(3 * i + 1, 6);
+            let mixed = tm.mk_bv_add(spine, c).unwrap();
+            let rotated = tm.mk_bv_xor(mixed, x).unwrap();
+            spine = tm.mk_bv_and(rotated, mixed).unwrap();
+        }
+        let cap = tm.mk_bv_const(61, 6);
+        let lo = tm.mk_bv_const(2, 6);
+        vec![
+            tm.mk_bv_ule(spine, cap).unwrap(),
+            tm.mk_bv_ule(lo, x).unwrap(),
+        ]
+    };
+    let mut tm = TermManager::new();
+    let x = tm.mk_var("x", Sort::BitVec(6));
+    let y = tm.mk_var("y", Sort::BitVec(6));
+    let asserts = build_spine(&mut tm, x, y);
+    // Hash consing: rebuilding the same spine allocates nothing new and
+    // resolves to the same roots.
+    let interned = tm.len();
+    let rebuilt = build_spine(&mut tm, x, y);
+    assert_eq!(rebuilt, asserts, "identical construction, identical ids");
+    assert_eq!(tm.len(), interned, "a rebuild must not grow the store");
+
+    let run = |factory: OracleFactory| {
+        let mut session = Session::builder(tm.clone())
+            .assert_all(&asserts)
+            .project_all(&[x, y])
+            .seed(7)
+            .iterations(3)
+            .epsilon(0.8)
+            .oracle_factory(factory)
+            .build()
+            .unwrap();
+        session.count().unwrap()
+    };
+    let reference = run(OracleFactory::default());
+    for (name, factory) in factories() {
+        let report = run(factory);
+        assert_eq!(
+            deterministic_parts(&report),
+            deterministic_parts(&reference),
+            "{name}: interning-stress report diverged"
+        );
+        assert!(
+            report.stats.preprocess_cache_hits > 0,
+            "{name}: expected preprocessing cache hits, got 0"
+        );
+        // terms_interned stamps the final store size: at least the formula
+        // itself, plus whatever preprocessing interned on the main manager
+        // (which varies by backend — the cube front-end, say, interns its
+        // lookahead decompositions — so only the floor is portable).
+        assert!(
+            report.stats.terms_interned >= interned as u64,
+            "{name}: terms_interned {} below the {} formula terms",
+            report.stats.terms_interned,
+            interned
+        );
+    }
 }
 
 #[test]

@@ -170,6 +170,97 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Hash-consed term store invariants
+// ---------------------------------------------------------------------------
+//
+// The term manager interns terms by `(op, children, sort)`: structural
+// identity *is* id identity.  Everything downstream — preprocess caches
+// keyed on term ids, bit-identical parallel rounds over shared snapshots —
+// leans on the three invariants pinned here.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn building_the_same_term_twice_interns_to_the_same_id(
+        spec in proptest::collection::vec((0u8..5, any::<u8>()), 1..6),
+    ) {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(5));
+        let first = build_formula(&mut tm, x, &spec);
+        let size = tm.len();
+        let second = build_formula(&mut tm, x, &spec);
+        prop_assert_eq!(&first, &second, "identical construction must intern to identical ids");
+        prop_assert_eq!(tm.len(), size, "the second build must allocate nothing");
+    }
+
+    #[test]
+    fn interned_terms_survive_a_print_parse_round_trip(
+        spec in proptest::collection::vec((0u8..5, any::<u8>()), 1..6),
+    ) {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(5));
+        let asserts = build_formula(&mut tm, x, &spec);
+        for &t in &asserts {
+            let rendered = pact_ir::printer::term_to_smtlib(&tm, t);
+            // Re-parsing the rendering resolves to the *existing* interned
+            // node — not a structurally equal copy with a fresh id.
+            let reparsed = pact_ir::parser::parse_term(&mut tm, &rendered).unwrap();
+            prop_assert_eq!(reparsed, t, "round-trip must hit the interned node");
+            prop_assert_eq!(
+                pact_ir::printer::term_to_smtlib(&tm, reparsed),
+                rendered,
+                "printing is stable across the round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_sharing_across_threads_observes_identical_terms(
+        spec in proptest::collection::vec((0u8..5, any::<u8>()), 1..6),
+    ) {
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(5));
+        let asserts = build_formula(&mut tm, x, &spec);
+        let rendered: Vec<String> = asserts
+            .iter()
+            .map(|&t| pact_ir::printer::term_to_smtlib(&tm, t))
+            .collect();
+        let snapshot = tm.snapshot();
+        // Each thread opens its own manager over the shared snapshot,
+        // renders the frozen terms, and rebuilds the formula from scratch:
+        // both the observations and the fresh allocations must be identical
+        // everywhere, or parallel rounds could not be bit-reproducible.
+        let observations: Vec<(Vec<String>, Vec<TermId>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let snapshot = std::sync::Arc::clone(&snapshot);
+                    let spec = spec.clone();
+                    let asserts = &asserts;
+                    scope.spawn(move || {
+                        let mut local = TermManager::from_snapshot(snapshot);
+                        let views: Vec<String> = asserts
+                            .iter()
+                            .map(|&t| pact_ir::printer::term_to_smtlib(&local, t))
+                            .collect();
+                        let rebuilt = build_formula(&mut local, x, &spec);
+                        (views, rebuilt)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("snapshot reader panicked"))
+                .collect()
+        });
+        for (views, rebuilt) in observations {
+            prop_assert_eq!(&views, &rendered, "shared snapshot must render identically");
+            prop_assert_eq!(&rebuilt, &asserts, "rebuilds over the snapshot reuse interned ids");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Accuracy metrics: relative_error and median edge cases
 // ---------------------------------------------------------------------------
 

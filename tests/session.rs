@@ -17,7 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pact::{
-    CountError, CountOutcome, CountReport, CounterConfig, OracleFactory, ProgressEvent, Session,
+    BackendSpec, CountError, CountOutcome, CountReport, CounterConfig, OracleFactory,
+    ProgressEvent, Session,
 };
 use pact_ir::{BvValue, Sort, TermId, TermManager, Value};
 use pact_solver::{Context, Oracle, OracleStats, SolverConfig, SolverResult};
@@ -145,9 +146,21 @@ fn unbalanced_pop_panics_identically_across_backends() {
     let (mock_factory, _ops) = instrumented_factory();
     let factories: Vec<(&str, OracleFactory)> = vec![
         ("context", OracleFactory::default()),
-        ("incremental", OracleFactory::incremental()),
-        ("portfolio", OracleFactory::portfolio(2)),
-        ("cube", OracleFactory::cube(2, 2)),
+        (
+            "incremental",
+            OracleFactory::from_spec(BackendSpec::Incremental),
+        ),
+        (
+            "portfolio",
+            OracleFactory::from_spec(BackendSpec::Portfolio { workers: 2 }),
+        ),
+        (
+            "cube",
+            OracleFactory::from_spec(BackendSpec::Cube {
+                depth: 2,
+                workers: 2,
+            }),
+        ),
         ("mock", mock_factory),
     ];
     for (name, factory) in factories {
@@ -199,9 +212,21 @@ fn oracle_accounting_contract_is_uniform_across_backends() {
     let (mock_factory, _ops) = instrumented_factory();
     let factories: Vec<(&str, OracleFactory)> = vec![
         ("context", OracleFactory::default()),
-        ("incremental", OracleFactory::incremental()),
-        ("portfolio", OracleFactory::portfolio(3)),
-        ("cube", OracleFactory::cube(2, 2)),
+        (
+            "incremental",
+            OracleFactory::from_spec(BackendSpec::Incremental),
+        ),
+        (
+            "portfolio",
+            OracleFactory::from_spec(BackendSpec::Portfolio { workers: 3 }),
+        ),
+        (
+            "cube",
+            OracleFactory::from_spec(BackendSpec::Cube {
+                depth: 2,
+                workers: 2,
+            }),
+        ),
         ("mock", mock_factory),
     ];
     for (name, factory) in factories {
