@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run -p pact-bench --bin table1 --release -- \
 //!     [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini] \
-//!     [--backend rebuild|incremental|portfolio|cube|both|all]
+//!     [--backend rebuild|incremental|portfolio|cube|adaptive|both|all]
 //! ```
 //!
 //! * `--threads N` fans the suite's runs across `N` workers (`0` = all
@@ -15,14 +15,17 @@
 //!   smoke-bench artifact format).
 //! * `--mini` switches to the ~10-instance smoke suite with narrow widths
 //!   and a short default timeout, sized for a CI job.
-//! * `--backend` selects the oracle backend; `both` runs the whole suite
-//!   once per single-engine backend so the artifact carries per-backend
-//!   `rebuilds` and oracle wall time (how the incremental speedup is
-//!   tracked across PRs), `portfolio` races diversified workers inside
-//!   every oracle call (the artifact gains per-worker win counts), `cube`
-//!   splits every hard oracle call into parallel sub-solves (the artifact
-//!   gains `cubes_split` / `cubes_solved` / `cube_refuted_by_lookahead`),
-//!   and `all` runs all four.
+//! * `--backend` selects the oracle backend (default: `incremental`, the
+//!   engine default); `both` runs the whole suite once per single-engine
+//!   backend so the artifact carries per-backend `rebuilds` and oracle
+//!   wall time (how the incremental speedup is tracked across PRs),
+//!   `portfolio` races diversified workers inside every oracle call (the
+//!   artifact gains per-worker win counts), `cube` splits every hard
+//!   oracle call into parallel sub-solves (the artifact gains
+//!   `cubes_split` / `cubes_solved` / `cube_refuted_by_lookahead`),
+//!   `adaptive` re-routes every check through the policy oracle (the
+//!   artifact gains `policy_switches` / `policy_backend_checks` /
+//!   `cube_depth_max`), and `all` runs all five.
 
 use std::time::Duration;
 
@@ -30,7 +33,7 @@ use pact_bench::cli::ArgError;
 use pact_bench::{records_to_json, run_suite_parallel, table_one, Backend, HarnessConfig};
 use pact_benchgen::{paper_suite, SuiteParams};
 
-const USAGE: &str = "usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini] [--backend rebuild|incremental|portfolio|cube|both|all]";
+const USAGE: &str = "usage: table1 [per_logic] [timeout_secs] [--threads N] [--json PATH] [--mini] [--backend rebuild|incremental|portfolio|cube|adaptive|both|all]";
 
 #[derive(Debug, PartialEq)]
 struct Args {
@@ -49,7 +52,7 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> 
         threads: 0,
         json: None,
         mini: false,
-        backends: vec![Backend::Rebuild],
+        backends: vec![Backend::Incremental],
     };
     let mut positional = 0;
     let mut iter = argv.into_iter();
@@ -231,8 +234,16 @@ mod tests {
 
     #[test]
     fn backend_flag_parses_each_choice() {
+        // The unflagged default follows the engine default (incremental
+        // since the rebuild demotion).
         assert_eq!(
             parse_args(argv(&[])).unwrap().backends,
+            vec![Backend::Incremental]
+        );
+        assert_eq!(
+            parse_args(argv(&["--backend", "rebuild"]))
+                .unwrap()
+                .backends,
             vec![Backend::Rebuild]
         );
         assert_eq!(
@@ -252,12 +263,19 @@ mod tests {
             vec![Backend::Cube]
         );
         assert_eq!(
+            parse_args(argv(&["--backend", "adaptive"]))
+                .unwrap()
+                .backends,
+            vec![Backend::Adaptive]
+        );
+        assert_eq!(
             parse_args(argv(&["--backend", "all"])).unwrap().backends,
             vec![
                 Backend::Rebuild,
                 Backend::Incremental,
                 Backend::Portfolio,
-                Backend::Cube
+                Backend::Cube,
+                Backend::Adaptive
             ]
         );
         assert_eq!(

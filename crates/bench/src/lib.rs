@@ -86,16 +86,19 @@ pub fn portfolio_workers() -> usize {
 pub const CUBE_DEPTH: usize = 3;
 
 /// Which built-in oracle backend a run used (the `OracleFactory` choice):
-/// the reference rebuild-on-`pop` encoder, the activation-literal
-/// incremental encoder that survives `pop`, the racing portfolio that fans
-/// every `check` out to diversified workers, or the cube-and-conquer
-/// backend that partitions every hard `check` into sub-solves.
+/// the rebuild-on-`pop` debug encoder, the activation-literal incremental
+/// encoder that survives `pop` (the default since the default flip), the
+/// racing portfolio that fans every `check` out to diversified workers, the
+/// cube-and-conquer backend that partitions every hard `check` into
+/// sub-solves, or the adaptive policy that re-routes each `check` across
+/// the others from observed statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
-    /// The default rebuilding `Context` backend.
-    #[default]
+    /// The rebuilding `Context` debug backend.
     Rebuild,
-    /// The activation-literal `IncrementalContext` backend (zero rebuilds).
+    /// The activation-literal `IncrementalContext` backend (zero rebuilds;
+    /// the default).
+    #[default]
     Incremental,
     /// The racing `PortfolioContext` backend ([`portfolio_workers`]
     /// workers).
@@ -103,15 +106,18 @@ pub enum Backend {
     /// The cube-and-conquer `CubeContext` backend ([`CUBE_DEPTH`] split
     /// depth, [`portfolio_workers`] conquering workers).
     Cube,
+    /// The adaptive `PolicyOracle` backend (per-check routing).
+    Adaptive,
 }
 
 impl Backend {
     /// Every backend, in artifact emission order.
-    pub const ALL: [Backend; 4] = [
+    pub const ALL: [Backend; 5] = [
         Backend::Rebuild,
         Backend::Incremental,
         Backend::Portfolio,
         Backend::Cube,
+        Backend::Adaptive,
     ];
 
     /// The two single-engine backends (the pre-portfolio `--backend both`).
@@ -124,6 +130,7 @@ impl Backend {
             Backend::Incremental => "incremental",
             Backend::Portfolio => "portfolio",
             Backend::Cube => "cube",
+            Backend::Adaptive => "adaptive",
         }
     }
 
@@ -142,6 +149,7 @@ impl Backend {
                 depth: CUBE_DEPTH,
                 workers: portfolio_workers(),
             },
+            Backend::Adaptive => pact::BackendSpec::Adaptive,
         }
     }
 
@@ -162,6 +170,7 @@ impl Backend {
             pact::BackendSpec::Incremental => Backend::Incremental,
             pact::BackendSpec::Portfolio { .. } => Backend::Portfolio,
             pact::BackendSpec::Cube { .. } => Backend::Cube,
+            pact::BackendSpec::Adaptive => Backend::Adaptive,
         }
     }
 }
@@ -221,7 +230,7 @@ impl Default for HarnessConfig {
             timeout: Duration::from_secs(5),
             iterations: 3,
             seed: 42,
-            backend: Backend::Rebuild,
+            backend: Backend::Incremental,
         }
     }
 }
@@ -337,7 +346,7 @@ pub fn run_suite_parallel(
 /// Bump this (and the round-trip test pinning the field list) whenever a
 /// field is added, removed or re-typed, so downstream consumers of the CI
 /// artifact can dispatch on `schema_version` instead of sniffing keys.
-pub const RECORD_SCHEMA_VERSION: u32 = 7;
+pub const RECORD_SCHEMA_VERSION: u32 = 8;
 
 /// The field names of one JSON record, in emission order (the schema that
 /// [`RECORD_SCHEMA_VERSION`] versions).
@@ -371,7 +380,14 @@ pub const RECORD_SCHEMA_VERSION: u32 = 7;
 /// (preprocessing results served from a term-id-keyed cache instead of
 /// recomputed) and `probe_cache_hits` (cube lookahead probes answered from
 /// the probe-outcome cache; 0 for every other backend).
-pub const RECORD_SCHEMA_FIELDS: [&str; 27] = [
+///
+/// Schema v8 adds the adaptive-policy triple: `policy_switches` (backend
+/// re-routes the adaptive policy performed; 0 for fixed-strategy backends),
+/// `policy_backend_checks` (a JSON array of checks served per backend slot,
+/// in the order rebuild, incremental, portfolio, cube — two-plus non-zero
+/// entries mean the adaptivity is live) and `cube_depth_max` (the deepest
+/// cube split the policy reached; a max, not a flow).
+pub const RECORD_SCHEMA_FIELDS: [&str; 30] = [
     "schema_version",
     "instance",
     "logic",
@@ -397,6 +413,9 @@ pub const RECORD_SCHEMA_FIELDS: [&str; 27] = [
     "terms_interned",
     "preprocess_cache_hits",
     "probe_cache_hits",
+    "policy_switches",
+    "policy_backend_checks",
+    "cube_depth_max",
     "oracle_seconds",
     "wall_seconds",
 ];
@@ -429,6 +448,14 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
         // `shard` is -1 for direct (non-service) runs, so the column stays
         // numeric and split-on-", " parseable.
         let shard = record.shard.map(|s| s as i64).unwrap_or(-1);
+        // Compact like `worker_wins`: all four slots, in the fixed rebuild /
+        // incremental / portfolio / cube order.
+        let policy_checks = stats
+            .policy_backend_checks
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
         out.push_str(&format!(
             concat!(
                 "  {{\"schema_version\": {}, ",
@@ -441,6 +468,8 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
                 "\"cube_refuted_by_lookahead\": {}, \"pool_reuses\": {}, ",
                 "\"compactions\": {}, \"terms_interned\": {}, ",
                 "\"preprocess_cache_hits\": {}, \"probe_cache_hits\": {}, ",
+                "\"policy_switches\": {}, \"policy_backend_checks\": [{}], ",
+                "\"cube_depth_max\": {}, ",
                 "\"oracle_seconds\": {:.6}, ",
                 "\"wall_seconds\": {:.6}}}{}\n"
             ),
@@ -469,6 +498,9 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
             stats.terms_interned,
             stats.preprocess_cache_hits,
             stats.probe_cache_hits,
+            stats.policy_switches,
+            policy_checks,
+            stats.cube_depth_max,
             stats.oracle_seconds,
             stats.wall_seconds,
             if i + 1 < records.len() { "," } else { "" },

@@ -8,10 +8,13 @@
 //! summary records end-to-end latency (queue wait + count wall time) as
 //! p50/p99 alongside aggregate requests/s and per-shard service counts.
 //!
-//! Results serialize as bench JSON schema v7 (see
+//! Results serialize as bench JSON schema v8 (see
 //! [`RECORD_SCHEMA_FIELDS`](crate::RECORD_SCHEMA_FIELDS)): the summary
 //! object embeds one per-request [`RunRecord`] carrying the v6 `shard` /
-//! `queue_seconds` pair and the v7 hash-consing triple.
+//! `queue_seconds` pair and the v7 hash-consing triple, and the summary
+//! itself carries the v8 terminal-disposition split (`served_per_shard`
+//! counts only requests that truly finished; cancellations, deadline
+//! expiries and failures land in their own counters).
 //!
 //! Each instance's term store is snapshotted once up front and every
 //! request over it is built with
@@ -68,11 +71,20 @@ pub struct ThroughputSummary {
     pub requests: usize,
     /// Shard threads the service ran.
     pub shards: usize,
-    /// Requests served per shard (index = shard id).
+    /// Requests served per shard (index = shard id).  Counts only terminal
+    /// *finishes* — a request that was cancelled or expired mid-flight lands
+    /// in [`cancelled`](Self::cancelled) / [`timed_out`](Self::timed_out)
+    /// instead.
     pub served_per_shard: Vec<u64>,
     /// Admission rejections observed while submitting (each was retried
     /// until admitted, so every request still completed).
     pub rejected: u64,
+    /// Requests that resolved as cancelled (in queue or mid-flight).
+    pub cancelled: u64,
+    /// Requests whose end-to-end deadline expired before a decisive count.
+    pub timed_out: u64,
+    /// Requests that resolved with an engine error.
+    pub failed: u64,
     /// Wall-clock seconds from first submission to last completion.
     pub elapsed_seconds: f64,
     /// Completed requests per wall-clock second.
@@ -201,6 +213,9 @@ pub fn run_service_workload(
         shards: params.shards,
         served_per_shard: metrics.served_per_shard,
         rejected: metrics.rejected,
+        cancelled: metrics.cancelled,
+        timed_out: metrics.timed_out,
+        failed: metrics.failed,
         elapsed_seconds: elapsed,
         requests_per_sec: records.len() as f64 / elapsed.max(f64::EPSILON),
         p50_seconds: percentile(&latencies, 0.50),
@@ -210,7 +225,7 @@ pub fn run_service_workload(
 }
 
 /// Renders a throughput summary (plus its per-request records) as the
-/// schema-v7 JSON artifact the CI smoke step asserts on.
+/// schema-v8 JSON artifact the CI smoke step asserts on.
 pub fn summary_to_json(summary: &ThroughputSummary, records: &[RunRecord]) -> String {
     let served = summary
         .served_per_shard
@@ -223,6 +238,7 @@ pub fn summary_to_json(summary: &ThroughputSummary, records: &[RunRecord]) -> St
             "{{\"schema_version\": {}, \"kind\": \"service_throughput\", ",
             "\"requests\": {}, \"shards\": {}, \"shards_used\": {}, ",
             "\"served_per_shard\": [{}], \"rejected\": {}, ",
+            "\"cancelled\": {}, \"timed_out\": {}, \"failed\": {}, ",
             "\"elapsed_seconds\": {:.6}, \"requests_per_sec\": {:.3}, ",
             "\"p50_seconds\": {:.6}, \"p99_seconds\": {:.6}, ",
             "\"records\": {}}}\n"
@@ -233,6 +249,9 @@ pub fn summary_to_json(summary: &ThroughputSummary, records: &[RunRecord]) -> St
         summary.shards_used(),
         served,
         summary.rejected,
+        summary.cancelled,
+        summary.timed_out,
+        summary.failed,
         summary.elapsed_seconds,
         summary.requests_per_sec,
         summary.p50_seconds,
@@ -281,6 +300,11 @@ mod tests {
         assert_eq!(summary.requests, 12);
         assert_eq!(records.len(), 12);
         assert_eq!(summary.served_per_shard.iter().sum::<u64>(), 12);
+        // Nothing was cancelled or expired, so the disposition split is
+        // all-served.
+        assert_eq!(summary.cancelled, 0);
+        assert_eq!(summary.timed_out, 0);
+        assert_eq!(summary.failed, 0);
         assert!(summary.requests_per_sec > 0.0);
         assert!(summary.p50_seconds > 0.0);
         assert!(summary.p99_seconds >= summary.p50_seconds);
@@ -323,8 +347,11 @@ mod tests {
         };
         let (summary, records) = run_service_workload(&suite, &params);
         let json = summary_to_json(&summary, &records);
-        assert!(json.starts_with("{\"schema_version\": 7"));
+        assert!(json.starts_with("{\"schema_version\": 8"));
         assert!(json.contains("\"kind\": \"service_throughput\""));
+        assert!(json.contains("\"cancelled\": 0"));
+        assert!(json.contains("\"timed_out\": 0"));
+        assert!(json.contains("\"failed\": 0"));
         assert!(json.contains("\"requests_per_sec\""));
         assert!(json.contains("\"p50_seconds\""));
         assert!(json.contains("\"p99_seconds\""));

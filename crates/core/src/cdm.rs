@@ -31,8 +31,8 @@ use crate::error::{CountError, CountResult};
 use crate::parallel::{run_rounds, RoundOutput};
 use crate::progress::{ProgressEvent, RunControl};
 use crate::result::{
-    finish_report as finish, median, merge_cube, merge_portfolio, merge_round_stats, CountOutcome,
-    CountReport, CountStats,
+    finish_report as finish, median, merge_cube, merge_policy, merge_portfolio, merge_round_stats,
+    CountOutcome, CountReport, CountStats,
 };
 use crate::session::Session;
 
@@ -195,6 +195,7 @@ pub(crate) fn count_cdm(
                 outcome.stats.preprocess_cache_hits = oracle_stats.preprocess_cache_hits;
                 merge_portfolio(&mut outcome.stats, round_ctx.portfolio());
                 merge_cube(&mut outcome.stats, round_ctx.cube());
+                merge_policy(&mut outcome.stats, round_ctx.policy());
                 ctrl_ref.emit(ProgressEvent::Round {
                     round,
                     estimate: outcome.estimate,

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use pact_hash::HashFamily;
 use pact_solver::{
-    Context, CubeContext, IncrementalContext, Oracle, PortfolioContext, SolverConfig,
+    Context, CubeContext, IncrementalContext, Oracle, PolicyOracle, PortfolioContext, SolverConfig,
 };
 
 use crate::error::ConfigError;
@@ -22,11 +22,16 @@ use crate::error::ConfigError;
 /// for the same run — rejected as [`ConfigError::ConflictingBackends`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackendSpec {
-    /// The reference rebuild-on-`pop` backend (`Context`).
-    #[default]
+    /// The reference rebuild-on-`pop` backend (`Context`).  Demoted to a
+    /// debug backend since the default flip: it pays a full encoder rebuild
+    /// on every `pop`, which the incremental backend eliminates, so select
+    /// it explicitly only to reproduce the paper's baseline work profile.
     Rebuild,
     /// The activation-literal backend whose encoder survives `pop`
-    /// (`IncrementalContext`; zero rebuilds).
+    /// (`IncrementalContext`; zero rebuilds).  The default backend: it
+    /// dominates `rebuild` on every observed signal while staying
+    /// single-engine and deterministic.
+    #[default]
     Incremental,
     /// The racing-portfolio backend (`PortfolioContext`).
     Portfolio {
@@ -40,6 +45,11 @@ pub enum BackendSpec {
         /// Conquering workers.
         workers: usize,
     },
+    /// The adaptive policy backend (`PolicyOracle`): starts on the
+    /// incremental engine and re-routes each `check` across the other
+    /// backends from a sliding window of observed statistics.  Takes no
+    /// parameters — depth and worker counts are policy decisions.
+    Adaptive,
 }
 
 impl fmt::Display for BackendSpec {
@@ -49,6 +59,7 @@ impl fmt::Display for BackendSpec {
             BackendSpec::Incremental => f.write_str("incremental"),
             BackendSpec::Portfolio { workers } => write!(f, "portfolio:{workers}"),
             BackendSpec::Cube { depth, workers } => write!(f, "cube:{depth}:{workers}"),
+            BackendSpec::Adaptive => f.write_str("adaptive"),
         }
     }
 }
@@ -56,35 +67,53 @@ impl fmt::Display for BackendSpec {
 impl std::str::FromStr for BackendSpec {
     type Err = String;
 
-    /// Parses `rebuild`, `incremental`, `portfolio[:workers]` and
-    /// `cube[:depth[:workers]]` (the [`fmt::Display`] format, with the
-    /// numeric suffixes optional).  Omitted worker counts default to 2 and
-    /// an omitted cube depth to 3, mirroring the benchmark harness.
+    /// Parses `rebuild`, `incremental`, `portfolio[:workers]`,
+    /// `cube[:depth[:workers]]` and `adaptive` (the [`fmt::Display`]
+    /// format, with the numeric suffixes optional).  Omitted worker counts
+    /// default to 2 and an omitted cube depth to 3, mirroring the benchmark
+    /// harness.
+    ///
+    /// Explicit parameters are validated against the backend's real limits
+    /// — `portfolio` workers in `1..=`[`pact_solver::MAX_PORTFOLIO_WORKERS`],
+    /// `cube` depth in `1..=`[`pact_solver::MAX_CUBE_DEPTH`] and workers in
+    /// `1..=`[`pact_solver::MAX_CUBE_WORKERS`] — and rejected with an error
+    /// naming the valid range.  (The constructors clamp too, but a spec
+    /// that parses must mean what it says: `cube:0:2` used to parse and
+    /// silently run at depth 1.)
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut parts = s.split(':');
         let head = parts.next().unwrap_or_default();
-        let mut number = |default: usize| -> Result<usize, String> {
+        let mut number = |what: &str, default: usize, max: usize| -> Result<usize, String> {
             match parts.next() {
                 None => Ok(default),
-                Some(n) => n
-                    .parse::<usize>()
-                    .map_err(|_| format!("invalid backend parameter {n:?} in {s:?}")),
+                Some(n) => {
+                    let value = n
+                        .parse::<usize>()
+                        .map_err(|_| format!("invalid backend parameter {n:?} in {s:?}"))?;
+                    if value < 1 || value > max {
+                        return Err(format!(
+                            "{what} must be in 1..={max} (got {value} in {s:?})"
+                        ));
+                    }
+                    Ok(value)
+                }
             }
         };
         let spec = match head {
             "rebuild" => BackendSpec::Rebuild,
             "incremental" => BackendSpec::Incremental,
             "portfolio" => BackendSpec::Portfolio {
-                workers: number(2)?,
+                workers: number("portfolio workers", 2, pact_solver::MAX_PORTFOLIO_WORKERS)?,
             },
             "cube" => BackendSpec::Cube {
-                depth: number(3)?,
-                workers: number(2)?,
+                depth: number("cube depth", 3, pact_solver::MAX_CUBE_DEPTH)?,
+                workers: number("cube workers", 2, pact_solver::MAX_CUBE_WORKERS)?,
             },
+            "adaptive" => BackendSpec::Adaptive,
             other => {
                 return Err(format!(
                     "unknown backend {other:?} (expected rebuild, incremental, \
-                     portfolio[:workers] or cube[:depth[:workers]])"
+                     portfolio[:workers], cube[:depth[:workers]] or adaptive)"
                 ))
             }
         };
@@ -112,11 +141,13 @@ impl std::str::FromStr for BackendSpec {
 /// compile-time assertion next to this type, so a non-thread-safe variant
 /// cannot be added by accident.
 ///
-/// The default factory builds the workspace's own rebuilding [`Context`];
-/// the other built-in backends are selected declaratively through
-/// [`OracleFactory::from_spec`] (see [`BackendSpec`] for the choices); tests
-/// and alternative backends swap in their own with [`OracleFactory::new`]
-/// (see `tests/session.rs` for an instrumented example).
+/// The default factory builds the activation-literal
+/// [`IncrementalContext`] (the rebuilding [`Context`] is the explicit
+/// `rebuild` debug backend since the default flip); the other built-in
+/// backends are selected declaratively through [`OracleFactory::from_spec`]
+/// (see [`BackendSpec`] for the choices); tests and alternative backends
+/// swap in their own with [`OracleFactory::new`] (see `tests/session.rs`
+/// for an instrumented example).
 #[derive(Clone, Default)]
 pub struct OracleFactory {
     backend: Backend,
@@ -125,16 +156,18 @@ pub struct OracleFactory {
 /// Which constructor an [`OracleFactory`] runs.
 #[derive(Clone, Default)]
 enum Backend {
-    /// The reference rebuild-on-`pop` backend.
-    #[default]
+    /// The reference rebuild-on-`pop` backend (debug).
     Rebuild,
-    /// The activation-literal backend that survives `pop`.
+    /// The activation-literal backend that survives `pop` (the default).
+    #[default]
     Incremental,
     /// The racing-portfolio backend with this many diversified workers.
     Portfolio(usize),
     /// The cube-and-conquer backend with this split depth and this many
     /// conquering workers.
     Cube(usize, usize),
+    /// The adaptive policy backend routing each check across the others.
+    Adaptive,
     /// A user-supplied constructor closure.
     Custom(Arc<BuildOracleFn>),
 }
@@ -162,15 +195,19 @@ impl OracleFactory {
     /// partitions hard checks into up to `2^depth` cubes conquered by
     /// `workers` scoped-thread oracles (`depth` clamped to
     /// `1..=`[`pact_solver::MAX_CUBE_DEPTH`], `workers` to
-    /// `1..=`[`pact_solver::MAX_CUBE_WORKERS`]).  The reported count is
+    /// `1..=`[`pact_solver::MAX_CUBE_WORKERS`]).  [`BackendSpec::Adaptive`]
+    /// builds the [`PolicyOracle`], which starts incremental and re-routes
+    /// each check from observed statistics.  The reported count is
     /// bit-identical for every choice; only the work profile (rebuilds,
-    /// wins, splits — see [`CountStats`](crate::CountStats)) changes.
+    /// wins, splits, switches — see [`CountStats`](crate::CountStats))
+    /// changes.
     pub fn from_spec(spec: BackendSpec) -> Self {
         let backend = match spec {
             BackendSpec::Rebuild => Backend::Rebuild,
             BackendSpec::Incremental => Backend::Incremental,
             BackendSpec::Portfolio { workers } => Backend::Portfolio(workers),
             BackendSpec::Cube { depth, workers } => Backend::Cube(depth, workers),
+            BackendSpec::Adaptive => Backend::Adaptive,
         };
         OracleFactory { backend }
     }
@@ -183,6 +220,7 @@ impl OracleFactory {
             Backend::Incremental => Some(BackendSpec::Incremental),
             Backend::Portfolio(workers) => Some(BackendSpec::Portfolio { workers }),
             Backend::Cube(depth, workers) => Some(BackendSpec::Cube { depth, workers }),
+            Backend::Adaptive => Some(BackendSpec::Adaptive),
             Backend::Custom(_) => None,
         }
     }
@@ -198,12 +236,20 @@ impl OracleFactory {
             Backend::Cube(depth, workers) => {
                 Box::new(CubeContext::with_config(*depth, *workers, config))
             }
+            Backend::Adaptive => Box::new(PolicyOracle::with_config(config)),
             Backend::Custom(build) => build(config),
         }
     }
 
-    /// Whether this is the built-in rebuilding [`Context`] backend.
+    /// Whether this is the default backend (the incremental engine, since
+    /// the default flip away from `rebuild`) — i.e. whether this factory
+    /// equals [`OracleFactory::default()`].
     pub fn is_default(&self) -> bool {
+        matches!(self.backend, Backend::Incremental)
+    }
+
+    /// Whether this is the built-in rebuilding [`Context`] debug backend.
+    pub fn is_rebuild(&self) -> bool {
         matches!(self.backend, Backend::Rebuild)
     }
 
@@ -222,6 +268,11 @@ impl OracleFactory {
         matches!(self.backend, Backend::Cube(_, _))
     }
 
+    /// Whether this is the adaptive [`PolicyOracle`] backend.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self.backend, Backend::Adaptive)
+    }
+
     /// Short backend name for reports and benchmark columns.
     pub fn label(&self) -> &'static str {
         match self.backend {
@@ -229,6 +280,7 @@ impl OracleFactory {
             Backend::Incremental => "incremental",
             Backend::Portfolio(_) => "portfolio",
             Backend::Cube(_, _) => "cube",
+            Backend::Adaptive => "adaptive",
             Backend::Custom(_) => "custom",
         }
     }
@@ -241,14 +293,15 @@ impl fmt::Debug for OracleFactory {
 }
 
 impl PartialEq for OracleFactory {
-    /// The two built-in backends compare by kind; custom factories compare
-    /// by closure identity.
+    /// The built-in backends compare by kind (and parameters); custom
+    /// factories compare by closure identity.
     fn eq(&self, other: &Self) -> bool {
         match (&self.backend, &other.backend) {
             (Backend::Rebuild, Backend::Rebuild) => true,
             (Backend::Incremental, Backend::Incremental) => true,
             (Backend::Portfolio(a), Backend::Portfolio(b)) => a == b,
             (Backend::Cube(d1, w1), Backend::Cube(d2, w2)) => d1 == d2 && w1 == w2,
+            (Backend::Adaptive, Backend::Adaptive) => true,
             (Backend::Custom(a), Backend::Custom(b)) => Arc::ptr_eq(a, b),
             _ => false,
         }
@@ -511,19 +564,24 @@ mod tests {
 
     #[test]
     fn oracle_factories_compare_by_identity() {
-        // Two default configs are equal (both build the Context backend)...
+        // Two default configs are equal (both build the incremental
+        // backend since the default flip)...
         assert_eq!(CounterConfig::default(), CounterConfig::default());
         assert!(CounterConfig::default().oracle_factory.is_default());
-        // ...as are two incremental factories (same built-in backend)...
-        let incremental = || OracleFactory::from_spec(BackendSpec::Incremental);
-        assert_eq!(incremental(), incremental());
-        assert_ne!(incremental(), OracleFactory::default());
+        assert!(CounterConfig::default().oracle_factory.is_incremental());
+        // ...as are two rebuild factories (same built-in debug backend),
+        // which no longer equal the default...
+        let rebuild = || OracleFactory::from_spec(BackendSpec::Rebuild);
+        assert_eq!(rebuild(), rebuild());
+        assert_ne!(rebuild(), OracleFactory::default());
+        assert!(rebuild().is_rebuild());
+        assert!(!rebuild().is_default());
         // ...while a custom factory equals its clones but not an unrelated
         // one.
         let custom = OracleFactory::new(|cfg| Box::new(Context::with_config(cfg)));
         assert_eq!(custom.clone(), custom);
         assert_ne!(custom, OracleFactory::default());
-        assert_ne!(custom, incremental());
+        assert_ne!(custom, rebuild());
         assert!(!custom.is_default());
         let mut oracle = custom.build(SolverConfig::default());
         assert_eq!(oracle.stats().checks, 0);
@@ -559,6 +617,7 @@ mod tests {
                     workers: 6,
                 },
             ),
+            ("adaptive", BackendSpec::Adaptive),
         ] {
             assert_eq!(text.parse::<BackendSpec>().unwrap(), spec, "{text}");
         }
@@ -571,6 +630,7 @@ mod tests {
                 depth: 2,
                 workers: 4,
             },
+            BackendSpec::Adaptive,
         ] {
             assert_eq!(spec.to_string().parse::<BackendSpec>().unwrap(), spec);
         }
@@ -578,6 +638,20 @@ mod tests {
         assert!("portfolio:banana".parse::<BackendSpec>().is_err());
         assert!("cube:1:2:3".parse::<BackendSpec>().is_err());
         assert!("incremental:1".parse::<BackendSpec>().is_err());
+        assert!("adaptive:2".parse::<BackendSpec>().is_err());
+        // Zero and out-of-range parameters are rejected at parse time with
+        // the valid range in the message (tests/properties.rs pins the
+        // full matrix).
+        for bad in [
+            "portfolio:0",
+            "portfolio:9",
+            "cube:0:2",
+            "cube:3:0",
+            "cube:7",
+        ] {
+            let err = bad.parse::<BackendSpec>().unwrap_err();
+            assert!(err.contains("must be in 1..="), "{bad}: {err}");
+        }
     }
 
     #[test]
@@ -590,6 +664,7 @@ mod tests {
                 depth: 3,
                 workers: 2,
             },
+            BackendSpec::Adaptive,
         ] {
             assert_eq!(OracleFactory::from_spec(spec).spec(), Some(spec));
         }
@@ -605,20 +680,39 @@ mod tests {
 
     #[test]
     fn backend_selection_round_trips_through_the_config() {
-        let incremental = CounterConfig::default().with_backend(BackendSpec::Incremental);
-        assert!(incremental.oracle_factory.is_incremental());
-        assert!(!incremental.oracle_factory.is_default());
-        assert_eq!(incremental.oracle_factory.label(), "incremental");
-        let back = incremental.with_backend(BackendSpec::Rebuild);
+        let rebuild = CounterConfig::default().with_backend(BackendSpec::Rebuild);
+        assert!(rebuild.oracle_factory.is_rebuild());
+        assert!(!rebuild.oracle_factory.is_default());
+        assert_eq!(rebuild.oracle_factory.label(), "rebuild");
+        let back = rebuild.with_backend(BackendSpec::Incremental);
         assert!(back.oracle_factory.is_default());
-        assert_eq!(back.oracle_factory.label(), "rebuild");
+        assert_eq!(back.oracle_factory.label(), "incremental");
         assert_eq!(back, CounterConfig::default());
-        // The incremental factory builds a working oracle.
-        let mut oracle =
-            OracleFactory::from_spec(BackendSpec::Incremental).build(SolverConfig::default());
+        // The default (incremental) factory builds a working oracle with
+        // zero rebuilds across a push/pop cycle.
+        let mut oracle = OracleFactory::default().build(SolverConfig::default());
         oracle.push();
         oracle.pop();
         assert_eq!(oracle.stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn adaptive_selection_round_trips_through_the_config() {
+        let adaptive = CounterConfig::default().with_backend(BackendSpec::Adaptive);
+        assert!(adaptive.oracle_factory.is_adaptive());
+        assert!(!adaptive.oracle_factory.is_default());
+        assert_eq!(adaptive.oracle_factory.label(), "adaptive");
+        // The factory builds a working oracle that reports its routing
+        // accounting; a fresh one has made no decisions yet.
+        let oracle = OracleFactory::from_spec(BackendSpec::Adaptive).build(SolverConfig::default());
+        let policy = oracle.policy().expect("policy accounting");
+        assert_eq!(policy.switches, 0);
+        assert_eq!(policy.backend_checks, [0; 4]);
+        // Fixed-strategy backends report no policy accounting.
+        assert!(OracleFactory::default()
+            .build(SolverConfig::default())
+            .policy()
+            .is_none());
     }
 
     #[test]

@@ -22,8 +22,8 @@ use crate::error::{CountError, CountResult};
 use crate::parallel::{run_rounds, RoundOutput};
 use crate::progress::{ProgressEvent, RunControl};
 use crate::result::{
-    finish_report as finish, median, merge_cube, merge_portfolio, merge_round_stats, CountOutcome,
-    CountReport, CountStats,
+    finish_report as finish, median, merge_cube, merge_policy, merge_portfolio, merge_round_stats,
+    CountOutcome, CountReport, CountStats,
 };
 use crate::saturating::{saturating_count_ctl, CellCount};
 use crate::session::Session;
@@ -208,6 +208,7 @@ pub(crate) fn count_pact(
         round_stats.preprocess_cache_hits = oracle_stats.preprocess_cache_hits;
         merge_portfolio(&mut round_stats, round_ctx.portfolio());
         merge_cube(&mut round_stats, round_ctx.cube());
+        merge_policy(&mut round_stats, round_ctx.policy());
         match result {
             Ok(outcome) => {
                 ctrl_ref.emit(ProgressEvent::Round {

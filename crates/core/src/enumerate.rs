@@ -110,6 +110,7 @@ pub(crate) fn count_enumerate(
     stats.terms_interned = tm.len() as u64;
     crate::result::merge_portfolio(&mut stats, ctx.portfolio());
     crate::result::merge_cube(&mut stats, ctx.cube());
+    crate::result::merge_policy(&mut stats, ctx.policy());
     stats.wall_seconds = start.elapsed().as_secs_f64();
     ctrl.emit(ProgressEvent::Cell {
         round: 0,

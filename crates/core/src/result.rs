@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use pact_solver::{CubeStats, PortfolioStats, MAX_PORTFOLIO_WORKERS};
+use pact_solver::{CubeStats, PolicyStats, PortfolioStats, MAX_PORTFOLIO_WORKERS, POLICY_BACKENDS};
 
 /// Statistics collected while counting one instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -71,6 +71,20 @@ pub struct CountStats {
     /// instead of a scout solve (0 for every other backend); a subset of
     /// `cube_refuted_by_lookahead`.
     pub probe_cache_hits: u64,
+    /// Backend re-routes the adaptive policy performed, summed over every
+    /// oracle the run built (0 for the fixed-strategy backends).
+    /// Deterministic for a fixed seed, like `oracle_calls`: the policy
+    /// routes only on the deterministic slice of its observations.
+    pub policy_switches: u64,
+    /// Oracle checks the adaptive policy served per backend slot, in the
+    /// order rebuild, incremental, portfolio, cube (all zero for the
+    /// fixed-strategy backends).  Two-plus non-zero slots mean the
+    /// adaptivity is live.
+    pub policy_backend_checks: [u64; POLICY_BACKENDS],
+    /// Deepest cube split the adaptive policy reached across the run (0
+    /// when cube splitting was never engaged or the backend is
+    /// fixed-strategy).  A max, not a flow.
+    pub cube_depth_max: u32,
 }
 
 /// Folds one oracle's portfolio accounting (if any) into the run's stats.
@@ -99,6 +113,18 @@ pub(crate) fn merge_cube(stats: &mut CountStats, cube: Option<CubeStats>) {
     }
 }
 
+/// Folds one oracle's adaptive-policy accounting (if any) into the run's
+/// stats.
+pub(crate) fn merge_policy(stats: &mut CountStats, policy: Option<PolicyStats>) {
+    if let Some(p) = policy {
+        stats.policy_switches += p.switches;
+        for (total, checks) in stats.policy_backend_checks.iter_mut().zip(p.backend_checks) {
+            *total += checks;
+        }
+        stats.cube_depth_max = stats.cube_depth_max.max(p.cube_depth_max);
+    }
+}
+
 /// Folds a finished round's stats into the run totals (the deterministic
 /// fields the merge loops accumulate; `final_hash_count` and outcome
 /// handling stay with the callers).
@@ -119,6 +145,17 @@ pub(crate) fn merge_round_stats(total: &mut CountStats, round: &CountStats) {
     total.compactions += round.compactions;
     total.preprocess_cache_hits += round.preprocess_cache_hits;
     total.probe_cache_hits += round.probe_cache_hits;
+    total.policy_switches += round.policy_switches;
+    for (t, c) in total
+        .policy_backend_checks
+        .iter_mut()
+        .zip(round.policy_backend_checks)
+    {
+        *t += c;
+    }
+    // Like `portfolio_workers`, `cube_depth_max` is a high-water mark, not
+    // a flow: rounds report the depth they reached, the run keeps the max.
+    total.cube_depth_max = total.cube_depth_max.max(round.cube_depth_max);
     // `terms_interned` is deliberately NOT summed: it is a size, not a
     // flow, and is stamped once from the finished run's term store.
 }
@@ -198,6 +235,7 @@ pub(crate) fn finish_report(
     stats.preprocess_cache_hits += oracle.preprocess_cache_hits;
     merge_portfolio(&mut stats, base.portfolio());
     merge_cube(&mut stats, base.cube());
+    merge_policy(&mut stats, base.policy());
     stats.wall_seconds = start.elapsed().as_secs_f64();
     CountReport { outcome, stats }
 }

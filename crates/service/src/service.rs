@@ -62,6 +62,12 @@ impl ServiceConfig {
 }
 
 /// A point-in-time snapshot of the service's counters.
+///
+/// Every admitted request eventually lands in exactly one terminal bucket:
+/// a `served_per_shard` slot (truly finished with a decisive count),
+/// `cancelled`, `timed_out` or `failed`.  Counters are bumped at terminal
+/// resolution — never at admission — so a request cancelled or expired
+/// mid-flight can never inflate "served".
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct ServiceMetrics {
@@ -69,8 +75,16 @@ pub struct ServiceMetrics {
     pub submitted: u64,
     /// Requests rejected by admission control (queue full).
     pub rejected: u64,
-    /// Requests fully served, per shard (index = shard id).
+    /// Requests that truly finished (decisive count delivered), per shard
+    /// (index = shard id).
     pub served_per_shard: Vec<u64>,
+    /// Requests resolved as cancelled — by their handle, or by an aborting
+    /// shutdown (whether queued or in flight).
+    pub cancelled: u64,
+    /// Requests whose end-to-end deadline expired (queue wait included).
+    pub timed_out: u64,
+    /// Requests that resolved with a counting error.
+    pub failed: u64,
     /// Requests currently waiting in the admission queue.
     pub queue_depth: usize,
 }
@@ -110,6 +124,9 @@ pub struct CountingService {
     next_id: AtomicU64,
     submitted: AtomicU64,
     rejected: AtomicU64,
+    /// Queued requests an aborting shutdown resolved as cancelled before
+    /// any shard saw them (the per-shard states count in-flight ones).
+    cancelled_in_queue: AtomicU64,
 }
 
 impl CountingService {
@@ -144,6 +161,7 @@ impl CountingService {
             next_id: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            cancelled_in_queue: AtomicU64::new(0),
         }
     }
 
@@ -169,6 +187,22 @@ impl CountingService {
                 .iter()
                 .map(|s| s.served.load(Ordering::Relaxed))
                 .collect(),
+            cancelled: self.cancelled_in_queue.load(Ordering::Relaxed)
+                + self
+                    .shards
+                    .iter()
+                    .map(|s| s.cancelled.load(Ordering::Relaxed))
+                    .sum::<u64>(),
+            timed_out: self
+                .shards
+                .iter()
+                .map(|s| s.timed_out.load(Ordering::Relaxed))
+                .sum(),
+            failed: self
+                .shards
+                .iter()
+                .map(|s| s.failed.load(Ordering::Relaxed))
+                .sum(),
             queue_depth: self.queue.depth(),
         }
     }
@@ -239,6 +273,7 @@ impl CountingService {
     fn stop(&mut self, abort: bool) {
         if abort {
             for ticket in self.queue.clear() {
+                self.cancelled_in_queue.fetch_add(1, Ordering::Relaxed);
                 cancel_pending(ticket);
             }
             for state in &self.shards {
@@ -321,6 +356,12 @@ mod tests {
         let metrics = service.metrics();
         assert_eq!(metrics.submitted, 1);
         assert_eq!(metrics.rejected, 0);
+        // Terminal-resolution accounting: the finished request is served,
+        // and nothing leaked into the failure buckets.
+        assert_eq!(metrics.served_per_shard.iter().sum::<u64>(), 1);
+        assert_eq!(metrics.cancelled, 0);
+        assert_eq!(metrics.timed_out, 0);
+        assert_eq!(metrics.failed, 0);
         service.shutdown();
     }
 

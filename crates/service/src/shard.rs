@@ -25,13 +25,23 @@ use crate::RequestEvent;
 
 /// Per-shard state the service keeps for observability and abort: the token
 /// of the request currently being served (cancelled wholesale by an
-/// aborting shutdown) and a served-request counter (reported through
+/// aborting shutdown) and per-disposition counters (reported through
 /// [`ServiceMetrics`](crate::ServiceMetrics) and asserted by the throughput
 /// smoke run).
+///
+/// Every ticket the shard pops resolves into **exactly one** of the four
+/// counters: `served` counts only requests that truly finished (a decisive
+/// count delivered), while cancellations, deadline expiries and errors land
+/// in their own buckets.  An earlier revision bumped `served` at admission,
+/// which inflated it with requests that were subsequently cancelled or
+/// timed out; the regression test in `tests/service.rs` pins the split.
 #[derive(Debug, Default)]
 pub(crate) struct ShardState {
     pub(crate) current: Mutex<Option<pact::CancellationToken>>,
     pub(crate) served: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    pub(crate) timed_out: AtomicU64,
+    pub(crate) failed: AtomicU64,
 }
 
 /// Decrements the live-thread counter on any exit path (normal drain,
@@ -55,7 +65,7 @@ pub(crate) fn run(
     let _guard = LiveGuard(live);
     while let Some(ticket) = queue.pop() {
         *state.current.lock().expect("shard state poisoned") = Some(ticket.token.clone());
-        serve(index, &queue, ticket, &state.served);
+        serve(index, &queue, ticket, &state);
         *state.current.lock().expect("shard state poisoned") = None;
     }
 }
@@ -73,7 +83,7 @@ pub(crate) fn cancelled_report() -> CountReport {
 /// terminal event + result.  Send failures are ignored throughout — a
 /// dropped [`RequestHandle`](crate::RequestHandle) must never disturb the
 /// shard.
-fn serve(shard: usize, queue: &AdmissionQueue, ticket: Ticket, served: &AtomicU64) {
+fn serve(shard: usize, queue: &AdmissionQueue, ticket: Ticket, state: &ShardState) {
     let Ticket {
         id: _,
         request,
@@ -84,15 +94,15 @@ fn serve(shard: usize, queue: &AdmissionQueue, ticket: Ticket, served: &AtomicU6
     } = ticket;
     let queue_seconds = submitted.elapsed().as_secs_f64();
     let _ = events.send(RequestEvent::Admitted { shard });
-    // Counted at admission (not completion) so the increment happens-before
-    // the result delivery a waiter unblocks on: once `wait` returns, the
-    // metrics already account for this request.
-    served.fetch_add(1, Ordering::Relaxed);
 
     // A ticket can leave the queue just as an aborting shutdown clears it,
     // or its handle may have cancelled while it queued; either way, stand
-    // down without building a session.
+    // down without building a session.  Counters are bumped *before* the
+    // result send on every path below, so the increment happens-before the
+    // delivery a waiter unblocks on: once `wait` returns, the metrics
+    // already account for this request's disposition.
     if queue.aborting() || token.is_cancelled() {
+        state.cancelled.fetch_add(1, Ordering::Relaxed);
         let _ = events.send(RequestEvent::Cancelled);
         let _ = result.send(Ok(ServiceReport {
             report: cancelled_report(),
@@ -133,15 +143,21 @@ fn serve(shard: usize, queue: &AdmissionQueue, ticket: Ticket, served: &AtomicU6
     };
     match outcome {
         Err(e) => {
+            state.failed.fetch_add(1, Ordering::Relaxed);
             let _ = events.send(RequestEvent::Failed);
             let _ = result.send(Err(ServiceError::Count(e)));
         }
         Ok(report) => {
+            // Terminal resolution decides the counter: only a decisive,
+            // uncancelled count is "served".
             let terminal = if token.is_cancelled() {
+                state.cancelled.fetch_add(1, Ordering::Relaxed);
                 RequestEvent::Cancelled
             } else if report.outcome == CountOutcome::Timeout {
+                state.timed_out.fetch_add(1, Ordering::Relaxed);
                 RequestEvent::TimedOut
             } else {
+                state.served.fetch_add(1, Ordering::Relaxed);
                 RequestEvent::Finished
             };
             let _ = events.send(terminal);

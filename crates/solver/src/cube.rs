@@ -328,6 +328,14 @@ impl CubeContext {
         self.workers.len()
     }
 
+    /// Re-aims the splitter at a new depth (clamped to
+    /// `1..=`[`MAX_CUBE_DEPTH`]), taking effect at the next `check`.  The
+    /// adaptive policy uses this to deepen splits on hard streaks without
+    /// rebuilding the context.
+    pub fn set_depth(&mut self, depth: usize) {
+        self.depth = depth.clamp(1, MAX_CUBE_DEPTH);
+    }
+
     /// Cube accounting (the `CountStats` feed).
     pub fn cube_stats(&self) -> CubeStats {
         self.stats

@@ -29,6 +29,11 @@
 //!   split bits, up to `2^d` cubes are generated (with probe-based
 //!   pruning), and the survivors are conquered in parallel; a SAT cube
 //!   short-circuits, all-UNSAT over the validated partition means UNSAT.
+//! * [`PolicyOracle`] is the adaptive meta-backend: it journals the
+//!   assertion stack, wraps the four concrete backends, and re-routes each
+//!   `check` from a sliding window of deterministic observations (conflict
+//!   trends, split/refutation rates) — escalating to cube or portfolio on
+//!   hard streaks and decaying back when checks turn easy again.
 //! * [`Oracle`] abstracts that interface into a trait, so the counting
 //!   engine (and its tests) can swap in alternative or instrumented
 //!   backends; `Context` is the reference implementation.
@@ -68,6 +73,7 @@ mod error;
 mod incremental;
 mod model;
 mod oracle;
+mod policy;
 mod pool;
 mod portfolio;
 pub mod preprocess;
@@ -81,6 +87,10 @@ pub use error::{Result, SolverError};
 pub use incremental::IncrementalContext;
 pub use oracle::Oracle;
 pub use pact_sat::{InterruptFlag, SatOptions};
+pub use policy::{
+    PolicyOracle, PolicyStats, POLICY_BACKENDS, POLICY_WINDOW, SLOT_CUBE, SLOT_INCREMENTAL,
+    SLOT_PORTFOLIO, SLOT_REBUILD,
+};
 pub use pool::PoolHandle;
 pub use portfolio::{
     PortfolioContext, PortfolioStats, WorkerProfile, WorkerReport, MAX_PORTFOLIO_WORKERS,
@@ -98,6 +108,7 @@ const _: () = {
     assert_send::<IncrementalContext>();
     assert_send::<PortfolioContext>();
     assert_send::<CubeContext>();
+    assert_send::<PolicyOracle>();
     assert_send::<bitblast::Encoder>();
     assert_send::<SolverError>();
     // `Oracle: Send` is a supertrait bound, so boxed trait objects cross the

@@ -21,6 +21,7 @@ use crate::context::{Context, OracleStats, SolverResult};
 use crate::cube::CubeStats;
 use crate::error::Result;
 use crate::incremental::IncrementalContext;
+use crate::policy::PolicyStats;
 use crate::portfolio::PortfolioStats;
 
 /// An incremental SMT oracle, as the counting algorithms see it.
@@ -113,6 +114,13 @@ pub trait Oracle: Send {
     /// Split/solved/refuted accounting, for backends that decompose a
     /// `check` into cubes.  `None` (the default) for every other backend.
     fn cube(&self) -> Option<CubeStats> {
+        None
+    }
+
+    /// Routing accounting, for backends that adaptively re-route checks
+    /// across several engines ([`crate::PolicyOracle`]).  `None` (the
+    /// default) for every fixed-strategy backend.
+    fn policy(&self) -> Option<PolicyStats> {
         None
     }
 }
@@ -248,6 +256,10 @@ impl<O: Oracle + ?Sized> Oracle for Box<O> {
 
     fn cube(&self) -> Option<CubeStats> {
         (**self).cube()
+    }
+
+    fn policy(&self) -> Option<PolicyStats> {
+        (**self).policy()
     }
 }
 

@@ -4,8 +4,8 @@
 //! Three layers, from cheapest to strongest:
 //!
 //! 1. **Differential** — proptest-generated instances per Table I logic
-//!    (via `benchgen`) counted under the rebuild, incremental, portfolio
-//!    and cube backends × seeds × `ParallelConfig { threads: 1, 2 }`,
+//!    (via `benchgen`) counted under the rebuild, incremental, portfolio,
+//!    cube and adaptive backends × seeds × `ParallelConfig { threads: 1, 2 }`,
 //!    asserting the deterministic report slice is bit-identical
 //!    everywhere.  The slice is the established parity contract of
 //!    `tests/backends.rs`: outcome (including the floating-point
@@ -18,8 +18,9 @@
 //!    every backend's exact count *equals* the brute-forced count, every
 //!    backend's approximate estimate lies inside the `(ε, δ)` bounds, and
 //!    enumeration returns *exactly* the brute-forced model set.
-//! 3. Both layers ride the same four-backend sweep, so adding a fifth
-//!    backend to [`factories`] extends the whole harness for free.
+//! 3. Both layers ride the same five-backend sweep (the adaptive policy
+//!    oracle joined it when it landed), so adding another backend to
+//!    [`factories`] extends the whole harness for free.
 
 use pact::{BackendSpec, CountOutcome, CountReport, Oracle, OracleFactory, Session};
 use pact_benchgen::{generate_for_logic, GenParams, Instance};
@@ -31,7 +32,7 @@ use proptest::prelude::*;
 /// The backends under differential test, labelled for failure messages.
 fn factories() -> Vec<(&'static str, OracleFactory)> {
     vec![
-        ("rebuild", OracleFactory::default()),
+        ("rebuild", OracleFactory::from_spec(BackendSpec::Rebuild)),
         (
             "incremental",
             OracleFactory::from_spec(BackendSpec::Incremental),
@@ -47,6 +48,7 @@ fn factories() -> Vec<(&'static str, OracleFactory)> {
                 workers: 2,
             }),
         ),
+        ("adaptive", OracleFactory::from_spec(BackendSpec::Adaptive)),
     ]
 }
 

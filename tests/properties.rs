@@ -339,13 +339,16 @@ proptest! {
 // fail with a readable diagnostic rather than a silent default.
 
 /// Decodes an arbitrary `(kind, depth, workers)` triple into a spec,
-/// covering every variant including the parameterised forms.
+/// covering every variant including the parameterised forms.  Parameters
+/// are expected pre-clamped to the valid ranges — out-of-range values are
+/// a parse *error* now, pinned separately below.
 fn backend_spec_from(kind: usize, depth: usize, workers: usize) -> BackendSpec {
-    match kind % 4 {
+    match kind % 5 {
         0 => BackendSpec::Rebuild,
         1 => BackendSpec::Incremental,
         2 => BackendSpec::Portfolio { workers },
-        _ => BackendSpec::Cube { depth, workers },
+        3 => BackendSpec::Cube { depth, workers },
+        _ => BackendSpec::Adaptive,
     }
 }
 
@@ -354,7 +357,7 @@ proptest! {
 
     #[test]
     fn backend_spec_display_fromstr_roundtrip(
-        kind in 0usize..4, depth in 1usize..=12, workers in 1usize..=12,
+        kind in 0usize..5, depth in 1usize..=6, workers in 1usize..=8,
     ) {
         let spec = backend_spec_from(kind, depth, workers);
         let rendered = spec.to_string();
@@ -389,9 +392,27 @@ proptest! {
         prop_assert!(err.contains(&junk), "diagnostic {} names the input", err);
         // The error lists every accepted form, so a service client can fix
         // the payload without reading our source.
-        for expected in ["rebuild", "incremental", "portfolio", "cube"] {
+        for expected in ["rebuild", "incremental", "portfolio", "cube", "adaptive"] {
             prop_assert!(err.contains(expected), "diagnostic {} lists {}", err, expected);
         }
+    }
+
+    #[test]
+    fn backend_spec_rejects_out_of_range_parameters_with_the_range(
+        kind in 0usize..3, excess in 1usize..100,
+    ) {
+        // A numeric parameter outside the backend's supported range is a
+        // parse error naming the valid range — zero workers or a cube
+        // depth past `MAX_CUBE_DEPTH` used to parse and then behave as a
+        // silent clamp (or a panic) deep in the oracle.
+        let input = match kind {
+            0 => format!("portfolio:{}", pact_solver::MAX_PORTFOLIO_WORKERS + excess),
+            1 => format!("cube:{}", pact_solver::MAX_CUBE_DEPTH + excess),
+            _ => format!("cube:3:{}", pact_solver::MAX_CUBE_WORKERS + excess),
+        };
+        let err = input.parse::<BackendSpec>().unwrap_err();
+        prop_assert!(err.contains("must be in 1..="), "diagnostic {} names the range", err);
+        prop_assert!(err.contains(&input), "diagnostic {} names the input", err);
     }
 }
 
@@ -421,6 +442,54 @@ fn backend_spec_parses_shorthand_defaults_and_rejects_trailing_parts() {
     assert!(err.contains("rebuild:1"), "{err}");
     let err = "cube:3:2:9".parse::<BackendSpec>().unwrap_err();
     assert!(err.contains("cube:3:2:9"), "{err}");
+    // The adaptive policy backend takes no parameters at all.
+    assert_eq!("adaptive".parse::<BackendSpec>(), Ok(BackendSpec::Adaptive));
+    let err = "adaptive:2".parse::<BackendSpec>().unwrap_err();
+    assert!(err.contains("adaptive:2"), "{err}");
+}
+
+#[test]
+fn backend_spec_rejects_zero_and_oversized_parameters() {
+    // The satellite fix this pins: `cube:0:2`, `cube:3:0` and
+    // `portfolio:0` used to parse (and later panic or silently clamp in
+    // the backend); now every parameter is validated at the FromStr
+    // boundary with a diagnostic naming the valid range.
+    for input in [
+        "portfolio:0",
+        "portfolio:9",
+        "cube:0:2",
+        "cube:3:0",
+        "cube:7",
+        "cube:7:2",
+        "cube:3:9",
+    ] {
+        let err = input.parse::<BackendSpec>().unwrap_err();
+        assert!(err.contains("must be in 1..="), "{input}: {err}");
+        assert!(err.contains(input), "{input}: {err}");
+    }
+    // The range boundaries themselves are valid.
+    assert_eq!(
+        "portfolio:8".parse::<BackendSpec>(),
+        Ok(BackendSpec::Portfolio { workers: 8 })
+    );
+    assert_eq!(
+        "cube:6:8".parse::<BackendSpec>(),
+        Ok(BackendSpec::Cube {
+            depth: 6,
+            workers: 8
+        })
+    );
+    assert_eq!(
+        "cube:1:1".parse::<BackendSpec>(),
+        Ok(BackendSpec::Cube {
+            depth: 1,
+            workers: 1
+        })
+    );
+    assert_eq!(
+        "portfolio:1".parse::<BackendSpec>(),
+        Ok(BackendSpec::Portfolio { workers: 1 })
+    );
 }
 
 // ---------------------------------------------------------------------------

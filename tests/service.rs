@@ -14,7 +14,11 @@
 //!   first;
 //! * a service answer is bit-identical to a direct `Session::count` under
 //!   the request's own configuration — the service adds scheduling, not
-//!   noise.
+//!   noise;
+//! * metrics count terminal resolutions: `served` covers only requests
+//!   that truly finished, with cancellations, deadline expiries and
+//!   failures in their own counters (a regression fix — `served` used to
+//!   be bumped at admission).
 
 use std::time::Duration;
 
@@ -91,14 +95,25 @@ fn deadline_maps_onto_timeout_with_partial_stats() {
     });
     // A zero deadline is fully consumed before the shard even starts: the
     // engine's immediate-timeout path, with partial statistics intact.
+    // The shard computes the remaining budget with `saturating_sub`, so a
+    // fully-consumed deadline reaches the engine as `Some(Duration::ZERO)`
+    // — which must expire *before* the first oracle check starts, not
+    // after it.
     let mut handle = service
         .submit(quick_request().deadline(Duration::ZERO))
         .unwrap();
     let report = handle.wait().unwrap();
     assert_eq!(report.report.outcome, CountOutcome::Timeout);
+    assert_eq!(
+        report.report.stats.oracle_calls, 0,
+        "a zero remaining deadline must expire before any oracle check"
+    );
     assert!(report.report.stats.wall_seconds >= 0.0);
     let terminal = handle.wait_for_event(RequestEvent::is_terminal).unwrap();
     assert_eq!(terminal, RequestEvent::TimedOut);
+    let metrics = service.metrics();
+    assert_eq!(metrics.timed_out, 1);
+    assert_eq!(metrics.served_per_shard.iter().sum::<u64>(), 0);
     service.shutdown();
 }
 
@@ -293,6 +308,82 @@ fn concurrent_identical_requests_are_bit_identical_to_direct_sessions() {
             );
         }
     }
+    service.shutdown();
+}
+
+#[test]
+fn served_counts_terminal_finishes_not_admissions() {
+    // The accounting regression this PR fixes: `served` used to be bumped
+    // when a shard *admitted* a ticket, so a request that was subsequently
+    // cancelled mid-flight (or expired on its deadline) still counted as
+    // served.  Now every ticket resolves into exactly one terminal bucket,
+    // and `served` stays at the number of requests that truly finished.
+    let service = CountingService::new(ServiceConfig {
+        shards: 1,
+        queue_capacity: 8,
+    });
+
+    // One request that truly finishes.
+    let mut finished = service.submit(quick_request()).unwrap();
+    assert!(finished.wait().is_ok());
+
+    // One cancelled mid-flight: demonstrably admitted and inside its
+    // rounds (a progress event) before the cancel lands.
+    let mut cancelled = service.submit(long_request()).unwrap();
+    cancelled
+        .wait_for_event(|e| matches!(e, RequestEvent::Progress(_)))
+        .expect("a running count emits progress");
+    cancelled.cancel();
+    assert!(cancelled.wait().is_ok());
+    let terminal = cancelled.wait_for_event(RequestEvent::is_terminal).unwrap();
+    assert_eq!(terminal, RequestEvent::Cancelled);
+
+    // One expired on a zero deadline.
+    let mut starved = service
+        .submit(quick_request().deadline(Duration::ZERO))
+        .unwrap();
+    assert!(starved.wait().is_ok());
+
+    // Counters are bumped before the result delivery, so by the time the
+    // waits above returned the metrics already hold the final split: three
+    // admissions, one of each disposition, and `served` stuck at the one
+    // request that actually finished.
+    let metrics = service.metrics();
+    assert_eq!(metrics.submitted, 3);
+    assert_eq!(
+        metrics.served_per_shard.iter().sum::<u64>(),
+        1,
+        "served must count terminal finishes, not admissions: {metrics:?}"
+    );
+    assert_eq!(metrics.cancelled, 1, "{metrics:?}");
+    assert_eq!(metrics.timed_out, 1, "{metrics:?}");
+    assert_eq!(metrics.failed, 0, "{metrics:?}");
+    service.shutdown();
+}
+
+#[test]
+fn adaptive_backend_rides_the_service_and_reports_policy_stats() {
+    // The adaptive policy oracle is selectable per request like any other
+    // backend, and its policy accounting flows into the report the service
+    // returns: every oracle call is attributed to exactly one backend slot.
+    let service = CountingService::new(ServiceConfig {
+        shards: 1,
+        queue_capacity: 8,
+    });
+    let mut handle = service
+        .submit(quick_request().backend(BackendSpec::Adaptive))
+        .unwrap();
+    let report = handle.wait().unwrap();
+    assert!(matches!(
+        report.report.outcome,
+        CountOutcome::Approximate { .. } | CountOutcome::Exact(_)
+    ));
+    let stats = &report.report.stats;
+    assert_eq!(
+        stats.policy_backend_checks.iter().sum::<u64>(),
+        stats.oracle_calls,
+        "every oracle call lands in exactly one policy slot: {stats:?}"
+    );
     service.shutdown();
 }
 

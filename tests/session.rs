@@ -140,12 +140,13 @@ fn deterministic_parts(report: &CountReport) -> (CountOutcome, u64, u64, u32, u3
 fn unbalanced_pop_panics_identically_across_backends() {
     // The `Oracle` contract: `pop` without a matching `push` is a caller
     // bug and panics — identically for the reference backend, the
-    // incremental backend, the two parallel backends, and wrappers that
-    // delegate (this file's mock).  Without the documented contract the
-    // behaviour silently diverged between implementations.
+    // incremental backend, the two parallel backends, the adaptive policy
+    // wrapper, and wrappers that delegate (this file's mock).  Without the
+    // documented contract the behaviour silently diverged between
+    // implementations.
     let (mock_factory, _ops) = instrumented_factory();
     let factories: Vec<(&str, OracleFactory)> = vec![
-        ("context", OracleFactory::default()),
+        ("context", OracleFactory::from_spec(BackendSpec::Rebuild)),
         (
             "incremental",
             OracleFactory::from_spec(BackendSpec::Incremental),
@@ -161,6 +162,7 @@ fn unbalanced_pop_panics_identically_across_backends() {
                 workers: 2,
             }),
         ),
+        ("adaptive", OracleFactory::from_spec(BackendSpec::Adaptive)),
         ("mock", mock_factory),
     ];
     for (name, factory) in factories {
@@ -203,15 +205,15 @@ fn unbalanced_pop_panics_identically_across_backends() {
 
 #[test]
 fn oracle_accounting_contract_is_uniform_across_backends() {
-    // The PR 3 accounting contract, parity-tested across all five oracle
-    // impls (reference, incremental, portfolio, cube, delegating mock):
-    // `checks` counts queries 1:1, `conflicts` is a lifetime total that
-    // survives `pop` — including work spent by solvers a rebuild
+    // The PR 3 accounting contract, parity-tested across all six oracle
+    // impls (reference, incremental, portfolio, cube, adaptive, delegating
+    // mock): `checks` counts queries 1:1, `conflicts` is a lifetime total
+    // that survives `pop` — including work spent by solvers a rebuild
     // discarded, a portfolio race cancelled, or a cube conquest abandoned
     // — and never decreases.
     let (mock_factory, _ops) = instrumented_factory();
     let factories: Vec<(&str, OracleFactory)> = vec![
-        ("context", OracleFactory::default()),
+        ("context", OracleFactory::from_spec(BackendSpec::Rebuild)),
         (
             "incremental",
             OracleFactory::from_spec(BackendSpec::Incremental),
@@ -227,6 +229,7 @@ fn oracle_accounting_contract_is_uniform_across_backends() {
                 workers: 2,
             }),
         ),
+        ("adaptive", OracleFactory::from_spec(BackendSpec::Adaptive)),
         ("mock", mock_factory),
     ];
     for (name, factory) in factories {
@@ -284,6 +287,16 @@ fn oracle_accounting_contract_is_uniform_across_backends() {
                 assert!(c.cubes_solved >= c.refuted_by_lookahead, "{name}");
             }
             None => assert_ne!(name, "cube"),
+        }
+        // Policy accounting: every check is attributed to exactly one
+        // backend slot (the counts sum back to `checks`), and every
+        // non-adaptive backend reports no policy block at all.
+        match oracle.policy() {
+            Some(p) => {
+                assert_eq!(name, "adaptive");
+                assert_eq!(p.backend_checks.iter().sum::<u64>(), last.checks, "{name}");
+            }
+            None => assert_ne!(name, "adaptive"),
         }
     }
 }
