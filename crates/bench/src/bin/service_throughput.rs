@@ -5,29 +5,32 @@
 //!
 //! ```text
 //! cargo run -p pact-bench --bin service_throughput --release -- \
-//!     [--mini] [--shards N] [--requests N] [--queue N] [--seed N] \
+//!     [--mini] [--shards N[,N...]] [--requests N] [--queue N] [--seed N] \
 //!     [--json PATH]
 //! ```
 //!
 //! * `--mini` uses the ~10-instance smoke suite (the CI job's workload).
 //! * `--shards N` sets the service shard count (default 2 — the smoke
 //!   acceptance shape; the bench asserts nothing, the CI step does).
+//!   A comma-separated list (`--shards 1,2,4`) runs the *same* workload
+//!   once per count — matrix mode — and `--json` then gets a JSON array
+//!   with one summary row per count, for scaling assertions.
 //! * `--requests N` sets the workload size (default 32).
 //! * `--queue N` sets the admission-queue capacity (default 64; a value
 //!   below `--requests` measures throughput under backpressure).
-//! * `--json PATH` writes the schema-v7 summary artifact.
+//! * `--json PATH` writes the schema-v9 summary artifact (one line per
+//!   shard count).
 
 use pact_bench::cli::ArgError;
-use pact_bench::throughput::{run_service_workload, summary_to_json, ThroughputParams};
+use pact_bench::throughput::{run_shard_matrix, summary_to_json, ThroughputParams};
 use pact_benchgen::{paper_suite, SuiteParams};
 
-const USAGE: &str =
-    "usage: service_throughput [--mini] [--shards N] [--requests N] [--queue N] [--seed N] [--json PATH]";
+const USAGE: &str = "usage: service_throughput [--mini] [--shards N[,N...]] [--requests N] [--queue N] [--seed N] [--json PATH]";
 
 #[derive(Debug, PartialEq)]
 struct Args {
     mini: bool,
-    shards: usize,
+    shards: Vec<usize>,
     requests: usize,
     queue: usize,
     seed: u64,
@@ -38,7 +41,7 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> 
     let defaults = ThroughputParams::default();
     let mut args = Args {
         mini: false,
-        shards: defaults.shards,
+        shards: vec![defaults.shards],
         requests: defaults.requests,
         queue: defaults.queue_capacity,
         seed: defaults.seed,
@@ -55,7 +58,28 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, ArgError> 
         };
         match arg.as_str() {
             "--mini" => args.mini = true,
-            "--shards" => args.shards = numeric("--shards")?,
+            "--shards" => {
+                let value = iter
+                    .next()
+                    .ok_or(ArgError::MissingValue { flag: "--shards" })?;
+                args.shards = value
+                    .split(',')
+                    .map(|part| {
+                        part.trim().parse::<usize>().ok().filter(|&n| n > 0).ok_or(
+                            ArgError::InvalidValue {
+                                slot: "--shards",
+                                got: value.clone(),
+                            },
+                        )
+                    })
+                    .collect::<Result<Vec<usize>, ArgError>>()?;
+                if args.shards.is_empty() {
+                    return Err(ArgError::InvalidValue {
+                        slot: "--shards",
+                        got: value,
+                    });
+                }
+            }
             "--requests" => args.requests = numeric("--requests")?,
             "--queue" => args.queue = numeric("--queue")?,
             "--seed" => args.seed = numeric("--seed")? as u64,
@@ -106,39 +130,60 @@ fn main() {
     };
     let suite = paper_suite(&suite_params);
     let params = ThroughputParams {
-        shards: args.shards,
         requests: args.requests,
         queue_capacity: args.queue,
         seed: args.seed,
         ..ThroughputParams::default()
     };
     eprintln!(
-        "pushing {} requests over {} instances through {} shards (queue {})...",
+        "pushing {} requests over {} instances through {:?} shard(s) (queue {})...",
         params.requests,
         suite.len(),
-        params.shards,
+        args.shards,
         params.queue_capacity
     );
 
-    let (summary, records) = run_service_workload(&suite, &params);
+    let rows = run_shard_matrix(&suite, &params, &args.shards);
 
-    println!("service throughput — mixed workload");
-    println!("  requests          {:>10}", summary.requests);
-    println!(
-        "  shards            {:>10}   (used: {}, served per shard: {:?})",
-        summary.shards,
-        summary.shards_used(),
-        summary.served_per_shard
-    );
-    println!("  rejected (retried) {:>9}", summary.rejected);
-    println!("  elapsed            {:>12.3} s", summary.elapsed_seconds);
-    println!("  requests/s         {:>12.2}", summary.requests_per_sec);
-    println!("  p50 latency        {:>12.6} s", summary.p50_seconds);
-    println!("  p99 latency        {:>12.6} s", summary.p99_seconds);
+    for (summary, _) in &rows {
+        println!(
+            "service throughput — mixed workload, {} shard(s)",
+            summary.shards
+        );
+        println!("  requests          {:>10}", summary.requests);
+        println!(
+            "  shards            {:>10}   (used: {}, served per shard: {:?})",
+            summary.shards,
+            summary.shards_used(),
+            summary.served_per_shard
+        );
+        println!(
+            "  steals             {:>9}   (per shard: {:?})",
+            summary.steals(),
+            summary.steals_per_shard
+        );
+        println!("  rejected (retried) {:>9}", summary.rejected);
+        println!("  elapsed            {:>12.3} s", summary.elapsed_seconds);
+        println!("  requests/s         {:>12.2}", summary.requests_per_sec);
+        println!("  p50 latency        {:>12.6} s", summary.p50_seconds);
+        println!("  p99 latency        {:>12.6} s", summary.p99_seconds);
+    }
 
     if let Some(path) = args.json {
-        std::fs::write(&path, summary_to_json(&summary, &records)).expect("write JSON report");
-        eprintln!("wrote summary + {} records to {path}", records.len());
+        // One shard count writes the bare summary object (the historical
+        // shape); a matrix run wraps one summary per count in an array.
+        let out = if rows.len() == 1 {
+            summary_to_json(&rows[0].0, &rows[0].1)
+        } else {
+            let body = rows
+                .iter()
+                .map(|(summary, records)| summary_to_json(summary, records).trim_end().to_string())
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("[\n{body}\n]\n")
+        };
+        std::fs::write(&path, out).expect("write JSON report");
+        eprintln!("wrote {} summary row(s) to {path}", rows.len());
     }
 }
 
@@ -154,10 +199,30 @@ mod tests {
     fn defaults_match_the_acceptance_shape() {
         let args = parse_args(argv(&[])).unwrap();
         assert!(!args.mini);
-        assert_eq!(args.shards, 2);
+        assert_eq!(args.shards, vec![2]);
         assert_eq!(args.requests, 32);
         assert_eq!(args.queue, 64);
         assert_eq!(args.json, None);
+    }
+
+    #[test]
+    fn shards_accepts_a_single_count_or_a_matrix() {
+        let args = parse_args(argv(&["--shards", "3"])).unwrap();
+        assert_eq!(args.shards, vec![3]);
+        let args = parse_args(argv(&["--shards", "1,2,4"])).unwrap();
+        assert_eq!(args.shards, vec![1, 2, 4]);
+        let args = parse_args(argv(&["--shards", " 1 , 2 "])).unwrap();
+        assert_eq!(args.shards, vec![1, 2]);
+        // Zero shards, empty entries and garbage all name the flag.
+        for bad in ["0", "1,,2", "1,zero", ""] {
+            assert!(matches!(
+                parse_args(argv(&["--shards", bad])),
+                Err(ArgError::InvalidValue {
+                    slot: "--shards",
+                    ..
+                })
+            ));
+        }
     }
 
     #[test]
@@ -177,7 +242,7 @@ mod tests {
         ]))
         .unwrap();
         assert!(args.mini);
-        assert_eq!(args.shards, 3);
+        assert_eq!(args.shards, vec![3]);
         assert_eq!(args.requests, 48);
         assert_eq!(args.queue, 8);
         assert_eq!(args.seed, 9);

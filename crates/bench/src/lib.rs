@@ -192,6 +192,10 @@ pub struct RunRecord {
     /// Wall-clock seconds the request waited in the service admission queue
     /// before a shard picked it up; `0.0` for direct runs.
     pub queue_seconds: f64,
+    /// The deterministic size estimate the service's placement layer
+    /// stamped on the request (projection width × interned terms); `0` for
+    /// direct runs, which never pass through placement.
+    pub cost_estimate: u64,
     /// The counting report (outcome + stats).
     pub report: CountReport,
 }
@@ -288,6 +292,7 @@ pub fn run_one(
         backend: harness.backend,
         shard: None,
         queue_seconds: 0.0,
+        cost_estimate: 0,
         report,
     }
 }
@@ -346,7 +351,7 @@ pub fn run_suite_parallel(
 /// Bump this (and the round-trip test pinning the field list) whenever a
 /// field is added, removed or re-typed, so downstream consumers of the CI
 /// artifact can dispatch on `schema_version` instead of sniffing keys.
-pub const RECORD_SCHEMA_VERSION: u32 = 8;
+pub const RECORD_SCHEMA_VERSION: u32 = 9;
 
 /// The field names of one JSON record, in emission order (the schema that
 /// [`RECORD_SCHEMA_VERSION`] versions).
@@ -387,7 +392,14 @@ pub const RECORD_SCHEMA_VERSION: u32 = 8;
 /// in the order rebuild, incremental, portfolio, cube — two-plus non-zero
 /// entries mean the adaptivity is live) and `cube_depth_max` (the deepest
 /// cube split the policy reached; a max, not a flow).
-pub const RECORD_SCHEMA_FIELDS: [&str; 30] = [
+///
+/// Schema v9 adds `cost_estimate`: the deterministic size estimate
+/// (projection width × interned terms) the service's size-aware placement
+/// stamped on the request, `0` for direct runs.  The wire protocol
+/// (`pact_service::wire`) mirrors this schema's field names and version on
+/// its result objects, and the service throughput summary gains the
+/// per-shard steal counters alongside it.
+pub const RECORD_SCHEMA_FIELDS: [&str; 31] = [
     "schema_version",
     "instance",
     "logic",
@@ -395,6 +407,7 @@ pub const RECORD_SCHEMA_FIELDS: [&str; 30] = [
     "backend",
     "shard",
     "queue_seconds",
+    "cost_estimate",
     "outcome",
     "estimate",
     "log2_estimate",
@@ -461,6 +474,7 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
                 "  {{\"schema_version\": {}, ",
                 "\"instance\": \"{}\", \"logic\": \"{}\", \"configuration\": \"{}\", ",
                 "\"backend\": \"{}\", \"shard\": {}, \"queue_seconds\": {:.6}, ",
+                "\"cost_estimate\": {}, ",
                 "\"outcome\": \"{}\", \"estimate\": {}, \"log2_estimate\": {}, ",
                 "\"oracle_calls\": {}, \"cells_explored\": {}, \"iterations\": {}, ",
                 "\"rebuilds\": {}, \"portfolio_workers\": {}, \"worker_wins\": [{}], ",
@@ -480,6 +494,7 @@ pub fn records_to_json(records: &[RunRecord]) -> String {
             record.backend.label(),
             shard,
             record.queue_seconds,
+            record.cost_estimate,
             kind,
             value,
             log2,
@@ -696,9 +711,11 @@ mod tests {
             run_one(&suite[0], Configuration::Cdm, &harness),
         ];
         // Cover both shapes of the v6 service pair: a direct run (shard -1,
-        // zero queue wait) and a service-served run.
+        // zero queue wait) and a service-served run — which, as of v9, also
+        // carries its placement cost estimate.
         records[1].shard = Some(1);
         records[1].queue_seconds = 0.25;
+        records[1].cost_estimate = 384;
         let json = records_to_json(&records);
         let parsed: Vec<Vec<(String, String)>> = json
             .lines()
@@ -735,6 +752,12 @@ mod tests {
             let queued = get("queue_seconds").parse::<f64>().unwrap();
             assert!((queued - record.queue_seconds).abs() < 1e-5);
             assert!(queued >= 0.0);
+            // The v9 placement field: 0 for direct runs, the stamped
+            // estimate for service runs.
+            assert_eq!(
+                get("cost_estimate").parse::<u64>().unwrap(),
+                record.cost_estimate
+            );
             assert_eq!(
                 get("oracle_calls").parse::<u64>().unwrap(),
                 record.report.stats.oracle_calls

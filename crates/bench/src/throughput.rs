@@ -8,13 +8,19 @@
 //! summary records end-to-end latency (queue wait + count wall time) as
 //! p50/p99 alongside aggregate requests/s and per-shard service counts.
 //!
-//! Results serialize as bench JSON schema v8 (see
+//! Results serialize as bench JSON schema v9 (see
 //! [`RECORD_SCHEMA_FIELDS`](crate::RECORD_SCHEMA_FIELDS)): the summary
 //! object embeds one per-request [`RunRecord`] carrying the v6 `shard` /
-//! `queue_seconds` pair and the v7 hash-consing triple, and the summary
-//! itself carries the v8 terminal-disposition split (`served_per_shard`
-//! counts only requests that truly finished; cancellations, deadline
-//! expiries and failures land in their own counters).
+//! `queue_seconds` pair, the v7 hash-consing triple and the v9
+//! `cost_estimate`, and the summary itself carries the v8
+//! terminal-disposition split (`served_per_shard` counts only requests
+//! that truly finished; cancellations, deadline expiries and failures
+//! land in their own counters) plus the v9 per-shard steal counters from
+//! size-aware placement.
+//!
+//! [`run_shard_matrix`] repeats the same workload across a list of shard
+//! counts and emits one summary row per count — the CI scaling smoke
+//! (`service_throughput --shards 1,2,4`) is built on it.
 //!
 //! Each instance's term store is snapshotted once up front and every
 //! request over it is built with
@@ -85,6 +91,11 @@ pub struct ThroughputSummary {
     pub timed_out: u64,
     /// Requests that resolved with an engine error.
     pub failed: u64,
+    /// Work-steals performed per shard (index = thief shard id): how often
+    /// an idle shard pulled a queued ticket placed on a busier one.  All
+    /// zeros on a single-shard run; a mixed-size multi-shard run is
+    /// expected to steal (the CI matrix smoke asserts it).
+    pub steals_per_shard: Vec<u64>,
     /// Wall-clock seconds from first submission to last completion.
     pub elapsed_seconds: f64,
     /// Completed requests per wall-clock second.
@@ -100,6 +111,11 @@ impl ThroughputSummary {
     /// assertion that sharding is real (`> 1` on a multi-shard run).
     pub fn shards_used(&self) -> usize {
         self.served_per_shard.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// Total work-steals across all shards.
+    pub fn steals(&self) -> u64 {
+        self.steals_per_shard.iter().sum()
     }
 }
 
@@ -201,6 +217,7 @@ pub fn run_service_workload(
             backend,
             shard: report.shard,
             queue_seconds: report.queue_seconds,
+            cost_estimate: report.cost_estimate,
             report: report.report,
         });
     }
@@ -216,6 +233,7 @@ pub fn run_service_workload(
         cancelled: metrics.cancelled,
         timed_out: metrics.timed_out,
         failed: metrics.failed,
+        steals_per_shard: metrics.steals_per_shard,
         elapsed_seconds: elapsed,
         requests_per_sec: records.len() as f64 / elapsed.max(f64::EPSILON),
         p50_seconds: percentile(&latencies, 0.50),
@@ -224,21 +242,44 @@ pub fn run_service_workload(
     (summary, records)
 }
 
-/// Renders a throughput summary (plus its per-request records) as the
-/// schema-v8 JSON artifact the CI smoke step asserts on.
-pub fn summary_to_json(summary: &ThroughputSummary, records: &[RunRecord]) -> String {
-    let served = summary
-        .served_per_shard
+/// Runs the same workload once per entry of `shard_counts` and returns one
+/// `(summary, records)` pair per count, in order.  Each run gets a fresh
+/// service sized to that shard count; everything else in `params` is
+/// shared, so rows are comparable (`service_throughput --shards 1,2,4`
+/// emits one JSON line per row).
+pub fn run_shard_matrix(
+    instances: &[Instance],
+    params: &ThroughputParams,
+    shard_counts: &[usize],
+) -> Vec<(ThroughputSummary, Vec<RunRecord>)> {
+    shard_counts
         .iter()
-        .map(u64::to_string)
-        .collect::<Vec<_>>()
-        .join(",");
+        .map(|&shards| {
+            let row_params = ThroughputParams { shards, ..*params };
+            run_service_workload(instances, &row_params)
+        })
+        .collect()
+}
+
+/// Renders a throughput summary (plus its per-request records) as the
+/// schema-v9 JSON artifact the CI smoke step asserts on.
+pub fn summary_to_json(summary: &ThroughputSummary, records: &[RunRecord]) -> String {
+    let join = |counts: &[u64]| {
+        counts
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let served = join(&summary.served_per_shard);
+    let steals = join(&summary.steals_per_shard);
     format!(
         concat!(
             "{{\"schema_version\": {}, \"kind\": \"service_throughput\", ",
             "\"requests\": {}, \"shards\": {}, \"shards_used\": {}, ",
             "\"served_per_shard\": [{}], \"rejected\": {}, ",
             "\"cancelled\": {}, \"timed_out\": {}, \"failed\": {}, ",
+            "\"steals\": {}, \"steals_per_shard\": [{}], ",
             "\"elapsed_seconds\": {:.6}, \"requests_per_sec\": {:.3}, ",
             "\"p50_seconds\": {:.6}, \"p99_seconds\": {:.6}, ",
             "\"records\": {}}}\n"
@@ -252,6 +293,8 @@ pub fn summary_to_json(summary: &ThroughputSummary, records: &[RunRecord]) -> St
         summary.cancelled,
         summary.timed_out,
         summary.failed,
+        summary.steals(),
+        steals,
         summary.elapsed_seconds,
         summary.requests_per_sec,
         summary.p50_seconds,
@@ -308,10 +351,16 @@ mod tests {
         assert!(summary.requests_per_sec > 0.0);
         assert!(summary.p50_seconds > 0.0);
         assert!(summary.p99_seconds >= summary.p50_seconds);
-        // Every record was served by a real shard and carries the v6 pair.
+        // Steal accounting is per shard and never negative-shaped: one
+        // counter per shard thread, whatever its value.
+        assert_eq!(summary.steals_per_shard.len(), 2);
+        assert_eq!(summary.steals(), summary.steals_per_shard.iter().sum());
+        // Every record was served by a real shard and carries the v6 pair
+        // plus the v9 placement cost.
         for record in &records {
             assert!(record.shard.is_some());
             assert!(record.queue_seconds >= 0.0);
+            assert!(record.cost_estimate >= 1);
         }
         // The mixed workload really mixes: both backends appear.
         assert!(records.iter().any(|r| r.backend == Backend::Cube));
@@ -347,16 +396,49 @@ mod tests {
         };
         let (summary, records) = run_service_workload(&suite, &params);
         let json = summary_to_json(&summary, &records);
-        assert!(json.starts_with("{\"schema_version\": 8"));
+        assert!(json.starts_with("{\"schema_version\": 9"));
         assert!(json.contains("\"kind\": \"service_throughput\""));
         assert!(json.contains("\"cancelled\": 0"));
         assert!(json.contains("\"timed_out\": 0"));
         assert!(json.contains("\"failed\": 0"));
+        assert!(json.contains("\"steals\": "));
+        assert!(json.contains("\"steals_per_shard\": ["));
         assert!(json.contains("\"requests_per_sec\""));
         assert!(json.contains("\"p50_seconds\""));
         assert!(json.contains("\"p99_seconds\""));
         assert!(json.contains("\"shards_used\""));
         assert!(json.contains("\"records\": [\n"));
         assert!(json.contains("\"queue_seconds\""));
+        assert!(json.contains("\"cost_estimate\""));
+    }
+
+    #[test]
+    fn shard_matrix_yields_one_row_per_count() {
+        let suite = tiny_suite();
+        let params = ThroughputParams {
+            requests: 6,
+            ..ThroughputParams::default()
+        };
+        let rows = run_shard_matrix(&suite, &params, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0.shards, 1);
+        assert_eq!(rows[1].0.shards, 2);
+        for (summary, records) in &rows {
+            assert_eq!(summary.requests, 6);
+            assert_eq!(records.len(), 6);
+            assert_eq!(summary.steals_per_shard.len(), summary.shards);
+        }
+        // Single-shard runs have nobody to steal from.
+        assert_eq!(rows[0].0.steals(), 0);
+    }
+
+    #[test]
+    fn wire_and_record_schemas_move_together() {
+        // The wire protocol mirrors the bench record schema field-for-field;
+        // a version skew between the two is a bug, not a feature.
+        assert_eq!(
+            pact_service::wire::WIRE_SCHEMA_VERSION,
+            RECORD_SCHEMA_VERSION
+        );
     }
 }

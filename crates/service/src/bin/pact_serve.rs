@@ -1,0 +1,124 @@
+//! `pact-serve`: the counting service behind a wire.
+//!
+//! SMT-LIB 2 text in, line-delimited JSON out (see `pact_service::wire`).
+//! Two transports:
+//!
+//! - pipe mode (default): one logical client over stdin/stdout —
+//!   `pact-serve < script.smt2`
+//! - `--listen ADDR`: accept TCP connections on `ADDR`
+//!   (e.g. `127.0.0.1:7007`), one connection = one logical client.
+//!
+//! `--shards N` and `--queue N` size the underlying `CountingService`
+//! exactly like `ServiceConfig`.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use pact_service::wire;
+use pact_service::{CountingService, ServiceConfig};
+
+const USAGE: &str = "usage: pact-serve [--listen ADDR] [--shards N] [--queue N]";
+
+/// Everything `pact-serve` accepts on its command line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Args {
+    listen: Option<String>,
+    shards: usize,
+    queue: usize,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut parsed = Args {
+        listen: None,
+        shards: 0,
+        queue: 64,
+    };
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| iter.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--listen" => parsed.listen = Some(value("--listen")?),
+            "--shards" => {
+                let v = value("--shards")?;
+                parsed.shards = v
+                    .parse()
+                    .map_err(|_| format!("invalid --shards value {v:?}"))?;
+            }
+            "--queue" => {
+                let v = value("--queue")?;
+                parsed.queue = v
+                    .parse()
+                    .map_err(|_| format!("invalid --queue value {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("pact-serve: {message}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = CountingService::new(ServiceConfig {
+        shards: args.shards,
+        queue_capacity: args.queue,
+    });
+    let result = match &args.listen {
+        Some(addr) => match TcpListener::bind(addr) {
+            Ok(listener) => {
+                // The resolved address matters when the caller bound port 0.
+                match listener.local_addr() {
+                    Ok(local) => eprintln!("pact-serve: listening on {local}"),
+                    Err(_) => eprintln!("pact-serve: listening on {addr}"),
+                }
+                wire::serve_listener(&service, &listener)
+            }
+            Err(e) => {
+                eprintln!("pact-serve: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => wire::serve_connection(&service, std::io::stdin(), std::io::stdout().lock()),
+    };
+    service.shutdown();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pact-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_pipe_mode_with_service_defaults() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.listen, None);
+        assert_eq!(args.shards, 0);
+        assert_eq!(args.queue, 64);
+    }
+
+    #[test]
+    fn flags_parse_and_bad_input_names_the_flag() {
+        let args = parse(&["--listen", "127.0.0.1:0", "--shards", "2", "--queue", "8"]).unwrap();
+        assert_eq!(args.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(args.shards, 2);
+        assert_eq!(args.queue, 8);
+        assert!(parse(&["--shards"]).unwrap_err().contains("--shards"));
+        assert!(parse(&["--queue", "many"]).unwrap_err().contains("many"));
+        assert!(parse(&["--frob"]).unwrap_err().contains("--frob"));
+    }
+}

@@ -54,10 +54,11 @@ mod queue;
 mod request;
 mod service;
 mod shard;
+pub mod wire;
 
 pub use event::RequestEvent;
 pub use request::{
-    CountRequest, Priority, RequestHandle, ServiceError, ServiceReport, ServiceResult,
+    CountRequest, Disposition, Priority, RequestHandle, ServiceError, ServiceReport, ServiceResult,
 };
 pub use service::{CountingService, ServiceConfig, ServiceMetrics};
 

@@ -241,6 +241,26 @@ impl CountRequest {
         .with_backend(self.backend)
     }
 
+    /// The deterministic size estimate placement runs on: projection width
+    /// (total discrete bits of the projected variables) times the number of
+    /// interned terms the request's store holds.
+    ///
+    /// The estimate is a *scheduling heuristic*, not a runtime promise —
+    /// it is computed from the request alone (no clocks, no randomness),
+    /// so resubmitting the same request always stamps the same cost, and
+    /// the service reports it back verbatim on the
+    /// [`ServiceReport::cost_estimate`] field.  Non-discrete projected
+    /// sorts (reals, floats) contribute one bit each; the floor of 1
+    /// keeps even degenerate requests visible to the accounting.
+    pub fn cost_estimate(&self) -> u64 {
+        let width: u64 = self
+            .projection
+            .iter()
+            .map(|&v| u64::from(self.tm.sort(v).discrete_bits().unwrap_or(1)))
+            .sum();
+        width.max(1).saturating_mul(self.tm.len() as u64).max(1)
+    }
+
     /// Admission-time validation: the `(ε, δ)` ranges and the non-empty
     /// projection requirement, checked before the request consumes a queue
     /// slot.
@@ -304,9 +324,40 @@ impl std::error::Error for ServiceError {
     }
 }
 
+/// How a request reached its terminal state.
+///
+/// The engine itself reports cancellation and deadline expiry identically
+/// (a [`pact::CountOutcome::Timeout`] with partial statistics), because a
+/// cancelled run *is* a run whose budget was externally zeroed.  The
+/// service knows more: it distinguishes the caller pulling the plug from
+/// the clock running out, and stamps that knowledge here so a
+/// [`ServiceReport`] is unambiguous without consulting the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Disposition {
+    /// The count ran to a decisive outcome (exact, approximate, or UNSAT).
+    #[default]
+    Completed,
+    /// The end-to-end deadline expired (queue wait included); the report
+    /// carries partial statistics.
+    TimedOut,
+    /// The request was cancelled — by its handle or by an aborting
+    /// shutdown — whether it was still queued or already running.
+    Cancelled,
+}
+
+impl std::fmt::Display for Disposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Disposition::Completed => "completed",
+            Disposition::TimedOut => "timed_out",
+            Disposition::Cancelled => "cancelled",
+        })
+    }
+}
+
 /// A completed service run: the engine's report plus the service-side
 /// accounting the bench harness records (which shard served it, how long it
-/// queued).
+/// queued, how it terminated, and the placement cost it was stamped with).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceReport {
     /// The counting engine's report, bit-identical to a direct
@@ -318,6 +369,11 @@ pub struct ServiceReport {
     /// Wall-clock seconds between submission and a shard picking the
     /// request up.
     pub queue_seconds: f64,
+    /// How the request terminated: a [`pact::CountOutcome::Timeout`] report
+    /// with `disposition == Cancelled` was cancelled, not expired.
+    pub disposition: Disposition,
+    /// The size estimate placement used ([`CountRequest::cost_estimate`]).
+    pub cost_estimate: u64,
 }
 
 /// What a request ultimately resolves to.
@@ -349,9 +405,13 @@ impl RequestHandle {
 
     /// Requests cancellation.  If the count is running, it stops at the
     /// next safe point and resolves to a [`pact::CountOutcome::Timeout`]
-    /// report with partial statistics (cancellation is not an error); if it
-    /// is still queued, the serving shard observes the flag and stands down
-    /// immediately.
+    /// report with partial statistics and
+    /// [`Disposition::Cancelled`](crate::Disposition::Cancelled); if it is
+    /// still queued, the serving shard observes the flag and stands down
+    /// immediately.  The queued ticket is removed lazily, but it stops
+    /// counting against admission capacity (and `metrics().queue_depth`)
+    /// the moment this returns — dead tickets never crowd out live
+    /// traffic.
     pub fn cancel(&self) {
         self.token.cancel();
     }
@@ -461,6 +521,33 @@ mod tests {
         assert_eq!(config.iterations_override, Some(5));
         assert_eq!(config.deadline, Some(Duration::from_secs(1)));
         assert!(config.oracle_factory.is_incremental());
+    }
+
+    #[test]
+    fn cost_estimates_are_deterministic_and_size_sensitive() {
+        let a = toy_request();
+        let b = toy_request();
+        // Same request, same stamp — placement input is a pure function.
+        assert_eq!(a.cost_estimate(), b.cost_estimate());
+        assert!(a.cost_estimate() >= 1);
+
+        // Widening the projection raises the estimate.
+        let mut tm = TermManager::new();
+        let x = tm.mk_var("x", Sort::BitVec(4));
+        let y = tm.mk_var("y", Sort::BitVec(4));
+        let c = tm.mk_bv_const(3, 4);
+        let f = tm.mk_bv_ult(x, c).unwrap();
+        let narrow = CountRequest::new(tm.clone()).assert(f).project(x);
+        let wide = CountRequest::new(tm).assert(f).project(x).project(y);
+        assert!(wide.cost_estimate() > narrow.cost_estimate());
+    }
+
+    #[test]
+    fn dispositions_render_their_wire_names() {
+        assert_eq!(Disposition::Completed.to_string(), "completed");
+        assert_eq!(Disposition::TimedOut.to_string(), "timed_out");
+        assert_eq!(Disposition::Cancelled.to_string(), "cancelled");
+        assert_eq!(Disposition::default(), Disposition::Completed);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::time::Instant;
 use pact::CancellationToken;
 
 use crate::queue::{AdmissionQueue, AdmitError, Ticket};
-use crate::request::{CountRequest, RequestHandle, ServiceError, ServiceReport};
+use crate::request::{CountRequest, Disposition, RequestHandle, ServiceError, ServiceReport};
 use crate::shard::{self, ShardState};
 use crate::RequestEvent;
 
@@ -85,8 +85,19 @@ pub struct ServiceMetrics {
     pub timed_out: u64,
     /// Requests that resolved with a counting error.
     pub failed: u64,
-    /// Requests currently waiting in the admission queue.
+    /// Live requests currently waiting in the admission queue
+    /// (cancelled-while-queued tickets awaiting lazy removal are excluded —
+    /// they no longer hold capacity either).
     pub queue_depth: usize,
+    /// Estimated outstanding cost per shard (index = shard id): the
+    /// [`CountRequest::cost_estimate`] sum of the tickets queued on the
+    /// shard plus the one it is currently serving.  This is the quantity
+    /// placement minimises.
+    pub outstanding_cost_per_shard: Vec<u64>,
+    /// Tickets each shard stole from another shard's lanes (index = the
+    /// *thief*).  Non-zero steals mean the cost estimates misjudged the
+    /// actual runtimes and work-stealing rebalanced the difference.
+    pub steals_per_shard: Vec<u64>,
 }
 
 /// A long-lived counting server: persistent shard threads serving
@@ -137,7 +148,10 @@ impl CountingService {
     /// Panics if the operating system refuses to spawn a shard thread.
     pub fn new(config: ServiceConfig) -> Self {
         let shard_count = config.resolved_shards();
-        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity.max(1)));
+        let queue = Arc::new(AdmissionQueue::new(
+            config.queue_capacity.max(1),
+            shard_count,
+        ));
         let live = Arc::new(AtomicUsize::new(0));
         let mut shards = Vec::with_capacity(shard_count);
         let mut threads = Vec::with_capacity(shard_count);
@@ -204,6 +218,8 @@ impl CountingService {
                 .map(|s| s.failed.load(Ordering::Relaxed))
                 .sum(),
             queue_depth: self.queue.depth(),
+            outstanding_cost_per_shard: self.queue.outstanding_cost(),
+            steals_per_shard: self.queue.steals(),
         }
     }
 
@@ -227,6 +243,7 @@ impl CountingService {
         // for an accepted request; on rejection the receiver is dropped
         // with the handle never built, discarding the event.
         let _ = event_tx.send(RequestEvent::Queued);
+        let cost = request.cost_estimate();
         let ticket = Ticket {
             id,
             request,
@@ -234,6 +251,7 @@ impl CountingService {
             events: event_tx,
             result: result_tx,
             submitted: Instant::now(),
+            cost,
         };
         match self.queue.push(ticket, priority) {
             Ok(_depth) => {
@@ -301,6 +319,8 @@ fn cancel_pending(ticket: Ticket) {
         report: shard::cancelled_report(),
         shard: None,
         queue_seconds: ticket.submitted.elapsed().as_secs_f64(),
+        disposition: Disposition::Cancelled,
+        cost_estimate: ticket.cost,
     }));
 }
 
@@ -339,6 +359,8 @@ mod tests {
         assert_eq!(report.report.outcome, CountOutcome::Exact(12));
         assert_eq!(report.shard, Some(0));
         assert!(report.queue_seconds >= 0.0);
+        assert_eq!(report.disposition, Disposition::Completed);
+        assert!(report.cost_estimate >= 1);
         // The event stream saw the full lifecycle in order.
         assert_eq!(handle.next_event(), Some(RequestEvent::Queued));
         assert_eq!(

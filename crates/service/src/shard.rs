@@ -20,7 +20,7 @@ use std::sync::{Arc, Mutex};
 use pact::{CountOutcome, CountReport, CountStats, Session};
 
 use crate::queue::{AdmissionQueue, Ticket};
-use crate::request::{ServiceError, ServiceReport};
+use crate::request::{Disposition, ServiceError, ServiceReport};
 use crate::RequestEvent;
 
 /// Per-shard state the service keeps for observability and abort: the token
@@ -63,10 +63,14 @@ pub(crate) fn run(
     live: Arc<AtomicUsize>,
 ) {
     let _guard = LiveGuard(live);
-    while let Some(ticket) = queue.pop() {
+    while let Some(ticket) = queue.pop(index) {
+        let cost = ticket.cost;
         *state.current.lock().expect("shard state poisoned") = Some(ticket.token.clone());
         serve(index, &queue, ticket, &state);
         *state.current.lock().expect("shard state poisoned") = None;
+        // Release the running-cost charge only after the ticket resolved,
+        // so placement keeps steering new work away from a busy shard.
+        queue.finished(index, cost);
     }
 }
 
@@ -91,8 +95,14 @@ fn serve(shard: usize, queue: &AdmissionQueue, ticket: Ticket, state: &ShardStat
         events,
         result,
         submitted,
+        cost,
     } = ticket;
-    let queue_seconds = submitted.elapsed().as_secs_f64();
+    // One measurement feeds both the reported queue time and the deadline
+    // charge below, so the deadline is charged exactly the queue time the
+    // report admits — an earlier revision measured twice and silently
+    // charged the deadline the extra microseconds between the reads.
+    let waited = submitted.elapsed();
+    let queue_seconds = waited.as_secs_f64();
     let _ = events.send(RequestEvent::Admitted { shard });
 
     // A ticket can leave the queue just as an aborting shutdown clears it,
@@ -108,6 +118,8 @@ fn serve(shard: usize, queue: &AdmissionQueue, ticket: Ticket, state: &ShardStat
             report: cancelled_report(),
             shard: Some(shard),
             queue_seconds,
+            disposition: Disposition::Cancelled,
+            cost_estimate: cost,
         }));
         return;
     }
@@ -118,7 +130,7 @@ fn serve(shard: usize, queue: &AdmissionQueue, ticket: Ticket, state: &ShardStat
     // `Timeout` with partial statistics.
     let mut config = request.counter_config();
     if let Some(total) = request.deadline {
-        config.deadline = Some(total.saturating_sub(submitted.elapsed()));
+        config.deadline = Some(total.saturating_sub(waited));
     }
 
     // `Sender` is wrapped in a `Mutex` because the `Progress` observer must
@@ -148,23 +160,25 @@ fn serve(shard: usize, queue: &AdmissionQueue, ticket: Ticket, state: &ShardStat
             let _ = result.send(Err(ServiceError::Count(e)));
         }
         Ok(report) => {
-            // Terminal resolution decides the counter: only a decisive,
-            // uncancelled count is "served".
-            let terminal = if token.is_cancelled() {
+            // Terminal resolution decides the counter *and* the report's
+            // disposition: only a decisive, uncancelled count is "served".
+            let (terminal, disposition) = if token.is_cancelled() {
                 state.cancelled.fetch_add(1, Ordering::Relaxed);
-                RequestEvent::Cancelled
+                (RequestEvent::Cancelled, Disposition::Cancelled)
             } else if report.outcome == CountOutcome::Timeout {
                 state.timed_out.fetch_add(1, Ordering::Relaxed);
-                RequestEvent::TimedOut
+                (RequestEvent::TimedOut, Disposition::TimedOut)
             } else {
                 state.served.fetch_add(1, Ordering::Relaxed);
-                RequestEvent::Finished
+                (RequestEvent::Finished, Disposition::Completed)
             };
             let _ = events.send(terminal);
             let _ = result.send(Ok(ServiceReport {
                 report,
                 shard: Some(shard),
                 queue_seconds,
+                disposition,
+                cost_estimate: cost,
             }));
         }
     }

@@ -1,0 +1,108 @@
+//! A wire-protocol client: talk SMT-LIB to the counting service over TCP.
+//!
+//! Starts an in-process `CountingService`, exposes it on an ephemeral TCP
+//! port exactly like `pact-serve --listen`, then plays a small SMT-LIB
+//! session against it: two counts multiplexed on one connection (the cheap
+//! one answers while the expensive one is still running), plus a protocol
+//! error that the connection survives.  Finally it re-runs one request
+//! through a direct [`pact::Session`] to show the wire answer is
+//! bit-identical.
+//!
+//! Run with: `cargo run --example wire_client --release`
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use pact::{CounterConfig, ParallelConfig, Session};
+use pact_ir::{Sort, TermManager};
+use pact_service::{wire, CountingService, ServiceConfig};
+
+const SCRIPT: &str = "\
+(set-logic QF_BV)
+(declare-const x (_ BitVec 8))
+(declare-const y (_ BitVec 8))
+(assert (bvule #x10 x))
+(set-option :seed 42)
+(set-option :iterations 3)
+(count x)
+(count x y)
+(count z)
+(exit)
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Server side: a 2-shard service behind an ephemeral TCP port.
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    std::thread::spawn(move || {
+        let service = CountingService::new(ServiceConfig {
+            shards: 2,
+            queue_capacity: 16,
+        });
+        let _ = wire::serve_listener(&service, &listener);
+    });
+
+    // Client side: plain line-oriented TCP, no pact types needed.
+    println!("connecting to {addr}");
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(SCRIPT.as_bytes())?;
+    stream.flush()?;
+
+    println!("--- session transcript ---");
+    let mut estimates = Vec::new();
+    let mut results = 0;
+    let reader = BufReader::new(stream.try_clone()?);
+    for line in reader.lines() {
+        let line = line?;
+        println!("{line}");
+        if line.contains("\"kind\": \"count\"") {
+            results += 1;
+            if let Some(value) = field(&line, "estimate") {
+                estimates.push(value);
+            }
+        }
+        if line.contains("\"kind\": \"error\"") {
+            // The bad `(count z)` answered with a positioned error; the
+            // two well-formed counts still resolve below.
+            assert!(line.contains("\"line\""), "errors carry positions");
+        }
+        // Both counts answered: stop reading and let the server move on.
+        if results == 2 {
+            break;
+        }
+    }
+    drop(stream);
+
+    // The same first count, directly: bit-identical by construction.
+    let mut tm = TermManager::new();
+    let x = tm.mk_var("x", Sort::BitVec(8));
+    let c = tm.mk_bv_const(0x10, 8);
+    let f = tm.mk_bv_ule(c, x)?;
+    let mut session = Session::builder(tm)
+        .assert(f)
+        .project(x)
+        .config(CounterConfig {
+            seed: 42,
+            iterations_override: Some(3),
+            parallel: ParallelConfig { threads: 1 },
+            ..CounterConfig::default()
+        })
+        .build()?;
+    let direct = session.count()?;
+    println!("--- direct session ---");
+    println!(
+        "direct outcome: {} vs wire estimate: {}",
+        direct.outcome,
+        estimates.first().map(String::as_str).unwrap_or("?")
+    );
+    Ok(())
+}
+
+/// Pulls one numeric field out of a flat wire JSON line.
+fn field(line: &str, key: &str) -> Option<String> {
+    let pattern = format!("\"{key}\": ");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().to_string())
+}

@@ -25,7 +25,7 @@ use std::time::Duration;
 use pact::{BackendSpec, CountOutcome, Session};
 use pact_ir::{Sort, TermId, TermManager};
 use pact_service::{
-    CountRequest, CountingService, Priority, RequestEvent, ServiceConfig, ServiceError,
+    CountRequest, CountingService, Disposition, Priority, RequestEvent, ServiceConfig, ServiceError,
 };
 
 /// A quick saturating instance: `x >= 16` over 8 bits (240 models).
@@ -384,6 +384,172 @@ fn adaptive_backend_rides_the_service_and_reports_policy_stats() {
         stats.oracle_calls,
         "every oracle call lands in exactly one policy slot: {stats:?}"
     );
+    service.shutdown();
+}
+
+#[test]
+fn dispositions_distinguish_cancelled_from_timed_out_and_completed() {
+    let service = CountingService::new(ServiceConfig {
+        shards: 1,
+        queue_capacity: 8,
+    });
+
+    // Completed: a decisive count.
+    let mut finished = service.submit(quick_request()).unwrap();
+    let report = finished.wait().unwrap();
+    assert_eq!(report.disposition, Disposition::Completed);
+    assert!(report.cost_estimate >= 1);
+
+    // Timed out: a zero deadline expires before the first oracle check.
+    let mut starved = service
+        .submit(quick_request().deadline(Duration::ZERO))
+        .unwrap();
+    let report = starved.wait().unwrap();
+    assert_eq!(report.disposition, Disposition::TimedOut);
+
+    // Cancelled mid-flight: distinguishable from the deadline expiry even
+    // though both surface the engine's `Timeout`-flavoured outcome.
+    let mut cancelled = service.submit(long_request()).unwrap();
+    cancelled
+        .wait_for_event(|e| matches!(e, RequestEvent::Progress(_)))
+        .expect("a running count emits progress");
+    cancelled.cancel();
+    let report = cancelled.wait().unwrap();
+    assert_eq!(report.disposition, Disposition::Cancelled);
+
+    // Cancelled while still queued: the shard that eventually pops the
+    // dead ticket stands down and reports the same disposition.
+    let mut blocker = service.submit(long_request()).unwrap();
+    blocker.wait_for_event(|e| matches!(e, RequestEvent::Admitted { .. }));
+    let mut queued = service.submit(quick_request()).unwrap();
+    queued.cancel();
+    blocker.cancel();
+    assert!(blocker.wait().is_ok());
+    let report = queued.wait().unwrap();
+    assert_eq!(report.disposition, Disposition::Cancelled);
+    assert_eq!(report.report.stats.oracle_calls, 0, "it never ran");
+    service.shutdown();
+}
+
+#[test]
+fn cancelled_queued_requests_release_their_admission_slot() {
+    // The admission regression this PR fixes: a ticket cancelled while
+    // still queued used to keep holding its queue slot (and inflating
+    // `queue_depth`) until a shard got around to discarding it.  Live
+    // accounting must exclude cancelled tickets immediately.
+    let service = CountingService::new(ServiceConfig {
+        shards: 1,
+        queue_capacity: 2,
+    });
+    let mut blocker = service.submit(long_request()).unwrap();
+    blocker.wait_for_event(|e| matches!(e, RequestEvent::Admitted { .. }));
+
+    // Fill the queue to capacity; the next submission is rejected.
+    let mut queued_a = service.submit(quick_request()).unwrap();
+    let _queued_b = service.submit(quick_request()).unwrap();
+    assert!(matches!(
+        service.submit(quick_request()),
+        Err(ServiceError::QueueFull { .. })
+    ));
+    assert_eq!(service.metrics().queue_depth, 2);
+
+    // Cancelling a queued ticket frees its slot at once: the very next
+    // submission is admitted without any shard having run in between (the
+    // single shard is still occupied by the blocker, so the dead ticket is
+    // still physically in the deque — only the *accounting* is live-only).
+    queued_a.cancel();
+    assert_eq!(
+        service.metrics().queue_depth,
+        1,
+        "queue_depth counts live tickets only"
+    );
+    let mut replacement = service.submit(quick_request()).unwrap();
+
+    blocker.cancel();
+    assert!(blocker.wait().is_ok());
+    assert_eq!(queued_a.wait().unwrap().disposition, Disposition::Cancelled);
+    assert_eq!(
+        replacement.wait().unwrap().disposition,
+        Disposition::Completed
+    );
+    service.shutdown();
+}
+
+#[test]
+fn a_huge_batch_request_does_not_block_small_urgent_ones() {
+    // Size-aware placement: with the big batch request running on one
+    // shard, small urgent requests land on (or are stolen by) the other
+    // shard and complete while it is still running.
+    let service = CountingService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 16,
+    });
+    let mut big = service
+        .submit(long_request().priority(Priority::Batch))
+        .unwrap();
+    big.wait_for_event(|e| matches!(e, RequestEvent::Admitted { .. }));
+
+    let mut smalls: Vec<_> = (0..6)
+        .map(|_| {
+            service
+                .submit(quick_request().priority(Priority::Urgent))
+                .unwrap()
+        })
+        .collect();
+    for small in &mut smalls {
+        let report = small.wait().unwrap();
+        assert_eq!(report.disposition, Disposition::Completed);
+        assert!(report.shard.is_some());
+    }
+    // All six finished while the big request was still in flight.
+    assert!(big.try_result().is_none(), "the batch request still runs");
+    let metrics = service.metrics();
+    assert_eq!(metrics.served_per_shard.iter().sum::<u64>(), 6);
+    // The big request's estimated cost is still charged to its shard.
+    assert!(
+        metrics.outstanding_cost_per_shard.iter().sum::<u64>() > 0,
+        "outstanding cost: {:?}",
+        metrics.outstanding_cost_per_shard
+    );
+    big.cancel();
+    assert!(big.wait().is_ok());
+    service.shutdown();
+}
+
+#[test]
+fn an_idle_shard_steals_queued_work_from_a_busy_one() {
+    // Occupy both shards with long requests, queue a batch of small ones
+    // (placement splits them across both shards' deques by cost), then free
+    // only shard A's blocker: A drains its own deque and must then steal
+    // the tickets parked behind the still-running blocker on B.
+    let service = CountingService::new(ServiceConfig {
+        shards: 2,
+        queue_capacity: 16,
+    });
+    let mut blockers: Vec<_> = (0..2)
+        .map(|_| service.submit(long_request()).unwrap())
+        .collect();
+    for blocker in &mut blockers {
+        blocker.wait_for_event(|e| matches!(e, RequestEvent::Admitted { .. }));
+    }
+    let mut smalls: Vec<_> = (0..6)
+        .map(|_| service.submit(quick_request()).unwrap())
+        .collect();
+
+    // Free exactly one shard; every queued request must still complete.
+    blockers[0].cancel();
+    assert!(blockers[0].wait().is_ok());
+    for small in &mut smalls {
+        assert_eq!(small.wait().unwrap().disposition, Disposition::Completed);
+    }
+    let metrics = service.metrics();
+    assert!(
+        metrics.steals_per_shard.iter().sum::<u64>() > 0,
+        "the free shard must have stolen from the blocked one: {:?}",
+        metrics.steals_per_shard
+    );
+    blockers[1].cancel();
+    assert!(blockers[1].wait().is_ok());
     service.shutdown();
 }
 

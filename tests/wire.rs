@@ -1,0 +1,343 @@
+//! Contract tests for the `pact-service` wire protocol: SMT-LIB 2 text in,
+//! line-delimited JSON out.
+//!
+//! These pin the protocol's load-bearing guarantees end to end:
+//!
+//! * a wire count is **bit-identical** to a direct single-threaded
+//!   [`Session::count`] under the request's own configuration — proved for
+//!   fixed scripts and property-tested over random thresholds and seeds;
+//! * the JSON numbers round-trip: what the wire says is exactly what the
+//!   engine computed (estimate, oracle calls, iterations);
+//! * malformed input answers a positioned error (line *and* column) and
+//!   never kills the connection — subsequent commands still work;
+//! * both transports behave identically: `serve_connection` over an
+//!   in-memory reader/writer pair (pipe mode) and over a real TCP socket
+//!   (`--listen` mode);
+//! * requests are multiplexed by id on one connection — a cheap count
+//!   submitted after an expensive one answers first — and `(cancel N)`
+//!   resolves the expensive one with a `"cancelled"` disposition.
+
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use pact::Session;
+use pact_ir::{Sort, TermManager};
+use pact_service::wire::{serve_connection, serve_listener, WireConnection, WIRE_SCHEMA_VERSION};
+use pact_service::{CountRequest, CountingService, ServiceConfig};
+
+fn service(shards: usize) -> CountingService {
+    CountingService::new(ServiceConfig {
+        shards,
+        queue_capacity: 16,
+    })
+}
+
+/// Pulls one field's raw text out of a flat wire JSON line.
+fn field<'l>(line: &'l str, key: &str) -> Option<&'l str> {
+    let pattern = format!("\"{key}\": ");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim())
+}
+
+fn numeric(line: &str, key: &str) -> f64 {
+    field(line, key)
+        .unwrap_or_else(|| panic!("line carries {key:?}: {line}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{key:?} is numeric in: {line}"))
+}
+
+/// The direct ground truth for `x >= threshold` over 8 bits, under the
+/// same configuration a wire count with these options uses.
+fn direct_reference(threshold: u64, seed: u64, iterations: u32) -> pact::CountReport {
+    let mut tm = TermManager::new();
+    let x = tm.mk_var("x", Sort::BitVec(8));
+    let c = tm.mk_bv_const(u128::from(threshold), 8);
+    let f = tm.mk_bv_ule(c, x).unwrap();
+    let request = CountRequest::new(tm.clone())
+        .assert(f)
+        .project(x)
+        .seed(seed)
+        .iterations(iterations);
+    let config = request.counter_config();
+    let mut session = Session::builder(tm)
+        .assert(f)
+        .project(x)
+        .config(config)
+        .build()
+        .unwrap();
+    session.count().unwrap()
+}
+
+fn count_script(threshold: u64, seed: u64, iterations: u32) -> String {
+    format!(
+        "(set-logic QF_BV)\n\
+         (declare-const x (_ BitVec 8))\n\
+         (assert (bvule #x{threshold:02x} x))\n\
+         (set-option :seed {seed})\n\
+         (set-option :iterations {iterations})\n\
+         (count x)\n"
+    )
+}
+
+/// Asserts one wire result line against the direct reference report.
+fn assert_matches_reference(line: &str, reference: &pact::CountReport) {
+    let (outcome, estimate) = match reference.outcome {
+        pact::CountOutcome::Exact(n) => ("exact", n as f64),
+        pact::CountOutcome::Approximate { estimate, .. } => ("approximate", estimate),
+        pact::CountOutcome::Unsatisfiable => ("unsat", 0.0),
+        pact::CountOutcome::Timeout => ("timeout", -1.0),
+    };
+    assert_eq!(
+        field(line, "outcome"),
+        Some(format!("\"{outcome}\"")).as_deref()
+    );
+    assert_eq!(
+        numeric(line, "estimate"),
+        estimate,
+        "wire vs direct: {line}"
+    );
+    assert_eq!(
+        numeric(line, "oracle_calls") as u64,
+        reference.stats.oracle_calls
+    );
+    assert_eq!(
+        numeric(line, "iterations") as u64,
+        u64::from(reference.stats.iterations)
+    );
+    assert_eq!(field(line, "disposition"), Some("\"completed\""));
+}
+
+#[test]
+fn wire_counts_are_bit_identical_to_direct_sessions() {
+    let svc = service(2);
+    let mut conn = WireConnection::new(&svc);
+    let out = conn.run_script(&count_script(0x10, 42, 3));
+    let result = out
+        .iter()
+        .find(|l| l.contains("\"kind\": \"count\""))
+        .expect("count resolved");
+    assert!(result.contains(&format!("\"schema_version\": {WIRE_SCHEMA_VERSION}")));
+    assert_matches_reference(result, &direct_reference(0x10, 42, 3));
+    svc.shutdown();
+}
+
+proptest! {
+    // Each case runs two real counts (wire + direct); keep the budget small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn wire_round_trip_matches_direct_for_random_instances(
+        threshold in 1u64..=250,
+        seed in 0u64..1_000,
+    ) {
+        let svc = service(1);
+        let mut conn = WireConnection::new(&svc);
+        let out = conn.run_script(&count_script(threshold, seed, 1));
+        let result = out
+            .iter()
+            .find(|l| l.contains("\"kind\": \"count\""))
+            .expect("count resolved");
+        let reference = direct_reference(threshold, seed, 1);
+        // Round trip: the numbers parsed back out of the JSON are exactly
+        // the engine's. An exact outcome must also equal the closed form.
+        assert_matches_reference(result, &reference);
+        if let pact::CountOutcome::Exact(n) = reference.outcome {
+            prop_assert_eq!(n, 256 - threshold);
+        }
+        svc.shutdown();
+    }
+}
+
+#[test]
+fn malformed_input_answers_positioned_errors_and_the_connection_survives() {
+    let svc = service(1);
+    let mut conn = WireConnection::new(&svc);
+    let mut out = Vec::new();
+
+    // Every entry is one line of garbage; the expected line number is its
+    // position in the feed, and every error must carry line and column.
+    let cases: &[(&str, &str)] = &[
+        ("(frobnicate x)", "unknown command"),
+        ("(count nosuchvar)", "unknown variable"),
+        ("(set-option :epsilon)", ":key and a value"),
+        ("(set-option :epsilon many)", "epsilon"),
+        ("(set-option :backend warp)", "backend"),
+        ("(cancel 99)", "no pending request"),
+        ("(check-projected x)", "no arguments"),
+        ("stray-atom", "parenthesised command"),
+        ("(count)", "no projection"),
+    ];
+    for (k, (input, expect)) in cases.iter().enumerate() {
+        let before = out.len();
+        conn.feed(&format!("{input}\n"), &mut out);
+        assert_eq!(out.len(), before + 1, "{input:?} answers exactly one error");
+        let error = &out[before];
+        assert!(error.contains("\"kind\": \"error\""), "{input:?}: {error}");
+        assert!(
+            error.contains(&format!("\"line\": {}", k + 1)),
+            "{input:?} names line {}: {error}",
+            k + 1
+        );
+        assert!(error.contains("\"column\": "), "{input:?}: {error}");
+        assert!(
+            error.contains(expect),
+            "{input:?} explains itself with {expect:?}: {error}"
+        );
+    }
+
+    // A declaration error from the inner parser is positioned too.
+    let before = out.len();
+    conn.feed("(declare-const y (_ BitVec banana))\n", &mut out);
+    assert_eq!(out.len(), before + 1);
+    assert!(out[before].contains("\"kind\": \"error\""));
+    assert!(out[before].contains(&format!("\"line\": {}", cases.len() + 1)));
+
+    // The connection survived all of it: a well-formed count still answers,
+    // bit-identical to the direct session.
+    let mut tail = conn.run_script(&count_script(0x20, 7, 2));
+    let result = tail
+        .drain(..)
+        .find(|l| l.contains("\"kind\": \"count\""))
+        .expect("count resolved after the error barrage");
+    assert_matches_reference(&result, &direct_reference(0x20, 7, 2));
+    assert!(!conn.exited());
+    svc.shutdown();
+}
+
+#[test]
+fn pipe_transport_answers_bit_identically() {
+    // serve_connection over an in-memory reader/writer pair — exactly
+    // `pact-serve < script.smt2`.
+    let svc = service(2);
+    let script = format!("{}(exit)\n", count_script(0x30, 11, 2));
+    let mut output = Vec::new();
+    serve_connection(&svc, Cursor::new(script.into_bytes()), &mut output).unwrap();
+    svc.shutdown();
+
+    let text = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.iter().any(|l| l.contains("\"kind\": \"accepted\"")),
+        "acknowledgement first: {text}"
+    );
+    let result = lines
+        .iter()
+        .find(|l| l.contains("\"kind\": \"count\""))
+        .expect("count resolved before EOF shutdown");
+    assert_matches_reference(result, &direct_reference(0x30, 11, 2));
+}
+
+#[test]
+fn tcp_transport_answers_bit_identically() {
+    // The same session over a real socket — exactly `pact-serve --listen`.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let svc = service(2);
+        let _ = serve_listener(&svc, &listener);
+    });
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(format!("{}(exit)\n", count_script(0x40, 5, 2)).as_bytes())
+        .unwrap();
+    stream.flush().unwrap();
+
+    let mut result = None;
+    for line in BufReader::new(stream.try_clone().unwrap()).lines() {
+        let line = line.unwrap();
+        if line.contains("\"kind\": \"count\"") {
+            result = Some(line);
+            break;
+        }
+    }
+    drop(stream);
+    let result = result.expect("count resolved over TCP");
+    assert_matches_reference(&result, &direct_reference(0x40, 5, 2));
+}
+
+#[test]
+fn requests_multiplex_by_id_and_cancel_resolves_with_disposition() {
+    let svc = service(2);
+    let mut conn = WireConnection::new(&svc);
+    let mut out = Vec::new();
+
+    // Request 0: expensive (thousands of iterations over 12 bits).
+    conn.feed(
+        "(declare-const x (_ BitVec 12))\n\
+         (assert (bvule #x800 x))\n\
+         (set-option :seed 1)\n\
+         (set-option :iterations 2000)\n\
+         (count x)\n",
+        &mut out,
+    );
+    // Request 1: cheap, same formula, one iteration.
+    conn.feed("(set-option :iterations 1)\n(count x)\n", &mut out);
+    assert_eq!(
+        out.iter()
+            .filter(|l| l.contains("\"kind\": \"accepted\""))
+            .count(),
+        2,
+        "both counts acknowledged immediately: {out:?}"
+    );
+
+    // The cheap count answers while the expensive one is still running:
+    // multiplexing by id, out of submission order.
+    loop {
+        conn.poll(&mut out);
+        if out
+            .iter()
+            .any(|l| l.contains("\"kind\": \"count\"") && l.contains("\"id\": 1"))
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        !conn.idle(),
+        "the expensive request (id 0) is still in flight"
+    );
+    assert!(!out
+        .iter()
+        .any(|l| l.contains("\"kind\": \"count\"") && l.contains("\"id\": 0")));
+
+    // Cancel the expensive one; it resolves with the cancelled disposition
+    // (partial statistics, not silence).
+    conn.feed("(cancel 0)\n", &mut out);
+    conn.finish(&mut out);
+    let cancelled = out
+        .iter()
+        .find(|l| l.contains("\"kind\": \"count\"") && l.contains("\"id\": 0"))
+        .expect("cancelled request still reports");
+    // The disposition distinguishes cancellation from completion even when
+    // the interrupted engine still had partial rounds to report (the
+    // outcome may be "timeout" or a partial "approximate" median).
+    assert_eq!(field(cancelled, "disposition"), Some("\"cancelled\""));
+    assert!(field(cancelled, "outcome").is_some());
+    svc.shutdown();
+}
+
+#[test]
+fn accepted_acks_carry_the_placement_cost_estimate() {
+    let svc = service(1);
+    let mut conn = WireConnection::new(&svc);
+    let out = conn.run_script(&count_script(0x10, 3, 1));
+    let ack = out
+        .iter()
+        .find(|l| l.contains("\"kind\": \"accepted\""))
+        .expect("count acknowledged");
+    let ack_cost = numeric(ack, "cost_estimate") as u64;
+    assert!(ack_cost >= 1);
+    // The result line repeats the same cost the placement used.
+    let result = out
+        .iter()
+        .find(|l| l.contains("\"kind\": \"count\""))
+        .unwrap();
+    assert_eq!(numeric(result, "cost_estimate") as u64, ack_cost);
+    svc.shutdown();
+}
